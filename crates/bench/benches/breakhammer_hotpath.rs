@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: BreakHammer's hot path — attributing an
+//! activation to a thread, and observing a preventive action (score update +
+//! outlier detection), corresponding to the logic §6 shows fits in a 0.67 ns
+//! pipeline stage in hardware.
+
+use bh_core::{BreakHammer, BreakHammerConfig};
+use bh_dram::{ThreadId, TimingParams};
+use bh_mitigation::ScoreAttribution;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_breakhammer(c: &mut Criterion) {
+    let timing = TimingParams::ddr5_4800();
+
+    c.bench_function("breakhammer_on_activation", |b| {
+        let config = BreakHammerConfig::paper_table2(&timing, 4, 64);
+        let mut bh = BreakHammer::new(config, ScoreAttribution::ProportionalToActivations);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 30;
+            bh.on_activation(black_box(ThreadId((cycle % 4) as usize)), cycle);
+        });
+    });
+
+    c.bench_function("breakhammer_on_preventive_action", |b| {
+        let config = BreakHammerConfig::paper_table2(&timing, 4, 64);
+        let mut bh = BreakHammer::new(config, ScoreAttribution::ProportionalToActivations);
+        let mut cycle = 0u64;
+        b.iter(|| {
+            cycle += 500;
+            for t in 0..4usize {
+                for _ in 0..(t + 1) {
+                    bh.on_activation(ThreadId(t), cycle);
+                }
+            }
+            bh.on_preventive_action(black_box(cycle));
+        });
+    });
+}
+
+criterion_group!(benches, bench_breakhammer);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: per-activation cost of each mitigation
+//! mechanism's trigger algorithm (the work added to the memory controller's
+//! activation path).
+
+use bh_dram::{BankAddr, DramGeometry, RowAddr, ThreadId, TimingParams};
+use bh_mitigation::{ActivationEvent, MechanismKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let geometry = DramGeometry::paper_ddr5();
+    let timing = TimingParams::ddr5_4800();
+    let mut group = c.benchmark_group("mechanism_on_activation");
+    for kind in [
+        MechanismKind::Para,
+        MechanismKind::Graphene,
+        MechanismKind::Hydra,
+        MechanismKind::Twice,
+        MechanismKind::Aqua,
+        MechanismKind::Rega,
+        MechanismKind::Rfm,
+        MechanismKind::Prac,
+        MechanismKind::BlockHammer,
+    ] {
+        group.bench_function(kind.label(), |b| {
+            let mut mechanism = kind.build(&geometry, &timing, 1024, 7);
+            let mut cycle = 0u64;
+            let mut row = 0usize;
+            b.iter(|| {
+                cycle += 30;
+                row = (row + 17) % 4096;
+                let event = ActivationEvent {
+                    row: RowAddr {
+                        bank: BankAddr { rank: 0, bank_group: (row % 8), bank: 0 },
+                        row,
+                    },
+                    thread: ThreadId(row % 4),
+                    cycle,
+                };
+                black_box(mechanism.on_activation(&event))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion macro-benchmark: end-to-end simulator throughput — a small
+//! four-core system (Graphene + BreakHammer, attacker present) run to
+//! completion, measuring how many simulated instructions per wall-clock
+//! second the reproduction achieves.
+
+use bh_mem::AddressMapping;
+use bh_mitigation::MechanismKind;
+use bh_sim::{System, SystemConfig};
+use bh_workloads::{MixBuilder, MixClass, TraceGenerator};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn bench_system(c: &mut Criterion) {
+    let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 256, true);
+    config.instructions_per_core = 8_000;
+
+    let generator = TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
+    let mut builder = MixBuilder::new(generator);
+    builder.benign_entries = 2_000;
+    builder.attacker_entries = 2_000;
+    let mix = builder.build(MixClass::attack_classes()[0], 0, 42);
+
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    group.bench_function("four_core_attack_8k_instructions", |b| {
+        b.iter_batched(
+            || (config.clone(), mix.traces.clone()),
+            |(cfg, traces)| {
+                let system = System::new(cfg, &traces, vec![0, 1, 2]);
+                system.run()
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

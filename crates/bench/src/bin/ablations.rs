@@ -1,0 +1,59 @@
+//! Ablation study (extension beyond the paper's figures): how BreakHammer's
+//! remaining configuration parameters affect its benefit under attack —
+//! the outlier threshold TH_outlier, the quota divisor P_newsuspect and the
+//! throttling-window length — using Graphene as the paired mechanism at the
+//! lowest evaluated N_RH.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, fmt_pct, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = *scale.nrh_values.iter().min().expect("non-empty sweep");
+    let mut campaign = Campaign::new(scale.clone());
+
+    // Reference: the mechanism without BreakHammer.
+    let without = campaign.run(&paper_config(MechanismKind::Graphene, nrh, false, &scale), true);
+    let without_ws = geomean_speedup(&without.iter().collect::<Vec<_>>());
+
+    let mut table = Table::new(["parameter", "value", "normalized_ws", "attacker_identified"]);
+    let mut run_variant = |campaign: &mut Campaign, label: &str, value: String, tweak: &dyn Fn(&mut bh_core::BreakHammerConfig)| {
+        let mut config = paper_config(MechanismKind::Graphene, nrh, true, &scale);
+        let mut bh = config.effective_breakhammer_config();
+        tweak(&mut bh);
+        config.breakhammer_config = Some(bh);
+        let records = campaign.run(&config, true);
+        let sel: Vec<_> = records.iter().collect();
+        let identified =
+            records.iter().filter(|r| r.attacker_identified).count() as f64 / records.len() as f64;
+        table.push_row([
+            label.to_string(),
+            value,
+            fmt3(geomean_speedup(&sel) / without_ws),
+            fmt_pct(identified),
+        ]);
+    };
+
+    for outlier in [0.05, 0.65, 0.95] {
+        run_variant(&mut campaign, "TH_outlier", format!("{outlier}"), &|bh| {
+            bh.outlier_threshold = outlier;
+        });
+    }
+    for divisor in [2usize, 10, 64] {
+        run_variant(&mut campaign, "P_newsuspect", divisor.to_string(), &|bh| {
+            bh.new_suspect_divisor = divisor;
+        });
+    }
+    for window_ms in [16.0f64, 64.0, 256.0] {
+        run_variant(&mut campaign, "TH_window_ms", format!("{window_ms}"), &|bh| {
+            bh.window_cycles = bh_dram::TimingParams::ddr5_4800().ms_to_cycles(window_ms);
+        });
+    }
+
+    print_results(
+        &format!("Ablations: BreakHammer parameter sensitivity (Graphene, N_RH = {nrh}, attacker present; normalized to Graphene without BreakHammer)"),
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 2: system performance overhead of RowHammer mitigation mechanisms
+//! (Hydra, RFM, PARA, AQUA) on all-benign four-core workloads as the
+//! RowHammer threshold decreases, normalized to a system with no mitigation.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    // Baseline: no mitigation (independent of N_RH).
+    let baseline_cfg = paper_config(MechanismKind::None, scale.nrh_values[0], false, &scale);
+    let baseline = campaign.run(&baseline_cfg, false);
+    let baseline_ws = geomean_speedup(&baseline.iter().collect::<Vec<_>>());
+
+    let mechanisms = MechanismKind::motivation_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false], /*attack=*/ false);
+
+    let mut table = Table::new(["nrh", "mechanism", "weighted_speedup", "normalized_ws"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let sel = select(&records, mech, nrh, false);
+            let ws = geomean_speedup(&sel);
+            table.push_row([
+                nrh.to_string(),
+                mech.to_string(),
+                fmt3(ws),
+                fmt3(ws / baseline_ws),
+            ]);
+        }
+    }
+    print_results(
+        "Figure 2: normalized weighted speedup of mitigation mechanisms (benign workloads, no BreakHammer)",
+        &table,
+    );
+    println!("baseline (no mitigation) geomean weighted speedup: {}", fmt3(baseline_ws));
+}

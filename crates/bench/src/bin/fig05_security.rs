@@ -1,0 +1,33 @@
+//! Figure 5: analytical security bound — the maximum RowHammer-preventive
+//! score an attack thread can gather before being identified as a suspect
+//! (normalized to the average benign score), as a function of the fraction of
+//! hardware threads the attacker controls, for different TH_outlier values.
+//!
+//! This figure is purely analytical (Expression 2) and needs no simulation.
+
+use bh_core::security::{figure5_outlier_thresholds, figure5_series};
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let thresholds = figure5_outlier_thresholds();
+    let series = figure5_series(&thresholds, 10);
+
+    let mut table = Table::new(["attacker_threads_pct", "th_outlier", "max_attacker_score_ratio"]);
+    for point in &series {
+        table.push_row([
+            format!("{:.0}", point.attacker_fraction * 100.0),
+            format!("{:.2}", point.outlier_threshold),
+            match point.max_score_ratio {
+                Some(r) => fmt3(r),
+                None => "unbounded".to_string(),
+            },
+        ]);
+    }
+    bh_bench::print_results("Figure 5: worst-case attacker score bound (Expression 2)", &table);
+
+    // The two reference points called out in §5.2.
+    let p1 = bh_core::security::max_attacker_score_ratio(0.5, 0.65).expect("bounded");
+    let p2 = bh_core::security::max_attacker_score_ratio(0.9, 0.05).expect("bounded");
+    println!("TH_outlier=0.65, 50% attacker threads -> {:.2}x the benign average (paper: 4.71x)", p1);
+    println!("TH_outlier=0.05, 90% attacker threads -> {:.2}x the benign average (paper: 1.90x)", p2);
+}

@@ -1,0 +1,52 @@
+//! Figure 6: BreakHammer's impact on the weighted speedup of benign
+//! applications when an attacker is present, at N_RH = 1K, for each of the
+//! eight mitigation mechanisms, per workload-mix class (HHHA … LLLA) plus the
+//! geometric mean — normalized to the same mechanism without BreakHammer.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = bh_bench::figure_nrh(1024);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let mut records = Vec::new();
+    for &mech in &mechanisms {
+        for bh in [false, true] {
+            let config = paper_config(mech, nrh, bh, &scale);
+            records.extend(campaign.run(&config, /*attack=*/ true));
+        }
+    }
+
+    let classes = ["HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA"];
+    let mut table = Table::new(["mechanism", "mix_class", "normalized_weighted_speedup"]);
+    for &mech in &mechanisms {
+        let with: Vec<_> = select(&records, mech, nrh, true);
+        let without: Vec<_> = select(&records, mech, nrh, false);
+        for class in classes.iter() {
+            let w: Vec<_> = with.iter().copied().filter(|r| r.mix_class == *class).collect();
+            let wo: Vec<_> = without.iter().copied().filter(|r| r.mix_class == *class).collect();
+            if w.is_empty() || wo.is_empty() {
+                continue;
+            }
+            table.push_row([
+                format!("{mech}+BH"),
+                class.to_string(),
+                fmt3(geomean_speedup(&w) / geomean_speedup(&wo)),
+            ]);
+        }
+        table.push_row([
+            format!("{mech}+BH"),
+            "geomean".to_string(),
+            fmt3(geomean_speedup(&with) / geomean_speedup(&without)),
+        ]);
+    }
+    print_results(
+        "Figure 6: normalized weighted speedup of benign applications with an attacker present (N_RH = 1K)",
+        &table,
+    );
+}

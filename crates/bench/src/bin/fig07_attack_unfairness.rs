@@ -1,0 +1,43 @@
+//! Figure 7: BreakHammer's impact on unfairness (maximum slowdown of a benign
+//! application) when an attacker is present, at N_RH = 1K, per mechanism and
+//! workload-mix class — normalized to the same mechanism without BreakHammer.
+
+use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = bh_bench::figure_nrh(1024);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let mut records = Vec::new();
+    for &mech in &mechanisms {
+        for bh in [false, true] {
+            let config = paper_config(mech, nrh, bh, &scale);
+            records.extend(campaign.run(&config, /*attack=*/ true));
+        }
+    }
+
+    let classes = ["HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA"];
+    let mut table = Table::new(["mechanism", "mix_class", "normalized_unfairness"]);
+    for &mech in &mechanisms {
+        let with = select(&records, mech, nrh, true);
+        let without = select(&records, mech, nrh, false);
+        for class in classes.iter().map(|c| c.to_string()).chain(["geomean".to_string()]) {
+            let w = bh_bench::filter_class(&with, &class);
+            let wo = bh_bench::filter_class(&without, &class);
+            if w.is_empty() || wo.is_empty() {
+                continue;
+            }
+            let ratio = mean_of(&w, |r| r.max_slowdown) / mean_of(&wo, |r| r.max_slowdown);
+            table.push_row([format!("{mech}+BH"), class.clone(), fmt3(ratio)]);
+        }
+    }
+    print_results(
+        "Figure 7: normalized unfairness (max slowdown of benign applications) with an attacker present (N_RH = 1K)",
+        &table,
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 8: weighted-speedup scaling of the eight mitigation mechanisms with
+//! and without BreakHammer, with an attacker present, as N_RH decreases —
+//! normalized to a baseline with no RowHammer mitigation.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    // The no-mitigation baseline under attack (independent of N_RH).
+    let baseline_cfg = paper_config(MechanismKind::None, scale.nrh_values[0], false, &scale);
+    let baseline = campaign.run(&baseline_cfg, true);
+    let baseline_ws = geomean_speedup(&baseline.iter().collect::<Vec<_>>());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false, true], /*attack=*/ true);
+
+    let mut table = Table::new(["nrh", "config", "normalized_weighted_speedup"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            for bh in [false, true] {
+                let sel = select(&records, mech, nrh, bh);
+                if sel.is_empty() {
+                    continue;
+                }
+                let label = if bh { format!("{mech}+BH") } else { mech.to_string() };
+                table.push_row([nrh.to_string(), label, fmt3(geomean_speedup(&sel) / baseline_ws)]);
+            }
+        }
+    }
+    print_results(
+        "Figure 8: weighted speedup of benign applications vs. N_RH with an attacker present (normalized to no mitigation)",
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! Figure 9: unfairness (maximum slowdown of a benign application) of the
+//! BreakHammer-paired mechanisms, with an attacker present, as N_RH decreases
+//! — normalized to a baseline with no RowHammer mitigation.
+
+use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let baseline_cfg = paper_config(MechanismKind::None, scale.nrh_values[0], false, &scale);
+    let baseline = campaign.run(&baseline_cfg, true);
+    let baseline_unfairness = mean_of(&baseline.iter().collect::<Vec<_>>(), |r| r.max_slowdown);
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[true], /*attack=*/ true);
+
+    let mut table = Table::new(["nrh", "config", "normalized_unfairness"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let sel = select(&records, mech, nrh, true);
+            if sel.is_empty() {
+                continue;
+            }
+            let unfairness = mean_of(&sel, |r| r.max_slowdown);
+            table.push_row([
+                nrh.to_string(),
+                format!("{mech}+BH"),
+                fmt3(unfairness / baseline_unfairness),
+            ]);
+        }
+    }
+    print_results(
+        "Figure 9: unfairness vs. N_RH with an attacker present (normalized to no mitigation)",
+        &table,
+    );
+}

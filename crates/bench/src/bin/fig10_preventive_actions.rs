@@ -1,0 +1,51 @@
+//! Figure 10: number of RowHammer-preventive actions performed by each
+//! mitigation mechanism, with and without BreakHammer, as N_RH decreases —
+//! normalized to the same mechanism without BreakHammer at N_RH = 4K.
+//!
+//! REGA is excluded (footnote 10 of the paper): it performs its refreshes in
+//! parallel with activations and has no discrete preventive actions.
+
+use bh_bench::{maybe_print_config, mean_of, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms: Vec<MechanismKind> = MechanismKind::paper_mechanisms()
+        .into_iter()
+        .filter(|m| *m != MechanismKind::Rega)
+        .collect();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false, true], /*attack=*/ true);
+
+    let reference_nrh = *scale.nrh_values.iter().max().expect("non-empty N_RH sweep");
+    let mut table = Table::new(["nrh", "config", "preventive_actions", "normalized_actions"]);
+    for &mech in &mechanisms {
+        let reference = select(&records, mech, reference_nrh, false);
+        let reference_actions =
+            mean_of(&reference, |r| r.preventive_actions as f64).max(1.0);
+        for &nrh in &scale.nrh_values {
+            for bh in [false, true] {
+                let sel = select(&records, mech, nrh, bh);
+                if sel.is_empty() {
+                    continue;
+                }
+                let actions = mean_of(&sel, |r| r.preventive_actions as f64);
+                let label = if bh { format!("{mech}+BH") } else { mech.to_string() };
+                table.push_row([
+                    nrh.to_string(),
+                    label,
+                    format!("{actions:.0}"),
+                    fmt3(actions / reference_actions),
+                ]);
+            }
+        }
+    }
+    print_results(
+        "Figure 10: RowHammer-preventive actions with an attacker present (normalized to no-BreakHammer at N_RH = 4K)",
+        &table,
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 11: memory-latency percentiles experienced by benign applications
+//! with an attacker present, at the lowest evaluated N_RH, for each mitigation
+//! mechanism with and without BreakHammer, compared to a no-defense baseline.
+
+use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, Campaign, RunRecord, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = *scale.nrh_values.iter().min().expect("non-empty N_RH sweep");
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mut rows: Vec<(String, Vec<RunRecord>)> = Vec::new();
+    let baseline_cfg = paper_config(MechanismKind::None, nrh, false, &scale);
+    rows.push(("NoDefense".to_string(), campaign.run(&baseline_cfg, true)));
+    for mech in MechanismKind::paper_mechanisms() {
+        for bh in [false, true] {
+            let label = if bh { format!("{mech}+BH") } else { mech.to_string() };
+            let config = paper_config(mech, nrh, bh, &scale);
+            rows.push((label, campaign.run(&config, true)));
+        }
+    }
+
+    let mut table = Table::new(["config", "p50_ns", "p90_ns", "p99_ns"]);
+    for (label, records) in &rows {
+        let sel: Vec<&RunRecord> = records.iter().collect();
+        table.push_row([
+            label.clone(),
+            format!("{:.1}", mean_of(&sel, |r| r.latency_ns[0])),
+            format!("{:.1}", mean_of(&sel, |r| r.latency_ns[1])),
+            format!("{:.1}", mean_of(&sel, |r| r.latency_ns[2])),
+        ]);
+    }
+    print_results(
+        &format!("Figure 11: benign memory-latency percentiles with an attacker present (N_RH = {nrh})"),
+        &table,
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 12: DRAM energy of the eight mitigation mechanisms with and without
+//! BreakHammer, with an attacker present, as N_RH decreases — normalized to a
+//! baseline with no RowHammer mitigation.
+
+use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let baseline_cfg = paper_config(MechanismKind::None, scale.nrh_values[0], false, &scale);
+    let baseline = campaign.run(&baseline_cfg, true);
+    let baseline_energy = mean_of(&baseline.iter().collect::<Vec<_>>(), |r| r.energy_nj);
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false, true], /*attack=*/ true);
+
+    let mut table = Table::new(["nrh", "config", "energy_uj", "normalized_energy"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            for bh in [false, true] {
+                let sel = select(&records, mech, nrh, bh);
+                if sel.is_empty() {
+                    continue;
+                }
+                let energy = mean_of(&sel, |r| r.energy_nj);
+                let label = if bh { format!("{mech}+BH") } else { mech.to_string() };
+                table.push_row([
+                    nrh.to_string(),
+                    label,
+                    format!("{:.1}", energy / 1000.0),
+                    fmt3(energy / baseline_energy),
+                ]);
+            }
+        }
+    }
+    print_results(
+        "Figure 12: DRAM energy with an attacker present (normalized to no mitigation)",
+        &table,
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 13: BreakHammer's impact on system performance for all-benign
+//! four-core workloads at the lowest evaluated N_RH, per workload-mix class —
+//! normalized to the same mechanism without BreakHammer.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = *scale.nrh_values.iter().min().expect("non-empty N_RH sweep");
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let mut records = Vec::new();
+    for &mech in &mechanisms {
+        for bh in [false, true] {
+            let config = paper_config(mech, nrh, bh, &scale);
+            records.extend(campaign.run(&config, /*attack=*/ false));
+        }
+    }
+
+    let classes = ["HHHH", "HHMM", "MMMM", "HHLL", "MMLL", "LLLL"];
+    let mut table = Table::new(["mechanism", "mix_class", "normalized_weighted_speedup"]);
+    for &mech in &mechanisms {
+        let with = select(&records, mech, nrh, true);
+        let without = select(&records, mech, nrh, false);
+        for class in classes.iter().map(|c| c.to_string()).chain(["geomean".to_string()]) {
+            let w = bh_bench::filter_class(&with, &class);
+            let wo = bh_bench::filter_class(&without, &class);
+            if w.is_empty() || wo.is_empty() {
+                continue;
+            }
+            table.push_row([
+                format!("{mech}+BH"),
+                class.clone(),
+                fmt3(geomean_speedup(&w) / geomean_speedup(&wo)),
+            ]);
+        }
+    }
+    print_results(
+        &format!("Figure 13: normalized weighted speedup on all-benign workloads (N_RH = {nrh})"),
+        &table,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 14: BreakHammer's impact on unfairness for all-benign four-core
+//! workloads at N_RH = 1K, per workload-mix class — normalized to the same
+//! mechanism without BreakHammer. Also reports how often a benign application
+//! was (mis)identified as a suspect (§8.2 reports 2.2% of simulations at 1K).
+
+use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, fmt_pct, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let nrh = bh_bench::figure_nrh(1024);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let mut records = Vec::new();
+    for &mech in &mechanisms {
+        for bh in [false, true] {
+            let config = paper_config(mech, nrh, bh, &scale);
+            records.extend(campaign.run(&config, /*attack=*/ false));
+        }
+    }
+
+    let mut table = Table::new(["mechanism", "normalized_unfairness", "benign_suspect_rate"]);
+    let mut misidentified = 0usize;
+    let mut with_bh_runs = 0usize;
+    for &mech in &mechanisms {
+        let with = select(&records, mech, nrh, true);
+        let without = select(&records, mech, nrh, false);
+        if with.is_empty() || without.is_empty() {
+            continue;
+        }
+        let ratio = mean_of(&with, |r| r.max_slowdown) / mean_of(&without, |r| r.max_slowdown);
+        let suspects = with.iter().filter(|r| r.benign_misidentified).count();
+        misidentified += suspects;
+        with_bh_runs += with.len();
+        table.push_row([
+            format!("{mech}+BH"),
+            fmt3(ratio),
+            fmt_pct(suspects as f64 / with.len() as f64),
+        ]);
+    }
+    print_results(
+        "Figure 14: normalized unfairness on all-benign workloads (N_RH = 1K)",
+        &table,
+    );
+    println!(
+        "benign application identified as suspect in {} of the simulations (paper: 2.2% at N_RH = 1K)",
+        fmt_pct(misidentified as f64 / with_bh_runs.max(1) as f64)
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 15: BreakHammer's impact on system performance for all-benign
+//! workloads as N_RH decreases — normalized to the same mechanism without
+//! BreakHammer.
+
+use bh_bench::{geomean_speedup, maybe_print_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false, true], /*attack=*/ false);
+
+    let mut table = Table::new(["nrh", "mechanism", "normalized_weighted_speedup"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let with = select(&records, mech, nrh, true);
+            let without = select(&records, mech, nrh, false);
+            if with.is_empty() || without.is_empty() {
+                continue;
+            }
+            table.push_row([
+                nrh.to_string(),
+                format!("{mech}+BH"),
+                fmt3(geomean_speedup(&with) / geomean_speedup(&without)),
+            ]);
+        }
+    }
+    print_results(
+        "Figure 15: normalized weighted speedup on all-benign workloads vs. N_RH",
+        &table,
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 16: BreakHammer's impact on unfairness for all-benign workloads as
+//! N_RH decreases — normalized to the same mechanism without BreakHammer.
+//! Also reports the fraction of simulations in which a benign application was
+//! identified as a suspect (§8.2 reports 18.7% across all N_RH values).
+
+use bh_bench::{maybe_print_config, mean_of, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, fmt_pct, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[false, true], /*attack=*/ false);
+
+    let mut table = Table::new(["nrh", "mechanism", "normalized_unfairness"]);
+    let mut misidentified = 0usize;
+    let mut with_bh_runs = 0usize;
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let with = select(&records, mech, nrh, true);
+            let without = select(&records, mech, nrh, false);
+            if with.is_empty() || without.is_empty() {
+                continue;
+            }
+            misidentified += with.iter().filter(|r| r.benign_misidentified).count();
+            with_bh_runs += with.len();
+            table.push_row([
+                nrh.to_string(),
+                format!("{mech}+BH"),
+                fmt3(mean_of(&with, |r| r.max_slowdown) / mean_of(&without, |r| r.max_slowdown)),
+            ]);
+        }
+    }
+    print_results(
+        "Figure 16: normalized unfairness on all-benign workloads vs. N_RH",
+        &table,
+    );
+    println!(
+        "benign application identified as suspect in {} of the simulations (paper: 18.7% across all N_RH)",
+        fmt_pct(misidentified as f64 / with_bh_runs.max(1) as f64)
+    );
+}

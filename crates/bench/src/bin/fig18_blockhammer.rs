@@ -1,0 +1,55 @@
+//! Figure 18: BreakHammer-paired mechanisms compared against BlockHammer, the
+//! state-of-the-art throttling-based RowHammer mitigation, with an attacker
+//! present, as N_RH decreases — normalized to a baseline with no mitigation.
+
+use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let baseline_cfg = paper_config(MechanismKind::None, scale.nrh_values[0], false, &scale);
+    let baseline = campaign.run(&baseline_cfg, true);
+    let baseline_ws = geomean_speedup(&baseline.iter().collect::<Vec<_>>());
+
+    // The eight mechanisms paired with BreakHammer…
+    let mechanisms = MechanismKind::paper_mechanisms();
+    let mut records =
+        campaign.run_matrix(&mechanisms, &scale.nrh_values, &[true], /*attack=*/ true);
+    // …and BlockHammer on its own (it is itself a throttling mitigation).
+    records.extend(campaign.run_matrix(
+        &[MechanismKind::BlockHammer],
+        &scale.nrh_values,
+        &[false],
+        true,
+    ));
+
+    let mut table = Table::new(["nrh", "config", "normalized_weighted_speedup"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let sel = select(&records, mech, nrh, true);
+            if !sel.is_empty() {
+                table.push_row([
+                    nrh.to_string(),
+                    format!("{mech}+BH"),
+                    fmt3(geomean_speedup(&sel) / baseline_ws),
+                ]);
+            }
+        }
+        let bl = select(&records, MechanismKind::BlockHammer, nrh, false);
+        if !bl.is_empty() {
+            table.push_row([
+                nrh.to_string(),
+                "BlockHammer".to_string(),
+                fmt3(geomean_speedup(&bl) / baseline_ws),
+            ]);
+        }
+    }
+    print_results(
+        "Figure 18: BreakHammer-paired mechanisms vs. BlockHammer with an attacker present (normalized to no mitigation)",
+        &table,
+    );
+}

@@ -1,0 +1,66 @@
+//! Figure 19: BreakHammer's sensitivity to the TH_threat configuration
+//! parameter, at three N_RH values, for workloads with and without an
+//! attacker. Reported as box-plot statistics of the weighted speedup
+//! normalized to the TH_threat = 4096 configuration (the least aggressive
+//! setting), using Graphene as the representative paired mechanism.
+
+use bh_bench::{maybe_print_config, paper_config, print_results, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, BoxPlot, Table};
+
+fn main() {
+    let scale = Scale::from_env();
+    maybe_print_config(&scale);
+    let mut campaign = Campaign::new(scale.clone());
+
+    let threat_values = [32.0f64, 512.0, 4096.0];
+    let nrh_values = [
+        *scale.nrh_values.iter().max().expect("non-empty sweep"),
+        scale.nrh_values[scale.nrh_values.len() / 2],
+        *scale.nrh_values.iter().min().expect("non-empty sweep"),
+    ];
+
+    let mut table = Table::new([
+        "workloads",
+        "nrh",
+        "th_threat",
+        "ws_q1",
+        "ws_median",
+        "ws_q3",
+        "normalized_median",
+    ]);
+    for attack in [true, false] {
+        for &nrh in &nrh_values {
+            // Baseline: TH_threat = 4096 (essentially never throttles).
+            let mut per_threat: Vec<(f64, Vec<f64>)> = Vec::new();
+            for &threat in &threat_values {
+                let mut config = paper_config(MechanismKind::Graphene, nrh, true, &scale);
+                let mut bh = config.effective_breakhammer_config();
+                bh.threat_threshold = threat;
+                config.breakhammer_config = Some(bh);
+                let records = campaign.run(&config, attack);
+                per_threat.push((threat, records.iter().map(|r| r.weighted_speedup).collect()));
+            }
+            let baseline_median = BoxPlot::from_samples(
+                &per_threat.last().expect("three threat values").1,
+            )
+            .median;
+            for (threat, samples) in &per_threat {
+                let boxplot = BoxPlot::from_samples(samples);
+                table.push_row([
+                    if attack { "attack" } else { "benign" }.to_string(),
+                    nrh.to_string(),
+                    format!("{threat:.0}"),
+                    fmt3(boxplot.q1),
+                    fmt3(boxplot.median),
+                    fmt3(boxplot.q3),
+                    fmt3(boxplot.median / baseline_median),
+                ]);
+            }
+        }
+    }
+    print_results(
+        "Figure 19: sensitivity to TH_threat (Graphene+BreakHammer; weighted speedup normalized to TH_threat = 4096)",
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! §6 hardware complexity: BreakHammer's per-thread storage, area at 65 nm,
+//! fraction of a high-end Xeon die, and per-decision latency compared with
+//! the DRAM tRRD command spacing.
+
+use bh_core::hw_cost::{HardwareCost, BITS_PER_THREAD, CLOCK_GHZ, PIPELINE_STAGES};
+use bh_dram::TimingParams;
+use bh_stats::Table;
+
+fn main() {
+    let mut table = Table::new(["threads", "channels", "storage_bits", "area_mm2", "xeon_fraction", "latency_ns"]);
+    for (threads, channels) in [(4, 1), (4, 4), (8, 2), (16, 4), (64, 8), (128, 8)] {
+        let c = HardwareCost::estimate(threads, channels);
+        table.push_row([
+            threads.to_string(),
+            channels.to_string(),
+            c.storage_bits.to_string(),
+            format!("{:.6}", c.area_mm2),
+            format!("{:.7}%", c.xeon_area_fraction * 100.0),
+            format!("{:.2}", c.latency_ns),
+        ]);
+    }
+    bh_bench::print_results("Section 6: BreakHammer hardware complexity", &table);
+
+    let paper = HardwareCost::paper_configuration();
+    let ddr4 = TimingParams::ddr4_3200();
+    let ddr5 = TimingParams::ddr5_4800();
+    println!("per-thread state: {BITS_PER_THREAD} bits (two 32-bit scores, one 16-bit activation counter, two flags)");
+    println!("pipeline: {PIPELINE_STAGES} stages at {CLOCK_GHZ} GHz -> {:.2} ns per decision", paper.latency_ns);
+    println!(
+        "fits under tRRD? DDR4 ({:.2} ns): {}; DDR5 ({:.2} ns): {}",
+        ddr4.cycles_to_ns(ddr4.t_rrd_s),
+        paper.fits_under_trrd(ddr4.cycles_to_ns(ddr4.t_rrd_s)),
+        ddr5.cycles_to_ns(ddr5.t_rrd_s),
+        paper.fits_under_trrd(ddr5.cycles_to_ns(ddr5.t_rrd_s)),
+    );
+    println!(
+        "paper configuration: {:.5} mm^2 total, {:.4}% of a high-end Xeon die (paper: 0.00042 mm^2, 0.0002%)",
+        paper.area_mm2,
+        paper.xeon_area_fraction * 100.0
+    );
+}

@@ -1,0 +1,49 @@
+//! Storage-overhead comparison referenced in §3 and §8.3: the on-chip state
+//! each mitigation mechanism needs as N_RH decreases (Hydra's tens of KiB,
+//! Graphene/TWiCe/AQUA growth, BlockHammer's growing history, and
+//! BreakHammer's near-zero two-counters-per-thread cost).
+
+use bh_bench::Scale;
+use bh_core::hw_cost::HardwareCost;
+use bh_dram::{DramGeometry, TimingParams};
+use bh_mitigation::MechanismKind;
+use bh_stats::Table;
+
+fn main() {
+    let scale = Scale::from_env();
+    let geometry = DramGeometry::paper_ddr5();
+    let timing = TimingParams::ddr5_4800();
+    let mechanisms = [
+        MechanismKind::Para,
+        MechanismKind::Graphene,
+        MechanismKind::Hydra,
+        MechanismKind::Twice,
+        MechanismKind::Aqua,
+        MechanismKind::Rega,
+        MechanismKind::Rfm,
+        MechanismKind::Prac,
+        MechanismKind::BlockHammer,
+    ];
+
+    let mut table = Table::new(["nrh", "mechanism", "storage_kib"]);
+    for &nrh in &scale.nrh_values {
+        for &mech in &mechanisms {
+            let built = mech.build(&geometry, &timing, nrh, 0);
+            table.push_row([
+                nrh.to_string(),
+                mech.to_string(),
+                format!("{:.2}", built.storage_bits() as f64 / 8.0 / 1024.0),
+            ]);
+        }
+        let bh = HardwareCost::estimate(4, 1);
+        table.push_row([
+            nrh.to_string(),
+            "BreakHammer".to_string(),
+            format!("{:.4}", bh.storage_bits as f64 / 8.0 / 1024.0),
+        ]);
+    }
+    bh_bench::print_results(
+        "Mechanism storage overheads vs. N_RH (processor-die state, KiB)",
+        &table,
+    );
+}

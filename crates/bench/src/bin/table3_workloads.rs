@@ -1,0 +1,54 @@
+//! Table 3: workload characteristics of the eight most memory-intensive
+//! benign applications — RBMPKI and the number of DRAM rows receiving more
+//! than 512, 128 and 64 activations within an observation window.
+//!
+//! The observation window defaults to 2 M instructions (scaled down from the
+//! paper's 64 ms ≈ hundreds of millions of instructions); set
+//! `BH_TABLE3_WINDOW` to enlarge it.
+
+use bh_stats::{fmt3, Table};
+use bh_workloads::{characterize, BenignProfile, TraceGenerator};
+
+fn main() {
+    let window: u64 = std::env::var("BH_TABLE3_WINDOW")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let entries: usize = std::env::var("BH_TRACE_ENTRIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+
+    let generator = TraceGenerator::paper_default();
+    let mut table = Table::new(["workload", "rbmpki", "act_512+", "act_128+", "act_64+"]);
+    let mut rbmpki_sum = 0.0;
+    let mut counts = [0usize; 3];
+    let profiles = BenignProfile::table3_profiles();
+    for (i, profile) in profiles.iter().enumerate() {
+        let trace = generator.benign(profile, entries, 1000 + i as u64);
+        let c = characterize(profile.name, &trace, generator.geometry(), generator.mapping(), window);
+        rbmpki_sum += c.rbmpki;
+        counts[0] += c.rows_over_512;
+        counts[1] += c.rows_over_128;
+        counts[2] += c.rows_over_64;
+        table.push_row([
+            profile.name.to_string(),
+            fmt3(c.rbmpki),
+            c.rows_over_512.to_string(),
+            c.rows_over_128.to_string(),
+            c.rows_over_64.to_string(),
+        ]);
+    }
+    let n = profiles.len();
+    table.push_row([
+        "Average".to_string(),
+        fmt3(rbmpki_sum / n as f64),
+        (counts[0] / n).to_string(),
+        (counts[1] / n).to_string(),
+        (counts[2] / n).to_string(),
+    ]);
+    bh_bench::print_results(
+        &format!("Table 3: workload characteristics over a {window}-instruction window"),
+        &table,
+    );
+}

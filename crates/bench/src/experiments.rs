@@ -1,0 +1,447 @@
+//! Shared experiment machinery used by every figure/table binary.
+//!
+//! Each binary in `src/bin/` builds a [`Campaign`] (the workload mixes plus a
+//! shared alone-IPC cache), runs the configurations its figure needs, and
+//! prints the resulting series both as an aligned text table and as CSV.
+//!
+//! The experiment scale (instruction budget, number of mixes per class, the
+//! `N_RH` sweep) defaults to a laptop-friendly "quick" configuration and can
+//! be grown towards the paper's scale through environment variables:
+//!
+//! | Variable | Meaning | Quick default |
+//! |---|---|---|
+//! | `BH_INSTRUCTIONS` | instructions each benign core retires | 120 000 |
+//! | `BH_MIXES_PER_CLASS` | workloads per mix class (paper: 15) | 1 |
+//! | `BH_TRACE_ENTRIES` | trace records per benign application | 20 000 |
+//! | `BH_NRH_LIST` | comma-separated `N_RH` sweep | `4096,1024,256,64` |
+//! | `BH_SEED` | workload-generation seed | 42 |
+//! | `BH_THREADS` | worker threads for parallel runs | all cores |
+
+use bh_mitigation::MechanismKind;
+use bh_sim::{Evaluator, MixEvaluation, SystemConfig};
+use bh_stats::Table;
+use bh_workloads::{MixBuilder, MixClass, TraceGenerator, WorkloadMix};
+use std::collections::HashMap;
+
+/// Experiment scale knobs (see the module documentation for the environment
+/// variables that override them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scale {
+    /// Instructions each benign core must retire.
+    pub instructions_per_core: u64,
+    /// Number of workloads generated per mix class (the paper uses 15).
+    pub mixes_per_class: usize,
+    /// Trace records generated per benign application.
+    pub benign_entries: usize,
+    /// Trace records generated for the attacker.
+    pub attacker_entries: usize,
+    /// RowHammer thresholds swept by the scaling figures.
+    pub nrh_values: Vec<u64>,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Worker threads used to evaluate mixes in parallel.
+    pub worker_threads: usize,
+}
+
+impl Scale {
+    /// The laptop-friendly default scale.
+    pub fn quick() -> Self {
+        Scale {
+            instructions_per_core: 60_000,
+            mixes_per_class: 1,
+            benign_entries: 20_000,
+            attacker_entries: 8_000,
+            nrh_values: vec![4096, 1024, 256, 64],
+            seed: 42,
+            worker_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+
+    /// Reads the scale from the environment, falling back to
+    /// [`Scale::quick`] for anything unspecified.
+    pub fn from_env() -> Self {
+        let mut scale = Scale::quick();
+        let parse_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        if let Some(v) = parse_u64("BH_INSTRUCTIONS") {
+            scale.instructions_per_core = v.max(1);
+        }
+        if let Some(v) = parse_u64("BH_MIXES_PER_CLASS") {
+            scale.mixes_per_class = (v as usize).max(1);
+        }
+        if let Some(v) = parse_u64("BH_TRACE_ENTRIES") {
+            scale.benign_entries = (v as usize).max(100);
+        }
+        if let Some(v) = parse_u64("BH_SEED") {
+            scale.seed = v;
+        }
+        if let Some(v) = parse_u64("BH_THREADS") {
+            scale.worker_threads = (v as usize).max(1);
+        }
+        if let Ok(list) = std::env::var("BH_NRH_LIST") {
+            let parsed: Vec<u64> =
+                list.split(',').filter_map(|s| s.trim().parse::<u64>().ok()).collect();
+            if !parsed.is_empty() {
+                scale.nrh_values = parsed;
+            }
+        }
+        scale
+    }
+
+    /// The full seven-point `N_RH` sweep of the paper (4K → 64).
+    pub fn paper_nrh_sweep() -> Vec<u64> {
+        vec![4096, 2048, 1024, 512, 256, 128, 64]
+    }
+}
+
+/// One evaluated (configuration, mix) pair, flattened for aggregation.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Mitigation mechanism.
+    pub mechanism: MechanismKind,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// Whether BreakHammer was attached.
+    pub breakhammer: bool,
+    /// Mix class label (e.g. `"HHHA"`).
+    pub mix_class: String,
+    /// Mix instance name.
+    pub mix_name: String,
+    /// Weighted speedup over the benign applications.
+    pub weighted_speedup: f64,
+    /// Maximum slowdown of a benign application.
+    pub max_slowdown: f64,
+    /// DRAM energy in nanojoules.
+    pub energy_nj: f64,
+    /// RowHammer-preventive actions performed.
+    pub preventive_actions: u64,
+    /// Benign-application memory-latency percentiles in nanoseconds
+    /// (p50, p90, p99).
+    pub latency_ns: [f64; 3],
+    /// True if the attacker thread was identified as a suspect.
+    pub attacker_identified: bool,
+    /// True if any benign thread was identified as a suspect.
+    pub benign_misidentified: bool,
+    /// Would-be RowHammer bitflips (must be 0 for deterministic mechanisms).
+    pub bitflips: usize,
+}
+
+impl RunRecord {
+    fn from_eval(config: &SystemConfig, mix: &WorkloadMix, eval: &MixEvaluation) -> Self {
+        let benign = mix.benign_threads();
+        let hist = eval.result.merged_latency(&benign);
+        let to_ns = |cycles: u64| config.timing.cycles_to_ns(cycles);
+        let attacker_identified = mix
+            .attacker_thread
+            .map(|t| eval.result.ever_suspect[t])
+            .unwrap_or(false);
+        let benign_misidentified = benign.iter().any(|t| eval.result.ever_suspect[*t]);
+        RunRecord {
+            mechanism: config.mechanism,
+            nrh: config.nrh,
+            breakhammer: config.breakhammer,
+            mix_class: mix.class.label(),
+            mix_name: mix.name.clone(),
+            weighted_speedup: eval.weighted_speedup,
+            max_slowdown: eval.max_slowdown,
+            energy_nj: eval.result.energy_nj,
+            preventive_actions: eval.result.preventive_actions,
+            latency_ns: [
+                to_ns(hist.percentile(50.0)),
+                to_ns(hist.percentile(90.0)),
+                to_ns(hist.percentile(99.0)),
+            ],
+            attacker_identified,
+            benign_misidentified,
+            bitflips: eval.result.bitflips,
+        }
+    }
+
+    /// Short configuration label used in tables, e.g. `"Graphene+BH"`.
+    pub fn config_label(&self) -> String {
+        if self.breakhammer {
+            format!("{}+BH", self.mechanism)
+        } else {
+            self.mechanism.to_string()
+        }
+    }
+}
+
+/// Builds the paper's Table 1 system configuration at the given experiment
+/// scale.
+pub fn paper_config(mechanism: MechanismKind, nrh: u64, breakhammer: bool, scale: &Scale) -> SystemConfig {
+    let mut config = SystemConfig::paper_table1(mechanism, nrh, breakhammer);
+    config.instructions_per_core = scale.instructions_per_core;
+    config.seed = scale.seed;
+    // Bound the worst case (e.g. AQUA at N_RH=64 under attack, without
+    // BreakHammer): runs that exceed ~400 DRAM cycles per target instruction
+    // are cut off; IPCs measured up to the cut-off remain valid samples.
+    config.max_dram_cycles = scale.instructions_per_core.saturating_mul(400).max(5_000_000);
+    config
+}
+
+/// A campaign holds the generated workload mixes and the shared alone-IPC
+/// cache, and evaluates configurations against them (in parallel).
+#[derive(Debug)]
+pub struct Campaign {
+    scale: Scale,
+    attack_mixes: Vec<WorkloadMix>,
+    benign_mixes: Vec<WorkloadMix>,
+    alone_cache: HashMap<String, f64>,
+}
+
+impl Campaign {
+    /// Generates the attack and benign mix suites for `scale`.
+    pub fn new(scale: Scale) -> Self {
+        let generator = TraceGenerator::paper_default();
+        let mut builder = MixBuilder::new(generator);
+        builder.benign_entries = scale.benign_entries;
+        builder.attacker_entries = scale.attacker_entries;
+        let attack_mixes =
+            builder.build_suite(&MixClass::attack_classes(), scale.mixes_per_class, scale.seed);
+        let benign_mixes =
+            builder.build_suite(&MixClass::benign_classes(), scale.mixes_per_class, scale.seed);
+        Campaign { scale, attack_mixes, benign_mixes, alone_cache: HashMap::new() }
+    }
+
+    /// The experiment scale in use.
+    pub fn scale(&self) -> &Scale {
+        &self.scale
+    }
+
+    /// The attack mixes (HHHA … LLLA).
+    pub fn attack_mixes(&self) -> &[WorkloadMix] {
+        &self.attack_mixes
+    }
+
+    /// The benign mixes (HHHH … LLLL).
+    pub fn benign_mixes(&self) -> &[WorkloadMix] {
+        &self.benign_mixes
+    }
+
+    fn mixes(&self, attack: bool) -> &[WorkloadMix] {
+        if attack {
+            &self.attack_mixes
+        } else {
+            &self.benign_mixes
+        }
+    }
+
+    /// Ensures the alone-IPC cache covers every application of every mix.
+    fn warm_alone_cache(&mut self) {
+        if !self.alone_cache.is_empty() {
+            return;
+        }
+        let config = paper_config(MechanismKind::None, 4096, false, &self.scale);
+        let mut evaluator = Evaluator::new(config);
+        for mix in self.attack_mixes.iter().chain(self.benign_mixes.iter()) {
+            evaluator.warm_alone_cache(mix);
+        }
+        self.alone_cache = evaluator.alone_cache().clone();
+    }
+
+    /// Evaluates one configuration against the attack or benign mix suite,
+    /// running mixes in parallel, and returns one record per mix.
+    pub fn run(&mut self, config: &SystemConfig, attack: bool) -> Vec<RunRecord> {
+        self.warm_alone_cache();
+        let mixes = self.mixes(attack).to_vec();
+        let cache = self.alone_cache.clone();
+        let workers = self.scale.worker_threads.clamp(1, mixes.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: std::sync::Mutex<Vec<Option<RunRecord>>> =
+            std::sync::Mutex::new(vec![None; mixes.len()]);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= mixes.len() {
+                        break;
+                    }
+                    let mut evaluator =
+                        Evaluator::new(config.clone()).with_alone_cache(cache.clone());
+                    let eval = evaluator.evaluate(&mixes[i]);
+                    let record = RunRecord::from_eval(config, &mixes[i], &eval);
+                    results.lock().expect("result lock poisoned")[i] = Some(record);
+                });
+            }
+        })
+        .expect("worker thread panicked");
+
+        results
+            .into_inner()
+            .expect("result lock poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every mix was evaluated"))
+            .collect()
+    }
+
+    /// Runs a full (mechanism × N_RH × ±BreakHammer) matrix over the chosen
+    /// mix suite.
+    pub fn run_matrix(
+        &mut self,
+        mechanisms: &[MechanismKind],
+        nrh_values: &[u64],
+        breakhammer_options: &[bool],
+        attack: bool,
+    ) -> Vec<RunRecord> {
+        let scale = self.scale.clone();
+        let mut records = Vec::new();
+        for &mechanism in mechanisms {
+            for &nrh in nrh_values {
+                for &bh in breakhammer_options {
+                    if mechanism == MechanismKind::None && bh {
+                        continue; // BreakHammer needs a mechanism to observe.
+                    }
+                    let config = paper_config(mechanism, nrh, bh, &scale);
+                    records.extend(self.run(&config, attack));
+                }
+            }
+        }
+        records
+    }
+}
+
+// --- aggregation helpers ----------------------------------------------------
+
+/// Selects the records matching a configuration.
+pub fn select<'a>(
+    records: &'a [RunRecord],
+    mechanism: MechanismKind,
+    nrh: u64,
+    breakhammer: bool,
+) -> Vec<&'a RunRecord> {
+    records
+        .iter()
+        .filter(|r| r.mechanism == mechanism && r.nrh == nrh && r.breakhammer == breakhammer)
+        .collect()
+}
+
+/// Restricts a record selection to one mix class; the pseudo-class
+/// `"geomean"` keeps every record (used for the aggregate columns of
+/// Figs. 6, 7, 13 and 14).
+pub fn filter_class<'a>(set: &[&'a RunRecord], class: &str) -> Vec<&'a RunRecord> {
+    if class == "geomean" {
+        set.to_vec()
+    } else {
+        set.iter().copied().filter(|r| r.mix_class == class).collect()
+    }
+}
+
+/// Geometric mean of the weighted speedups of a record selection.
+///
+/// # Panics
+/// Panics if the selection is empty.
+pub fn geomean_speedup(records: &[&RunRecord]) -> f64 {
+    let values: Vec<f64> = records.iter().map(|r| r.weighted_speedup).collect();
+    bh_stats::geometric_mean(&values)
+}
+
+/// Arithmetic mean of a projection over a record selection.
+///
+/// # Panics
+/// Panics if the selection is empty.
+pub fn mean_of(records: &[&RunRecord], f: impl Fn(&RunRecord) -> f64) -> f64 {
+    assert!(!records.is_empty(), "cannot aggregate an empty selection");
+    records.iter().map(|r| f(r)).sum::<f64>() / records.len() as f64
+}
+
+/// Prints a table as text and CSV, under a heading, and returns the CSV (for
+/// tests).
+pub fn print_results(title: &str, table: &Table) -> String {
+    println!("=== {title} ===");
+    println!("{}", table.to_text());
+    println!("--- CSV ---");
+    let csv = table.to_csv();
+    println!("{csv}");
+    csv
+}
+
+/// The RowHammer threshold used by the fixed-threshold figures (6, 7 and 14):
+/// the paper evaluates them at N_RH = 1K; override with `BH_FIG_NRH` when
+/// running at a reduced scale, where the per-row thresholds of N_RH = 1K are
+/// not reachable within the shortened simulations.
+pub fn figure_nrh(default: u64) -> u64 {
+    std::env::var("BH_FIG_NRH").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Prints the Table 1 / Table 2 configuration summary when `--print-config`
+/// is among the command-line arguments.
+pub fn maybe_print_config(scale: &Scale) {
+    if std::env::args().any(|a| a == "--print-config") {
+        let config = paper_config(MechanismKind::Graphene, 1024, true, scale);
+        println!("System configuration (Table 1): {}", config.summary());
+        println!("{:#?}", config.memctrl);
+        println!("{:#?}", config.cache);
+        println!("BreakHammer configuration (Table 2): {:#?}", config.effective_breakhammer_config());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_overrides_are_applied() {
+        // Note: tests run in parallel within one process; use unique variable
+        // values and restore them to avoid interfering with other tests.
+        std::env::set_var("BH_INSTRUCTIONS", "5000");
+        std::env::set_var("BH_NRH_LIST", "128, 64");
+        std::env::set_var("BH_MIXES_PER_CLASS", "2");
+        let scale = Scale::from_env();
+        assert_eq!(scale.instructions_per_core, 5000);
+        assert_eq!(scale.nrh_values, vec![128, 64]);
+        assert_eq!(scale.mixes_per_class, 2);
+        std::env::remove_var("BH_INSTRUCTIONS");
+        std::env::remove_var("BH_NRH_LIST");
+        std::env::remove_var("BH_MIXES_PER_CLASS");
+    }
+
+    #[test]
+    fn paper_nrh_sweep_matches_the_figures() {
+        assert_eq!(Scale::paper_nrh_sweep(), vec![4096, 2048, 1024, 512, 256, 128, 64]);
+    }
+
+    #[test]
+    fn campaign_builds_the_requested_mix_suites() {
+        let mut scale = Scale::quick();
+        scale.mixes_per_class = 2;
+        scale.benign_entries = 500;
+        scale.attacker_entries = 500;
+        let campaign = Campaign::new(scale);
+        assert_eq!(campaign.attack_mixes().len(), 12);
+        assert_eq!(campaign.benign_mixes().len(), 12);
+        assert!(campaign.attack_mixes().iter().all(|m| m.attacker_thread.is_some()));
+        assert!(campaign.benign_mixes().iter().all(|m| m.attacker_thread.is_none()));
+    }
+
+    #[test]
+    fn record_selection_and_aggregation() {
+        let make = |mech, nrh, bh, ws| RunRecord {
+            mechanism: mech,
+            nrh,
+            breakhammer: bh,
+            mix_class: "HHHA".to_string(),
+            mix_name: "HHHA-00".to_string(),
+            weighted_speedup: ws,
+            max_slowdown: 2.0,
+            energy_nj: 10.0,
+            preventive_actions: 5,
+            latency_ns: [10.0, 20.0, 30.0],
+            attacker_identified: true,
+            benign_misidentified: false,
+            bitflips: 0,
+        };
+        let records = vec![
+            make(MechanismKind::Para, 1024, true, 2.0),
+            make(MechanismKind::Para, 1024, true, 8.0),
+            make(MechanismKind::Para, 1024, false, 1.0),
+            make(MechanismKind::Graphene, 1024, true, 3.0),
+        ];
+        let sel = select(&records, MechanismKind::Para, 1024, true);
+        assert_eq!(sel.len(), 2);
+        assert!((geomean_speedup(&sel) - 4.0).abs() < 1e-12);
+        assert!((mean_of(&sel, |r| r.max_slowdown) - 2.0).abs() < 1e-12);
+        assert_eq!(sel[0].config_label(), "PARA+BH");
+        assert_eq!(select(&records, MechanismKind::Para, 1024, false)[0].config_label(), "PARA");
+    }
+}

@@ -1,0 +1,385 @@
+//! Trace-driven out-of-order core model.
+//!
+//! Matches the processor of Table 1: a 4-wide core with a 128-entry
+//! instruction window. Non-memory instructions retire one cycle after
+//! dispatch; loads occupy the window until the LLC (and, on a miss, DRAM)
+//! returns their data; stores retire without waiting. Instructions retire
+//! in order, so a long-latency load at the head of the window eventually
+//! stalls the core — which is how DRAM contention (and BreakHammer's MSHR
+//! throttling) translates into reduced instructions-per-cycle.
+
+use crate::cache::{AccessOutcome, LastLevelCache, MissToken};
+use crate::trace::Trace;
+use bh_dram::{Cycle, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Core configuration (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions dispatched per cycle.
+    pub width: usize,
+    /// Instruction-window (ROB) capacity.
+    pub window_size: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+}
+
+impl CoreConfig {
+    /// The paper's core: 4-wide issue, 128-entry instruction window.
+    pub fn paper_table1() -> Self {
+        CoreConfig { width: 4, window_size: 128, retire_width: 4 }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper_table1()
+    }
+}
+
+/// Per-core statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired_instructions: u64,
+    /// Core cycles elapsed (while the core was still running).
+    pub cycles: u64,
+    /// Loads issued to the LLC.
+    pub loads: u64,
+    /// Stores issued to the LLC.
+    pub stores: u64,
+    /// Cycles in which dispatch was blocked because the LLC rejected an
+    /// access (MSHRs full or quota exceeded).
+    pub dispatch_stall_cycles: u64,
+    /// Cycles in which nothing retired because the head load was pending.
+    pub retire_stall_cycles: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired_instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowEntry {
+    /// A non-memory instruction or a store: complete immediately.
+    Done,
+    /// An LLC hit that completes at the given core cycle.
+    ReadyAt(Cycle),
+    /// An outstanding LLC miss.
+    Pending(MissToken),
+}
+
+/// A trace-driven core for one hardware thread.
+#[derive(Debug, Clone)]
+pub struct Core {
+    thread: ThreadId,
+    config: CoreConfig,
+    trace: Trace,
+    position: usize,
+    bubbles_left: u32,
+    /// The memory access of the current trace record, once its bubbles have
+    /// been dispatched.
+    access_pending: bool,
+    window: VecDeque<WindowEntry>,
+    target_instructions: u64,
+    finished: bool,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core for `thread` replaying `trace` until
+    /// `target_instructions` have retired.
+    ///
+    /// # Panics
+    /// Panics if `target_instructions` is zero.
+    pub fn new(thread: ThreadId, config: CoreConfig, trace: Trace, target_instructions: u64) -> Self {
+        assert!(target_instructions > 0, "the instruction budget must be positive");
+        let bubbles_left = trace.entry(0).bubbles;
+        Core {
+            thread,
+            config,
+            trace,
+            position: 0,
+            bubbles_left,
+            access_pending: true,
+            window: VecDeque::with_capacity(config.window_size),
+            target_instructions,
+            finished: false,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The hardware thread this core runs.
+    pub fn thread(&self) -> ThreadId {
+        self.thread
+    }
+
+    /// Core statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// True once the instruction budget has been retired.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Instructions retired so far.
+    pub fn retired_instructions(&self) -> u64 {
+        self.stats.retired_instructions
+    }
+
+    /// Instructions per cycle achieved so far.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    fn advance_trace(&mut self) {
+        self.position = (self.position + 1) % self.trace.len();
+        self.bubbles_left = self.trace.entry(self.position).bubbles;
+        self.access_pending = true;
+    }
+
+    /// Advances the core by one cycle, retiring and dispatching instructions.
+    pub fn tick(&mut self, cycle: Cycle, llc: &mut LastLevelCache) {
+        if self.finished {
+            return;
+        }
+        self.stats.cycles += 1;
+
+        // Retire in order.
+        let mut retired = 0;
+        while retired < self.config.retire_width {
+            let complete = match self.window.front() {
+                Some(WindowEntry::Done) => true,
+                Some(WindowEntry::ReadyAt(t)) => cycle >= *t,
+                Some(WindowEntry::Pending(token)) => llc.is_completed(*token),
+                None => false,
+            };
+            if !complete {
+                if matches!(self.window.front(), Some(WindowEntry::Pending(_))) && retired == 0 {
+                    self.stats.retire_stall_cycles += 1;
+                }
+                break;
+            }
+            self.window.pop_front();
+            self.stats.retired_instructions += 1;
+            retired += 1;
+            if self.stats.retired_instructions >= self.target_instructions {
+                self.finished = true;
+                return;
+            }
+        }
+
+        // Dispatch up to `width` instructions into the window.
+        let mut dispatched = 0;
+        while dispatched < self.config.width && self.window.len() < self.config.window_size {
+            if self.bubbles_left > 0 {
+                self.bubbles_left -= 1;
+                self.window.push_back(WindowEntry::Done);
+                dispatched += 1;
+                continue;
+            }
+            if !self.access_pending {
+                // The current record is fully dispatched; move on.
+                self.advance_trace();
+                continue;
+            }
+            let entry = self.trace.entry(self.position);
+            let outcome = if entry.uncached {
+                llc.access_bypass(self.thread, entry.addr, entry.is_write, cycle)
+            } else {
+                llc.access(self.thread, entry.addr, entry.is_write, cycle)
+            };
+            match outcome {
+                AccessOutcome::Hit { ready_at } => {
+                    self.window.push_back(if entry.is_write {
+                        WindowEntry::Done
+                    } else {
+                        WindowEntry::ReadyAt(ready_at)
+                    });
+                    if entry.is_write {
+                        self.stats.stores += 1;
+                    } else {
+                        self.stats.loads += 1;
+                    }
+                    self.access_pending = false;
+                    self.advance_trace();
+                    dispatched += 1;
+                }
+                AccessOutcome::Miss { token, .. } => {
+                    self.window.push_back(if entry.is_write {
+                        WindowEntry::Done
+                    } else {
+                        WindowEntry::Pending(token)
+                    });
+                    if entry.is_write {
+                        self.stats.stores += 1;
+                    } else {
+                        self.stats.loads += 1;
+                    }
+                    self.access_pending = false;
+                    self.advance_trace();
+                    dispatched += 1;
+                }
+                AccessOutcome::Rejected { .. } => {
+                    // The LLC cannot take the access this cycle (MSHRs full or
+                    // the thread is over its BreakHammer quota): stall.
+                    self.stats.dispatch_stall_cycles += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+    use crate::trace::TraceEntry;
+    use bh_dram::PhysAddr;
+
+    fn compute_trace() -> Trace {
+        // Mostly bubbles: nearly no memory traffic.
+        Trace::new(vec![TraceEntry::load(40, PhysAddr(0x100))])
+    }
+
+    fn memory_trace() -> Trace {
+        // One load to a new line every few instructions.
+        Trace::new((0..64).map(|i| TraceEntry::load(3, PhysAddr(i * 0x10000))).collect())
+    }
+
+    fn llc() -> LastLevelCache {
+        LastLevelCache::new(CacheConfig::tiny_test(), 2)
+    }
+
+    /// Runs the core, completing every outstanding miss after `miss_latency`
+    /// cycles, and returns the cycle count needed to finish.
+    fn run_with_memory_latency(core: &mut Core, llc: &mut LastLevelCache, miss_latency: u64) -> u64 {
+        let mut pending: Vec<(u64, MissToken)> = Vec::new();
+        let mut cycle = 0u64;
+        while !core.finished() && cycle < 2_000_000 {
+            core.tick(cycle, llc);
+            for out in llc.take_outgoing() {
+                if let Some(token) = out.token {
+                    pending.push((cycle + miss_latency, token));
+                }
+            }
+            pending.retain(|(ready, token)| {
+                if cycle >= *ready {
+                    llc.complete_miss(*token);
+                    false
+                } else {
+                    true
+                }
+            });
+            cycle += 1;
+        }
+        assert!(core.finished(), "core did not finish");
+        cycle
+    }
+
+    #[test]
+    fn compute_bound_core_approaches_full_width_ipc() {
+        let mut core = Core::new(ThreadId(0), CoreConfig::paper_table1(), compute_trace(), 50_000);
+        let mut llc = llc();
+        run_with_memory_latency(&mut core, &mut llc, 10);
+        let ipc = core.ipc();
+        assert!(ipc > 3.0, "compute-bound IPC should approach the 4-wide limit, got {ipc}");
+        assert_eq!(core.retired_instructions(), 50_000);
+    }
+
+    #[test]
+    fn memory_bound_core_is_sensitive_to_memory_latency() {
+        let trace = memory_trace();
+        let mut fast_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 20_000);
+        let mut slow_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace, 20_000);
+        let mut llc_fast = llc();
+        let mut llc_slow = llc();
+        let fast_cycles = run_with_memory_latency(&mut fast_core, &mut llc_fast, 20);
+        let slow_cycles = run_with_memory_latency(&mut slow_core, &mut llc_slow, 400);
+        assert!(
+            slow_cycles > fast_cycles * 2,
+            "400-cycle memory ({slow_cycles}) should be much slower than 20-cycle ({fast_cycles})"
+        );
+        assert!(slow_core.ipc() < fast_core.ipc());
+    }
+
+    #[test]
+    fn window_limits_outstanding_memory_parallelism() {
+        // With a 128-entry window and 4 bubbles per load, at most ~32 loads
+        // can be in flight; with never-completing misses the core must stall
+        // rather than run ahead.
+        let mut core = Core::new(ThreadId(0), CoreConfig::paper_table1(), memory_trace(), 10_000);
+        let mut cache = LastLevelCache::new(
+            CacheConfig { mshrs: 64, ..CacheConfig::tiny_test() },
+            1,
+        );
+        for cycle in 0..10_000u64 {
+            core.tick(cycle, &mut cache);
+        }
+        assert!(!core.finished());
+        assert!(core.retired_instructions() < 200);
+        assert!(core.stats().retire_stall_cycles > 5_000);
+    }
+
+    #[test]
+    fn quota_throttling_slows_a_memory_bound_core() {
+        let trace = memory_trace();
+        let mut free_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 8_000);
+        let mut throttled_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace, 8_000);
+        let config = CacheConfig { mshrs: 16, ..CacheConfig::tiny_test() };
+        let mut free_llc = LastLevelCache::new(config.clone(), 1);
+        let mut throttled_llc = LastLevelCache::new(config, 1);
+        throttled_llc.set_quota(ThreadId(0), 1);
+        let free_cycles = run_with_memory_latency(&mut free_core, &mut free_llc, 200);
+        let throttled_cycles = run_with_memory_latency(&mut throttled_core, &mut throttled_llc, 200);
+        assert!(
+            throttled_cycles > free_cycles * 2,
+            "quota of 1 MSHR ({throttled_cycles}) should be much slower than 16 ({free_cycles})"
+        );
+        assert!(throttled_llc.stats().quota_rejections > 0);
+        assert!(throttled_core.stats().dispatch_stall_cycles > free_core.stats().dispatch_stall_cycles);
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let trace = Trace::new(vec![TraceEntry::store(1, PhysAddr(0x5000))]);
+        let mut core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace, 5_000);
+        let mut cache = llc();
+        // Never complete any miss: stores must still retire.
+        let mut cycle = 0;
+        while !core.finished() && cycle < 200_000 {
+            core.tick(cycle, &mut cache);
+            let _ = cache.take_outgoing();
+            cycle += 1;
+        }
+        assert!(core.finished(), "store-only trace must finish without memory responses");
+        assert!(core.stats().stores > 0);
+    }
+
+    #[test]
+    fn ipc_is_between_zero_and_width() {
+        let mut core = Core::new(ThreadId(0), CoreConfig::paper_table1(), memory_trace(), 5_000);
+        let mut cache = llc();
+        run_with_memory_latency(&mut core, &mut cache, 50);
+        let ipc = core.ipc();
+        assert!(ipc > 0.0 && ipc <= 4.0, "ipc {ipc}");
+        assert_eq!(core.thread(), ThreadId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "instruction budget")]
+    fn zero_budget_rejected() {
+        let _ = Core::new(ThreadId(0), CoreConfig::default(), compute_trace(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Instruction-trace format for the trace-driven core model.
+//!
+//! A trace is a sequence of records, each describing a burst of non-memory
+//! instructions ("bubbles") followed by one memory access — the same shape as
+//! the memory traces the paper's artifact feeds to Ramulator. Traces replay
+//! cyclically until the core reaches its instruction budget, so a compact
+//! synthetic trace can drive an arbitrarily long simulation.
+
+use bh_dram::PhysAddr;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// One trace record: `bubbles` non-memory instructions, then one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Number of non-memory instructions preceding the access.
+    pub bubbles: u32,
+    /// Physical address of the memory access.
+    pub addr: PhysAddr,
+    /// True if the access is a store, false for a load.
+    pub is_write: bool,
+    /// True if the access bypasses the cache hierarchy (a `clflush`-style
+    /// uncached access, the pattern RowHammer attackers use to guarantee that
+    /// every access reaches DRAM).
+    pub uncached: bool,
+}
+
+impl TraceEntry {
+    /// Creates a load record.
+    pub fn load(bubbles: u32, addr: PhysAddr) -> Self {
+        TraceEntry { bubbles, addr, is_write: false, uncached: false }
+    }
+
+    /// Creates a store record.
+    pub fn store(bubbles: u32, addr: PhysAddr) -> Self {
+        TraceEntry { bubbles, addr, is_write: true, uncached: false }
+    }
+
+    /// Creates an uncached (cache-bypassing) load record, as used by
+    /// RowHammer attack loops built around `clflush`.
+    pub fn uncached_load(bubbles: u32, addr: PhysAddr) -> Self {
+        TraceEntry { bubbles, addr, is_write: false, uncached: true }
+    }
+
+    /// Instructions represented by this record (bubbles plus the access).
+    pub fn instructions(&self) -> u64 {
+        self.bubbles as u64 + 1
+    }
+}
+
+/// A cyclic instruction trace for one hardware thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Creates a trace from its records.
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty (a core cannot run an empty trace).
+    pub fn new(entries: Vec<TraceEntry>) -> Self {
+        assert!(!entries.is_empty(), "a trace must contain at least one record");
+        Trace { entries }
+    }
+
+    /// The trace records.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (construction rejects empty traces); provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The record at `index` modulo the trace length (cyclic replay).
+    pub fn entry(&self, index: usize) -> TraceEntry {
+        self.entries[index % self.entries.len()]
+    }
+
+    /// Total instructions represented by one pass over the trace.
+    pub fn instructions_per_pass(&self) -> u64 {
+        self.entries.iter().map(TraceEntry::instructions).sum()
+    }
+
+    /// Memory accesses per kilo-instruction of this trace (its intrinsic
+    /// memory intensity, before any cache filtering).
+    pub fn accesses_per_kilo_instruction(&self) -> f64 {
+        self.entries.len() as f64 * 1000.0 / self.instructions_per_pass() as f64
+    }
+
+    /// Serialises the trace to a compact binary representation
+    /// (13 bytes per record).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(8 + self.entries.len() * 13);
+        buf.put_u64(self.entries.len() as u64);
+        for e in &self.entries {
+            buf.put_u32(e.bubbles);
+            buf.put_u64(e.addr.0);
+            buf.put_u8(u8::from(e.is_write) | (u8::from(e.uncached) << 1));
+        }
+        buf.freeze()
+    }
+
+    /// Parses a trace previously produced by [`Trace::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns a descriptive error if the buffer is truncated or empty.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, String> {
+        if bytes.remaining() < 8 {
+            return Err("trace buffer too short for header".to_string());
+        }
+        let count = bytes.get_u64() as usize;
+        if count == 0 {
+            return Err("trace must contain at least one record".to_string());
+        }
+        if bytes.remaining() < count * 13 {
+            return Err(format!(
+                "trace buffer truncated: need {} bytes, have {}",
+                count * 13,
+                bytes.remaining()
+            ));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bubbles = bytes.get_u32();
+            let addr = PhysAddr(bytes.get_u64());
+            let flags = bytes.get_u8();
+            entries.push(TraceEntry {
+                bubbles,
+                addr,
+                is_write: flags & 0b01 != 0,
+                uncached: flags & 0b10 != 0,
+            });
+        }
+        Ok(Trace { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            TraceEntry::load(3, PhysAddr(0x1000)),
+            TraceEntry::store(0, PhysAddr(0x2000)),
+            TraceEntry::uncached_load(10, PhysAddr(0x3000)),
+        ])
+    }
+
+    #[test]
+    fn instruction_accounting() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.instructions_per_pass(), 4 + 1 + 11);
+        let apki = t.accesses_per_kilo_instruction();
+        assert!((apki - 3.0 * 1000.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cyclic_indexing_wraps() {
+        let t = sample();
+        assert_eq!(t.entry(0), t.entry(3));
+        assert_eq!(t.entry(2), t.entry(5));
+    }
+
+    #[test]
+    fn byte_roundtrip_preserves_the_trace() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let back = Trace::from_bytes(bytes).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncated_buffers() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 1);
+        assert!(Trace::from_bytes(truncated).is_err());
+        assert!(Trace::from_bytes(Bytes::from_static(&[0, 0])).is_err());
+        let empty_header = Bytes::copy_from_slice(&0u64.to_be_bytes());
+        assert!(Trace::from_bytes(empty_header).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_trace_rejected() {
+        let _ = Trace::new(vec![]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the DRAM device model.
+
+use crate::command::DramCommand;
+use crate::types::Cycle;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced when the memory controller drives the device illegally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A command was issued before the timing constraints allow it.
+    TimingViolation {
+        /// The offending command.
+        command: DramCommand,
+        /// The cycle at which the command was issued.
+        issued_at: Cycle,
+        /// The earliest legal issue cycle.
+        earliest: Cycle,
+    },
+    /// A command was issued while the targeted bank is in the wrong state
+    /// (e.g. ACT to an already-open bank, RD to a closed bank).
+    StateViolation {
+        /// The offending command.
+        command: DramCommand,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// The command addressed a bank, row or column outside the geometry.
+    AddressOutOfRange {
+        /// The offending command.
+        command: DramCommand,
+        /// Which coordinate was out of range.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::TimingViolation { command, issued_at, earliest } => write!(
+                f,
+                "timing violation: {command} issued at cycle {issued_at}, earliest legal cycle is {earliest}"
+            ),
+            DramError::StateViolation { command, reason } => {
+                write!(f, "state violation for {command}: {reason}")
+            }
+            DramError::AddressOutOfRange { command, reason } => {
+                write!(f, "address out of range for {command}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankAddr;
+
+    #[test]
+    fn errors_format_reasonably() {
+        let cmd = DramCommand::activate(BankAddr { rank: 0, bank_group: 0, bank: 0 }, 3);
+        let e = DramError::TimingViolation { command: cmd, issued_at: 10, earliest: 20 };
+        let s = e.to_string();
+        assert!(s.contains("timing violation"));
+        assert!(s.contains("earliest legal cycle is 20"));
+
+        let e = DramError::StateViolation { command: cmd, reason: "bank already open".into() };
+        assert!(e.to_string().contains("bank already open"));
+
+        let e = DramError::AddressOutOfRange { command: cmd, reason: "row".into() };
+        assert!(e.to_string().contains("out of range"));
+    }
+}

@@ -1,0 +1,295 @@
+//! RowHammer victim-disturbance model.
+//!
+//! This module tracks, for every DRAM row, how much read disturbance it has
+//! accumulated since it was last refreshed (either by a directed preventive
+//! refresh or by the periodic refresh sweep). A row whose accumulated
+//! disturbance reaches the RowHammer threshold `N_RH` would experience
+//! bitflips on real hardware; the tracker records such events so tests can
+//! assert that a mitigation mechanism — with or without BreakHammer attached —
+//! never lets one happen (the paper's "BreakHammer preserves the security
+//! guarantees of the mitigation it is paired with" claim, §5.1).
+//!
+//! The tracker also maintains per-aggressor activation counts, which the
+//! device uses to model the in-DRAM preventive refreshes performed during RFM
+//! windows (the RFM and PRAC mechanisms).
+
+use crate::geometry::{DramGeometry, RowAddr};
+use crate::types::Cycle;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A (potential) RowHammer bitflip event: a victim row accumulated `N_RH`
+/// disturbance before being refreshed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitflipEvent {
+    /// The victim row that would have flipped.
+    pub victim: RowAddr,
+    /// Cycle at which the threshold was crossed.
+    pub cycle: Cycle,
+    /// The disturbance count at the moment of the event.
+    pub disturbance: u64,
+}
+
+/// Tracks read disturbance per victim row and activations per aggressor row.
+#[derive(Debug, Clone)]
+pub struct RowHammerTracker {
+    geometry: DramGeometry,
+    nrh: u64,
+    blast_radius: usize,
+    /// Per flat bank: victim row -> accumulated disturbance since last refresh.
+    disturbance: Vec<HashMap<usize, u64>>,
+    /// Per flat bank: aggressor row -> activations since its victims were last
+    /// preventively refreshed (used to service RFM windows).
+    aggressor_acts: Vec<HashMap<usize, u64>>,
+    /// Recorded would-be bitflips.
+    bitflips: Vec<BitflipEvent>,
+    /// Total activations observed.
+    total_activations: u64,
+}
+
+impl RowHammerTracker {
+    /// Creates a tracker for `geometry` with RowHammer threshold `nrh` and the
+    /// given blast radius (how many physically adjacent rows an aggressor
+    /// disturbs on each side; the paper and most defenses assume 1–2).
+    ///
+    /// # Panics
+    /// Panics if `nrh` is zero or `blast_radius` is zero.
+    pub fn new(geometry: DramGeometry, nrh: u64, blast_radius: usize) -> Self {
+        assert!(nrh > 0, "RowHammer threshold must be positive");
+        assert!(blast_radius > 0, "blast radius must be positive");
+        let banks = geometry.banks_per_channel();
+        RowHammerTracker {
+            geometry,
+            nrh,
+            blast_radius,
+            disturbance: vec![HashMap::new(); banks],
+            aggressor_acts: vec![HashMap::new(); banks],
+            bitflips: Vec::new(),
+            total_activations: 0,
+        }
+    }
+
+    /// The configured RowHammer threshold.
+    pub fn nrh(&self) -> u64 {
+        self.nrh
+    }
+
+    /// The configured blast radius.
+    pub fn blast_radius(&self) -> usize {
+        self.blast_radius
+    }
+
+    /// Records an activation of `row` at `cycle`: the row's neighbours gain
+    /// one unit of disturbance each, and the row's aggressor count grows.
+    pub fn on_activate(&mut self, row: RowAddr, cycle: Cycle) {
+        self.total_activations += 1;
+        let flat_bank = self.geometry.flat_bank(row.bank);
+        *self.aggressor_acts[flat_bank].entry(row.row).or_insert(0) += 1;
+
+        for victim in self.geometry.neighbor_rows(row, self.blast_radius) {
+            let v_bank = self.geometry.flat_bank(victim.bank);
+            let entry = self.disturbance[v_bank].entry(victim.row).or_insert(0);
+            *entry += 1;
+            if *entry == self.nrh {
+                self.bitflips.push(BitflipEvent { victim, cycle, disturbance: *entry });
+            }
+        }
+    }
+
+    /// Records that `row` was refreshed (directed preventive refresh): its
+    /// accumulated disturbance is cleared.
+    pub fn on_row_refreshed(&mut self, row: RowAddr) {
+        let flat_bank = self.geometry.flat_bank(row.bank);
+        self.disturbance[flat_bank].remove(&row.row);
+        // Refreshing a row also clears the "pending preventive work" of the
+        // aggressors for which this row was the victim only partially; we keep
+        // the aggressor counters untouched so RFM servicing stays conservative.
+    }
+
+    /// Records a periodic-refresh sweep covering rows `[row_start, row_end)`
+    /// of every bank in `rank`: those rows are restored, so their accumulated
+    /// disturbance is cleared.
+    pub fn on_periodic_refresh(&mut self, rank: usize, row_start: usize, row_end: usize) {
+        for bank in self.geometry.iter_banks().filter(|b| b.rank == rank).collect::<Vec<_>>() {
+            let flat = self.geometry.flat_bank(bank);
+            self.disturbance[flat].retain(|row, _| *row < row_start || *row >= row_end);
+            self.aggressor_acts[flat].retain(|row, _| *row < row_start || *row >= row_end);
+        }
+    }
+
+    /// Models the in-DRAM preventive refreshes performed during one RFM (or
+    /// PRAC back-off) window on `bank`: the `aggressors` most-activated rows
+    /// have their neighbours refreshed and their counters reset.
+    ///
+    /// Returns the victim rows that were refreshed.
+    pub fn service_rfm(&mut self, bank: crate::geometry::BankAddr, aggressors: usize) -> Vec<RowAddr> {
+        let flat = self.geometry.flat_bank(bank);
+        let mut hot: Vec<(usize, u64)> =
+            self.aggressor_acts[flat].iter().map(|(r, c)| (*r, *c)).collect();
+        hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hot.truncate(aggressors);
+
+        let mut refreshed = Vec::new();
+        for (row, _) in hot {
+            let aggressor = RowAddr { bank, row };
+            self.aggressor_acts[flat].remove(&row);
+            for victim in self.geometry.neighbor_rows(aggressor, self.blast_radius) {
+                let v_bank = self.geometry.flat_bank(victim.bank);
+                self.disturbance[v_bank].remove(&victim.row);
+                refreshed.push(victim);
+            }
+        }
+        refreshed
+    }
+
+    /// Current disturbance of a specific row.
+    pub fn disturbance_of(&self, row: RowAddr) -> u64 {
+        let flat = self.geometry.flat_bank(row.bank);
+        self.disturbance[flat].get(&row.row).copied().unwrap_or(0)
+    }
+
+    /// Activation count of an aggressor row since its last RFM service.
+    pub fn aggressor_activations(&self, row: RowAddr) -> u64 {
+        let flat = self.geometry.flat_bank(row.bank);
+        self.aggressor_acts[flat].get(&row.row).copied().unwrap_or(0)
+    }
+
+    /// The largest disturbance currently accumulated by any row.
+    pub fn max_disturbance(&self) -> u64 {
+        self.disturbance
+            .iter()
+            .flat_map(|m| m.values())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// All recorded would-be bitflips.
+    pub fn bitflips(&self) -> &[BitflipEvent] {
+        &self.bitflips
+    }
+
+    /// Number of recorded would-be bitflips.
+    pub fn bitflip_count(&self) -> usize {
+        self.bitflips.len()
+    }
+
+    /// Total number of activations observed.
+    pub fn total_activations(&self) -> u64 {
+        self.total_activations
+    }
+
+    /// Geometry the tracker was built for.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BankAddr;
+
+    fn tracker(nrh: u64) -> RowHammerTracker {
+        RowHammerTracker::new(DramGeometry::tiny(), nrh, 1)
+    }
+
+    fn row(bank: usize, r: usize) -> RowAddr {
+        RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank }, row: r }
+    }
+
+    #[test]
+    fn activations_disturb_neighbors() {
+        let mut t = tracker(100);
+        t.on_activate(row(0, 10), 0);
+        assert_eq!(t.disturbance_of(row(0, 9)), 1);
+        assert_eq!(t.disturbance_of(row(0, 11)), 1);
+        assert_eq!(t.disturbance_of(row(0, 10)), 0);
+        assert_eq!(t.aggressor_activations(row(0, 10)), 1);
+        assert_eq!(t.total_activations(), 1);
+    }
+
+    #[test]
+    fn bitflip_recorded_exactly_at_threshold() {
+        let mut t = tracker(8);
+        for c in 0..7 {
+            t.on_activate(row(0, 20), c);
+        }
+        assert_eq!(t.bitflip_count(), 0);
+        t.on_activate(row(0, 20), 7);
+        // Both neighbours (19 and 21) cross the threshold at the same time.
+        assert_eq!(t.bitflip_count(), 2);
+        assert_eq!(t.max_disturbance(), 8);
+        assert!(t.bitflips().iter().all(|b| b.disturbance == 8));
+    }
+
+    #[test]
+    fn directed_refresh_clears_disturbance() {
+        let mut t = tracker(8);
+        for c in 0..5 {
+            t.on_activate(row(0, 20), c);
+        }
+        t.on_row_refreshed(row(0, 19));
+        assert_eq!(t.disturbance_of(row(0, 19)), 0);
+        assert_eq!(t.disturbance_of(row(0, 21)), 5);
+        // Hammering can resume without flipping 19 until another N_RH acts.
+        for c in 5..12 {
+            t.on_activate(row(0, 20), c);
+        }
+        // Row 21 flipped (5+7=12 >= 8), row 19 did not (7 < 8).
+        assert_eq!(t.bitflip_count(), 1);
+        assert_eq!(t.bitflips()[0].victim, row(0, 21));
+    }
+
+    #[test]
+    fn periodic_refresh_sweep_clears_covered_rows_of_the_rank() {
+        let mut t = tracker(1000);
+        t.on_activate(row(0, 20), 0);
+        t.on_activate(row(1, 20), 0);
+        // Row 20's victims are 19 and 21; sweep rows [0, 32) of rank 0.
+        t.on_periodic_refresh(0, 0, 32);
+        assert_eq!(t.disturbance_of(row(0, 19)), 0);
+        assert_eq!(t.disturbance_of(row(1, 21)), 0);
+        // A row outside the sweep keeps its disturbance.
+        t.on_activate(row(0, 100), 1);
+        t.on_periodic_refresh(0, 0, 32);
+        assert_eq!(t.disturbance_of(row(0, 99)), 1);
+    }
+
+    #[test]
+    fn rfm_service_targets_hottest_aggressors() {
+        let mut t = tracker(1000);
+        for c in 0..50 {
+            t.on_activate(row(0, 40), c);
+        }
+        for c in 0..10 {
+            t.on_activate(row(0, 80), c);
+        }
+        let bank = BankAddr { rank: 0, bank_group: 0, bank: 0 };
+        let refreshed = t.service_rfm(bank, 1);
+        // The hotter aggressor (row 40) is serviced: victims 39 and 41.
+        assert_eq!(refreshed.len(), 2);
+        assert!(refreshed.iter().all(|r| r.row == 39 || r.row == 41));
+        assert_eq!(t.disturbance_of(row(0, 39)), 0);
+        assert_eq!(t.aggressor_activations(row(0, 40)), 0);
+        // The cooler aggressor is untouched.
+        assert_eq!(t.disturbance_of(row(0, 79)), 10);
+        assert_eq!(t.aggressor_activations(row(0, 80)), 10);
+    }
+
+    #[test]
+    fn blast_radius_two_disturbs_four_neighbors() {
+        let mut t = RowHammerTracker::new(DramGeometry::tiny(), 100, 2);
+        t.on_activate(row(0, 50), 0);
+        for r in [48, 49, 51, 52] {
+            assert_eq!(t.disturbance_of(row(0, r)), 1, "row {r}");
+        }
+        assert_eq!(t.disturbance_of(row(0, 47)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_is_rejected() {
+        let _ = RowHammerTracker::new(DramGeometry::tiny(), 0, 1);
+    }
+}

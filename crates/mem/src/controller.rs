@@ -1,0 +1,927 @@
+//! The memory controller: request queues, FR-FCFS+Cap scheduling, refresh
+//! management, RowHammer-mitigation integration and preventive-action
+//! execution, and BreakHammer hooks.
+//!
+//! The controller is ticked once per DRAM command-clock cycle by the system
+//! simulator and issues at most one DRAM command per tick (one command bus).
+//! Scheduling priority within a tick is
+//!
+//! 1. periodic refresh that has become due,
+//! 2. pending RowHammer-preventive work requested by the mitigation
+//!    mechanism (victim refreshes, AQUA migrations, RFM commands, Hydra
+//!    table accesses),
+//! 3. demand requests, scheduled FR-FCFS with a cap of `frfcfs_cap` on
+//!    column-over-row reordering (Table 1), with write draining driven by
+//!    queue watermarks.
+//!
+//! Every *demand* row activation is reported to the attached mitigation
+//! mechanism (whose trigger algorithm may request preventive actions) and to
+//! BreakHammer (which attributes activations to hardware threads and observes
+//! the preventive actions).
+
+use crate::config::MemControllerConfig;
+use crate::latency::LatencyHistogram;
+use crate::request::{MemRequest, MemResponse};
+use bh_core::BreakHammer;
+use bh_dram::{
+    AccessKind, CommandKind, Cycle, DramChannel, DramCommand, DramLocation, ThreadId,
+};
+use bh_mitigation::{ActivationEvent, PreventiveAction, TriggerMechanism};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Counters describing the controller's activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Demand reads completed.
+    pub reads_served: u64,
+    /// Writebacks completed.
+    pub writes_served: u64,
+    /// Demand requests that hit an open row.
+    pub row_hits: u64,
+    /// Demand requests that found their bank closed.
+    pub row_misses: u64,
+    /// Demand requests that had to close another row first.
+    pub row_conflicts: u64,
+    /// Row activations performed for demand requests.
+    pub demand_activations: u64,
+    /// Requests rejected because a queue was full.
+    pub enqueue_rejections: u64,
+    /// Preventive victim-refresh actions performed (PARA/Graphene/Hydra/TWiCe).
+    pub preventive_refresh_actions: u64,
+    /// Individual victim rows refreshed.
+    pub victim_rows_refreshed: u64,
+    /// AQUA row migrations performed.
+    pub migrations: u64,
+    /// RFM commands requested (RFM and PRAC mechanisms).
+    pub rfm_actions: u64,
+    /// Hydra tracking-table accesses performed.
+    pub table_accesses: u64,
+    /// Periodic all-bank refreshes issued.
+    pub periodic_refreshes: u64,
+}
+
+impl ControllerStats {
+    /// Total RowHammer-preventive actions performed (the quantity plotted in
+    /// Fig. 10). Periodic refreshes are not preventive actions.
+    pub fn preventive_actions_total(&self) -> u64 {
+        self.preventive_refresh_actions + self.migrations + self.rfm_actions + self.table_accesses
+    }
+}
+
+/// A queued demand request with its decoded DRAM coordinates.
+#[derive(Debug, Clone, Copy)]
+struct QueueEntry {
+    req: MemRequest,
+    loc: DramLocation,
+    /// Whether the row hit/miss/conflict classification was already recorded.
+    classified: bool,
+}
+
+/// What the scheduler decided to issue for a chosen demand request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServiceStep {
+    /// The row is open: issue the column command and complete the request.
+    Column,
+    /// The bank is closed: activate the target row.
+    Activate,
+    /// Another row is open: precharge first.
+    Precharge,
+}
+
+/// The memory controller for one channel.
+pub struct MemoryController {
+    config: MemControllerConfig,
+    channel: DramChannel,
+    mechanism: Box<dyn TriggerMechanism>,
+    breakhammer: Option<BreakHammer>,
+    read_queue: Vec<QueueEntry>,
+    write_queue: Vec<QueueEntry>,
+    responses: Vec<MemResponse>,
+    preventive_queue: VecDeque<DramCommand>,
+    next_refresh: Vec<Cycle>,
+    write_drain_mode: bool,
+    hit_streak: Vec<u32>,
+    stats: ControllerStats,
+    per_thread_latency: Vec<LatencyHistogram>,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("mechanism", &self.mechanism.name())
+            .field("read_queue", &self.read_queue.len())
+            .field("write_queue", &self.write_queue.len())
+            .field("preventive_queue", &self.preventive_queue.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MemoryController {
+    /// Creates a controller driving `channel`, protected by `mechanism` and
+    /// optionally enhanced with BreakHammer.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(
+        config: MemControllerConfig,
+        channel: DramChannel,
+        mechanism: Box<dyn TriggerMechanism>,
+        breakhammer: Option<BreakHammer>,
+    ) -> Self {
+        config.validate().expect("invalid memory controller configuration");
+        let ranks = channel.geometry().ranks;
+        let banks = channel.geometry().banks_per_channel();
+        let t_refi = channel.timing().t_refi;
+        let num_threads = config.num_threads;
+        MemoryController {
+            config,
+            channel,
+            mechanism,
+            breakhammer,
+            read_queue: Vec::new(),
+            write_queue: Vec::new(),
+            responses: Vec::new(),
+            preventive_queue: VecDeque::new(),
+            next_refresh: (0..ranks).map(|r| t_refi + r as u64 * (t_refi / ranks.max(1) as u64)).collect(),
+            write_drain_mode: false,
+            hit_streak: vec![0; banks],
+            stats: ControllerStats::default(),
+            per_thread_latency: (0..num_threads).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    /// The controller configuration.
+    pub fn config(&self) -> &MemControllerConfig {
+        &self.config
+    }
+
+    /// The DRAM channel driven by this controller.
+    pub fn channel(&self) -> &DramChannel {
+        &self.channel
+    }
+
+    /// The attached mitigation mechanism.
+    pub fn mechanism(&self) -> &dyn TriggerMechanism {
+        self.mechanism.as_ref()
+    }
+
+    /// The BreakHammer instance, if attached.
+    pub fn breakhammer(&self) -> Option<&BreakHammer> {
+        self.breakhammer.as_ref()
+    }
+
+    /// Controller statistics.
+    pub fn stats(&self) -> &ControllerStats {
+        &self.stats
+    }
+
+    /// Per-thread read-latency histogram.
+    pub fn latency_of(&self, thread: ThreadId) -> &LatencyHistogram {
+        &self.per_thread_latency[thread.index()]
+    }
+
+    /// Number of demand requests currently queued (reads + writes).
+    pub fn queued_requests(&self) -> usize {
+        self.read_queue.len() + self.write_queue.len()
+    }
+
+    /// Number of pending preventive DRAM commands.
+    pub fn pending_preventive_commands(&self) -> usize {
+        self.preventive_queue.len()
+    }
+
+    /// True if a request of the given kind can currently be accepted.
+    pub fn can_accept(&self, kind: AccessKind) -> bool {
+        match kind {
+            AccessKind::Read => self.read_queue.len() < self.config.read_queue_capacity,
+            AccessKind::Write => self.write_queue.len() < self.config.write_queue_capacity,
+        }
+    }
+
+    /// Enqueues a demand request.
+    ///
+    /// # Errors
+    /// Returns the request back if the corresponding queue is full.
+    pub fn try_enqueue(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        if !self.can_accept(req.kind) {
+            self.stats.enqueue_rejections += 1;
+            return Err(req);
+        }
+        let loc = self.config.mapping.decode(req.addr, self.channel.geometry());
+        let entry = QueueEntry { req, loc, classified: false };
+        match req.kind {
+            AccessKind::Read => self.read_queue.push(entry),
+            AccessKind::Write => self.write_queue.push(entry),
+        }
+        Ok(())
+    }
+
+    /// Removes and returns all responses generated so far.
+    pub fn drain_responses(&mut self) -> Vec<MemResponse> {
+        std::mem::take(&mut self.responses)
+    }
+
+    /// Advances the controller by one DRAM cycle, issuing at most one command.
+    pub fn tick(&mut self, cycle: Cycle) {
+        if let Some(bh) = &mut self.breakhammer {
+            bh.advance_to(cycle);
+        }
+        self.update_write_drain_mode();
+        if self.try_refresh(cycle) {
+            return;
+        }
+        if self.try_preventive(cycle) {
+            return;
+        }
+        self.try_demand(cycle);
+    }
+
+    fn update_write_drain_mode(&mut self) {
+        if self.write_drain_mode {
+            if self.write_queue.len() <= self.config.write_drain_low {
+                self.write_drain_mode = false;
+            }
+        } else if self.write_queue.len() >= self.config.write_drain_high
+            || (self.read_queue.is_empty() && !self.write_queue.is_empty())
+        {
+            self.write_drain_mode = true;
+        }
+    }
+
+    /// Ranks whose periodic refresh is overdue.
+    fn refresh_pending_ranks(&self, cycle: Cycle) -> Vec<bool> {
+        self.next_refresh.iter().map(|deadline| cycle >= *deadline).collect()
+    }
+
+    /// Tries to make progress on a due periodic refresh. Returns true if a
+    /// command was issued.
+    fn try_refresh(&mut self, cycle: Cycle) -> bool {
+        let geometry = self.channel.geometry().clone();
+        for rank in 0..geometry.ranks {
+            if cycle < self.next_refresh[rank] {
+                continue;
+            }
+            if self.channel.all_banks_closed(rank) {
+                let cmd = DramCommand::refresh(rank);
+                if self.channel.can_issue(&cmd, cycle) {
+                    self.channel.issue(&cmd, cycle).expect("checked refresh");
+                    self.next_refresh[rank] += self.channel.timing().t_refi;
+                    self.stats.periodic_refreshes += 1;
+                    return true;
+                }
+            } else {
+                for bank in geometry.iter_banks().filter(|b| b.rank == rank) {
+                    if self.channel.open_row(bank).is_some() {
+                        let pre = DramCommand::precharge(bank);
+                        if self.channel.can_issue(&pre, cycle) {
+                            self.channel.issue(&pre, cycle).expect("checked precharge");
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Tries to issue the next pending preventive command (or a command that
+    /// prepares the bank for it). Returns true if a command was issued.
+    fn try_preventive(&mut self, cycle: Cycle) -> bool {
+        let Some(head) = self.preventive_queue.front().copied() else {
+            return false;
+        };
+        let open = self.channel.open_row(head.bank);
+        let cmd = match head.kind {
+            CommandKind::VictimRefresh | CommandKind::RefreshManagement => match open {
+                Some(_) => DramCommand::precharge(head.bank),
+                None => head,
+            },
+            CommandKind::Read | CommandKind::Write => match open {
+                Some(row) if row == head.row => head,
+                Some(_) => DramCommand::precharge(head.bank),
+                None => DramCommand::activate(head.bank, head.row),
+            },
+            _ => head,
+        };
+        if !self.channel.can_issue(&cmd, cycle) {
+            return false;
+        }
+        self.channel.issue(&cmd, cycle).expect("checked preventive command");
+        if cmd == head {
+            self.preventive_queue.pop_front();
+        }
+        true
+    }
+
+    /// FR-FCFS+Cap demand scheduling. Returns true if a command was issued.
+    fn try_demand(&mut self, cycle: Cycle) -> bool {
+        let refresh_pending = self.refresh_pending_ranks(cycle);
+        let preventive_bank = self
+            .preventive_queue
+            .front()
+            .map(|c| self.channel.geometry().flat_bank(c.bank));
+
+        let first_writes = self.write_drain_mode && !self.write_queue.is_empty();
+        let order = if first_writes { [true, false] } else { [false, true] };
+        for use_writes in order {
+            if self.schedule_from_queue(use_writes, cycle, &refresh_pending, preventive_bank) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Attempts to schedule one command from the read or write queue.
+    fn schedule_from_queue(
+        &mut self,
+        use_writes: bool,
+        cycle: Cycle,
+        refresh_pending: &[bool],
+        preventive_bank: Option<usize>,
+    ) -> bool {
+        // Pass 1: row-buffer hits (FR), respecting the reordering cap.
+        // Pass 2: oldest request first (FCFS).
+        for hits_only in [true, false] {
+            if let Some((idx, step)) =
+                self.select_candidate(use_writes, cycle, hits_only, refresh_pending, preventive_bank)
+            {
+                self.service(use_writes, idx, step, cycle);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Finds the first schedulable request in the chosen queue.
+    fn select_candidate(
+        &self,
+        use_writes: bool,
+        cycle: Cycle,
+        hits_only: bool,
+        refresh_pending: &[bool],
+        preventive_bank: Option<usize>,
+    ) -> Option<(usize, ServiceStep)> {
+        let queue = if use_writes { &self.write_queue } else { &self.read_queue };
+        let geometry = self.channel.geometry();
+        let mut best: Option<(usize, ServiceStep, Cycle)> = None;
+        for (idx, entry) in queue.iter().enumerate() {
+            let bank = entry.loc.bank;
+            let flat = geometry.flat_bank(bank);
+            if refresh_pending[bank.rank] {
+                continue;
+            }
+            if preventive_bank == Some(flat) {
+                continue;
+            }
+            let open = self.channel.open_row(bank);
+            let step = match open {
+                Some(row) if row == entry.loc.row => ServiceStep::Column,
+                Some(_) => ServiceStep::Precharge,
+                None => ServiceStep::Activate,
+            };
+            if hits_only {
+                if step != ServiceStep::Column {
+                    continue;
+                }
+                if self.hit_streak[flat] >= self.config.frfcfs_cap {
+                    // Cap reached: stop reordering younger hits ahead of older
+                    // requests for this bank.
+                    continue;
+                }
+            }
+            // BlockHammer: rows whose activation is blocked cannot be opened.
+            if step == ServiceStep::Activate
+                && self.mechanism.is_blocked(entry.loc.row_addr(), cycle)
+            {
+                continue;
+            }
+            let cmd = self.command_for(entry, step, use_writes);
+            if !self.channel.can_issue(&cmd, cycle) {
+                continue;
+            }
+            // Oldest-first among eligible candidates.
+            match best {
+                Some((_, _, arrival)) if arrival <= entry.req.arrival => {}
+                _ => best = Some((idx, step, entry.req.arrival)),
+            }
+        }
+        best.map(|(idx, step, _)| (idx, step))
+    }
+
+    fn command_for(&self, entry: &QueueEntry, step: ServiceStep, use_writes: bool) -> DramCommand {
+        match step {
+            ServiceStep::Column => {
+                if use_writes {
+                    DramCommand::write(entry.loc)
+                } else {
+                    DramCommand::read(entry.loc)
+                }
+            }
+            ServiceStep::Activate => DramCommand::activate(entry.loc.bank, entry.loc.row),
+            ServiceStep::Precharge => DramCommand::precharge(entry.loc.bank),
+        }
+    }
+
+    /// Issues the chosen command and updates queues, statistics and the
+    /// mitigation/BreakHammer hooks.
+    fn service(&mut self, use_writes: bool, idx: usize, step: ServiceStep, cycle: Cycle) {
+        let entry = if use_writes { self.write_queue[idx] } else { self.read_queue[idx] };
+        let flat = self.channel.geometry().flat_bank(entry.loc.bank);
+        let cmd = self.command_for(&entry, step, use_writes);
+        let outcome = self.channel.issue(&cmd, cycle).expect("checked demand command");
+
+        match step {
+            ServiceStep::Column => {
+                self.hit_streak[flat] = self.hit_streak[flat].saturating_add(1);
+                if !entry.classified {
+                    self.stats.row_hits += 1;
+                }
+                let completed_at = outcome.data_ready_at.unwrap_or(cycle);
+                let latency = completed_at.saturating_sub(entry.req.arrival);
+                if entry.req.kind == AccessKind::Read {
+                    self.stats.reads_served += 1;
+                    let t = entry.req.thread.index();
+                    if t < self.per_thread_latency.len() {
+                        self.per_thread_latency[t].record(latency);
+                    }
+                } else {
+                    self.stats.writes_served += 1;
+                }
+                self.responses.push(MemResponse {
+                    id: entry.req.id,
+                    thread: entry.req.thread,
+                    kind: entry.req.kind,
+                    completed_at,
+                    latency,
+                });
+                if use_writes {
+                    self.write_queue.remove(idx);
+                } else {
+                    self.read_queue.remove(idx);
+                }
+            }
+            ServiceStep::Precharge => {
+                self.hit_streak[flat] = 0;
+                if !self.mark_classified(use_writes, idx) {
+                    self.stats.row_conflicts += 1;
+                }
+            }
+            ServiceStep::Activate => {
+                self.hit_streak[flat] = 0;
+                if !self.mark_classified(use_writes, idx) {
+                    self.stats.row_misses += 1;
+                }
+                self.on_demand_activation(entry.loc, entry.req.thread, cycle);
+            }
+        }
+    }
+
+    /// Marks the queue entry as classified, returning the previous flag.
+    fn mark_classified(&mut self, use_writes: bool, idx: usize) -> bool {
+        let entry =
+            if use_writes { &mut self.write_queue[idx] } else { &mut self.read_queue[idx] };
+        let was = entry.classified;
+        entry.classified = true;
+        was
+    }
+
+    /// Reports a demand activation to the mitigation mechanism and
+    /// BreakHammer, and queues any requested preventive actions.
+    fn on_demand_activation(&mut self, loc: DramLocation, thread: ThreadId, cycle: Cycle) {
+        self.stats.demand_activations += 1;
+        if let Some(bh) = &mut self.breakhammer {
+            bh.on_activation(thread, cycle);
+        }
+        let event = ActivationEvent { row: loc.row_addr(), thread, cycle };
+        let actions = self.mechanism.on_activation(&event);
+        for action in actions {
+            self.expand_action(&action);
+            if let Some(bh) = &mut self.breakhammer {
+                bh.on_preventive_action(cycle);
+            }
+        }
+    }
+
+    /// Converts a preventive action into the DRAM command sequence that
+    /// performs it and appends it to the preventive queue.
+    fn expand_action(&mut self, action: &PreventiveAction) {
+        let geometry = self.channel.geometry().clone();
+        match action {
+            PreventiveAction::RefreshRows(rows) => {
+                self.stats.preventive_refresh_actions += 1;
+                for row in rows {
+                    self.stats.victim_rows_refreshed += 1;
+                    self.preventive_queue.push_back(DramCommand::victim_refresh(*row));
+                }
+            }
+            PreventiveAction::MigrateRow { source, dest } => {
+                self.stats.migrations += 1;
+                // Moving the aggressor away ends its disturbance relationship
+                // with the neighbouring victims; model that by restoring the
+                // neighbours as part of the migration sequence (a negligible
+                // 2-4 extra row cycles on top of the ~2x128 column transfers).
+                for victim in geometry.neighbor_rows(*source, 2) {
+                    self.preventive_queue.push_back(DramCommand::victim_refresh(victim));
+                }
+                for column in 0..geometry.columns_per_row {
+                    self.preventive_queue.push_back(DramCommand::read(DramLocation {
+                        channel: 0,
+                        bank: source.bank,
+                        row: source.row,
+                        column,
+                    }));
+                }
+                for column in 0..geometry.columns_per_row {
+                    self.preventive_queue.push_back(DramCommand::write(DramLocation {
+                        channel: 0,
+                        bank: dest.bank,
+                        row: dest.row,
+                        column,
+                    }));
+                }
+            }
+            PreventiveAction::IssueRfm { bank } => {
+                self.stats.rfm_actions += 1;
+                self.preventive_queue.push_back(DramCommand::rfm(*bank));
+            }
+            PreventiveAction::TableAccess { row, write_back } => {
+                self.stats.table_accesses += 1;
+                self.preventive_queue.push_back(DramCommand::read(DramLocation {
+                    channel: 0,
+                    bank: row.bank,
+                    row: row.row,
+                    column: 0,
+                }));
+                if *write_back {
+                    self.preventive_queue.push_back(DramCommand::write(DramLocation {
+                        channel: 0,
+                        bank: row.bank,
+                        row: row.row,
+                        column: 0,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::AddressMapping;
+    use bh_core::BreakHammerConfig;
+    use bh_dram::{DramGeometry, PhysAddr, TimingParams};
+    use bh_mitigation::MechanismKind;
+
+    fn small_config() -> MemControllerConfig {
+        let mut c = MemControllerConfig::paper_table1(4);
+        c.read_queue_capacity = 16;
+        c.write_queue_capacity = 16;
+        c.write_drain_high = 12;
+        c.write_drain_low = 4;
+        c
+    }
+
+    fn controller(kind: MechanismKind, nrh: u64) -> MemoryController {
+        let geometry = DramGeometry::tiny();
+        let timing = TimingParams::fast_test();
+        let mechanism = kind.build(&geometry, &timing, nrh, 1);
+        let channel = DramChannel::with_rowhammer(geometry, timing, nrh);
+        MemoryController::new(small_config(), channel, mechanism, None)
+    }
+
+    fn controller_with_bh(kind: MechanismKind, nrh: u64) -> MemoryController {
+        let geometry = DramGeometry::tiny();
+        let timing = TimingParams::fast_test();
+        let mechanism = kind.build(&geometry, &timing, nrh, 1);
+        let attribution = mechanism.attribution();
+        let channel = DramChannel::with_rowhammer(geometry, timing, nrh);
+        let mut bh_cfg = BreakHammerConfig::fast_test(4, 16);
+        bh_cfg.window_cycles = 200_000;
+        let bh = BreakHammer::new(bh_cfg, attribution);
+        MemoryController::new(small_config(), channel, mechanism, Some(bh))
+    }
+
+    /// Physical address of (bank 0, `row`, `column`) under the default MOP
+    /// mapping of the tiny geometry.
+    fn addr_of(ctrl: &MemoryController, row: usize, column: usize) -> PhysAddr {
+        let loc = DramLocation {
+            channel: 0,
+            bank: bh_dram::BankAddr { rank: 0, bank_group: 0, bank: 0 },
+            row,
+            column,
+        };
+        AddressMapping::paper_default().encode(&loc, ctrl.channel().geometry())
+    }
+
+    fn run_until_responses(
+        ctrl: &mut MemoryController,
+        start: Cycle,
+        expected: usize,
+        max_cycles: u64,
+    ) -> (Vec<MemResponse>, Cycle) {
+        let mut responses = Vec::new();
+        let mut cycle = start;
+        while responses.len() < expected && cycle < start + max_cycles {
+            ctrl.tick(cycle);
+            responses.extend(ctrl.drain_responses());
+            cycle += 1;
+        }
+        (responses, cycle)
+    }
+
+    #[test]
+    fn single_read_completes_with_reasonable_latency() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        let addr = addr_of(&ctrl, 5, 0);
+        ctrl.try_enqueue(MemRequest::read(1, ThreadId(0), addr, 0)).unwrap();
+        let (responses, _) = run_until_responses(&mut ctrl, 0, 1, 10_000);
+        assert_eq!(responses.len(), 1);
+        let t = ctrl.channel().timing().clone();
+        let min = t.t_rcd + t.read_latency();
+        assert!(responses[0].latency >= min, "latency {} < {min}", responses[0].latency);
+        assert_eq!(ctrl.stats().reads_served, 1);
+        assert_eq!(ctrl.stats().row_misses, 1);
+        assert_eq!(ctrl.stats().demand_activations, 1);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        // Read 1 opens row 5 (a row miss).
+        ctrl.try_enqueue(MemRequest::read(1, ThreadId(0), addr_of(&ctrl, 5, 0), 0)).unwrap();
+        let (_, end) = run_until_responses(&mut ctrl, 0, 1, 10_000);
+
+        // Read 2 to another column of row 5: a row hit.
+        ctrl.try_enqueue(MemRequest::read(2, ThreadId(0), addr_of(&ctrl, 5, 1), end)).unwrap();
+        let (hit, end) = run_until_responses(&mut ctrl, end, 1, 10_000);
+        assert_eq!(ctrl.stats().row_hits, 1);
+
+        // Read 3 to a different row of the same bank: a row conflict.
+        ctrl.try_enqueue(MemRequest::read(3, ThreadId(0), addr_of(&ctrl, 9, 0), end)).unwrap();
+        let (conflict, _) = run_until_responses(&mut ctrl, end, 1, 10_000);
+        assert_eq!(ctrl.stats().row_conflicts, 1);
+
+        let hit_latency = hit[0].latency;
+        let conflict_latency = conflict[0].latency;
+        assert!(
+            conflict_latency > hit_latency,
+            "conflict {conflict_latency} should exceed hit {hit_latency}"
+        );
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        for i in 0..16u64 {
+            ctrl.try_enqueue(MemRequest::read(i, ThreadId(0), PhysAddr(i * 64), 0)).unwrap();
+        }
+        assert!(!ctrl.can_accept(AccessKind::Read));
+        let rejected = ctrl.try_enqueue(MemRequest::read(99, ThreadId(0), PhysAddr(0), 0));
+        assert!(rejected.is_err());
+        assert_eq!(ctrl.stats().enqueue_rejections, 1);
+        assert!(ctrl.can_accept(AccessKind::Write));
+    }
+
+    #[test]
+    fn periodic_refresh_is_issued() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        let t_refi = ctrl.channel().timing().t_refi;
+        for cycle in 0..(t_refi * 4) {
+            ctrl.tick(cycle);
+        }
+        // Both ranks refresh roughly every tREFI.
+        assert!(ctrl.stats().periodic_refreshes >= 4, "{}", ctrl.stats().periodic_refreshes);
+    }
+
+    #[test]
+    fn writes_are_drained_and_complete() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        for i in 0..14u64 {
+            ctrl.try_enqueue(MemRequest::write(i, ThreadId(0), PhysAddr(i * 4096), 0)).unwrap();
+        }
+        let (responses, _) = run_until_responses(&mut ctrl, 0, 14, 100_000);
+        assert_eq!(responses.len(), 14);
+        assert_eq!(ctrl.stats().writes_served, 14);
+    }
+
+    /// Drives a classic double-sided hammering pattern (alternating reads to
+    /// rows 50 and 52 of bank 0) for `rounds` iterations and returns the
+    /// controller together with the cycle at which the run finished.
+    fn double_sided_hammer(kind: MechanismKind, nrh: u64, rounds: u64) -> (MemoryController, Cycle) {
+        let mut ctrl = controller(kind, nrh);
+        let mut cycle = 0u64;
+        let mut id = 0u64;
+        for round in 0..rounds {
+            for row in [50usize, 52] {
+                let addr = addr_of(&ctrl, row, (round % 4) as usize);
+                let req = MemRequest::read(id, ThreadId(0), addr, cycle);
+                id += 1;
+                // Retry enqueue until accepted.
+                let mut r = ctrl.try_enqueue(req);
+                while r.is_err() {
+                    ctrl.tick(cycle);
+                    cycle += 1;
+                    let _ = ctrl.drain_responses();
+                    r = ctrl.try_enqueue(req);
+                }
+            }
+            for _ in 0..8 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            let _ = ctrl.drain_responses();
+        }
+        // Drain everything left.
+        while ctrl.queued_requests() > 0 || ctrl.pending_preventive_commands() > 0 {
+            ctrl.tick(cycle);
+            cycle += 1;
+            let _ = ctrl.drain_responses();
+            if cycle > 10_000_000 {
+                panic!("hammer run did not drain");
+            }
+        }
+        (ctrl, cycle)
+    }
+
+    #[test]
+    fn graphene_hammering_causes_victim_refreshes_and_prevents_bitflips() {
+        let nrh = 128;
+        let (ctrl, _) = double_sided_hammer(MechanismKind::Graphene, nrh, 600);
+        assert!(ctrl.stats().preventive_refresh_actions > 0, "Graphene must have triggered");
+        assert!(ctrl.stats().victim_rows_refreshed > 0);
+        // The security invariant: no row ever accumulated N_RH disturbance.
+        let tracker = ctrl.channel().rowhammer().expect("tracker attached");
+        assert_eq!(tracker.bitflip_count(), 0, "bitflips despite Graphene");
+        assert!(tracker.max_disturbance() < nrh);
+    }
+
+    #[test]
+    fn unprotected_hammering_does_cause_bitflips() {
+        let (ctrl, _) = double_sided_hammer(MechanismKind::None, 128, 400);
+        let tracker = ctrl.channel().rowhammer().expect("tracker attached");
+        assert!(tracker.bitflip_count() > 0, "row 51 should have flipped without protection");
+    }
+
+    #[test]
+    fn blockhammer_prevents_bitflips_by_slowing_the_hammering_pattern() {
+        let nrh = 64;
+        let (unprotected, baseline_cycles) = double_sided_hammer(MechanismKind::None, nrh, 300);
+        assert!(unprotected.channel().rowhammer().unwrap().bitflip_count() > 0);
+
+        let (protected, protected_cycles) =
+            double_sided_hammer(MechanismKind::BlockHammer, nrh, 300);
+        let tracker = protected.channel().rowhammer().unwrap();
+        assert_eq!(tracker.bitflip_count(), 0, "BlockHammer must prevent bitflips");
+        // BlockHammer prevents bitflips by delaying blacklisted rows, so the
+        // same access pattern takes substantially longer to execute.
+        assert!(
+            protected_cycles > 2 * baseline_cycles,
+            "BlockHammer run ({protected_cycles}) should be much slower than \
+             the unprotected run ({baseline_cycles})"
+        );
+        // And it never issued extra DRAM commands to do so.
+        assert_eq!(protected.stats().preventive_actions_total(), 0);
+    }
+
+    #[test]
+    fn rfm_mechanism_issues_rfm_commands() {
+        let mut ctrl = controller(MechanismKind::Rfm, 256);
+        let mut cycle = 0u64;
+        for i in 0..400u64 {
+            // Row conflicts across many rows of the same bank force many
+            // activations, which accumulate in the bank's RAA counter.
+            let addr = addr_of(&ctrl, (i % 40) as usize, 0);
+            let req = MemRequest::read(i, ThreadId(0), addr, cycle);
+            let mut r = ctrl.try_enqueue(req);
+            while r.is_err() {
+                ctrl.tick(cycle);
+                cycle += 1;
+                let _ = ctrl.drain_responses();
+                r = ctrl.try_enqueue(req);
+            }
+            for _ in 0..4 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            let _ = ctrl.drain_responses();
+        }
+        for _ in 0..20_000 {
+            ctrl.tick(cycle);
+            cycle += 1;
+        }
+        assert!(ctrl.stats().rfm_actions > 0);
+        assert!(ctrl.channel().stats().rfm_commands > 0);
+    }
+
+    #[test]
+    fn breakhammer_throttles_the_hammering_thread() {
+        let mut ctrl = controller_with_bh(MechanismKind::Graphene, 64);
+        let full_quota = ctrl.breakhammer().unwrap().quota(ThreadId(0));
+        let mut cycle = 0u64;
+        let mut id = 0u64;
+        // Thread 0 hammers; thread 1 does a light scan of distinct rows.
+        for round in 0..1500u64 {
+            let hammer_addr = addr_of(&ctrl, if round % 2 == 0 { 50 } else { 52 }, 0);
+            let req = MemRequest::read(id, ThreadId(0), hammer_addr, cycle);
+            id += 1;
+            let mut r = ctrl.try_enqueue(req);
+            while r.is_err() {
+                ctrl.tick(cycle);
+                cycle += 1;
+                let _ = ctrl.drain_responses();
+                r = ctrl.try_enqueue(req);
+            }
+            if round % 10 == 0 {
+                let benign = MemRequest::read(id, ThreadId(1), addr_of(&ctrl, (round % 30) as usize, 1), cycle);
+                id += 1;
+                let _ = ctrl.try_enqueue(benign);
+            }
+            for _ in 0..6 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            let _ = ctrl.drain_responses();
+        }
+        let bh = ctrl.breakhammer().unwrap();
+        assert!(bh.is_suspect(ThreadId(0)), "the hammering thread must be a suspect");
+        assert!(bh.quota(ThreadId(0)) < full_quota);
+        assert_eq!(bh.quota(ThreadId(1)), full_quota);
+        assert!(bh.score(ThreadId(0)) > bh.score(ThreadId(1)));
+    }
+
+    #[test]
+    fn aqua_migrations_are_expensive_but_execute() {
+        let mut ctrl = controller(MechanismKind::Aqua, 64);
+        let mut cycle = 0u64;
+        let mut id = 0u64;
+        for round in 0..200u64 {
+            let row = if round % 2 == 0 { 50 } else { 52 };
+            let req = MemRequest::read(id, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
+            id += 1;
+            let mut r = ctrl.try_enqueue(req);
+            while r.is_err() {
+                ctrl.tick(cycle);
+                cycle += 1;
+                let _ = ctrl.drain_responses();
+                r = ctrl.try_enqueue(req);
+            }
+            for _ in 0..6 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            let _ = ctrl.drain_responses();
+        }
+        for _ in 0..100_000 {
+            ctrl.tick(cycle);
+            cycle += 1;
+        }
+        assert!(ctrl.stats().migrations > 0);
+        // Each migration transfers the whole row: reads and writes well beyond
+        // the demand traffic alone.
+        let expected_extra = ctrl.stats().migrations * ctrl.channel().geometry().columns_per_row as u64;
+        assert!(ctrl.channel().stats().writes >= expected_extra);
+        assert_eq!(ctrl.pending_preventive_commands(), 0, "preventive queue must drain");
+    }
+
+    #[test]
+    fn hydra_table_accesses_generate_dram_traffic() {
+        let mut ctrl = controller(MechanismKind::Hydra, 64);
+        let mut cycle = 0u64;
+        let mut id = 0u64;
+        for round in 0..400u64 {
+            let row = 50 + (round % 2) as usize * 2;
+            let req = MemRequest::read(id, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
+            id += 1;
+            let mut r = ctrl.try_enqueue(req);
+            while r.is_err() {
+                ctrl.tick(cycle);
+                cycle += 1;
+                let _ = ctrl.drain_responses();
+                r = ctrl.try_enqueue(req);
+            }
+            for _ in 0..6 {
+                ctrl.tick(cycle);
+                cycle += 1;
+            }
+            let _ = ctrl.drain_responses();
+        }
+        for _ in 0..20_000 {
+            ctrl.tick(cycle);
+            cycle += 1;
+        }
+        assert!(ctrl.stats().table_accesses > 0);
+        assert!(ctrl.stats().preventive_actions_total() > 0);
+    }
+
+    #[test]
+    fn latency_histogram_is_tracked_per_thread() {
+        let mut ctrl = controller(MechanismKind::None, 1024);
+        ctrl.try_enqueue(MemRequest::read(0, ThreadId(2), addr_of(&ctrl, 3, 0), 0)).unwrap();
+        let _ = run_until_responses(&mut ctrl, 0, 1, 10_000);
+        assert_eq!(ctrl.latency_of(ThreadId(2)).count(), 1);
+        assert_eq!(ctrl.latency_of(ThreadId(0)).count(), 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Physical-address to DRAM-coordinate mapping schemes.
+//!
+//! The paper's memory controller uses the MOP ("Minimalist Open Page")
+//! mapping [Kaseridis et al., MICRO 2011], which stripes small bursts of
+//! consecutive cache lines across banks so that sequential streams exploit a
+//! little row-buffer locality while still spreading load over all banks. A
+//! simple row-interleaved scheme (`RoBaRaCoCh`) is provided for comparison
+//! and for tests.
+
+use bh_dram::{BankAddr, DramGeometry, DramLocation, PhysAddr};
+use serde::{Deserialize, Serialize};
+
+/// Address-mapping scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AddressMapping {
+    /// Minimalist Open Page: `row | col_high | rank | bank | bank-group |
+    /// col_low(MOP burst) | line-offset` from MSB to LSB.
+    Mop {
+        /// Number of consecutive cache lines mapped to the same row before
+        /// moving to the next bank (the "MOP burst"); must be a power of two.
+        burst_lines: usize,
+    },
+    /// Row : Bank : Rank : Column : Channel interleaving (pages stay in one
+    /// bank; consecutive lines share a row).
+    RoBaRaCoCh,
+}
+
+impl AddressMapping {
+    /// The paper's default mapping (MOP with a burst of 4 cache lines).
+    pub fn paper_default() -> Self {
+        AddressMapping::Mop { burst_lines: 4 }
+    }
+
+    /// Decodes a physical address into DRAM coordinates for `geometry`.
+    ///
+    /// Addresses beyond the channel capacity wrap around (the simulator's
+    /// synthetic traces may use a larger virtual footprint than the simulated
+    /// DRAM).
+    pub fn decode(&self, addr: PhysAddr, geometry: &DramGeometry) -> DramLocation {
+        let line = addr.0 / geometry.column_bytes as u64;
+        match *self {
+            AddressMapping::Mop { burst_lines } => {
+                assert!(burst_lines.is_power_of_two(), "MOP burst must be a power of two");
+                let mut x = line;
+                let col_low = (x % burst_lines as u64) as usize;
+                x /= burst_lines as u64;
+                let bank_group = (x % geometry.bank_groups as u64) as usize;
+                x /= geometry.bank_groups as u64;
+                let bank = (x % geometry.banks_per_group as u64) as usize;
+                x /= geometry.banks_per_group as u64;
+                let rank = (x % geometry.ranks as u64) as usize;
+                x /= geometry.ranks as u64;
+                let col_high_per_row = (geometry.columns_per_row / burst_lines).max(1) as u64;
+                let col_high = (x % col_high_per_row) as usize;
+                x /= col_high_per_row;
+                let row = (x % geometry.rows_per_bank as u64) as usize;
+                DramLocation {
+                    channel: 0,
+                    bank: BankAddr { rank, bank_group, bank },
+                    row,
+                    column: col_high * burst_lines + col_low,
+                }
+            }
+            AddressMapping::RoBaRaCoCh => {
+                let mut x = line;
+                let column = (x % geometry.columns_per_row as u64) as usize;
+                x /= geometry.columns_per_row as u64;
+                let rank = (x % geometry.ranks as u64) as usize;
+                x /= geometry.ranks as u64;
+                let bank = (x % geometry.banks_per_group as u64) as usize;
+                x /= geometry.banks_per_group as u64;
+                let bank_group = (x % geometry.bank_groups as u64) as usize;
+                x /= geometry.bank_groups as u64;
+                let row = (x % geometry.rows_per_bank as u64) as usize;
+                DramLocation {
+                    channel: 0,
+                    bank: BankAddr { rank, bank_group, bank },
+                    row,
+                    column,
+                }
+            }
+        }
+    }
+
+    /// Builds a physical address that decodes to the given coordinates —
+    /// the inverse of [`AddressMapping::decode`], used by trace generators to
+    /// target specific rows and banks (e.g. the RowHammer attacker).
+    pub fn encode(&self, loc: &DramLocation, geometry: &DramGeometry) -> PhysAddr {
+        let line: u64 = match *self {
+            AddressMapping::Mop { burst_lines } => {
+                let burst = burst_lines as u64;
+                let col_low = (loc.column % burst_lines) as u64;
+                let col_high = (loc.column / burst_lines) as u64;
+                let col_high_per_row = (geometry.columns_per_row / burst_lines).max(1) as u64;
+                let mut x = loc.row as u64;
+                x = x * col_high_per_row + col_high;
+                x = x * geometry.ranks as u64 + loc.bank.rank as u64;
+                x = x * geometry.banks_per_group as u64 + loc.bank.bank as u64;
+                x = x * geometry.bank_groups as u64 + loc.bank.bank_group as u64;
+                x * burst + col_low
+            }
+            AddressMapping::RoBaRaCoCh => {
+                let mut x = loc.row as u64;
+                x = x * geometry.bank_groups as u64 + loc.bank.bank_group as u64;
+                x = x * geometry.banks_per_group as u64 + loc.bank.bank as u64;
+                x = x * geometry.ranks as u64 + loc.bank.rank as u64;
+                x * geometry.columns_per_row as u64 + loc.column as u64
+            }
+        };
+        PhysAddr(line * geometry.column_bytes as u64)
+    }
+}
+
+impl Default for AddressMapping {
+    fn default() -> Self {
+        AddressMapping::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mop_stripes_consecutive_bursts_across_bank_groups() {
+        let g = DramGeometry::paper_ddr5();
+        let m = AddressMapping::paper_default();
+        let line_bytes = g.column_bytes as u64;
+        let a = m.decode(PhysAddr(0), &g);
+        let b = m.decode(PhysAddr(4 * line_bytes), &g);
+        // After one MOP burst (4 lines) the next lines land in a different
+        // bank group, same row index.
+        assert_ne!(a.bank.bank_group, b.bank.bank_group);
+        assert_eq!(a.row, b.row);
+        // Lines within a burst share bank and row and are consecutive columns.
+        let c = m.decode(PhysAddr(line_bytes), &g);
+        assert_eq!(a.bank, c.bank);
+        assert_eq!(a.row, c.row);
+        assert_eq!(c.column, a.column + 1);
+    }
+
+    #[test]
+    fn robaracoch_keeps_a_page_in_one_row() {
+        let g = DramGeometry::paper_ddr5();
+        let m = AddressMapping::RoBaRaCoCh;
+        let base = 123 * g.row_bytes() as u64 * 64;
+        for i in 0..16u64 {
+            let loc = m.decode(PhysAddr(base + i * 64), &g);
+            let first = m.decode(PhysAddr(base), &g);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.row, first.row);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_mop() {
+        let g = DramGeometry::tiny();
+        let m = AddressMapping::Mop { burst_lines: 4 };
+        for rank in 0..g.ranks {
+            for bg in 0..g.bank_groups {
+                for bank in 0..g.banks_per_group {
+                    for row in [0usize, 1, 63, 127] {
+                        for column in [0usize, 3, 7, 15] {
+                            let loc = DramLocation {
+                                channel: 0,
+                                bank: BankAddr { rank, bank_group: bg, bank },
+                                row,
+                                column,
+                            };
+                            let addr = m.encode(&loc, &g);
+                            assert_eq!(m.decode(addr, &g), loc, "at {loc}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_robaracoch() {
+        let g = DramGeometry::tiny();
+        let m = AddressMapping::RoBaRaCoCh;
+        for row in [0usize, 5, 127] {
+            for column in [0usize, 9] {
+                let loc = DramLocation {
+                    channel: 0,
+                    bank: BankAddr { rank: 1, bank_group: 1, bank: 0 },
+                    row,
+                    column,
+                };
+                assert_eq!(m.decode(m.encode(&loc, &g), &g), loc);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_lines_map_to_distinct_locations() {
+        let g = DramGeometry::tiny();
+        let m = AddressMapping::paper_default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4096u64 {
+            let loc = m.decode(PhysAddr(i * 64), &g);
+            assert!(seen.insert((loc.bank, loc.row, loc.column)), "collision at line {i}");
+        }
+    }
+
+    #[test]
+    fn addresses_inside_line_share_location() {
+        let g = DramGeometry::paper_ddr5();
+        let m = AddressMapping::paper_default();
+        assert_eq!(m.decode(PhysAddr(0x1000), &g), m.decode(PhysAddr(0x103f), &g));
+    }
+}

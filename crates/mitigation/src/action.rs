@@ -1,0 +1,161 @@
+//! Events flowing between the memory controller and a RowHammer mitigation
+//! mechanism, and the preventive actions a mechanism can request.
+
+use bh_dram::{BankAddr, Cycle, RowAddr, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row activation observed by the memory controller, annotated with the
+/// hardware thread on whose behalf it was performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationEvent {
+    /// The activated row.
+    pub row: RowAddr,
+    /// The hardware thread whose request caused the activation.
+    pub thread: ThreadId,
+    /// The DRAM cycle of the activation.
+    pub cycle: Cycle,
+}
+
+/// A RowHammer-preventive action requested by a mitigation mechanism.
+///
+/// The memory controller executes these as real DRAM command sequences, so
+/// they consume DRAM bandwidth and interfere with demand requests exactly as
+/// described in the paper — which is what makes both the performance overhead
+/// (§3) and the memory performance attack (§8.1) possible.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PreventiveAction {
+    /// Preventively refresh the given victim rows (PARA, Graphene, Hydra,
+    /// TWiCe). Each row costs one full row cycle in its bank.
+    RefreshRows(Vec<RowAddr>),
+    /// Migrate the contents of `source` to `dest` in a quarantine area
+    /// (AQUA). Costs reading the whole source row and writing it back to the
+    /// destination row.
+    MigrateRow {
+        /// The aggressor row being quarantined.
+        source: RowAddr,
+        /// The quarantine destination row.
+        dest: RowAddr,
+    },
+    /// Issue a refresh-management command to `bank`, giving the DRAM chip a
+    /// time window for in-DRAM preventive refreshes (RFM, PRAC back-off).
+    IssueRfm {
+        /// The bank to which the RFM command is directed.
+        bank: BankAddr,
+    },
+    /// Perform an auxiliary memory access on behalf of the mechanism itself
+    /// (Hydra's per-row tracking table in DRAM: cache misses and evictions
+    /// cost one column access each).
+    TableAccess {
+        /// The DRAM row holding the accessed table entry.
+        row: RowAddr,
+        /// True if the access also writes back a dirty entry.
+        write_back: bool,
+    },
+}
+
+impl PreventiveAction {
+    /// Number of row-cycle-equivalent DRAM operations this action costs, used
+    /// for quick cost accounting and in tests. The memory controller models
+    /// the precise command sequence.
+    pub fn row_cycle_cost(&self) -> u64 {
+        match self {
+            PreventiveAction::RefreshRows(rows) => rows.len() as u64,
+            // A migration reads and writes a full row: roughly two row cycles
+            // plus the column traffic.
+            PreventiveAction::MigrateRow { .. } => 2,
+            PreventiveAction::IssueRfm { .. } => 1,
+            PreventiveAction::TableAccess { write_back, .. } => 1 + u64::from(*write_back),
+        }
+    }
+
+    /// True if this action interferes with demand requests by occupying a bank
+    /// (every action currently does; kept explicit for future extensions).
+    pub fn interferes(&self) -> bool {
+        true
+    }
+}
+
+impl fmt::Display for PreventiveAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreventiveAction::RefreshRows(rows) => write!(f, "refresh {} victim row(s)", rows.len()),
+            PreventiveAction::MigrateRow { source, dest } => {
+                write!(f, "migrate {source} -> {dest}")
+            }
+            PreventiveAction::IssueRfm { bank } => write!(f, "RFM to {bank}"),
+            PreventiveAction::TableAccess { row, write_back } => {
+                write!(f, "table access at {row}{}", if *write_back { " (writeback)" } else { "" })
+            }
+        }
+    }
+}
+
+/// How BreakHammer should attribute RowHammer-preventive scores for a given
+/// mechanism (§4.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoreAttribution {
+    /// When a preventive action is performed, attribute a score of 1 split
+    /// across threads proportionally to the activations each performed since
+    /// the previous preventive action (used by PARA, Graphene, Hydra, TWiCe,
+    /// AQUA, RFM and PRAC).
+    ProportionalToActivations,
+    /// Increment a thread's score by one for every `quota` activations the
+    /// thread performs (used by REGA, which performs its refreshes in
+    /// parallel with activations and therefore has no discrete action to
+    /// attribute).
+    PerActivationQuota {
+        /// Number of activations per score increment (REGA's `REGA_T`).
+        quota: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_dram::BankAddr;
+
+    fn row(r: usize) -> RowAddr {
+        RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank: 0 }, row: r }
+    }
+
+    #[test]
+    fn action_costs() {
+        assert_eq!(PreventiveAction::RefreshRows(vec![row(1), row(2)]).row_cycle_cost(), 2);
+        assert_eq!(
+            PreventiveAction::MigrateRow { source: row(1), dest: row(9) }.row_cycle_cost(),
+            2
+        );
+        assert_eq!(
+            PreventiveAction::IssueRfm { bank: row(0).bank }.row_cycle_cost(),
+            1
+        );
+        assert_eq!(
+            PreventiveAction::TableAccess { row: row(3), write_back: true }.row_cycle_cost(),
+            2
+        );
+        assert!(PreventiveAction::RefreshRows(vec![]).interferes());
+    }
+
+    #[test]
+    fn action_display() {
+        let a = PreventiveAction::RefreshRows(vec![row(1)]);
+        assert_eq!(a.to_string(), "refresh 1 victim row(s)");
+        let m = PreventiveAction::MigrateRow { source: row(1), dest: row(2) };
+        assert!(m.to_string().contains("migrate"));
+        let t = PreventiveAction::TableAccess { row: row(1), write_back: true };
+        assert!(t.to_string().contains("writeback"));
+    }
+
+    #[test]
+    fn attribution_variants() {
+        let p = ScoreAttribution::ProportionalToActivations;
+        let q = ScoreAttribution::PerActivationQuota { quota: 128 };
+        assert_ne!(p, q);
+        if let ScoreAttribution::PerActivationQuota { quota } = q {
+            assert_eq!(quota, 128);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

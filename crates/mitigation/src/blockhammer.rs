@@ -1,0 +1,262 @@
+//! BlockHammer: blacklisting-based access throttling [Yağlıkçı et al., HPCA 2021].
+//!
+//! BlockHammer is the state-of-the-art *throttling-based* RowHammer
+//! mitigation and the paper's head-to-head comparison point (§8.3). It tracks
+//! per-row activation rates (with counting Bloom filters in the original
+//! design; modelled here as exact per-row counters, which is strictly more
+//! favourable to BlockHammer) and, once a row crosses the blacklisting
+//! threshold, delays further activations of that row so it cannot reach
+//! `N_RH` activations before the refresh window ends.
+//!
+//! Unlike BreakHammer, BlockHammer throttles *rows* regardless of which
+//! thread accesses them — so at low `N_RH`, where even benign applications
+//! activate rows tens or hundreds of times per window (Table 3), BlockHammer
+//! ends up delaying benign accesses and its performance collapses (Fig. 18).
+
+use crate::action::{ActivationEvent, PreventiveAction};
+use crate::mechanism::{MechanismKind, TriggerMechanism};
+use bh_dram::{Cycle, DramGeometry, RowAddr, TimingParams};
+use std::collections::HashMap;
+
+/// The BlockHammer mechanism.
+#[derive(Debug)]
+pub struct BlockHammer {
+    geometry: DramGeometry,
+    blacklist_threshold: u64,
+    /// Maximum activations a single row may receive within one window; sized
+    /// so that two aggressors straddling a window boundary (the worst case
+    /// before the victim's periodic refresh) stay safely below `N_RH`.
+    allowed_per_window: u64,
+    window_cycles: Cycle,
+    window_end: Cycle,
+    /// Per flat bank: row -> activations in the current window.
+    counts: Vec<HashMap<usize, u64>>,
+    /// Blacklisted rows: (flat bank, row) -> earliest cycle the next
+    /// activation is allowed.
+    next_allowed: HashMap<(usize, usize), Cycle>,
+    blacklisted_total: u64,
+}
+
+impl BlockHammer {
+    /// Creates BlockHammer for the given system and RowHammer threshold `nrh`.
+    ///
+    /// # Panics
+    /// Panics if `nrh < 4` or `blast_radius` is zero.
+    pub fn new(
+        geometry: DramGeometry,
+        timing: &TimingParams,
+        nrh: u64,
+        blast_radius: usize,
+    ) -> Self {
+        assert!(nrh >= 4, "N_RH must be at least 4");
+        assert!(blast_radius > 0, "blast radius must be positive");
+        // A victim can be disturbed by two aggressors, each spreading its
+        // activations over the two windows that precede the victim's periodic
+        // refresh, so each row's per-window budget is N_RH / 8 (with margin).
+        let allowed_per_window = (nrh / 8).max(2);
+        let blacklist_threshold = (allowed_per_window / 2).max(1);
+        let banks = geometry.banks_per_channel();
+        BlockHammer {
+            geometry,
+            blacklist_threshold,
+            allowed_per_window,
+            window_cycles: timing.t_refw,
+            window_end: timing.t_refw,
+            counts: vec![HashMap::new(); banks],
+            next_allowed: HashMap::new(),
+            blacklisted_total: 0,
+        }
+    }
+
+    /// The blacklisting threshold (N_BL) in use.
+    pub fn blacklist_threshold(&self) -> u64 {
+        self.blacklist_threshold
+    }
+
+    /// Number of rows that have been blacklisted so far (cumulative).
+    pub fn blacklisted_total(&self) -> u64 {
+        self.blacklisted_total
+    }
+
+    /// Number of currently-blacklisted rows.
+    pub fn blacklisted_now(&self) -> usize {
+        self.next_allowed.len()
+    }
+
+    fn maybe_reset_window(&mut self, cycle: Cycle) {
+        if cycle >= self.window_end {
+            for c in &mut self.counts {
+                c.clear();
+            }
+            self.next_allowed.clear();
+            while cycle >= self.window_end {
+                self.window_end += self.window_cycles;
+            }
+        }
+    }
+}
+
+impl TriggerMechanism for BlockHammer {
+    fn name(&self) -> &'static str {
+        "BlockHammer"
+    }
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::BlockHammer
+    }
+
+    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+        self.maybe_reset_window(event.cycle);
+        let bank = self.geometry.flat_bank(event.row.bank);
+        let count = self.counts[bank].entry(event.row.row).or_insert(0);
+        *count += 1;
+        if *count >= self.blacklist_threshold {
+            // Spread the row's remaining activation budget over the remaining
+            // window so it can never exceed its per-window allowance.
+            let remaining_budget = self.allowed_per_window.saturating_sub(*count).max(1);
+            let time_left = self.window_end.saturating_sub(event.cycle).max(1);
+            let delay = time_left / remaining_budget;
+            let key = (bank, event.row.row);
+            if !self.next_allowed.contains_key(&key) {
+                self.blacklisted_total += 1;
+            }
+            self.next_allowed.insert(key, event.cycle + delay);
+        }
+        // BlockHammer's preventive action is the delay itself; it never issues
+        // extra DRAM commands.
+        Vec::new()
+    }
+
+    fn is_blocked(&self, row: RowAddr, cycle: Cycle) -> bool {
+        let bank = self.geometry.flat_bank(row.bank);
+        match self.next_allowed.get(&(bank, row.row)) {
+            Some(allowed) => cycle < *allowed,
+            None => false,
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Two time-interleaved counting Bloom filters sized to distinguish
+        // rows above the blacklisting threshold among the worst-case number of
+        // activations per window, plus the row-activation history buffer whose
+        // capacity grows as N_RH shrinks (the growth the paper highlights in
+        // §8.3).
+        let acts_per_window = (self.window_cycles / 50).max(1); // ~tRC at DDR5 speeds
+        let cbf_counters = (acts_per_window / self.blacklist_threshold).max(1024);
+        let cbf_bits = 2 * cbf_counters * 16;
+        let history_entries = (self.window_cycles / (8 * self.allowed_per_window).max(1)).max(64);
+        let history_bits = history_entries * 48;
+        cbf_bits + history_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_dram::{BankAddr, ThreadId};
+
+    fn mech(nrh: u64) -> BlockHammer {
+        BlockHammer::new(DramGeometry::tiny(), &TimingParams::fast_test(), nrh, 1)
+    }
+
+    fn event(row: usize, cycle: u64) -> ActivationEvent {
+        ActivationEvent {
+            row: RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank: 0 }, row },
+            thread: ThreadId(0),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn cold_rows_are_never_blocked() {
+        let mut b = mech(1024);
+        for i in 0..100u64 {
+            b.on_activation(&event(i as usize, i));
+        }
+        assert_eq!(b.blacklisted_now(), 0);
+        assert!(!b.is_blocked(event(5, 0).row, 101));
+    }
+
+    #[test]
+    fn hot_row_gets_blacklisted_and_delayed() {
+        let mut b = mech(64); // per-window allowance 8, blacklist threshold 4
+        assert_eq!(b.blacklist_threshold(), 4);
+        for i in 0..16u64 {
+            b.on_activation(&event(7, i));
+        }
+        assert_eq!(b.blacklisted_total(), 1);
+        assert!(b.is_blocked(event(7, 0).row, 17));
+        // Another row in the same bank is unaffected.
+        assert!(!b.is_blocked(event(8, 0).row, 17));
+    }
+
+    #[test]
+    fn delay_expires_eventually() {
+        let mut b = mech(64);
+        for i in 0..16u64 {
+            b.on_activation(&event(7, i));
+        }
+        let row = event(7, 0).row;
+        assert!(b.is_blocked(row, 20));
+        // The delay is bounded by the remaining window; far in the future the
+        // row is allowed again (and the window itself resets).
+        let timing = TimingParams::fast_test();
+        assert!(!b.is_blocked(row, timing.t_refw * 2));
+    }
+
+    #[test]
+    fn blocking_rate_limits_row_below_nrh_within_window() {
+        let timing = TimingParams::fast_test();
+        let nrh = 64u64;
+        let mut b = BlockHammer::new(DramGeometry::tiny(), &timing, nrh, 1);
+        let row = event(3, 0).row;
+        // Simulate a controller that respects is_blocked: it only activates
+        // when the row is not blocked, as fast as one activation per cycle.
+        let mut activations_in_window = 0u64;
+        let mut cycle = 0u64;
+        while cycle < timing.t_refw {
+            if !b.is_blocked(row, cycle) {
+                b.on_activation(&event(3, cycle));
+                activations_in_window += 1;
+            }
+            cycle += 1;
+        }
+        assert!(
+            activations_in_window < nrh,
+            "row received {activations_in_window} activations, N_RH is {nrh}"
+        );
+    }
+
+    #[test]
+    fn window_reset_clears_blacklist() {
+        let timing = TimingParams::fast_test();
+        let mut b = BlockHammer::new(DramGeometry::tiny(), &timing, 64, 1);
+        for i in 0..16u64 {
+            b.on_activation(&event(7, i));
+        }
+        assert_eq!(b.blacklisted_now(), 1);
+        b.on_activation(&event(1, timing.t_refw + 1));
+        assert_eq!(b.blacklisted_now(), 0);
+    }
+
+    #[test]
+    fn storage_grows_as_nrh_decreases() {
+        assert!(mech(64).storage_bits() > mech(4096).storage_bits());
+    }
+
+    #[test]
+    fn never_issues_dram_commands() {
+        let mut b = mech(64);
+        for i in 0..200u64 {
+            assert!(b.on_activation(&event(7, i)).is_empty());
+        }
+    }
+
+    #[test]
+    fn metadata() {
+        let b = mech(512);
+        assert_eq!(b.name(), "BlockHammer");
+        assert_eq!(b.kind(), MechanismKind::BlockHammer);
+        assert!(b.storage_bits() > 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Misra–Gries frequent-element counting, the tracker shared by Graphene and
+//! AQUA.
+//!
+//! The Misra–Gries summary tracks the `capacity` most frequently activated
+//! rows of a bank with a bounded error: any row activated more than
+//! `spillover` times is guaranteed to be present in the table, and a tracked
+//! row's counter is at most `spillover` below its true activation count. Both
+//! Graphene and AQUA rely on this guarantee to never miss an aggressor.
+
+use std::collections::HashMap;
+
+/// A Misra–Gries summary over row indices.
+#[derive(Debug, Clone)]
+pub struct MisraGries {
+    capacity: usize,
+    counts: HashMap<usize, u64>,
+    spillover: u64,
+}
+
+impl MisraGries {
+    /// Creates a summary that tracks up to `capacity` rows.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "Misra-Gries capacity must be positive");
+        MisraGries { capacity, counts: HashMap::with_capacity(capacity), spillover: 0 }
+    }
+
+    /// Records one activation of `row` and returns its estimated count.
+    pub fn record(&mut self, row: usize) -> u64 {
+        if let Some(c) = self.counts.get_mut(&row) {
+            *c += 1;
+            return *c;
+        }
+        if self.counts.len() < self.capacity {
+            let count = self.spillover + 1;
+            self.counts.insert(row, count);
+            return count;
+        }
+        // Table full: either replace an entry that has decayed to the
+        // spillover level, or absorb the activation into the spillover.
+        // The victim choice is made deterministic (lowest row index) so that
+        // simulations are exactly reproducible run to run.
+        if let Some(&victim) = self
+            .counts
+            .iter()
+            .filter(|(_, c)| **c <= self.spillover)
+            .map(|(r, _)| r)
+            .min()
+        {
+            self.counts.remove(&victim);
+            let count = self.spillover + 1;
+            self.counts.insert(row, count);
+            count
+        } else {
+            self.spillover += 1;
+            self.spillover
+        }
+    }
+
+    /// Estimated activation count of `row` (the spillover if untracked).
+    pub fn estimate(&self, row: usize) -> u64 {
+        self.counts.get(&row).copied().unwrap_or(self.spillover)
+    }
+
+    /// Resets the counter of `row` to the current spillover level, as Graphene
+    /// does after issuing a preventive refresh for the row.
+    pub fn reset_row(&mut self, row: usize) {
+        if let Some(c) = self.counts.get_mut(&row) {
+            *c = self.spillover;
+        }
+    }
+
+    /// Removes `row` from the table entirely (AQUA does this after migrating
+    /// the row away, because the quarantined copy starts cold).
+    pub fn remove_row(&mut self, row: usize) {
+        self.counts.remove(&row);
+    }
+
+    /// Clears the whole summary (done at every reset window).
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.spillover = 0;
+    }
+
+    /// Number of tracked rows.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no row is currently tracked.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current spillover counter.
+    pub fn spillover(&self) -> u64 {
+        self.spillover
+    }
+
+    /// Iterates over `(row, estimated_count)` pairs of tracked rows.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts.iter().map(|(r, c)| (*r, *c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_up_to_capacity_exactly() {
+        let mut mg = MisraGries::new(4);
+        for row in 0..4 {
+            for _ in 0..=row {
+                mg.record(row);
+            }
+        }
+        assert_eq!(mg.len(), 4);
+        for row in 0..4usize {
+            assert_eq!(mg.estimate(row), row as u64 + 1);
+        }
+        assert_eq!(mg.spillover(), 0);
+    }
+
+    #[test]
+    fn never_underestimates_by_more_than_spillover() {
+        let mut mg = MisraGries::new(4);
+        let mut truth = std::collections::HashMap::new();
+        // 8 distinct rows, so half of them spill.
+        for i in 0..2000usize {
+            let row = i % 8;
+            mg.record(row);
+            *truth.entry(row).or_insert(0u64) += 1;
+        }
+        for (row, true_count) in truth {
+            let est = mg.estimate(row);
+            assert!(
+                est + mg.spillover() >= true_count,
+                "row {row}: estimate {est} + spillover {} < true {true_count}",
+                mg.spillover()
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_is_always_tracked() {
+        let mut mg = MisraGries::new(2);
+        // Interleave one heavy row with many light rows.
+        for i in 0..1000usize {
+            mg.record(9999);
+            mg.record(i);
+        }
+        // The heavy row must be tracked and its estimate must cover at least
+        // the true count minus the spillover (Misra-Gries guarantee).
+        assert!(mg.estimate(9999) + mg.spillover() >= 1000);
+        assert!(mg.iter().any(|(r, _)| r == 9999));
+    }
+
+    #[test]
+    fn reset_and_remove() {
+        let mut mg = MisraGries::new(2);
+        for _ in 0..10 {
+            mg.record(5);
+        }
+        assert_eq!(mg.estimate(5), 10);
+        mg.reset_row(5);
+        assert_eq!(mg.estimate(5), mg.spillover());
+        mg.remove_row(5);
+        assert!(mg.is_empty());
+        for _ in 0..3 {
+            mg.record(1);
+        }
+        mg.clear();
+        assert!(mg.is_empty());
+        assert_eq!(mg.spillover(), 0);
+        assert_eq!(mg.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = MisraGries::new(0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Per Row Activation Counting (PRAC) with back-off [JEDEC DDR5, JESD79-5c].
+//!
+//! PRAC stores an activation counter inside every DRAM row. When a row's
+//! counter crosses the back-off threshold, the DRAM chip asserts the
+//! `alert_n` signal, and the memory controller must respond by issuing a
+//! predetermined number of RFM commands, during which the chip preventively
+//! refreshes the endangered victims. Because counting is exact and per-row,
+//! PRAC triggers very few preventive actions for benign workloads at high
+//! `N_RH` — but an attacker can still force frequent back-offs, which is the
+//! behaviour BreakHammer exploits to identify and throttle the attacker.
+
+use crate::action::{ActivationEvent, PreventiveAction};
+use crate::mechanism::{MechanismKind, TriggerMechanism};
+use bh_dram::DramGeometry;
+use std::collections::HashMap;
+
+/// The PRAC mechanism.
+#[derive(Debug)]
+pub struct Prac {
+    geometry: DramGeometry,
+    backoff_threshold: u64,
+    rfms_per_alert: usize,
+    /// Per flat bank: row -> in-DRAM activation counter.
+    row_counts: Vec<HashMap<usize, u64>>,
+    alerts: u64,
+}
+
+impl Prac {
+    /// Creates PRAC for RowHammer threshold `nrh`.
+    ///
+    /// # Panics
+    /// Panics if `nrh < 4`.
+    pub fn new(geometry: DramGeometry, nrh: u64) -> Self {
+        assert!(nrh >= 4, "N_RH must be at least 4");
+        // Back-off asserted at half the threshold, leaving the chip time to
+        // refresh the victims before bitflips become possible.
+        let backoff_threshold = (nrh / 2).max(2);
+        let banks = geometry.banks_per_channel();
+        Prac {
+            geometry,
+            backoff_threshold,
+            rfms_per_alert: 1,
+            row_counts: vec![HashMap::new(); banks],
+            alerts: 0,
+        }
+    }
+
+    /// The back-off threshold in use.
+    pub fn backoff_threshold(&self) -> u64 {
+        self.backoff_threshold
+    }
+
+    /// Number of back-off (alert_n) events so far.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// Number of RFM commands requested per back-off event.
+    pub fn rfms_per_alert(&self) -> usize {
+        self.rfms_per_alert
+    }
+
+    /// In-DRAM activation count of a row (for tests and statistics).
+    pub fn row_count(&self, flat_bank: usize, row: usize) -> u64 {
+        self.row_counts[flat_bank].get(&row).copied().unwrap_or(0)
+    }
+}
+
+impl TriggerMechanism for Prac {
+    fn name(&self) -> &'static str {
+        "PRAC"
+    }
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Prac
+    }
+
+    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+        let bank = self.geometry.flat_bank(event.row.bank);
+        let count = self.row_counts[bank].entry(event.row.row).or_insert(0);
+        *count += 1;
+        if *count >= self.backoff_threshold {
+            *count = 0;
+            self.alerts += 1;
+            vec![PreventiveAction::IssueRfm { bank: event.row.bank }; self.rfms_per_alert]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // The per-row counters live inside the DRAM array; the controller only
+        // needs the alert handling logic (modelled as negligible storage).
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_dram::{BankAddr, RowAddr, ThreadId};
+
+    fn event(row: usize, cycle: u64) -> ActivationEvent {
+        ActivationEvent {
+            row: RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank: 0 }, row },
+            thread: ThreadId(0),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn backoff_fires_only_for_genuinely_hot_rows() {
+        let mut p = Prac::new(DramGeometry::tiny(), 1024);
+        assert_eq!(p.backoff_threshold(), 512);
+        // A benign pattern cycling over many rows never trips the per-row
+        // counter even after many total activations.
+        for i in 0..5000u64 {
+            assert!(p.on_activation(&event((i % 64) as usize, i)).is_empty());
+        }
+        assert_eq!(p.alerts(), 0);
+        // A hot row does.
+        let mut fired = 0;
+        for i in 0..512u64 {
+            fired += p.on_activation(&event(7, 10_000 + i)).len();
+        }
+        assert!(fired >= 1);
+        assert_eq!(p.alerts() as usize, fired);
+    }
+
+    #[test]
+    fn counter_resets_after_backoff() {
+        let mut p = Prac::new(DramGeometry::tiny(), 64); // threshold 32
+        let mut alerts = 0;
+        for i in 0..128u64 {
+            alerts += p.on_activation(&event(3, i)).len();
+        }
+        assert_eq!(alerts, 4);
+        assert_eq!(p.row_count(0, 3), 0);
+    }
+
+    #[test]
+    fn alert_requests_configured_number_of_rfms() {
+        let mut p = Prac::new(DramGeometry::tiny(), 64);
+        assert_eq!(p.rfms_per_alert(), 1);
+        let mut last = Vec::new();
+        for i in 0..32u64 {
+            let acts = p.on_activation(&event(5, i));
+            if !acts.is_empty() {
+                last = acts;
+            }
+        }
+        assert_eq!(last.len(), 1);
+        assert!(matches!(last[0], PreventiveAction::IssueRfm { .. }));
+    }
+
+    #[test]
+    fn metadata() {
+        let p = Prac::new(DramGeometry::tiny(), 256);
+        assert_eq!(p.name(), "PRAC");
+        assert_eq!(p.kind(), MechanismKind::Prac);
+        assert_eq!(p.storage_bits(), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Periodic Refresh Management (RFM) [JEDEC DDR5, JESD79-5].
+//!
+//! With RFM, the memory controller maintains a Rolling Accumulated ACT (RAA)
+//! counter per bank and issues an RFM command whenever the counter reaches the
+//! RAA Initial Management Threshold (RAAIMT). The RFM command gives the DRAM
+//! chip a time window in which its internal (vendor-specific) logic performs
+//! preventive refreshes. The threshold is scaled to the RowHammer threshold
+//! following the mathematically-secure configurations of prior work
+//! (reference [220] in the paper), so protecting weaker chips requires more
+//! frequent RFMs and thus more bank-blocked time.
+
+use crate::action::{ActivationEvent, PreventiveAction};
+use crate::mechanism::{MechanismKind, TriggerMechanism};
+use bh_dram::DramGeometry;
+
+/// The periodic-RFM mechanism.
+#[derive(Debug)]
+pub struct Rfm {
+    geometry: DramGeometry,
+    raaimt: u64,
+    /// Per flat bank: rolling accumulated activation counter.
+    counters: Vec<u64>,
+    rfms_issued: u64,
+}
+
+impl Rfm {
+    /// Creates the RFM mechanism for RowHammer threshold `nrh`.
+    ///
+    /// # Panics
+    /// Panics if `nrh < 8`.
+    pub fn new(geometry: DramGeometry, nrh: u64) -> Self {
+        assert!(nrh >= 8, "N_RH must be at least 8");
+        // RAAIMT scaled so that in-DRAM TRR can keep up: one RFM window per
+        // N_RH/8 activations of a bank (≈80 at N_RH = 640, matching the
+        // JEDEC-suggested default cadence).
+        let raaimt = (nrh / 8).max(4);
+        let banks = geometry.banks_per_channel();
+        Rfm { geometry, raaimt, counters: vec![0; banks], rfms_issued: 0 }
+    }
+
+    /// The RAAIMT threshold in use.
+    pub fn raaimt(&self) -> u64 {
+        self.raaimt
+    }
+
+    /// RFM commands requested so far.
+    pub fn rfms_issued(&self) -> u64 {
+        self.rfms_issued
+    }
+
+    /// Current RAA counter of a bank (for tests and statistics).
+    pub fn raa_counter(&self, flat_bank: usize) -> u64 {
+        self.counters[flat_bank]
+    }
+}
+
+impl TriggerMechanism for Rfm {
+    fn name(&self) -> &'static str {
+        "RFM"
+    }
+
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Rfm
+    }
+
+    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+        let bank = self.geometry.flat_bank(event.row.bank);
+        self.counters[bank] += 1;
+        if self.counters[bank] >= self.raaimt {
+            self.counters[bank] = 0;
+            self.rfms_issued += 1;
+            vec![PreventiveAction::IssueRfm { bank: event.row.bank }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // One RAA counter per bank in the memory controller.
+        self.geometry.banks_per_channel() as u64 * 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_dram::{BankAddr, RowAddr, ThreadId};
+
+    fn event(bank: usize, row: usize, cycle: u64) -> ActivationEvent {
+        ActivationEvent {
+            row: RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank }, row },
+            thread: ThreadId(0),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn rfm_issued_every_raaimt_activations() {
+        let mut r = Rfm::new(DramGeometry::tiny(), 1024);
+        assert_eq!(r.raaimt(), 128);
+        let mut rfms = 0;
+        for i in 0..1280u64 {
+            // Spread over distinct rows: RFM counts bank activations, not
+            // per-row activations.
+            let acts = r.on_activation(&event(0, (i % 50) as usize, i));
+            rfms += acts.len();
+            for a in acts {
+                assert!(matches!(a, PreventiveAction::IssueRfm { bank } if bank.bank == 0));
+            }
+        }
+        assert_eq!(rfms, 10);
+        assert_eq!(r.rfms_issued(), 10);
+    }
+
+    #[test]
+    fn counters_are_per_bank() {
+        let mut r = Rfm::new(DramGeometry::tiny(), 1024);
+        for i in 0..100u64 {
+            assert!(r.on_activation(&event(0, 1, i)).is_empty());
+            assert!(r.on_activation(&event(1, 1, i)).is_empty());
+        }
+        assert_eq!(r.raa_counter(0), 100);
+        assert_eq!(r.raa_counter(1), 100);
+        assert_eq!(r.rfms_issued(), 0);
+    }
+
+    #[test]
+    fn threshold_scales_with_nrh() {
+        assert!(Rfm::new(DramGeometry::tiny(), 4096).raaimt() > Rfm::new(DramGeometry::tiny(), 64).raaimt());
+        assert_eq!(Rfm::new(DramGeometry::tiny(), 64).raaimt(), 8);
+    }
+
+    #[test]
+    fn metadata() {
+        let r = Rfm::new(DramGeometry::tiny(), 512);
+        assert_eq!(r.name(), "RFM");
+        assert_eq!(r.kind(), MechanismKind::Rfm);
+        assert_eq!(r.storage_bits(), DramGeometry::tiny().banks_per_channel() as u64 * 16);
+    }
+}

@@ -1,0 +1,210 @@
+//! Full-system configuration (Table 1 + Table 2 of the paper).
+
+use bh_core::BreakHammerConfig;
+use bh_cpu::{CacheConfig, CoreConfig};
+use bh_dram::{DeviceConfig, DramGeometry, EnergyParams, TimingParams};
+use bh_mem::MemControllerConfig;
+use bh_mitigation::MechanismKind;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one simulated system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores / hardware threads (4 in Table 1).
+    pub cores: usize,
+    /// Core clock frequency in GHz (4.2 in Table 1).
+    pub cpu_freq_ghz: f64,
+    /// Core microarchitecture parameters.
+    pub core: CoreConfig,
+    /// Shared LLC parameters.
+    pub cache: CacheConfig,
+    /// Memory-controller parameters.
+    pub memctrl: MemControllerConfig,
+    /// DRAM organization.
+    pub geometry: DramGeometry,
+    /// DRAM timing parameters.
+    pub timing: TimingParams,
+    /// DRAM energy parameters.
+    pub energy: EnergyParams,
+    /// Device-model knobs (RFM servicing, blast radius).
+    pub device: DeviceConfig,
+    /// RowHammer threshold the mitigation must protect against.
+    pub nrh: u64,
+    /// The RowHammer mitigation mechanism in use.
+    pub mechanism: MechanismKind,
+    /// Whether BreakHammer is attached to the mechanism.
+    pub breakhammer: bool,
+    /// Optional override of the BreakHammer configuration; when `None` the
+    /// Table 2 defaults (scaled to this system) are used.
+    pub breakhammer_config: Option<BreakHammerConfig>,
+    /// Instructions each tracked core must retire before the simulation ends.
+    pub instructions_per_core: u64,
+    /// Hard limit on simulated DRAM cycles (safety net against pathological
+    /// configurations).
+    pub max_dram_cycles: u64,
+    /// Seed for the probabilistic mechanisms (PARA).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's simulated system (Table 1): 4 cores at 4.2 GHz, 8 MiB LLC,
+    /// single-channel dual-rank DDR5 with 32 banks, FR-FCFS+Cap(4), MOP
+    /// mapping — protected by `mechanism` at threshold `nrh`.
+    pub fn paper_table1(mechanism: MechanismKind, nrh: u64, breakhammer: bool) -> Self {
+        SystemConfig {
+            cores: 4,
+            cpu_freq_ghz: 4.2,
+            core: CoreConfig::paper_table1(),
+            cache: CacheConfig::paper_table1(),
+            memctrl: MemControllerConfig::paper_table1(4),
+            geometry: DramGeometry::paper_ddr5(),
+            timing: TimingParams::ddr5_4800(),
+            energy: EnergyParams::ddr5(),
+            device: DeviceConfig::default(),
+            nrh,
+            mechanism,
+            breakhammer,
+            breakhammer_config: None,
+            instructions_per_core: 1_000_000,
+            max_dram_cycles: 2_000_000_000,
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down configuration for unit and integration tests: tiny DRAM
+    /// geometry, shortened timings, a small LLC and a small instruction
+    /// budget, so a full-system run completes in milliseconds.
+    pub fn fast_test(mechanism: MechanismKind, nrh: u64, breakhammer: bool) -> Self {
+        let mut cache = CacheConfig::tiny_test();
+        cache.capacity_bytes = 64 * 1024;
+        cache.ways = 4;
+        cache.mshrs = 16;
+        let mut memctrl = MemControllerConfig::paper_table1(4);
+        memctrl.read_queue_capacity = 32;
+        memctrl.write_queue_capacity = 32;
+        memctrl.write_drain_high = 24;
+        memctrl.write_drain_low = 8;
+        SystemConfig {
+            cores: 4,
+            cpu_freq_ghz: 4.2,
+            core: CoreConfig::paper_table1(),
+            cache,
+            memctrl,
+            geometry: DramGeometry::tiny(),
+            timing: TimingParams::fast_test(),
+            energy: EnergyParams::ddr5(),
+            device: DeviceConfig::default(),
+            nrh,
+            mechanism,
+            breakhammer,
+            breakhammer_config: None,
+            instructions_per_core: 30_000,
+            max_dram_cycles: 5_000_000,
+            seed: 0,
+        }
+    }
+
+    /// The effective BreakHammer configuration for this system (the Table 2
+    /// defaults unless overridden).
+    pub fn effective_breakhammer_config(&self) -> BreakHammerConfig {
+        self.breakhammer_config.clone().unwrap_or_else(|| {
+            BreakHammerConfig::paper_table2(&self.timing, self.cores, self.cache.mshrs)
+        })
+    }
+
+    /// CPU cycles elapsed per DRAM command-clock cycle.
+    pub fn cpu_cycles_per_dram_cycle(&self) -> f64 {
+        self.cpu_freq_ghz * 1000.0 / self.timing.clock_mhz
+    }
+
+    /// Validates the composite configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("the system needs at least one core".to_string());
+        }
+        if !(self.cpu_freq_ghz > 0.0) {
+            return Err("the CPU frequency must be positive".to_string());
+        }
+        if self.instructions_per_core == 0 {
+            return Err("the per-core instruction budget must be positive".to_string());
+        }
+        if self.memctrl.num_threads != self.cores {
+            return Err("the memory controller must be configured for the same thread count".to_string());
+        }
+        self.cache.validate()?;
+        self.memctrl.validate()?;
+        self.timing.validate()?;
+        self.effective_breakhammer_config().validate()?;
+        Ok(())
+    }
+
+    /// A one-line summary used in experiment output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cores @ {:.1} GHz, {} N_RH={} {}",
+            self.cores,
+            self.cpu_freq_ghz,
+            self.mechanism,
+            self.nrh,
+            if self.breakhammer { "+BreakHammer" } else { "(no BreakHammer)" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_matches_table1() {
+        let c = SystemConfig::paper_table1(MechanismKind::Graphene, 1024, true);
+        assert_eq!(c.cores, 4);
+        assert!((c.cpu_freq_ghz - 4.2).abs() < 1e-9);
+        assert_eq!(c.cache.capacity_bytes, 8 * 1024 * 1024);
+        assert_eq!(c.cache.ways, 8);
+        assert_eq!(c.geometry.banks_per_channel(), 32);
+        assert_eq!(c.memctrl.frfcfs_cap, 4);
+        assert_eq!(c.validate(), Ok(()));
+        // ~1.75 CPU cycles per DRAM command cycle (4.2 GHz vs 2.4 GHz).
+        assert!((c.cpu_cycles_per_dram_cycle() - 1.75).abs() < 1e-9);
+        let bh = c.effective_breakhammer_config();
+        assert_eq!(bh.threat_threshold, 32.0);
+        assert_eq!(bh.outlier_threshold, 0.65);
+        assert!(c.summary().contains("Graphene"));
+        assert!(c.summary().contains("+BreakHammer"));
+    }
+
+    #[test]
+    fn fast_test_configuration_is_valid_for_all_mechanisms() {
+        for kind in [
+            MechanismKind::None,
+            MechanismKind::Para,
+            MechanismKind::Graphene,
+            MechanismKind::Hydra,
+            MechanismKind::Twice,
+            MechanismKind::Aqua,
+            MechanismKind::Rega,
+            MechanismKind::Rfm,
+            MechanismKind::Prac,
+            MechanismKind::BlockHammer,
+        ] {
+            let c = SystemConfig::fast_test(kind, 256, true);
+            assert_eq!(c.validate(), Ok(()), "{kind}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        let mut c = SystemConfig::fast_test(MechanismKind::None, 1024, false);
+        c.cores = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::fast_test(MechanismKind::None, 1024, false);
+        c.instructions_per_core = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SystemConfig::fast_test(MechanismKind::None, 1024, false);
+        c.cores = 2; // memctrl still configured for 4 threads
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Results produced by a full-system simulation run.
+
+use bh_core::BreakHammerStats;
+use bh_cpu::CacheStats;
+use bh_dram::{Cycle, DramStats, ThreadId};
+use bh_mem::{ControllerStats, LatencyHistogram};
+use serde::{Deserialize, Serialize};
+
+/// Performance of one core over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorePerformance {
+    /// The hardware thread.
+    pub thread: ThreadId,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Core cycles elapsed while the core was running.
+    pub cycles: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Whether the core reached its instruction budget.
+    pub finished: bool,
+}
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimulationResult {
+    /// Per-core performance.
+    pub cores: Vec<CorePerformance>,
+    /// Total DRAM command-clock cycles simulated.
+    pub dram_cycles: Cycle,
+    /// Memory-controller statistics.
+    pub controller: ControllerStats,
+    /// DRAM command statistics.
+    pub dram: DramStats,
+    /// LLC statistics.
+    pub cache: CacheStats,
+    /// Total DRAM energy in nanojoules.
+    pub energy_nj: f64,
+    /// RowHammer-preventive actions performed (Fig. 10's quantity).
+    pub preventive_actions: u64,
+    /// Would-be RowHammer bitflips recorded by the victim model (must stay 0
+    /// for any deterministic mitigation, with or without BreakHammer).
+    pub bitflips: usize,
+    /// Per-thread flag: was the thread ever identified as a suspect?
+    pub ever_suspect: Vec<bool>,
+    /// BreakHammer statistics, when BreakHammer was attached.
+    pub breakhammer: Option<BreakHammerStats>,
+    /// Per-thread read-latency histograms.
+    pub latency: Vec<LatencyHistogram>,
+}
+
+impl SimulationResult {
+    /// IPC of a specific thread.
+    pub fn ipc_of(&self, thread: ThreadId) -> f64 {
+        self.cores[thread.index()].ipc
+    }
+
+    /// Sum of IPCs over the given threads (a raw throughput measure).
+    pub fn total_ipc(&self, threads: &[usize]) -> f64 {
+        threads.iter().map(|t| self.cores[*t].ipc).sum()
+    }
+
+    /// Merged read-latency histogram over the given threads (used for the
+    /// benign-application latency curves of Figs. 11 and 17).
+    pub fn merged_latency(&self, threads: &[usize]) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for t in threads {
+            merged.merge(&self.latency[*t]);
+        }
+        merged
+    }
+
+    /// True if every listed core finished its instruction budget.
+    pub fn all_finished(&self, threads: &[usize]) -> bool {
+        threads.iter().all(|t| self.cores[*t].finished)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> SimulationResult {
+        let cores = (0..4)
+            .map(|i| CorePerformance {
+                thread: ThreadId(i),
+                instructions: 1000,
+                cycles: 500 * (i as u64 + 1),
+                ipc: 2.0 / (i as f64 + 1.0),
+                finished: i < 3,
+            })
+            .collect();
+        SimulationResult {
+            cores,
+            dram_cycles: 10_000,
+            controller: ControllerStats::default(),
+            dram: DramStats::default(),
+            cache: CacheStats::default(),
+            energy_nj: 123.0,
+            preventive_actions: 7,
+            bitflips: 0,
+            ever_suspect: vec![false, false, false, true],
+            breakhammer: None,
+            latency: (0..4).map(|_| LatencyHistogram::new()).collect(),
+        }
+    }
+
+    #[test]
+    fn accessors_work() {
+        let r = result();
+        assert_eq!(r.ipc_of(ThreadId(0)), 2.0);
+        assert!((r.total_ipc(&[0, 1]) - 3.0).abs() < 1e-12);
+        assert!(r.all_finished(&[0, 1, 2]));
+        assert!(!r.all_finished(&[0, 3]));
+        assert_eq!(r.merged_latency(&[0, 1]).count(), 0);
+    }
+}

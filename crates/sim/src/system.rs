@@ -1,0 +1,368 @@
+//! The full-system simulator: cores + LLC + memory controller + DRAM +
+//! mitigation mechanism + BreakHammer, wired together and clocked.
+//!
+//! The outer simulation loop runs in the DRAM command-clock domain (one
+//! memory-controller tick per iteration); the cores run at the CPU frequency
+//! and are ticked `cpu_freq / dram_freq` times per memory cycle using a
+//! fractional accumulator, matching Table 1's 4.2 GHz cores over DDR5-4800.
+
+use crate::config::SystemConfig;
+use crate::result::{CorePerformance, SimulationResult};
+use bh_core::BreakHammer;
+use bh_cpu::{Core, LastLevelCache, Trace};
+use bh_dram::{Cycle, DramChannel, RowHammerTracker, ThreadId};
+use bh_mem::{MemRequest, MemoryController};
+use std::collections::VecDeque;
+
+/// A fully-wired simulated system.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    cores: Vec<Core>,
+    llc: LastLevelCache,
+    controller: MemoryController,
+    /// Cores that must finish for the simulation to end (benign cores; the
+    /// attacker's progress is irrelevant, footnote 9 of the paper).
+    required: Vec<usize>,
+    /// Miss completions scheduled for a future DRAM cycle.
+    pending_fills: VecDeque<(Cycle, u64)>,
+    /// Requests that could not be enqueued yet (controller queue full).
+    pending_enqueue: VecDeque<MemRequest>,
+    next_writeback_id: u64,
+}
+
+impl System {
+    /// Builds a system running `traces` (one per core). `required` lists the
+    /// cores whose instruction budget must complete before the run ends; pass
+    /// every benign core there.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid, the trace count does not match
+    /// the core count, or `required` references an unknown core.
+    pub fn new(config: SystemConfig, traces: &[Trace], required: Vec<usize>) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert_eq!(
+            traces.len(),
+            config.cores,
+            "need exactly one trace per core ({} cores, {} traces)",
+            config.cores,
+            traces.len()
+        );
+        assert!(
+            required.iter().all(|r| *r < config.cores),
+            "required core index out of range"
+        );
+
+        // Build the mitigation first: REGA adjusts the DRAM timing parameters.
+        let mechanism =
+            config.mechanism.build(&config.geometry, &config.timing, config.nrh, config.seed);
+        let timing = config.timing.clone().with_adjustment(&mechanism.timing_adjustment());
+        let tracker =
+            RowHammerTracker::new(config.geometry.clone(), config.nrh, config.device.blast_radius);
+        let channel = DramChannel::with_config(
+            config.geometry.clone(),
+            timing,
+            config.energy.clone(),
+            config.device.clone(),
+            Some(tracker),
+        );
+        let breakhammer = if config.breakhammer {
+            Some(BreakHammer::new(config.effective_breakhammer_config(), mechanism.attribution()))
+        } else {
+            None
+        };
+        let controller =
+            MemoryController::new(config.memctrl.clone(), channel, mechanism, breakhammer);
+
+        let llc = LastLevelCache::new(config.cache.clone(), config.cores);
+        let cores = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                Core::new(ThreadId(i), config.core, trace.clone(), config.instructions_per_core)
+            })
+            .collect();
+
+        System {
+            config,
+            cores,
+            llc,
+            controller,
+            required,
+            pending_fills: VecDeque::new(),
+            pending_enqueue: VecDeque::new(),
+            next_writeback_id: 1 << 60,
+        }
+    }
+
+    /// The memory controller (for inspection in tests).
+    pub fn controller(&self) -> &MemoryController {
+        &self.controller
+    }
+
+    /// The LLC (for inspection in tests).
+    pub fn llc(&self) -> &LastLevelCache {
+        &self.llc
+    }
+
+    fn required_finished(&self) -> bool {
+        self.required.iter().all(|i| self.cores[*i].finished())
+    }
+
+    /// Runs the simulation to completion and returns the measured results.
+    pub fn run(mut self) -> SimulationResult {
+        let cpu_per_dram = self.config.cpu_cycles_per_dram_cycle();
+        let mut cpu_accumulator = 0.0f64;
+        let mut cpu_cycle: Cycle = 0;
+        let mut dram_cycle: Cycle = 0;
+
+        while !self.required_finished() && dram_cycle < self.config.max_dram_cycles {
+            // 1. Propagate BreakHammer's current quotas into the LLC.
+            if let Some(bh) = self.controller.breakhammer() {
+                for t in 0..self.config.cores {
+                    self.llc.set_quota(ThreadId(t), bh.quota(ThreadId(t)));
+                }
+            }
+
+            // 2. Retry requests the controller previously rejected, then tick it.
+            while let Some(req) = self.pending_enqueue.front().copied() {
+                if self.controller.try_enqueue(req).is_ok() {
+                    self.pending_enqueue.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.controller.tick(dram_cycle);
+
+            // 3. Collect responses and complete LLC misses whose data arrived.
+            for response in self.controller.drain_responses() {
+                if response.kind.is_read() && response.id < (1 << 60) {
+                    self.pending_fills.push_back((response.completed_at, response.id));
+                }
+            }
+            let mut still_pending = VecDeque::new();
+            while let Some((ready, token)) = self.pending_fills.pop_front() {
+                if ready <= dram_cycle {
+                    self.llc.complete_miss(token);
+                } else {
+                    still_pending.push_back((ready, token));
+                }
+            }
+            self.pending_fills = still_pending;
+
+            // 4. Tick the cores in the CPU clock domain.
+            cpu_accumulator += cpu_per_dram;
+            while cpu_accumulator >= 1.0 {
+                for core in &mut self.cores {
+                    if !core.finished() {
+                        core.tick(cpu_cycle, &mut self.llc);
+                    }
+                }
+                cpu_cycle += 1;
+                cpu_accumulator -= 1.0;
+            }
+
+            // 5. Forward new LLC fills and writebacks to the memory controller.
+            for outgoing in self.llc.take_outgoing() {
+                let req = if outgoing.is_writeback {
+                    let id = self.next_writeback_id;
+                    self.next_writeback_id += 1;
+                    MemRequest::write(id, outgoing.thread, outgoing.addr, dram_cycle)
+                } else {
+                    MemRequest::read(
+                        outgoing.token.expect("fills carry their MSHR token"),
+                        outgoing.thread,
+                        outgoing.addr,
+                        dram_cycle,
+                    )
+                };
+                if let Err(rejected) = self.controller.try_enqueue(req) {
+                    self.pending_enqueue.push_back(rejected);
+                }
+            }
+
+            dram_cycle += 1;
+        }
+
+        self.finish(dram_cycle)
+    }
+
+    fn finish(self, dram_cycles: Cycle) -> SimulationResult {
+        let cores: Vec<CorePerformance> = self
+            .cores
+            .iter()
+            .map(|core| CorePerformance {
+                thread: core.thread(),
+                instructions: core.retired_instructions(),
+                cycles: core.stats().cycles,
+                ipc: core.ipc(),
+                finished: core.finished(),
+            })
+            .collect();
+
+        let channel = self.controller.channel();
+        let energy_nj = channel.energy().total_nj(
+            channel.energy_params(),
+            channel.timing(),
+            dram_cycles,
+            channel.geometry().ranks,
+        );
+        let bitflips = channel.rowhammer().map(|t| t.bitflip_count()).unwrap_or(0);
+        let ever_suspect: Vec<bool> = (0..self.config.cores)
+            .map(|t| {
+                self.controller
+                    .breakhammer()
+                    .map(|bh| bh.is_suspect(ThreadId(t)) || bh.suspect_windows(ThreadId(t)) > 0)
+                    .unwrap_or(false)
+            })
+            .collect();
+        let latency = (0..self.config.cores)
+            .map(|t| self.controller.latency_of(ThreadId(t)).clone())
+            .collect();
+
+        SimulationResult {
+            cores,
+            dram_cycles,
+            controller: self.controller.stats().clone(),
+            dram: channel.stats().clone(),
+            cache: self.llc.stats().clone(),
+            energy_nj,
+            preventive_actions: self.controller.stats().preventive_actions_total(),
+            bitflips,
+            ever_suspect,
+            breakhammer: self.controller.breakhammer().map(|bh| bh.stats().clone()),
+            latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bh_mitigation::MechanismKind;
+    use bh_workloads::{AttackerProfile, BenignProfile, TraceGenerator};
+    use bh_mem::AddressMapping;
+
+    fn generator(config: &SystemConfig) -> TraceGenerator {
+        TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default())
+    }
+
+    fn benign_traces(config: &SystemConfig, entries: usize) -> Vec<Trace> {
+        let gen = generator(config);
+        // Streaming-dominated profiles: benign applications that rarely hammer
+        // a row enough to trigger preventive actions at moderate N_RH, so the
+        // attacker's contribution stands out (the paper's premise in §8.1).
+        let profiles = ["libquantum", "fotonik3d", "xalancbmk", "povray"];
+        profiles
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let mut p = BenignProfile::by_name(name).unwrap();
+                // Shrink footprints to the tiny test geometry.
+                p.footprint_rows = p.footprint_rows.min(2_000);
+                p.hot_rows = p.hot_rows.min(16).max(if p.hot_row_fraction > 0.0 { 1 } else { 0 });
+                gen.benign(&p, entries, 100 + i as u64)
+            })
+            .collect()
+    }
+
+    fn attack_traces(config: &SystemConfig, entries: usize) -> Vec<Trace> {
+        let mut traces = benign_traces(config, entries);
+        traces[3] = AttackerProfile::paper_default().trace(
+            &config.geometry,
+            AddressMapping::paper_default(),
+            entries,
+            999,
+        );
+        traces
+    }
+
+    #[test]
+    fn benign_system_without_mitigation_completes() {
+        let mut config = SystemConfig::fast_test(MechanismKind::None, 1024, false);
+        config.instructions_per_core = 20_000;
+        let traces = benign_traces(&config, 4_000);
+        let result = System::new(config, &traces, vec![0, 1, 2, 3]).run();
+        assert!(result.all_finished(&[0, 1, 2, 3]), "cores did not finish: {:?}", result.cores);
+        for core in &result.cores {
+            assert!(core.ipc > 0.05 && core.ipc <= 4.0, "ipc {}", core.ipc);
+        }
+        assert!(result.controller.reads_served > 0);
+        assert!(result.dram.activates > 0);
+        assert!(result.energy_nj > 0.0);
+        assert_eq!(result.preventive_actions, 0);
+        assert!(result.breakhammer.is_none());
+    }
+
+    #[test]
+    fn attacker_with_graphene_triggers_actions_and_breakhammer_throttles_it() {
+        let mut base = SystemConfig::fast_test(MechanismKind::Graphene, 128, false);
+        base.instructions_per_core = 15_000;
+
+        let traces = attack_traces(&base, 4_000);
+        let without = System::new(base.clone(), &traces, vec![0, 1, 2]).run();
+        assert!(without.preventive_actions > 0, "the attacker must trigger Graphene");
+        assert_eq!(without.bitflips, 0, "Graphene must prevent bitflips");
+
+        let mut with_bh = base;
+        with_bh.breakhammer = true;
+        // Lower TH_threat so the short test run identifies the attacker early;
+        // the Table 2 default (32) needs longer runs to accumulate scores.
+        let mut bh_cfg = with_bh.effective_breakhammer_config();
+        bh_cfg.threat_threshold = 8.0;
+        with_bh.breakhammer_config = Some(bh_cfg);
+        let with = System::new(with_bh, &traces, vec![0, 1, 2]).run();
+        assert_eq!(with.bitflips, 0, "BreakHammer must not compromise protection");
+        assert!(with.ever_suspect[3], "the attacker must be identified as a suspect");
+        assert!(!with.ever_suspect[0], "benign thread 0 must not be a suspect");
+        assert!(
+            with.preventive_actions < without.preventive_actions,
+            "BreakHammer must reduce preventive actions ({} vs {})",
+            with.preventive_actions,
+            without.preventive_actions
+        );
+        let benign = [0usize, 1, 2];
+        assert!(
+            with.total_ipc(&benign) > without.total_ipc(&benign),
+            "benign throughput must improve with BreakHammer ({:.3} vs {:.3})",
+            with.total_ipc(&benign),
+            without.total_ipc(&benign)
+        );
+        assert!(with.cache.quota_rejections > 0, "the attacker must have been quota-limited");
+    }
+
+    #[test]
+    fn breakhammer_is_neutral_for_all_benign_workloads() {
+        let mut base = SystemConfig::fast_test(MechanismKind::Graphene, 256, false);
+        base.instructions_per_core = 15_000;
+        let traces = benign_traces(&base, 4_000);
+        let without = System::new(base.clone(), &traces, vec![0, 1, 2, 3]).run();
+        let mut with_cfg = base;
+        with_cfg.breakhammer = true;
+        let with = System::new(with_cfg, &traces, vec![0, 1, 2, 3]).run();
+        let all = [0usize, 1, 2, 3];
+        let ratio = with.total_ipc(&all) / without.total_ipc(&all);
+        assert!(
+            ratio > 0.9,
+            "BreakHammer must not noticeably slow down all-benign workloads (ratio {ratio:.3})"
+        );
+    }
+
+    #[test]
+    fn rega_runs_with_inflated_timing_and_no_discrete_actions() {
+        let mut config = SystemConfig::fast_test(MechanismKind::Rega, 64, true);
+        config.instructions_per_core = 10_000;
+        let traces = benign_traces(&config, 3_000);
+        let result = System::new(config, &traces, vec![0, 1, 2, 3]).run();
+        assert!(result.all_finished(&[0, 1, 2, 3]));
+        assert_eq!(result.preventive_actions, 0, "REGA performs no controller-visible actions");
+    }
+
+    #[test]
+    #[should_panic(expected = "one trace per core")]
+    fn trace_count_mismatch_is_rejected() {
+        let config = SystemConfig::fast_test(MechanismKind::None, 1024, false);
+        let traces = benign_traces(&config, 100);
+        let _ = System::new(config, &traces[0..2], vec![0]);
+    }
+}

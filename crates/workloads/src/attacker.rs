@@ -1,0 +1,235 @@
+//! RowHammer / memory-performance-attack trace generators.
+//!
+//! The paper's attacker is "a malicious application that mounts a memory
+//! performance attack by triggering many RowHammer-preventive actions"
+//! (§8.1). The generators here produce the canonical attack loops: uncached
+//! (`clflush`-style) reads that repeatedly activate a small set of aggressor
+//! rows, either double-sided in one bank, many-sided in one bank, or spread
+//! over several banks. Multi-threaded attack strategies (§5.2) are built by
+//! giving several threads attacker traces.
+
+use bh_cpu::{Trace, TraceEntry};
+use bh_dram::{BankAddr, DramGeometry, DramLocation};
+use bh_mem::AddressMapping;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// First row index used for aggressor rows (kept away from the benign
+/// generators' hot rows and footprints so the attacker does not accidentally
+/// share rows with victims' data).
+const AGGRESSOR_BASE: usize = 20_000;
+
+/// The shape of the hammering pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackerKind {
+    /// Classic double-sided hammering: alternate between the two aggressor
+    /// rows sandwiching a victim, in a single bank.
+    DoubleSided,
+    /// Many-sided ("TRRespass-style") hammering over `aggressors` rows of a
+    /// single bank.
+    ManySided {
+        /// Number of aggressor rows cycled through.
+        aggressors: usize,
+    },
+    /// Hammering `aggressors` rows in each of `banks` banks, maximising the
+    /// number of banks whose mitigation is kept busy.
+    MultiBank {
+        /// Number of banks attacked in parallel.
+        banks: usize,
+        /// Aggressor rows per bank.
+        aggressors: usize,
+    },
+}
+
+/// An attacker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackerProfile {
+    /// The hammering pattern.
+    pub kind: AttackerKind,
+    /// Non-memory instructions between consecutive hammering accesses (a
+    /// tight attack loop has very few).
+    pub bubbles: u32,
+}
+
+impl AttackerProfile {
+    /// The paper's default attacker: a tight uncached hammering loop that
+    /// concentrates on a few aggressor rows in a handful of banks, crafted to trigger
+    /// as many RowHammer-preventive actions as possible per unit time (the
+    /// memory performance attack of §8.1). Concentrating the activations on
+    /// few rows reaches the mitigations' per-row thresholds quickly even in
+    /// short simulations; use [`AttackerKind::MultiBank`] with more banks and
+    /// aggressors for longer runs.
+    pub fn paper_default() -> Self {
+        AttackerProfile { kind: AttackerKind::MultiBank { banks: 4, aggressors: 2 }, bubbles: 0 }
+    }
+
+    /// A double-sided attacker.
+    pub fn double_sided() -> Self {
+        AttackerProfile { kind: AttackerKind::DoubleSided, bubbles: 1 }
+    }
+
+    /// Generates the attack trace.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero or the profile parameters are degenerate
+    /// (zero aggressor rows or banks).
+    pub fn trace(
+        &self,
+        geometry: &DramGeometry,
+        mapping: AddressMapping,
+        entries: usize,
+        seed: u64,
+    ) -> Trace {
+        assert!(entries > 0, "a trace needs at least one record");
+        let (banks, aggressors_per_bank) = match self.kind {
+            AttackerKind::DoubleSided => (1usize, 2usize),
+            AttackerKind::ManySided { aggressors } => {
+                assert!(aggressors >= 2, "many-sided attack needs at least two aggressors");
+                (1, aggressors)
+            }
+            AttackerKind::MultiBank { banks, aggressors } => {
+                assert!(banks >= 1 && aggressors >= 2, "degenerate multi-bank attack");
+                (banks.min(geometry.banks_per_channel()), aggressors)
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e5);
+        let mut records = Vec::with_capacity(entries);
+        let mut column = 0usize;
+        for i in 0..entries {
+            let bank_idx = i % banks;
+            let agg_idx = (i / banks) % aggressors_per_bank;
+            let bank: BankAddr = geometry.bank_from_flat(bank_idx);
+            // Aggressor rows are spaced two apart so that every consecutive
+            // pair sandwiches a victim row (double/many-sided hammering).
+            let row = AGGRESSOR_BASE + 2 * agg_idx;
+            column = (column + 1 + rng.gen_range(0..3)) % geometry.columns_per_row;
+            let loc = DramLocation { channel: 0, bank, row: row % geometry.rows_per_bank, column };
+            let addr = mapping.encode(&loc, geometry);
+            records.push(TraceEntry {
+                bubbles: self.bubbles,
+                addr,
+                is_write: false,
+                uncached: true,
+            });
+        }
+        Trace::new(records)
+    }
+
+    /// The aggressor rows this profile hammers (useful for analyses/tests).
+    pub fn aggressor_rows(&self, geometry: &DramGeometry) -> Vec<(BankAddr, usize)> {
+        let (banks, aggressors_per_bank) = match self.kind {
+            AttackerKind::DoubleSided => (1usize, 2usize),
+            AttackerKind::ManySided { aggressors } => (1, aggressors),
+            AttackerKind::MultiBank { banks, aggressors } => {
+                (banks.min(geometry.banks_per_channel()), aggressors)
+            }
+        };
+        let mut rows = Vec::new();
+        for b in 0..banks {
+            let bank = geometry.bank_from_flat(b);
+            for a in 0..aggressors_per_bank {
+                rows.push((bank, AGGRESSOR_BASE + 2 * a));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn geometry() -> DramGeometry {
+        DramGeometry::paper_ddr5()
+    }
+
+    #[test]
+    fn attack_trace_is_uncached_and_memory_intense() {
+        let p = AttackerProfile::paper_default();
+        let t = p.trace(&geometry(), AddressMapping::paper_default(), 2_000, 1);
+        assert!(t.entries().iter().all(|e| e.uncached && !e.is_write));
+        // Nearly every instruction is a memory access.
+        assert!(t.accesses_per_kilo_instruction() > 300.0);
+    }
+
+    #[test]
+    fn double_sided_attack_targets_two_rows_of_one_bank() {
+        let p = AttackerProfile::double_sided();
+        let g = geometry();
+        let mapping = AddressMapping::paper_default();
+        let t = p.trace(&g, mapping, 1_000, 2);
+        let rows: HashSet<(BankAddr, usize)> = t
+            .entries()
+            .iter()
+            .map(|e| {
+                let loc = mapping.decode(e.addr, &g);
+                (loc.bank, loc.row)
+            })
+            .collect();
+        assert_eq!(rows.len(), 2);
+        let rows: Vec<usize> = rows.iter().map(|(_, r)| *r).collect();
+        assert_eq!((rows[0] as i64 - rows[1] as i64).abs(), 2, "aggressors sandwich a victim");
+        let banks: HashSet<BankAddr> = rows_banks(&t, &g, mapping);
+        assert_eq!(banks.len(), 1);
+    }
+
+    fn rows_banks(t: &Trace, g: &DramGeometry, m: AddressMapping) -> HashSet<BankAddr> {
+        t.entries().iter().map(|e| m.decode(e.addr, g).bank).collect()
+    }
+
+    #[test]
+    fn many_sided_attack_cycles_the_requested_number_of_aggressors() {
+        let p = AttackerProfile { kind: AttackerKind::ManySided { aggressors: 16 }, bubbles: 0 };
+        let g = geometry();
+        let mapping = AddressMapping::paper_default();
+        let t = p.trace(&g, mapping, 3_200, 3);
+        let rows: HashSet<usize> = t.entries().iter().map(|e| mapping.decode(e.addr, &g).row).collect();
+        assert_eq!(rows.len(), 16);
+        assert_eq!(p.aggressor_rows(&g).len(), 16);
+    }
+
+    #[test]
+    fn multi_bank_attack_spreads_over_banks() {
+        let p = AttackerProfile { kind: AttackerKind::MultiBank { banks: 8, aggressors: 4 }, bubbles: 0 };
+        let g = geometry();
+        let mapping = AddressMapping::paper_default();
+        let t = p.trace(&g, mapping, 4_000, 4);
+        let banks = rows_banks(&t, &g, mapping);
+        assert_eq!(banks.len(), 8);
+        assert_eq!(p.aggressor_rows(&g).len(), 32);
+    }
+
+    #[test]
+    fn consecutive_accesses_force_row_conflicts() {
+        // Within a bank, consecutive attack accesses never target the same
+        // row, so every access forces a row activation.
+        let p = AttackerProfile::paper_default();
+        let g = geometry();
+        let mapping = AddressMapping::paper_default();
+        let t = p.trace(&g, mapping, 1_000, 5);
+        let locs: Vec<_> = t.entries().iter().map(|e| mapping.decode(e.addr, &g)).collect();
+        for pair in locs.windows(2) {
+            if pair[0].bank == pair[1].bank {
+                assert_ne!(pair[0].row, pair[1].row, "same-row consecutive accesses");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = AttackerProfile::paper_default();
+        let g = geometry();
+        let m = AddressMapping::paper_default();
+        assert_eq!(p.trace(&g, m, 100, 9), p.trace(&g, m, 100, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two aggressors")]
+    fn degenerate_many_sided_rejected() {
+        let p = AttackerProfile { kind: AttackerKind::ManySided { aggressors: 1 }, bubbles: 0 };
+        let _ = p.trace(&geometry(), AddressMapping::paper_default(), 10, 0);
+    }
+}

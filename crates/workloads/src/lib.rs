@@ -1,0 +1,44 @@
+//! # bh-workloads — synthetic workloads and attackers
+//!
+//! The paper evaluates BreakHammer with memory traces from SPEC CPU2006/2017,
+//! TPC, MediaBench and YCSB plus a malicious memory-performance attacker.
+//! Those traces are not redistributable, so this crate provides synthetic
+//! generators that reproduce the properties the evaluation actually depends
+//! on:
+//!
+//! * [`BenignProfile`] / [`TraceGenerator`] — benign applications grouped into
+//!   the paper's High / Medium / Low memory-intensity classes, with organic
+//!   hot rows matching Table 3;
+//! * [`AttackerProfile`] — `clflush`-style hammering loops (double-sided,
+//!   many-sided, multi-bank) that trigger many RowHammer-preventive actions;
+//! * [`MixClass`] / [`MixBuilder`] — the four-core workload mixes of §7 and
+//!   §8.1 (HHHH…LLLL and HHHA…LLLA);
+//! * [`characterize`] — the Table 3 characterisation (RBMPKI and rows with
+//!   64+/128+/512+ activations per window).
+//!
+//! ## Example
+//!
+//! ```
+//! use bh_workloads::{MixBuilder, MixClass, TraceGenerator};
+//!
+//! let builder = MixBuilder::new(TraceGenerator::paper_default());
+//! let class = MixClass::attack_classes()[0]; // "HHHA"
+//! let mix = builder.build(class, 0, 42);
+//! assert_eq!(mix.cores(), 4);
+//! assert_eq!(mix.attacker_thread, Some(3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod attacker;
+pub mod characterize;
+pub mod generator;
+pub mod mix;
+pub mod profile;
+
+pub use attacker::{AttackerKind, AttackerProfile};
+pub use characterize::{characterize, WorkloadCharacteristics};
+pub use generator::TraceGenerator;
+pub use mix::{MixBuilder, MixClass, SlotClass, WorkloadMix};
+pub use profile::{BenignProfile, IntensityClass};

@@ -1,0 +1,269 @@
+//! Workload-mix construction (§7 of the paper).
+//!
+//! The paper evaluates 90 four-core mixes of benign applications grouped by
+//! memory intensity (HHHH, HHMM, MMMM, HHLL, MMLL, LLLL — 15 mixes each) and
+//! 90 four-core mixes in which one application is replaced by the attacker
+//! (HHHA, HHMA, MMMA, HLLA, MMLA, LLLA). This module builds those mixes from
+//! the synthetic profile library, deterministically from a seed.
+
+use crate::attacker::AttackerProfile;
+use crate::generator::TraceGenerator;
+use crate::profile::{BenignProfile, IntensityClass};
+use bh_cpu::Trace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One slot of a four-core mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotClass {
+    /// A benign application of the given intensity class.
+    Benign(IntensityClass),
+    /// The attacker.
+    Attacker,
+}
+
+impl SlotClass {
+    /// Single-letter label (H/M/L/A).
+    pub fn letter(self) -> char {
+        match self {
+            SlotClass::Benign(c) => c.letter(),
+            SlotClass::Attacker => 'A',
+        }
+    }
+}
+
+/// A mix class: the intensity composition of the four cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MixClass {
+    /// The four slots.
+    pub slots: [SlotClass; 4],
+}
+
+impl MixClass {
+    /// Label such as `"HHMM"` or `"HHHA"`.
+    pub fn label(&self) -> String {
+        self.slots.iter().map(|s| s.letter()).collect()
+    }
+
+    /// True if one of the slots is the attacker.
+    pub fn has_attacker(&self) -> bool {
+        self.slots.iter().any(|s| matches!(s, SlotClass::Attacker))
+    }
+
+    /// The six all-benign mix classes of §7 (HHHH, HHMM, MMMM, HHLL, MMLL,
+    /// LLLL).
+    pub fn benign_classes() -> Vec<MixClass> {
+        use IntensityClass::*;
+        use SlotClass::Benign;
+        [
+            [High, High, High, High],
+            [High, High, Medium, Medium],
+            [Medium, Medium, Medium, Medium],
+            [High, High, Low, Low],
+            [Medium, Medium, Low, Low],
+            [Low, Low, Low, Low],
+        ]
+        .into_iter()
+        .map(|cls| MixClass { slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Benign(cls[3])] })
+        .collect()
+    }
+
+    /// The six attacker mix classes of §8.1 (HHHA, HHMA, MMMA, HLLA, MMLA,
+    /// LLLA). The attacker always occupies the last core.
+    pub fn attack_classes() -> Vec<MixClass> {
+        use IntensityClass::*;
+        use SlotClass::{Attacker, Benign};
+        [
+            [High, High, High],
+            [High, High, Medium],
+            [Medium, Medium, Medium],
+            [High, Low, Low],
+            [Medium, Medium, Low],
+            [Low, Low, Low],
+        ]
+        .into_iter()
+        .map(|cls| MixClass {
+            slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Attacker],
+        })
+        .collect()
+    }
+}
+
+/// A concrete four-core workload: one trace per hardware thread.
+#[derive(Debug, Clone)]
+pub struct WorkloadMix {
+    /// Mix name, e.g. `"HHMA-03"`.
+    pub name: String,
+    /// The mix class this workload belongs to.
+    pub class: MixClass,
+    /// Names of the applications on each core.
+    pub app_names: Vec<String>,
+    /// One trace per core.
+    pub traces: Vec<Trace>,
+    /// Index of the attacker core, if any.
+    pub attacker_thread: Option<usize>,
+}
+
+impl WorkloadMix {
+    /// Number of cores in the mix.
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Indices of the benign cores.
+    pub fn benign_threads(&self) -> Vec<usize> {
+        (0..self.cores()).filter(|i| Some(*i) != self.attacker_thread).collect()
+    }
+}
+
+/// Builds workload mixes from the profile library.
+#[derive(Debug, Clone)]
+pub struct MixBuilder {
+    generator: TraceGenerator,
+    attacker: AttackerProfile,
+    /// Trace records generated per benign core.
+    pub benign_entries: usize,
+    /// Trace records generated for the attacker core.
+    pub attacker_entries: usize,
+}
+
+impl MixBuilder {
+    /// Creates a builder for the paper's system configuration.
+    pub fn new(generator: TraceGenerator) -> Self {
+        MixBuilder {
+            generator,
+            attacker: AttackerProfile::paper_default(),
+            benign_entries: 20_000,
+            attacker_entries: 8_000,
+        }
+    }
+
+    /// Overrides the attacker profile.
+    pub fn with_attacker(mut self, attacker: AttackerProfile) -> Self {
+        self.attacker = attacker;
+        self
+    }
+
+    /// Builds the `index`-th workload of `class`, deterministically from
+    /// `seed`.
+    pub fn build(&self, class: MixClass, index: usize, seed: u64) -> WorkloadMix {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64));
+        let mut traces = Vec::with_capacity(4);
+        let mut app_names = Vec::with_capacity(4);
+        let mut attacker_thread = None;
+        for (slot, spec) in class.slots.iter().enumerate() {
+            match spec {
+                SlotClass::Benign(intensity) => {
+                    let candidates = BenignProfile::of_class(*intensity);
+                    let profile = candidates
+                        .choose(&mut rng)
+                        .expect("profile library covers every class")
+                        .clone();
+                    let trace_seed = seed ^ ((index as u64) << 16) ^ ((slot as u64) << 32);
+                    traces.push(self.generator.benign(&profile, self.benign_entries, trace_seed));
+                    app_names.push(profile.name.to_string());
+                }
+                SlotClass::Attacker => {
+                    attacker_thread = Some(slot);
+                    let trace_seed = seed ^ ((index as u64) << 16) ^ 0xdead;
+                    traces.push(self.attacker.trace(
+                        self.generator.geometry(),
+                        self.generator.mapping(),
+                        self.attacker_entries,
+                        trace_seed,
+                    ));
+                    app_names.push("attacker".to_string());
+                }
+            }
+        }
+        WorkloadMix {
+            name: format!("{}-{index:02}", class.label()),
+            class,
+            app_names,
+            traces,
+            attacker_thread,
+        }
+    }
+
+    /// Builds `per_class` workloads for each of the given classes (the paper
+    /// uses 15 per class, 90 in total).
+    pub fn build_suite(&self, classes: &[MixClass], per_class: usize, seed: u64) -> Vec<WorkloadMix> {
+        let mut out = Vec::with_capacity(classes.len() * per_class);
+        for class in classes {
+            for index in 0..per_class {
+                out.push(self.build(*class, index, seed));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> MixBuilder {
+        let mut b = MixBuilder::new(TraceGenerator::paper_default());
+        b.benign_entries = 2_000;
+        b.attacker_entries = 1_000;
+        b
+    }
+
+    #[test]
+    fn class_labels_match_the_paper() {
+        let benign: Vec<String> = MixClass::benign_classes().iter().map(MixClass::label).collect();
+        assert_eq!(benign, vec!["HHHH", "HHMM", "MMMM", "HHLL", "MMLL", "LLLL"]);
+        let attack: Vec<String> = MixClass::attack_classes().iter().map(MixClass::label).collect();
+        assert_eq!(attack, vec!["HHHA", "HHMA", "MMMA", "HLLA", "MMLA", "LLLA"]);
+        assert!(MixClass::attack_classes().iter().all(MixClass::has_attacker));
+        assert!(!MixClass::benign_classes().iter().any(|c| c.has_attacker()));
+    }
+
+    #[test]
+    fn built_mix_has_four_cores_and_marks_the_attacker() {
+        let b = builder();
+        let class = MixClass::attack_classes()[0];
+        let mix = b.build(class, 3, 42);
+        assert_eq!(mix.cores(), 4);
+        assert_eq!(mix.attacker_thread, Some(3));
+        assert_eq!(mix.benign_threads(), vec![0, 1, 2]);
+        assert_eq!(mix.name, "HHHA-03");
+        assert_eq!(mix.app_names.len(), 4);
+        assert_eq!(mix.app_names[3], "attacker");
+        assert!(mix.traces[3].entries().iter().all(|e| e.uncached));
+        assert!(mix.traces[0].entries().iter().all(|e| !e.uncached));
+    }
+
+    #[test]
+    fn benign_mixes_have_no_attacker() {
+        let b = builder();
+        let mix = b.build(MixClass::benign_classes()[2], 0, 7);
+        assert_eq!(mix.attacker_thread, None);
+        assert_eq!(mix.benign_threads(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn suite_generation_produces_the_requested_count() {
+        let b = builder();
+        let suite = b.build_suite(&MixClass::attack_classes(), 2, 1);
+        assert_eq!(suite.len(), 12);
+        // Names are unique.
+        let names: std::collections::HashSet<_> = suite.iter().map(|m| m.name.clone()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn mix_construction_is_deterministic() {
+        let b = builder();
+        let class = MixClass::attack_classes()[1];
+        let a = b.build(class, 5, 99);
+        let c = b.build(class, 5, 99);
+        assert_eq!(a.app_names, c.app_names);
+        assert_eq!(a.traces, c.traces);
+        // Different indices give different application selections or traces.
+        let d = b.build(class, 6, 99);
+        assert!(a.app_names != d.app_names || a.traces != d.traces);
+    }
+}

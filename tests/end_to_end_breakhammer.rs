@@ -1,0 +1,111 @@
+//! End-to-end integration tests for the paper's headline behavioural claims,
+//! at test scale: BreakHammer identifies and throttles the attacker, improves
+//! the benign applications' performance and energy, and stays neutral when
+//! every application is benign.
+
+use breakhammer_suite::mem::AddressMapping;
+use breakhammer_suite::mitigation::MechanismKind;
+use breakhammer_suite::sim::{evaluate_under_configs, SystemConfig};
+use breakhammer_suite::workloads::{MixBuilder, MixClass, TraceGenerator, WorkloadMix};
+
+fn build_mix(config: &SystemConfig, attack: bool, seed: u64) -> WorkloadMix {
+    let generator = TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
+    let mut builder = MixBuilder::new(generator);
+    builder.benign_entries = 3_000;
+    builder.attacker_entries = 3_000;
+    let class = if attack { MixClass::attack_classes()[0] } else { MixClass::benign_classes()[0] };
+    builder.build(class, 0, seed)
+}
+
+fn paired_configs(mechanism: MechanismKind, nrh: u64) -> [SystemConfig; 2] {
+    let mut without = SystemConfig::fast_test(mechanism, nrh, false);
+    // Use the real DDR5 geometry (with shortened timings) so the benign
+    // applications' footprints do not alias onto a handful of rows.
+    without.geometry = breakhammer_suite::dram::DramGeometry::paper_ddr5();
+    without.instructions_per_core = 10_000;
+    let mut with = without.clone();
+    with.breakhammer = true;
+    let mut bh = with.effective_breakhammer_config();
+    bh.threat_threshold = 8.0; // identify quickly at test scale
+    with.breakhammer_config = Some(bh);
+    [without, with]
+}
+
+#[test]
+fn breakhammer_improves_performance_and_energy_under_attack() {
+    let configs = paired_configs(MechanismKind::Graphene, 128);
+    let mix = build_mix(&configs[0], true, 3);
+    let evals = evaluate_under_configs(&mix, &configs);
+    let (without, with) = (&evals[0], &evals[1]);
+
+    assert!(
+        with.weighted_speedup > without.weighted_speedup,
+        "weighted speedup must improve ({:.3} -> {:.3})",
+        without.weighted_speedup,
+        with.weighted_speedup
+    );
+    assert!(with.preventive_actions() < without.preventive_actions());
+    assert!(
+        with.result.energy_nj < without.result.energy_nj * 1.05,
+        "energy must not increase materially ({:.0} vs {:.0} nJ)",
+        with.result.energy_nj,
+        without.result.energy_nj
+    );
+    let attacker = mix.attacker_thread.expect("attack mix");
+    assert!(with.result.ever_suspect[attacker]);
+    assert!(mix.benign_threads().iter().all(|t| !with.result.ever_suspect[*t]));
+}
+
+#[test]
+fn breakhammer_reduces_unfairness_under_attack() {
+    let configs = paired_configs(MechanismKind::Rfm, 128);
+    let mix = build_mix(&configs[0], true, 5);
+    let evals = evaluate_under_configs(&mix, &configs);
+    assert!(
+        evals[1].max_slowdown <= evals[0].max_slowdown * 1.05,
+        "unfairness must not get materially worse ({:.3} vs {:.3})",
+        evals[1].max_slowdown,
+        evals[0].max_slowdown
+    );
+}
+
+#[test]
+fn breakhammer_is_neutral_when_all_applications_are_benign() {
+    let configs = paired_configs(MechanismKind::Graphene, 256);
+    let mix = build_mix(&configs[0], false, 9);
+    let evals = evaluate_under_configs(&mix, &configs);
+    let ratio = evals[1].weighted_speedup / evals[0].weighted_speedup;
+    assert!(
+        ratio > 0.9,
+        "all-benign weighted speedup must not drop by more than 10% (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn breakhammer_helps_across_multiple_mechanisms() {
+    // N_RH = 64: low enough that even PRAC's per-row back-off threshold
+    // (N_RH / 2) is crossed many times within this reduced-scale run.
+    for mechanism in [MechanismKind::Para, MechanismKind::Hydra, MechanismKind::Prac] {
+        let configs = paired_configs(mechanism, 64);
+        let mix = build_mix(&configs[0], true, 21);
+        let evals = evaluate_under_configs(&mix, &configs);
+        assert!(
+            evals[1].weighted_speedup >= evals[0].weighted_speedup * 0.95,
+            "{mechanism}: BreakHammer must not materially hurt attacked mixes ({:.3} vs {:.3})",
+            evals[1].weighted_speedup,
+            evals[0].weighted_speedup
+        );
+        // PARA triggers preventive refreshes probabilistically for *every*
+        // thread's activations, so at this reduced scale the attacker does not
+        // always deviate enough from the mean to be identified (the paper
+        // makes the same observation about PARA at low N_RH in §8.1); require
+        // identification only for the deterministic trackers.
+        if mechanism != MechanismKind::Para {
+            let attacker = mix.attacker_thread.expect("attack mix");
+            assert!(
+                evals[1].result.ever_suspect[attacker],
+                "{mechanism}: the attacker must be identified"
+            );
+        }
+    }
+}
