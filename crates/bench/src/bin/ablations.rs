@@ -19,22 +19,26 @@ fn main() {
     let without_ws = geomean_speedup(&without.iter().collect::<Vec<_>>());
 
     let mut table = Table::new(["parameter", "value", "normalized_ws", "attacker_identified"]);
-    let mut run_variant = |campaign: &mut Campaign, label: &str, value: String, tweak: &dyn Fn(&mut bh_core::BreakHammerConfig)| {
-        let mut config = paper_config(MechanismKind::Graphene, nrh, true, &scale);
-        let mut bh = config.effective_breakhammer_config();
-        tweak(&mut bh);
-        config.breakhammer_config = Some(bh);
-        let records = campaign.run(&config, true);
-        let sel: Vec<_> = records.iter().collect();
-        let identified =
-            records.iter().filter(|r| r.attacker_identified).count() as f64 / records.len() as f64;
-        table.push_row([
-            label.to_string(),
-            value,
-            fmt3(geomean_speedup(&sel) / without_ws),
-            fmt_pct(identified),
-        ]);
-    };
+    let mut run_variant =
+        |campaign: &mut Campaign,
+         label: &str,
+         value: String,
+         tweak: &dyn Fn(&mut bh_core::BreakHammerConfig)| {
+            let mut config = paper_config(MechanismKind::Graphene, nrh, true, &scale);
+            let mut bh = config.effective_breakhammer_config();
+            tweak(&mut bh);
+            config.breakhammer_config = Some(bh);
+            let records = campaign.run(&config, true);
+            let sel: Vec<_> = records.iter().collect();
+            let identified = records.iter().filter(|r| r.attacker_identified).count() as f64
+                / records.len() as f64;
+            table.push_row([
+                label.to_string(),
+                value,
+                fmt3(geomean_speedup(&sel) / without_ws),
+                fmt_pct(identified),
+            ]);
+        };
 
     for outlier in [0.05, 0.65, 0.95] {
         run_variant(&mut campaign, "TH_outlier", format!("{outlier}"), &|bh| {

@@ -2,7 +2,9 @@
 //! (Hydra, RFM, PARA, AQUA) on all-benign four-core workloads as the
 //! RowHammer threshold decreases, normalized to a system with no mitigation.
 
-use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_bench::{
+    geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale,
+};
 use bh_mitigation::MechanismKind;
 use bh_stats::{fmt3, Table};
 
@@ -25,12 +27,7 @@ fn main() {
         for &mech in &mechanisms {
             let sel = select(&records, mech, nrh, false);
             let ws = geomean_speedup(&sel);
-            table.push_row([
-                nrh.to_string(),
-                mech.to_string(),
-                fmt3(ws),
-                fmt3(ws / baseline_ws),
-            ]);
+            table.push_row([nrh.to_string(), mech.to_string(), fmt3(ws), fmt3(ws / baseline_ws)]);
         }
     }
     print_results(

@@ -28,6 +28,12 @@ fn main() {
     // The two reference points called out in §5.2.
     let p1 = bh_core::security::max_attacker_score_ratio(0.5, 0.65).expect("bounded");
     let p2 = bh_core::security::max_attacker_score_ratio(0.9, 0.05).expect("bounded");
-    println!("TH_outlier=0.65, 50% attacker threads -> {:.2}x the benign average (paper: 4.71x)", p1);
-    println!("TH_outlier=0.05, 90% attacker threads -> {:.2}x the benign average (paper: 1.90x)", p2);
+    println!(
+        "TH_outlier=0.65, 50% attacker threads -> {:.2}x the benign average (paper: 4.71x)",
+        p1
+    );
+    println!(
+        "TH_outlier=0.05, 90% attacker threads -> {:.2}x the benign average (paper: 1.90x)",
+        p2
+    );
 }

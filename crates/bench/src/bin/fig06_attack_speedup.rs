@@ -3,7 +3,9 @@
 //! eight mitigation mechanisms, per workload-mix class (HHHA … LLLA) plus the
 //! geometric mean — normalized to the same mechanism without BreakHammer.
 
-use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_bench::{
+    geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale,
+};
 use bh_mitigation::MechanismKind;
 use bh_stats::{fmt3, Table};
 

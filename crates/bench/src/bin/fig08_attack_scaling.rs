@@ -2,7 +2,9 @@
 //! and without BreakHammer, with an attacker present, as N_RH decreases —
 //! normalized to a baseline with no RowHammer mitigation.
 
-use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_bench::{
+    geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale,
+};
 use bh_mitigation::MechanismKind;
 use bh_stats::{fmt3, Table};
 

@@ -25,8 +25,7 @@ fn main() {
     let mut table = Table::new(["nrh", "config", "preventive_actions", "normalized_actions"]);
     for &mech in &mechanisms {
         let reference = select(&records, mech, reference_nrh, false);
-        let reference_actions =
-            mean_of(&reference, |r| r.preventive_actions as f64).max(1.0);
+        let reference_actions = mean_of(&reference, |r| r.preventive_actions as f64).max(1.0);
         for &nrh in &scale.nrh_values {
             for bh in [false, true] {
                 let sel = select(&records, mech, nrh, bh);

@@ -2,7 +2,9 @@
 //! with an attacker present, at the lowest evaluated N_RH, for each mitigation
 //! mechanism with and without BreakHammer, compared to a no-defense baseline.
 
-use bh_bench::{maybe_print_config, mean_of, paper_config, print_results, Campaign, RunRecord, Scale};
+use bh_bench::{
+    maybe_print_config, mean_of, paper_config, print_results, Campaign, RunRecord, Scale,
+};
 use bh_mitigation::MechanismKind;
 use bh_stats::Table;
 
@@ -34,7 +36,9 @@ fn main() {
         ]);
     }
     print_results(
-        &format!("Figure 11: benign memory-latency percentiles with an attacker present (N_RH = {nrh})"),
+        &format!(
+            "Figure 11: benign memory-latency percentiles with an attacker present (N_RH = {nrh})"
+        ),
         &table,
     );
 }

@@ -2,7 +2,9 @@
 //! four-core workloads at the lowest evaluated N_RH, per workload-mix class —
 //! normalized to the same mechanism without BreakHammer.
 
-use bh_bench::{geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale};
+use bh_bench::{
+    geomean_speedup, maybe_print_config, paper_config, print_results, select, Campaign, Scale,
+};
 use bh_mitigation::MechanismKind;
 use bh_stats::{fmt3, Table};
 

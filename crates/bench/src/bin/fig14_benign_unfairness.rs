@@ -41,10 +41,7 @@ fn main() {
             fmt_pct(suspects as f64 / with.len() as f64),
         ]);
     }
-    print_results(
-        "Figure 14: normalized unfairness on all-benign workloads (N_RH = 1K)",
-        &table,
-    );
+    print_results("Figure 14: normalized unfairness on all-benign workloads (N_RH = 1K)", &table);
     println!(
         "benign application identified as suspect in {} of the simulations (paper: 2.2% at N_RH = 1K)",
         fmt_pct(misidentified as f64 / with_bh_runs.max(1) as f64)

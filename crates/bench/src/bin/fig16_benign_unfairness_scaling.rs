@@ -35,10 +35,7 @@ fn main() {
             ]);
         }
     }
-    print_results(
-        "Figure 16: normalized unfairness on all-benign workloads vs. N_RH",
-        &table,
-    );
+    print_results("Figure 16: normalized unfairness on all-benign workloads vs. N_RH", &table);
     println!(
         "benign application identified as suspect in {} of the simulations (paper: 18.7% across all N_RH)",
         fmt_pct(misidentified as f64 / with_bh_runs.max(1) as f64)

@@ -41,10 +41,8 @@ fn main() {
                 let records = campaign.run(&config, attack);
                 per_threat.push((threat, records.iter().map(|r| r.weighted_speedup).collect()));
             }
-            let baseline_median = BoxPlot::from_samples(
-                &per_threat.last().expect("three threat values").1,
-            )
-            .median;
+            let baseline_median =
+                BoxPlot::from_samples(&per_threat.last().expect("three threat values").1).median;
             for (threat, samples) in &per_threat {
                 let boxplot = BoxPlot::from_samples(samples);
                 table.push_row([

@@ -7,7 +7,14 @@ use bh_dram::TimingParams;
 use bh_stats::Table;
 
 fn main() {
-    let mut table = Table::new(["threads", "channels", "storage_bits", "area_mm2", "xeon_fraction", "latency_ns"]);
+    let mut table = Table::new([
+        "threads",
+        "channels",
+        "storage_bits",
+        "area_mm2",
+        "xeon_fraction",
+        "latency_ns",
+    ]);
     for (threads, channels) in [(4, 1), (4, 4), (8, 2), (16, 4), (64, 8), (128, 8)] {
         let c = HardwareCost::estimate(threads, channels);
         table.push_row([
@@ -25,7 +32,10 @@ fn main() {
     let ddr4 = TimingParams::ddr4_3200();
     let ddr5 = TimingParams::ddr5_4800();
     println!("per-thread state: {BITS_PER_THREAD} bits (two 32-bit scores, one 16-bit activation counter, two flags)");
-    println!("pipeline: {PIPELINE_STAGES} stages at {CLOCK_GHZ} GHz -> {:.2} ns per decision", paper.latency_ns);
+    println!(
+        "pipeline: {PIPELINE_STAGES} stages at {CLOCK_GHZ} GHz -> {:.2} ns per decision",
+        paper.latency_ns
+    );
     println!(
         "fits under tRRD? DDR4 ({:.2} ns): {}; DDR5 ({:.2} ns): {}",
         ddr4.cycles_to_ns(ddr4.t_rrd_s),

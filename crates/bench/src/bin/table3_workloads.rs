@@ -10,14 +10,10 @@ use bh_stats::{fmt3, Table};
 use bh_workloads::{characterize, BenignProfile, TraceGenerator};
 
 fn main() {
-    let window: u64 = std::env::var("BH_TABLE3_WINDOW")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000_000);
-    let entries: usize = std::env::var("BH_TRACE_ENTRIES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(50_000);
+    let window: u64 =
+        std::env::var("BH_TABLE3_WINDOW").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
+    let entries: usize =
+        std::env::var("BH_TRACE_ENTRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(50_000);
 
     let generator = TraceGenerator::paper_default();
     let mut table = Table::new(["workload", "rbmpki", "act_512+", "act_128+", "act_64+"]);
@@ -26,7 +22,8 @@ fn main() {
     let profiles = BenignProfile::table3_profiles();
     for (i, profile) in profiles.iter().enumerate() {
         let trace = generator.benign(profile, entries, 1000 + i as u64);
-        let c = characterize(profile.name, &trace, generator.geometry(), generator.mapping(), window);
+        let c =
+            characterize(profile.name, &trace, generator.geometry(), generator.mapping(), window);
         rbmpki_sum += c.rbmpki;
         counts[0] += c.rows_over_512;
         counts[1] += c.rows_over_128;

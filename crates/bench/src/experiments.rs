@@ -130,10 +130,8 @@ impl RunRecord {
         let benign = mix.benign_threads();
         let hist = eval.result.merged_latency(&benign);
         let to_ns = |cycles: u64| config.timing.cycles_to_ns(cycles);
-        let attacker_identified = mix
-            .attacker_thread
-            .map(|t| eval.result.ever_suspect[t])
-            .unwrap_or(false);
+        let attacker_identified =
+            mix.attacker_thread.map(|t| eval.result.ever_suspect[t]).unwrap_or(false);
         let benign_misidentified = benign.iter().any(|t| eval.result.ever_suspect[*t]);
         RunRecord {
             mechanism: config.mechanism,
@@ -168,7 +166,12 @@ impl RunRecord {
 
 /// Builds the paper's Table 1 system configuration at the given experiment
 /// scale.
-pub fn paper_config(mechanism: MechanismKind, nrh: u64, breakhammer: bool, scale: &Scale) -> SystemConfig {
+pub fn paper_config(
+    mechanism: MechanismKind,
+    nrh: u64,
+    breakhammer: bool,
+    scale: &Scale,
+) -> SystemConfig {
     let mut config = SystemConfig::paper_table1(mechanism, nrh, breakhammer);
     config.instructions_per_core = scale.instructions_per_core;
     config.seed = scale.seed;
@@ -250,9 +253,9 @@ impl Campaign {
         let results: std::sync::Mutex<Vec<Option<RunRecord>>> =
             std::sync::Mutex::new(vec![None; mixes.len()]);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= mixes.len() {
                         break;
@@ -264,8 +267,7 @@ impl Campaign {
                     results.lock().expect("result lock poisoned")[i] = Some(record);
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
 
         results
             .into_inner()
@@ -304,12 +306,12 @@ impl Campaign {
 // --- aggregation helpers ----------------------------------------------------
 
 /// Selects the records matching a configuration.
-pub fn select<'a>(
-    records: &'a [RunRecord],
+pub fn select(
+    records: &[RunRecord],
     mechanism: MechanismKind,
     nrh: u64,
     breakhammer: bool,
-) -> Vec<&'a RunRecord> {
+) -> Vec<&RunRecord> {
     records
         .iter()
         .filter(|r| r.mechanism == mechanism && r.nrh == nrh && r.breakhammer == breakhammer)
@@ -372,7 +374,10 @@ pub fn maybe_print_config(scale: &Scale) {
         println!("System configuration (Table 1): {}", config.summary());
         println!("{:#?}", config.memctrl);
         println!("{:#?}", config.cache);
-        println!("BreakHammer configuration (Table 2): {:#?}", config.effective_breakhammer_config());
+        println!(
+            "BreakHammer configuration (Table 2): {:#?}",
+            config.effective_breakhammer_config()
+        );
     }
 }
 

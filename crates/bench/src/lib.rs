@@ -16,6 +16,6 @@
 pub mod experiments;
 
 pub use experiments::{
-    figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of, paper_config, print_results,
-    select, Campaign, RunRecord, Scale,
+    figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of, paper_config,
+    print_results, select, Campaign, RunRecord, Scale,
 };

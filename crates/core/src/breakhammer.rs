@@ -88,7 +88,14 @@ impl BreakHammer {
             .collect();
         let window_end = config.window_cycles;
         let scores = InterleavedScores::new(config.num_threads);
-        BreakHammer { config, attribution, scores, threads, window_end, stats: BreakHammerStats::default() }
+        BreakHammer {
+            config,
+            attribution,
+            scores,
+            threads,
+            window_end,
+            stats: BreakHammerStats::default(),
+        }
     }
 
     /// The configuration in use.

@@ -50,10 +50,7 @@ pub struct SecurityPoint {
 /// assert!((r - 4.71).abs() < 0.01);
 /// ```
 pub fn max_attacker_score_ratio(attacker_fraction: f64, outlier_threshold: f64) -> Option<f64> {
-    assert!(
-        (0.0..=1.0).contains(&attacker_fraction),
-        "attacker fraction must be in [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&attacker_fraction), "attacker fraction must be in [0, 1]");
     assert!(outlier_threshold >= 0.0, "TH_outlier must be non-negative");
     let amplification = 1.0 + outlier_threshold;
     let denom = 1.0 - attacker_fraction * amplification;

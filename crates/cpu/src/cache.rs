@@ -61,7 +61,7 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err("associativity must be at least 1".to_string());
         }
-        if self.capacity_bytes % (self.ways * self.line_bytes) != 0 {
+        if !self.capacity_bytes.is_multiple_of(self.ways * self.line_bytes) {
             return Err("capacity must be a multiple of ways * line size".to_string());
         }
         if self.sets() == 0 || !self.sets().is_power_of_two() {
@@ -185,13 +185,14 @@ impl LastLevelCache {
     pub fn new(config: CacheConfig, num_threads: usize) -> Self {
         config.validate().expect("invalid cache configuration");
         assert!(num_threads > 0, "need at least one hardware thread");
-        let sets = vec![
+        let sets =
             vec![
-                Line { tag: 0, valid: false, dirty: false, last_use: 0, owner: ThreadId(0) };
-                config.ways
+                vec![
+                    Line { tag: 0, valid: false, dirty: false, last_use: 0, owner: ThreadId(0) };
+                    config.ways
+                ];
+                config.sets()
             ];
-            config.sets()
-        ];
         let mshrs = config.mshrs;
         LastLevelCache {
             config,
@@ -270,9 +271,7 @@ impl LastLevelCache {
         let use_counter = self.use_counter;
 
         // Hit path.
-        if let Some(line) =
-            self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = use_counter;
             if is_write {
                 line.dirty = true;
@@ -303,9 +302,7 @@ impl LastLevelCache {
     /// Shared miss handling: merge, pool/quota checks, MSHR allocation.
     fn miss_path(&mut self, thread: ThreadId, line_addr: u64, install: bool) -> AccessOutcome {
         // Merge into an outstanding miss for the same line, if any.
-        if let Some((&token, _)) =
-            self.outstanding.iter().find(|(_, m)| m.line_addr == line_addr)
-        {
+        if let Some((&token, _)) = self.outstanding.iter().find(|(_, m)| m.line_addr == line_addr) {
             self.stats.mshr_merges += 1;
             return AccessOutcome::Miss { token, allocated: false };
         }
@@ -360,16 +357,13 @@ impl LastLevelCache {
 
         // Choose a victim: an invalid way if available, else the LRU way.
         let set = &mut self.sets[set_idx];
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.last_use)
-                    .map(|(i, _)| i)
-                    .expect("cache sets are never empty")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.last_use)
+                .map(|(i, _)| i)
+                .expect("cache sets are never empty")
+        });
         let victim = set[victim_idx];
         if victim.valid && victim.dirty {
             let victim_line_addr = victim.tag * sets + set_idx as u64;
@@ -582,7 +576,8 @@ mod bypass_tests {
             c.access_bypass(ThreadId(0), addr, false, 1),
             AccessOutcome::Miss { allocated: true, .. }
         ));
-        let outstanding: Vec<MissToken> = c.take_outgoing().iter().filter_map(|o| o.token).collect();
+        let outstanding: Vec<MissToken> =
+            c.take_outgoing().iter().filter_map(|o| o.token).collect();
         for t in outstanding {
             c.complete_miss(t);
         }

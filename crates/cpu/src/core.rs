@@ -100,7 +100,12 @@ impl Core {
     ///
     /// # Panics
     /// Panics if `target_instructions` is zero.
-    pub fn new(thread: ThreadId, config: CoreConfig, trace: Trace, target_instructions: u64) -> Self {
+    pub fn new(
+        thread: ThreadId,
+        config: CoreConfig,
+        trace: Trace,
+        target_instructions: u64,
+    ) -> Self {
         assert!(target_instructions > 0, "the instruction budget must be positive");
         let bubbles_left = trace.entry(0).bubbles;
         Core {
@@ -264,7 +269,11 @@ mod tests {
 
     /// Runs the core, completing every outstanding miss after `miss_latency`
     /// cycles, and returns the cycle count needed to finish.
-    fn run_with_memory_latency(core: &mut Core, llc: &mut LastLevelCache, miss_latency: u64) -> u64 {
+    fn run_with_memory_latency(
+        core: &mut Core,
+        llc: &mut LastLevelCache,
+        miss_latency: u64,
+    ) -> u64 {
         let mut pending: Vec<(u64, MissToken)> = Vec::new();
         let mut cycle = 0u64;
         while !core.finished() && cycle < 2_000_000 {
@@ -301,7 +310,8 @@ mod tests {
     #[test]
     fn memory_bound_core_is_sensitive_to_memory_latency() {
         let trace = memory_trace();
-        let mut fast_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 20_000);
+        let mut fast_core =
+            Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 20_000);
         let mut slow_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace, 20_000);
         let mut llc_fast = llc();
         let mut llc_slow = llc();
@@ -320,10 +330,8 @@ mod tests {
         // can be in flight; with never-completing misses the core must stall
         // rather than run ahead.
         let mut core = Core::new(ThreadId(0), CoreConfig::paper_table1(), memory_trace(), 10_000);
-        let mut cache = LastLevelCache::new(
-            CacheConfig { mshrs: 64, ..CacheConfig::tiny_test() },
-            1,
-        );
+        let mut cache =
+            LastLevelCache::new(CacheConfig { mshrs: 64, ..CacheConfig::tiny_test() }, 1);
         for cycle in 0..10_000u64 {
             core.tick(cycle, &mut cache);
         }
@@ -335,20 +343,24 @@ mod tests {
     #[test]
     fn quota_throttling_slows_a_memory_bound_core() {
         let trace = memory_trace();
-        let mut free_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 8_000);
+        let mut free_core =
+            Core::new(ThreadId(0), CoreConfig::paper_table1(), trace.clone(), 8_000);
         let mut throttled_core = Core::new(ThreadId(0), CoreConfig::paper_table1(), trace, 8_000);
         let config = CacheConfig { mshrs: 16, ..CacheConfig::tiny_test() };
         let mut free_llc = LastLevelCache::new(config.clone(), 1);
         let mut throttled_llc = LastLevelCache::new(config, 1);
         throttled_llc.set_quota(ThreadId(0), 1);
         let free_cycles = run_with_memory_latency(&mut free_core, &mut free_llc, 200);
-        let throttled_cycles = run_with_memory_latency(&mut throttled_core, &mut throttled_llc, 200);
+        let throttled_cycles =
+            run_with_memory_latency(&mut throttled_core, &mut throttled_llc, 200);
         assert!(
             throttled_cycles > free_cycles * 2,
             "quota of 1 MSHR ({throttled_cycles}) should be much slower than 16 ({free_cycles})"
         );
         assert!(throttled_llc.stats().quota_rejections > 0);
-        assert!(throttled_core.stats().dispatch_stall_cycles > free_core.stats().dispatch_stall_cycles);
+        assert!(
+            throttled_core.stats().dispatch_stall_cycles > free_core.stats().dispatch_stall_cycles
+        );
     }
 
     #[test]

@@ -287,16 +287,12 @@ impl DramChannel {
                 .map(|b| self.banks[self.geometry.flat_bank(b)].next_pre)
                 .max()
                 .unwrap_or(0),
-            CommandKind::Read => bank
-                .next_rd
-                .max(group.next_rd)
-                .max(rank.next_rd)
-                .max(self.next_column_bus),
-            CommandKind::Write => bank
-                .next_wr
-                .max(group.next_wr)
-                .max(rank.next_wr)
-                .max(self.next_column_bus),
+            CommandKind::Read => {
+                bank.next_rd.max(group.next_rd).max(rank.next_rd).max(self.next_column_bus)
+            }
+            CommandKind::Write => {
+                bank.next_wr.max(group.next_wr).max(rank.next_wr).max(self.next_column_bus)
+            }
             CommandKind::Refresh => self
                 .geometry
                 .iter_banks()
@@ -328,11 +324,7 @@ impl DramChannel {
         self.check_state(cmd)?;
         let earliest = self.earliest_issue(cmd);
         if cycle < earliest {
-            return Err(DramError::TimingViolation {
-                command: *cmd,
-                issued_at: cycle,
-                earliest,
-            });
+            return Err(DramError::TimingViolation { command: *cmd, issued_at: cycle, earliest });
         }
 
         let flat = self.geometry.flat_bank(cmd.bank);
@@ -389,7 +381,11 @@ impl DramChannel {
                 CommandOutcome { data_ready_at: None, busy_until: cycle + t.t_rp }
             }
             CommandKind::PrechargeAll => {
-                for b in self.geometry.iter_banks().filter(|b| b.rank == cmd.bank.rank).collect::<Vec<_>>()
+                for b in self
+                    .geometry
+                    .iter_banks()
+                    .filter(|b| b.rank == cmd.bank.rank)
+                    .collect::<Vec<_>>()
                 {
                     let bi = self.geometry.flat_bank(b);
                     let bank = &mut self.banks[bi];
@@ -432,7 +428,11 @@ impl DramChannel {
             }
             CommandKind::Refresh => {
                 let rows_per_ref = self.rows_per_periodic_refresh();
-                for b in self.geometry.iter_banks().filter(|b| b.rank == cmd.bank.rank).collect::<Vec<_>>()
+                for b in self
+                    .geometry
+                    .iter_banks()
+                    .filter(|b| b.rank == cmd.bank.rank)
+                    .collect::<Vec<_>>()
                 {
                     let bi = self.geometry.flat_bank(b);
                     let bank = &mut self.banks[bi];
@@ -684,8 +684,18 @@ mod tests {
         let c = ch.earliest_issue(&act1);
         ch.issue(&act1, c).unwrap();
 
-        let rd0 = DramCommand::read(crate::geometry::DramLocation { channel: 0, bank: b0, row: 1, column: 0 });
-        let rd1 = DramCommand::read(crate::geometry::DramLocation { channel: 0, bank: b1, row: 2, column: 0 });
+        let rd0 = DramCommand::read(crate::geometry::DramLocation {
+            channel: 0,
+            bank: b0,
+            row: 1,
+            column: 0,
+        });
+        let rd1 = DramCommand::read(crate::geometry::DramLocation {
+            channel: 0,
+            bank: b1,
+            row: 2,
+            column: 0,
+        });
         let c0 = ch.earliest_issue(&rd0);
         ch.issue(&rd0, c0).unwrap();
         // The second read must wait at least a burst (and tCCD_S) after the first.

@@ -72,11 +72,7 @@ impl DramLocation {
 
 impl fmt::Display for DramLocation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ch{} {} row{} col{}",
-            self.channel, self.bank, self.row, self.column
-        )
+        write!(f, "ch{} {} row{} col{}", self.channel, self.bank, self.row, self.column)
     }
 }
 
@@ -181,16 +177,8 @@ impl DramGeometry {
     /// Panics if any coordinate is out of range for this geometry.
     pub fn flat_bank(&self, bank: BankAddr) -> usize {
         assert!(bank.rank < self.ranks, "rank {} out of range", bank.rank);
-        assert!(
-            bank.bank_group < self.bank_groups,
-            "bank group {} out of range",
-            bank.bank_group
-        );
-        assert!(
-            bank.bank < self.banks_per_group,
-            "bank {} out of range",
-            bank.bank
-        );
+        assert!(bank.bank_group < self.bank_groups, "bank group {} out of range", bank.bank_group);
+        assert!(bank.bank < self.banks_per_group, "bank {} out of range", bank.bank);
         (bank.rank * self.bank_groups + bank.bank_group) * self.banks_per_group + bank.bank
     }
 
@@ -199,10 +187,7 @@ impl DramGeometry {
     /// # Panics
     /// Panics if `flat` is not a valid dense bank index.
     pub fn bank_from_flat(&self, flat: usize) -> BankAddr {
-        assert!(
-            flat < self.banks_per_channel(),
-            "flat bank index {flat} out of range"
-        );
+        assert!(flat < self.banks_per_channel(), "flat bank index {flat} out of range");
         let bank = flat % self.banks_per_group;
         let rest = flat / self.banks_per_group;
         let bank_group = rest % self.bank_groups;
@@ -219,10 +204,7 @@ impl DramGeometry {
 
     /// Inverse of [`DramGeometry::flat_row`].
     pub fn row_from_flat(&self, flat: usize) -> RowAddr {
-        assert!(
-            flat < self.rows_per_channel(),
-            "flat row index {flat} out of range"
-        );
+        assert!(flat < self.rows_per_channel(), "flat row index {flat} out of range");
         let bank = self.bank_from_flat(flat / self.rows_per_bank);
         RowAddr { bank, row: flat % self.rows_per_bank }
     }

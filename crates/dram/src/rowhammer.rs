@@ -122,7 +122,11 @@ impl RowHammerTracker {
     /// have their neighbours refreshed and their counters reset.
     ///
     /// Returns the victim rows that were refreshed.
-    pub fn service_rfm(&mut self, bank: crate::geometry::BankAddr, aggressors: usize) -> Vec<RowAddr> {
+    pub fn service_rfm(
+        &mut self,
+        bank: crate::geometry::BankAddr,
+        aggressors: usize,
+    ) -> Vec<RowAddr> {
         let flat = self.geometry.flat_bank(bank);
         let mut hot: Vec<(usize, u64)> =
             self.aggressor_acts[flat].iter().map(|(r, c)| (*r, *c)).collect();
@@ -156,12 +160,7 @@ impl RowHammerTracker {
 
     /// The largest disturbance currently accumulated by any row.
     pub fn max_disturbance(&self) -> u64 {
-        self.disturbance
-            .iter()
-            .flat_map(|m| m.values())
-            .copied()
-            .max()
-            .unwrap_or(0)
+        self.disturbance.iter().flat_map(|m| m.values()).copied().max().unwrap_or(0)
     }
 
     /// All recorded would-be bitflips.

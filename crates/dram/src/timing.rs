@@ -75,10 +75,10 @@ impl TimingParams {
         let ns = |n: f64| -> CycleDelta { (n * clock_mhz / 1000.0).ceil() as CycleDelta };
         TimingParams {
             clock_mhz,
-            t_rcd: ns(16.0),       // ~38 nCK
-            t_rp: ns(16.0),        // ~39 nCK
-            t_ras: ns(32.0),       // ~77 nCK
-            t_rc: ns(48.0),        // ~116 nCK
+            t_rcd: ns(16.0), // ~38 nCK
+            t_rp: ns(16.0),  // ~39 nCK
+            t_ras: ns(32.0), // ~77 nCK
+            t_rc: ns(48.0),  // ~116 nCK
             t_rtp: ns(7.5),
             t_wr: ns(30.0),
             cl: 40,
@@ -93,7 +93,7 @@ impl TimingParams {
             t_faw: 32,
             t_rfc: ns(295.0),
             t_rfc_sb: ns(130.0),
-            t_refi: ns(3900.0),    // 3.9 us
+            t_refi: ns(3900.0),       // 3.9 us
             t_refw: ns(32_000_000.0), // 32 ms
             t_rfm: ns(195.0),
         }
@@ -123,7 +123,7 @@ impl TimingParams {
             t_faw: 34,
             t_rfc: ns(350.0),
             t_rfc_sb: ns(160.0),
-            t_refi: ns(7800.0),    // 7.8 us
+            t_refi: ns(7800.0),       // 7.8 us
             t_refw: ns(64_000_000.0), // 64 ms
             t_rfm: ns(350.0),
         }
@@ -226,7 +226,7 @@ impl TimingParams {
         if self.t_refw < self.t_refi {
             return Err("tREFW must be >= tREFI".to_string());
         }
-        if self.burst_length % 2 != 0 {
+        if !self.burst_length.is_multiple_of(2) {
             return Err("burst length must be even".to_string());
         }
         Ok(())
@@ -302,7 +302,7 @@ mod tests {
         let t = TimingParams::ddr5_4800();
         let cycles = t.ns_to_cycles(100.0);
         let ns = t.cycles_to_ns(cycles);
-        assert!(ns >= 100.0 && ns < 101.0);
+        assert!((100.0..101.0).contains(&ns));
         assert_eq!(t.ms_to_cycles(1.0), t.ns_to_cycles(1_000_000.0));
     }
 

@@ -29,11 +29,8 @@ fn drive_random_row_cycles(seed: u64, steps: usize, nrh: u64) -> (DramChannel, u
         for _ in 0..rng.gen_range(0..3usize) {
             let column = rng.gen_range(0..geometry.columns_per_row);
             let loc = DramLocation { channel: 0, bank, row, column };
-            let cmd = if rng.gen_bool(0.3) {
-                DramCommand::write(loc)
-            } else {
-                DramCommand::read(loc)
-            };
+            let cmd =
+                if rng.gen_bool(0.3) { DramCommand::write(loc) } else { DramCommand::read(loc) };
             let at = channel.earliest_issue(&cmd);
             channel.issue(&cmd, at).expect("column access at its earliest-issue time");
         }

@@ -24,7 +24,7 @@ use crate::latency::LatencyHistogram;
 use crate::request::{MemRequest, MemResponse};
 use bh_core::BreakHammer;
 use bh_dram::{
-    AccessKind, CommandKind, Cycle, DramChannel, DramCommand, DramLocation, ThreadId,
+    AccessKind, BankAddr, CommandKind, Cycle, DramChannel, DramCommand, DramLocation, ThreadId,
 };
 use bh_mitigation::{ActivationEvent, PreventiveAction, TriggerMechanism};
 use serde::{Deserialize, Serialize};
@@ -69,6 +69,12 @@ impl ControllerStats {
     }
 }
 
+/// Maximum consecutive ticks the head of the preventive queue may be
+/// deferred in favour of pending demand row-hits — enough for several column
+/// accesses (tCCD apart) to drain, small enough that a sustained hit stream
+/// delays each preventive command by a bounded, security-irrelevant amount.
+const PREVENTIVE_DEFER_TICKS: u32 = 32;
+
 /// A queued demand request with its decoded DRAM coordinates.
 #[derive(Debug, Clone, Copy)]
 struct QueueEntry {
@@ -101,6 +107,10 @@ pub struct MemoryController {
     preventive_queue: VecDeque<DramCommand>,
     next_refresh: Vec<Cycle>,
     write_drain_mode: bool,
+    /// Consecutive ticks the preventive-queue head has been deferred in
+    /// favour of pending demand row-hits (bounded by
+    /// [`PREVENTIVE_DEFER_TICKS`]).
+    preventive_deferred_ticks: u32,
     hit_streak: Vec<u32>,
     stats: ControllerStats,
     per_thread_latency: Vec<LatencyHistogram>,
@@ -144,8 +154,11 @@ impl MemoryController {
             write_queue: Vec::new(),
             responses: Vec::new(),
             preventive_queue: VecDeque::new(),
-            next_refresh: (0..ranks).map(|r| t_refi + r as u64 * (t_refi / ranks.max(1) as u64)).collect(),
+            next_refresh: (0..ranks)
+                .map(|r| t_refi + r as u64 * (t_refi / ranks.max(1) as u64))
+                .collect(),
             write_drain_mode: false,
+            preventive_deferred_ticks: 0,
             hit_streak: vec![0; banks],
             stats: ControllerStats::default(),
             per_thread_latency: (0..num_threads).map(|_| LatencyHistogram::new()).collect(),
@@ -305,9 +318,32 @@ impl MemoryController {
             },
             _ => head,
         };
+        // Forward-progress rule: don't close a row that still has a pending
+        // demand row-hit. Without it, a mechanism that triggers a same-bank
+        // preventive refresh on (almost) every activation — PARA's p
+        // saturates to 1 at very low N_RH — precharges the row a demand
+        // request just opened, re-activating it forever without ever serving
+        // the column access (a livelock, not the paper's slowdown). Letting
+        // column accesses drain first is security-neutral while it lasts
+        // (disturbance only accrues on activations, and none can occur in
+        // this bank while its row stays open), but the deferral must be
+        // *bounded*: the preventive queue is channel-wide, so a sustained
+        // hit stream to one open row would otherwise also starve every
+        // other bank's queued refreshes behind the head.
+        if cmd.kind == CommandKind::Precharge {
+            if let Some(row) = open {
+                if self.demand_hit_pending(head.bank, row)
+                    && self.preventive_deferred_ticks < PREVENTIVE_DEFER_TICKS
+                {
+                    self.preventive_deferred_ticks += 1;
+                    return false;
+                }
+            }
+        }
         if !self.channel.can_issue(&cmd, cycle) {
             return false;
         }
+        self.preventive_deferred_ticks = 0;
         self.channel.issue(&cmd, cycle).expect("checked preventive command");
         if cmd == head {
             self.preventive_queue.pop_front();
@@ -315,13 +351,20 @@ impl MemoryController {
         true
     }
 
+    /// True if some queued demand request is a row hit on `bank`'s open
+    /// `row` (and could therefore be lost by precharging the bank now).
+    fn demand_hit_pending(&self, bank: BankAddr, row: usize) -> bool {
+        self.read_queue
+            .iter()
+            .chain(self.write_queue.iter())
+            .any(|e| e.loc.bank == bank && e.loc.row == row)
+    }
+
     /// FR-FCFS+Cap demand scheduling. Returns true if a command was issued.
     fn try_demand(&mut self, cycle: Cycle) -> bool {
         let refresh_pending = self.refresh_pending_ranks(cycle);
-        let preventive_bank = self
-            .preventive_queue
-            .front()
-            .map(|c| self.channel.geometry().flat_bank(c.bank));
+        let preventive_bank =
+            self.preventive_queue.front().map(|c| self.channel.geometry().flat_bank(c.bank));
 
         let first_writes = self.write_drain_mode && !self.write_queue.is_empty();
         let order = if first_writes { [true, false] } else { [false, true] };
@@ -344,9 +387,13 @@ impl MemoryController {
         // Pass 1: row-buffer hits (FR), respecting the reordering cap.
         // Pass 2: oldest request first (FCFS).
         for hits_only in [true, false] {
-            if let Some((idx, step)) =
-                self.select_candidate(use_writes, cycle, hits_only, refresh_pending, preventive_bank)
-            {
+            if let Some((idx, step)) = self.select_candidate(
+                use_writes,
+                cycle,
+                hits_only,
+                refresh_pending,
+                preventive_bank,
+            ) {
                 self.service(use_writes, idx, step, cycle);
                 return true;
             }
@@ -372,15 +419,18 @@ impl MemoryController {
             if refresh_pending[bank.rank] {
                 continue;
             }
-            if preventive_bank == Some(flat) {
-                continue;
-            }
             let open = self.channel.open_row(bank);
             let step = match open {
                 Some(row) if row == entry.loc.row => ServiceStep::Column,
                 Some(_) => ServiceStep::Precharge,
                 None => ServiceStep::Activate,
             };
+            // A bank the preventive head is waiting on accepts no new row
+            // cycles, but pending hits on its open row may still drain (the
+            // counterpart of the forward-progress rule in `try_preventive`).
+            if preventive_bank == Some(flat) && step != ServiceStep::Column {
+                continue;
+            }
             if hits_only {
                 if step != ServiceStep::Column {
                     continue;
@@ -480,8 +530,7 @@ impl MemoryController {
 
     /// Marks the queue entry as classified, returning the previous flag.
     fn mark_classified(&mut self, use_writes: bool, idx: usize) -> bool {
-        let entry =
-            if use_writes { &mut self.write_queue[idx] } else { &mut self.read_queue[idx] };
+        let entry = if use_writes { &mut self.write_queue[idx] } else { &mut self.read_queue[idx] };
         let was = entry.classified;
         entry.classified = true;
         was
@@ -710,7 +759,11 @@ mod tests {
     /// Drives a classic double-sided hammering pattern (alternating reads to
     /// rows 50 and 52 of bank 0) for `rounds` iterations and returns the
     /// controller together with the cycle at which the run finished.
-    fn double_sided_hammer(kind: MechanismKind, nrh: u64, rounds: u64) -> (MemoryController, Cycle) {
+    fn double_sided_hammer(
+        kind: MechanismKind,
+        nrh: u64,
+        rounds: u64,
+    ) -> (MemoryController, Cycle) {
         let mut ctrl = controller(kind, nrh);
         let mut cycle = 0u64;
         let mut id = 0u64;
@@ -816,6 +869,51 @@ mod tests {
         assert!(ctrl.channel().stats().rfm_commands > 0);
     }
 
+    /// PARA at `N_RH = 64` triggers a same-bank victim refresh on every
+    /// activation (`p = 1`). A demand request must still complete (the
+    /// forward-progress rule defers the refresh's precharge past the pending
+    /// row-hit), and the deferral must be bounded: even under a sustained
+    /// stream of row-hits to the open row, the queued preventive refreshes
+    /// drain instead of being starved behind the head forever.
+    #[test]
+    fn preventive_work_neither_livelocks_demand_nor_starves_forever() {
+        let mut ctrl = controller(MechanismKind::Para, 64);
+
+        // One activation of row 50: PARA (p = 1) queues a neighbour refresh
+        // in the same bank. The read must complete regardless.
+        ctrl.try_enqueue(MemRequest::read(1, ThreadId(0), addr_of(&ctrl, 50, 0), 0)).unwrap();
+        let (responses, mut cycle) = run_until_responses(&mut ctrl, 0, 1, 10_000);
+        assert_eq!(responses.len(), 1, "the triggering read must not livelock");
+        assert_eq!(ctrl.stats().demand_activations, 1, "no ACT/PRE churn");
+
+        // Keep a row-hit pending at every single cycle while the refresh is
+        // still queued; the bounded deferral must let the refresh drain
+        // anyway (within the defer bound plus a couple of row cycles).
+        let mut served = 0;
+        for _ in 0..2_000 {
+            if ctrl.pending_preventive_commands() == 0 {
+                break;
+            }
+            // `cycle` is strictly increasing, so it doubles as a unique id.
+            let _ = ctrl.try_enqueue(MemRequest::read(
+                1_000 + cycle,
+                ThreadId(0),
+                addr_of(&ctrl, 50, served % 4),
+                cycle,
+            ));
+            ctrl.tick(cycle);
+            served += ctrl.drain_responses().len();
+            cycle += 1;
+        }
+        assert_eq!(
+            ctrl.pending_preventive_commands(),
+            0,
+            "queued preventive refreshes must not be starved by a sustained hit stream"
+        );
+        assert!(served > 0, "demand hits kept flowing while the refresh drained");
+        assert_eq!(ctrl.stats().victim_rows_refreshed, 1);
+    }
+
     #[test]
     fn breakhammer_throttles_the_hammering_thread() {
         let mut ctrl = controller_with_bh(MechanismKind::Graphene, 64);
@@ -835,7 +933,12 @@ mod tests {
                 r = ctrl.try_enqueue(req);
             }
             if round % 10 == 0 {
-                let benign = MemRequest::read(id, ThreadId(1), addr_of(&ctrl, (round % 30) as usize, 1), cycle);
+                let benign = MemRequest::read(
+                    id,
+                    ThreadId(1),
+                    addr_of(&ctrl, (round % 30) as usize, 1),
+                    cycle,
+                );
                 id += 1;
                 let _ = ctrl.try_enqueue(benign);
             }
@@ -856,11 +959,9 @@ mod tests {
     fn aqua_migrations_are_expensive_but_execute() {
         let mut ctrl = controller(MechanismKind::Aqua, 64);
         let mut cycle = 0u64;
-        let mut id = 0u64;
         for round in 0..200u64 {
             let row = if round % 2 == 0 { 50 } else { 52 };
-            let req = MemRequest::read(id, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
-            id += 1;
+            let req = MemRequest::read(round, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
                 ctrl.tick(cycle);
@@ -881,7 +982,8 @@ mod tests {
         assert!(ctrl.stats().migrations > 0);
         // Each migration transfers the whole row: reads and writes well beyond
         // the demand traffic alone.
-        let expected_extra = ctrl.stats().migrations * ctrl.channel().geometry().columns_per_row as u64;
+        let expected_extra =
+            ctrl.stats().migrations * ctrl.channel().geometry().columns_per_row as u64;
         assert!(ctrl.channel().stats().writes >= expected_extra);
         assert_eq!(ctrl.pending_preventive_commands(), 0, "preventive queue must drain");
     }
@@ -890,11 +992,9 @@ mod tests {
     fn hydra_table_accesses_generate_dram_traffic() {
         let mut ctrl = controller(MechanismKind::Hydra, 64);
         let mut cycle = 0u64;
-        let mut id = 0u64;
         for round in 0..400u64 {
             let row = 50 + (round % 2) as usize * 2;
-            let req = MemRequest::read(id, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
-            id += 1;
+            let req = MemRequest::read(round, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
                 ctrl.tick(cycle);

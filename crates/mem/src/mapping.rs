@@ -72,12 +72,7 @@ impl AddressMapping {
                 let bank_group = (x % geometry.bank_groups as u64) as usize;
                 x /= geometry.bank_groups as u64;
                 let row = (x % geometry.rows_per_bank as u64) as usize;
-                DramLocation {
-                    channel: 0,
-                    bank: BankAddr { rank, bank_group, bank },
-                    row,
-                    column,
-                }
+                DramLocation { channel: 0, bank: BankAddr { rank, bank_group, bank }, row, column }
             }
         }
     }

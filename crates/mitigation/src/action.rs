@@ -79,7 +79,9 @@ impl PreventiveAction {
 impl fmt::Display for PreventiveAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PreventiveAction::RefreshRows(rows) => write!(f, "refresh {} victim row(s)", rows.len()),
+            PreventiveAction::RefreshRows(rows) => {
+                write!(f, "refresh {} victim row(s)", rows.len())
+            }
             PreventiveAction::MigrateRow { source, dest } => {
                 write!(f, "migrate {source} -> {dest}")
             }
@@ -126,10 +128,7 @@ mod tests {
             PreventiveAction::MigrateRow { source: row(1), dest: row(9) }.row_cycle_cost(),
             2
         );
-        assert_eq!(
-            PreventiveAction::IssueRfm { bank: row(0).bank }.row_cycle_cost(),
-            1
-        );
+        assert_eq!(PreventiveAction::IssueRfm { bank: row(0).bank }.row_cycle_cost(), 1);
         assert_eq!(
             PreventiveAction::TableAccess { row: row(3), write_back: true }.row_cycle_cost(),
             2

@@ -119,9 +119,11 @@ impl TriggerMechanism for Aqua {
         // table entries for quarantined rows.
         let row_bits = (usize::BITS - (self.geometry.rows_per_bank - 1).leading_zeros()) as u64;
         let counter_bits = 64 - self.threshold.leading_zeros() as u64 + 1;
-        let tracking =
-            self.entries_per_bank as u64 * (row_bits + counter_bits) * self.geometry.banks_per_channel() as u64;
-        let mapping = self.quarantine_rows as u64 * 2 * row_bits * self.geometry.banks_per_channel() as u64;
+        let tracking = self.entries_per_bank as u64
+            * (row_bits + counter_bits)
+            * self.geometry.banks_per_channel() as u64;
+        let mapping =
+            self.quarantine_rows as u64 * 2 * row_bits * self.geometry.banks_per_channel() as u64;
         tracking + mapping
     }
 }

@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn tables_are_per_bank() {
         let mut g = mech(64);
-        let other_bank = RowAddr {
-            bank: BankAddr { rank: 1, bank_group: 1, bank: 1 },
-            row: 30,
-        };
+        let other_bank = RowAddr { bank: BankAddr { rank: 1, bank_group: 1, bank: 1 }, row: 30 };
         // 15 activations in bank A, 15 in bank B: no trigger in either.
         for i in 0..15u64 {
             assert!(g.on_activation(&event(30, i)).is_empty());

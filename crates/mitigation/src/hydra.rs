@@ -213,9 +213,7 @@ mod tests {
         }
         // The next activation of the escalated group touches the RCT.
         let actions = h.on_activation(&event(10, 32));
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, PreventiveAction::TableAccess { .. })));
+        assert!(actions.iter().any(|a| matches!(a, PreventiveAction::TableAccess { .. })));
         assert_eq!(h.rcc_misses(), 1);
     }
 

@@ -4,8 +4,8 @@
 
 use crate::action::{ActivationEvent, PreventiveAction, ScoreAttribution};
 use crate::{
-    aqua::Aqua, blockhammer::BlockHammer, graphene::Graphene, hydra::Hydra, para::Para,
-    prac::Prac, rega::Rega, rfm::Rfm, twice::Twice,
+    aqua::Aqua, blockhammer::BlockHammer, graphene::Graphene, hydra::Hydra, para::Para, prac::Prac,
+    rega::Rega, rfm::Rfm, twice::Twice,
 };
 use bh_dram::{Cycle, DramGeometry, RowAddr, TimingAdjustment, TimingParams};
 use serde::{Deserialize, Serialize};
@@ -72,9 +72,9 @@ pub enum MechanismKind {
     Aqua,
     /// REGA: refresh-generating activations via a second row buffer [Marazzi+, S&P'23].
     Rega,
-    /// Periodic Refresh Management commands (DDR5 RFM) [JEDEC].
+    /// Periodic Refresh Management commands (DDR5 RFM) \[JEDEC\].
     Rfm,
-    /// Per Row Activation Counting with back-off (DDR5 PRAC) [JEDEC].
+    /// Per Row Activation Counting with back-off (DDR5 PRAC) \[JEDEC\].
     Prac,
     /// BlockHammer: blacklisting-based access throttling [Yağlıkçı+, HPCA'21]
     /// (the paper's throttling-based comparison point, §8.3).
@@ -153,8 +153,12 @@ impl MechanismKind {
             MechanismKind::Graphene => {
                 Box::new(Graphene::new(geometry.clone(), timing, nrh, blast_radius))
             }
-            MechanismKind::Hydra => Box::new(Hydra::new(geometry.clone(), timing, nrh, blast_radius)),
-            MechanismKind::Twice => Box::new(Twice::new(geometry.clone(), timing, nrh, blast_radius)),
+            MechanismKind::Hydra => {
+                Box::new(Hydra::new(geometry.clone(), timing, nrh, blast_radius))
+            }
+            MechanismKind::Twice => {
+                Box::new(Twice::new(geometry.clone(), timing, nrh, blast_radius))
+            }
             MechanismKind::Aqua => Box::new(Aqua::new(geometry.clone(), timing, nrh)),
             MechanismKind::Rega => Box::new(Rega::new(nrh)),
             MechanismKind::Rfm => Box::new(Rfm::new(geometry.clone(), nrh)),

@@ -42,12 +42,8 @@ impl MisraGries {
         // spillover level, or absorb the activation into the spillover.
         // The victim choice is made deterministic (lowest row index) so that
         // simulations are exactly reproducible run to run.
-        if let Some(&victim) = self
-            .counts
-            .iter()
-            .filter(|(_, c)| **c <= self.spillover)
-            .map(|(r, _)| r)
-            .min()
+        if let Some(&victim) =
+            self.counts.iter().filter(|(_, c)| **c <= self.spillover).map(|(r, _)| r).min()
         {
             self.counts.remove(&victim);
             let count = self.spillover + 1;

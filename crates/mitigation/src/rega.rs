@@ -43,11 +43,8 @@ impl Rega {
         // precharge phase. ~0 extra cycles at N_RH >= 2K, growing to ~32
         // extra cycles (≈13 ns at DDR5-4800) at N_RH = 64.
         let extra = (2048 / nrh).min(32);
-        let adjustment = TimingAdjustment {
-            extra_t_rp: extra,
-            extra_t_ras: extra / 2,
-            extra_t_rfc: 0,
-        };
+        let adjustment =
+            TimingAdjustment { extra_t_rp: extra, extra_t_ras: extra / 2, extra_t_rfc: 0 };
         Rega { rega_t, adjustment, activations: 0 }
     }
 
@@ -120,7 +117,9 @@ mod tests {
         let strict = Rega::new(64);
         assert_eq!(relaxed.timing_adjustment().extra_t_rp, 0);
         assert!(strict.timing_adjustment().extra_t_rp > 0);
-        assert!(strict.timing_adjustment().extra_t_rp >= Rega::new(256).timing_adjustment().extra_t_rp);
+        assert!(
+            strict.timing_adjustment().extra_t_rp >= Rega::new(256).timing_adjustment().extra_t_rp
+        );
         assert_eq!(strict.timing_adjustment().extra_t_rp, 32);
     }
 

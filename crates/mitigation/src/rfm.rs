@@ -6,7 +6,7 @@
 //! chip a time window in which its internal (vendor-specific) logic performs
 //! preventive refreshes. The threshold is scaled to the RowHammer threshold
 //! following the mathematically-secure configurations of prior work
-//! (reference [220] in the paper), so protecting weaker chips requires more
+//! (reference \[220\] in the paper), so protecting weaker chips requires more
 //! frequent RFMs and thus more bank-blocked time.
 
 use crate::action::{ActivationEvent, PreventiveAction};
@@ -126,7 +126,10 @@ mod tests {
 
     #[test]
     fn threshold_scales_with_nrh() {
-        assert!(Rfm::new(DramGeometry::tiny(), 4096).raaimt() > Rfm::new(DramGeometry::tiny(), 64).raaimt());
+        assert!(
+            Rfm::new(DramGeometry::tiny(), 4096).raaimt()
+                > Rfm::new(DramGeometry::tiny(), 64).raaimt()
+        );
         assert_eq!(Rfm::new(DramGeometry::tiny(), 64).raaimt(), 8);
     }
 

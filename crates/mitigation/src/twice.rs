@@ -135,9 +135,8 @@ impl TriggerMechanism for Twice {
     fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
         self.maybe_prune_and_reset(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
-        let entry = self.tables[bank]
-            .entry(event.row.row)
-            .or_insert(TwiceEntry { count: 0, life: 0 });
+        let entry =
+            self.tables[bank].entry(event.row.row).or_insert(TwiceEntry { count: 0, life: 0 });
         entry.count += 1;
         let count = entry.count;
         let total_entries: usize = self.tables.iter().map(HashMap::len).sum();

@@ -105,10 +105,24 @@ impl SystemConfig {
     }
 
     /// The effective BreakHammer configuration for this system (the Table 2
-    /// defaults unless overridden).
+    /// defaults, scaled to this system, unless overridden).
+    ///
+    /// Derived at call time from the *current* field values, so mutating
+    /// `cores`, `cache.mshrs` or `timing` after construction is reflected
+    /// here.
     pub fn effective_breakhammer_config(&self) -> BreakHammerConfig {
         self.breakhammer_config.clone().unwrap_or_else(|| {
-            BreakHammerConfig::paper_table2(&self.timing, self.cores, self.cache.mshrs)
+            let mut config =
+                BreakHammerConfig::paper_table2(&self.timing, self.cores, self.cache.mshrs);
+            // Table 2's 64 ms window is ~153 M DRAM cycles. In scaled-down
+            // configurations (e.g. `fast_test`, capped at 5 M cycles) not a
+            // single window would complete, so suspect flags would never
+            // clear and a throttled thread could never earn its quota back.
+            // Cap the window so every run spans at least ~10 windows,
+            // preserving the identify/throttle/restore dynamics; at the
+            // paper's scale (2 G-cycle cap) the 64 ms window is unaffected.
+            config.window_cycles = config.window_cycles.min((self.max_dram_cycles / 10).max(1));
+            config
         })
     }
 
@@ -122,14 +136,16 @@ impl SystemConfig {
         if self.cores == 0 {
             return Err("the system needs at least one core".to_string());
         }
-        if !(self.cpu_freq_ghz > 0.0) {
+        if self.cpu_freq_ghz <= 0.0 || self.cpu_freq_ghz.is_nan() {
             return Err("the CPU frequency must be positive".to_string());
         }
         if self.instructions_per_core == 0 {
             return Err("the per-core instruction budget must be positive".to_string());
         }
         if self.memctrl.num_threads != self.cores {
-            return Err("the memory controller must be configured for the same thread count".to_string());
+            return Err(
+                "the memory controller must be configured for the same thread count".to_string()
+            );
         }
         self.cache.validate()?;
         self.memctrl.validate()?;

@@ -199,10 +199,16 @@ mod tests {
         let mix = test_mix(false);
         let mut evaluator = Evaluator::new(config);
         let eval = evaluator.evaluate(&mix);
-        assert!(eval.weighted_speedup > 0.5 && eval.weighted_speedup <= 4.2,
-            "weighted speedup {}", eval.weighted_speedup);
-        assert!(eval.max_slowdown >= 1.0 || eval.max_slowdown > 0.8,
-            "max slowdown {}", eval.max_slowdown);
+        assert!(
+            eval.weighted_speedup > 0.5 && eval.weighted_speedup <= 4.2,
+            "weighted speedup {}",
+            eval.weighted_speedup
+        );
+        assert!(
+            eval.max_slowdown >= 1.0 || eval.max_slowdown > 0.8,
+            "max slowdown {}",
+            eval.max_slowdown
+        );
         assert_eq!(eval.benign_perfs.len(), 4);
         assert!(eval.energy_nj() > 0.0);
         // The alone cache is reused across evaluations.

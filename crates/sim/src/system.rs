@@ -48,10 +48,7 @@ impl System {
             config.cores,
             traces.len()
         );
-        assert!(
-            required.iter().all(|r| *r < config.cores),
-            "required core index out of range"
-        );
+        assert!(required.iter().all(|r| *r < config.cores), "required core index out of range");
 
         // Build the mitigation first: REGA adjusts the DRAM timing parameters.
         let mechanism =
@@ -239,9 +236,9 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bh_mem::AddressMapping;
     use bh_mitigation::MechanismKind;
     use bh_workloads::{AttackerProfile, BenignProfile, TraceGenerator};
-    use bh_mem::AddressMapping;
 
     fn generator(config: &SystemConfig) -> TraceGenerator {
         TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default())

@@ -104,7 +104,7 @@ impl AttackerProfile {
             // Aggressor rows are spaced two apart so that every consecutive
             // pair sandwiches a victim row (double/many-sided hammering).
             let row = AGGRESSOR_BASE + 2 * agg_idx;
-            column = (column + 1 + rng.gen_range(0..3)) % geometry.columns_per_row;
+            column = (column + 1 + rng.gen_range(0..3usize)) % geometry.columns_per_row;
             let loc = DramLocation { channel: 0, bank, row: row % geometry.rows_per_bank, column };
             let addr = mapping.encode(&loc, geometry);
             records.push(TraceEntry {
@@ -186,14 +186,18 @@ mod tests {
         let g = geometry();
         let mapping = AddressMapping::paper_default();
         let t = p.trace(&g, mapping, 3_200, 3);
-        let rows: HashSet<usize> = t.entries().iter().map(|e| mapping.decode(e.addr, &g).row).collect();
+        let rows: HashSet<usize> =
+            t.entries().iter().map(|e| mapping.decode(e.addr, &g).row).collect();
         assert_eq!(rows.len(), 16);
         assert_eq!(p.aggressor_rows(&g).len(), 16);
     }
 
     #[test]
     fn multi_bank_attack_spreads_over_banks() {
-        let p = AttackerProfile { kind: AttackerKind::MultiBank { banks: 8, aggressors: 4 }, bubbles: 0 };
+        let p = AttackerProfile {
+            kind: AttackerKind::MultiBank { banks: 8, aggressors: 4 },
+            bubbles: 0,
+        };
         let g = geometry();
         let mapping = AddressMapping::paper_default();
         let t = p.trace(&g, mapping, 4_000, 4);

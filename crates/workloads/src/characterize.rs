@@ -101,10 +101,8 @@ mod tests {
         let m = AddressMapping::paper_default();
         // Two addresses in the same bank but different rows.
         let row_stride = g.row_bytes() as u64 * g.banks_per_channel() as u64;
-        let entries = vec![
-            TraceEntry::load(0, PhysAddr(0)),
-            TraceEntry::load(0, PhysAddr(row_stride)),
-        ];
+        let entries =
+            vec![TraceEntry::load(0, PhysAddr(0)), TraceEntry::load(0, PhysAddr(row_stride))];
         let trace = bh_cpu::Trace::new(entries);
         let c = characterize("pingpong", &trace, &g, m, 1000);
         // Every access is an activation (the two rows conflict), unless the
@@ -140,8 +138,7 @@ mod tests {
         let window = 500_000u64;
         let high = BenignProfile::by_name("zeusmp").unwrap();
         let low = BenignProfile::by_name("povray").unwrap();
-        let c_high =
-            characterize("zeusmp", &gen.benign(&high, 20_000, 2), &g, m, window);
+        let c_high = characterize("zeusmp", &gen.benign(&high, 20_000, 2), &g, m, window);
         let c_low = characterize("povray", &gen.benign(&low, 20_000, 2), &g, m, window);
         assert!(c_high.rbmpki > 4.0 * c_low.rbmpki);
     }

@@ -13,7 +13,7 @@
 //!   many-sided, multi-bank) that trigger many RowHammer-preventive actions;
 //! * [`MixClass`] / [`MixBuilder`] — the four-core workload mixes of §7 and
 //!   §8.1 (HHHH…LLLL and HHHA…LLLA);
-//! * [`characterize`] — the Table 3 characterisation (RBMPKI and rows with
+//! * [`characterize()`] — the Table 3 characterisation (RBMPKI and rows with
 //!   64+/128+/512+ activations per window).
 //!
 //! ## Example

@@ -66,7 +66,9 @@ impl MixClass {
             [Low, Low, Low, Low],
         ]
         .into_iter()
-        .map(|cls| MixClass { slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Benign(cls[3])] })
+        .map(|cls| MixClass {
+            slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Benign(cls[3])],
+        })
         .collect()
     }
 
@@ -84,9 +86,7 @@ impl MixClass {
             [Low, Low, Low],
         ]
         .into_iter()
-        .map(|cls| MixClass {
-            slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Attacker],
-        })
+        .map(|cls| MixClass { slots: [Benign(cls[0]), Benign(cls[1]), Benign(cls[2]), Attacker] })
         .collect()
     }
 }
@@ -149,7 +149,8 @@ impl MixBuilder {
     /// Builds the `index`-th workload of `class`, deterministically from
     /// `seed`.
     pub fn build(&self, class: MixClass, index: usize, seed: u64) -> WorkloadMix {
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64));
+        let mut rng =
+            StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(index as u64));
         let mut traces = Vec::with_capacity(4);
         let mut app_names = Vec::with_capacity(4);
         let mut attacker_thread = None;
@@ -189,7 +190,12 @@ impl MixBuilder {
 
     /// Builds `per_class` workloads for each of the given classes (the paper
     /// uses 15 per class, 90 in total).
-    pub fn build_suite(&self, classes: &[MixClass], per_class: usize, seed: u64) -> Vec<WorkloadMix> {
+    pub fn build_suite(
+        &self,
+        classes: &[MixClass],
+        per_class: usize,
+        seed: u64,
+    ) -> Vec<WorkloadMix> {
         let mut out = Vec::with_capacity(classes.len() * per_class);
         for class in classes {
             for index in 0..per_class {

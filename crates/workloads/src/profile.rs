@@ -70,24 +70,168 @@ impl BenignProfile {
         use IntensityClass::*;
         vec![
             // --- High intensity (Table 3) -----------------------------------
-            BenignProfile { name: "mcf", class: High, apki: 68.0, row_locality: 0.15, hot_row_fraction: 0.45, hot_rows: 640, footprint_rows: 40_000, write_fraction: 0.20 },
-            BenignProfile { name: "lbm06", class: High, apki: 28.0, row_locality: 0.35, hot_row_fraction: 0.30, hot_rows: 200, footprint_rows: 30_000, write_fraction: 0.35 },
-            BenignProfile { name: "libquantum", class: High, apki: 26.0, row_locality: 0.70, hot_row_fraction: 0.0, hot_rows: 0, footprint_rows: 24_000, write_fraction: 0.25 },
-            BenignProfile { name: "fotonik3d", class: High, apki: 25.0, row_locality: 0.45, hot_row_fraction: 0.10, hot_rows: 96, footprint_rows: 28_000, write_fraction: 0.30 },
-            BenignProfile { name: "gemsfdtd", class: High, apki: 25.0, row_locality: 0.40, hot_row_fraction: 0.12, hot_rows: 128, footprint_rows: 28_000, write_fraction: 0.30 },
-            BenignProfile { name: "lbm17", class: High, apki: 24.0, row_locality: 0.35, hot_row_fraction: 0.28, hot_rows: 180, footprint_rows: 26_000, write_fraction: 0.35 },
-            BenignProfile { name: "zeusmp", class: High, apki: 22.0, row_locality: 0.30, hot_row_fraction: 0.25, hot_rows: 256, footprint_rows: 24_000, write_fraction: 0.25 },
-            BenignProfile { name: "parest", class: High, apki: 20.0, row_locality: 0.40, hot_row_fraction: 0.08, hot_rows: 64, footprint_rows: 20_000, write_fraction: 0.20 },
+            BenignProfile {
+                name: "mcf",
+                class: High,
+                apki: 68.0,
+                row_locality: 0.15,
+                hot_row_fraction: 0.45,
+                hot_rows: 640,
+                footprint_rows: 40_000,
+                write_fraction: 0.20,
+            },
+            BenignProfile {
+                name: "lbm06",
+                class: High,
+                apki: 28.0,
+                row_locality: 0.35,
+                hot_row_fraction: 0.30,
+                hot_rows: 200,
+                footprint_rows: 30_000,
+                write_fraction: 0.35,
+            },
+            BenignProfile {
+                name: "libquantum",
+                class: High,
+                apki: 26.0,
+                row_locality: 0.70,
+                hot_row_fraction: 0.0,
+                hot_rows: 0,
+                footprint_rows: 24_000,
+                write_fraction: 0.25,
+            },
+            BenignProfile {
+                name: "fotonik3d",
+                class: High,
+                apki: 25.0,
+                row_locality: 0.45,
+                hot_row_fraction: 0.10,
+                hot_rows: 96,
+                footprint_rows: 28_000,
+                write_fraction: 0.30,
+            },
+            BenignProfile {
+                name: "gemsfdtd",
+                class: High,
+                apki: 25.0,
+                row_locality: 0.40,
+                hot_row_fraction: 0.12,
+                hot_rows: 128,
+                footprint_rows: 28_000,
+                write_fraction: 0.30,
+            },
+            BenignProfile {
+                name: "lbm17",
+                class: High,
+                apki: 24.0,
+                row_locality: 0.35,
+                hot_row_fraction: 0.28,
+                hot_rows: 180,
+                footprint_rows: 26_000,
+                write_fraction: 0.35,
+            },
+            BenignProfile {
+                name: "zeusmp",
+                class: High,
+                apki: 22.0,
+                row_locality: 0.30,
+                hot_row_fraction: 0.25,
+                hot_rows: 256,
+                footprint_rows: 24_000,
+                write_fraction: 0.25,
+            },
+            BenignProfile {
+                name: "parest",
+                class: High,
+                apki: 20.0,
+                row_locality: 0.40,
+                hot_row_fraction: 0.08,
+                hot_rows: 64,
+                footprint_rows: 20_000,
+                write_fraction: 0.20,
+            },
             // --- Medium intensity --------------------------------------------
-            BenignProfile { name: "xalancbmk", class: Medium, apki: 14.0, row_locality: 0.30, hot_row_fraction: 0.10, hot_rows: 48, footprint_rows: 16_000, write_fraction: 0.20 },
-            BenignProfile { name: "cactusadm", class: Medium, apki: 12.0, row_locality: 0.45, hot_row_fraction: 0.08, hot_rows: 32, footprint_rows: 14_000, write_fraction: 0.30 },
-            BenignProfile { name: "tpcc", class: Medium, apki: 11.0, row_locality: 0.25, hot_row_fraction: 0.15, hot_rows: 64, footprint_rows: 18_000, write_fraction: 0.35 },
-            BenignProfile { name: "ycsb-a", class: Medium, apki: 10.0, row_locality: 0.25, hot_row_fraction: 0.12, hot_rows: 48, footprint_rows: 16_000, write_fraction: 0.40 },
+            BenignProfile {
+                name: "xalancbmk",
+                class: Medium,
+                apki: 14.0,
+                row_locality: 0.30,
+                hot_row_fraction: 0.10,
+                hot_rows: 48,
+                footprint_rows: 16_000,
+                write_fraction: 0.20,
+            },
+            BenignProfile {
+                name: "cactusadm",
+                class: Medium,
+                apki: 12.0,
+                row_locality: 0.45,
+                hot_row_fraction: 0.08,
+                hot_rows: 32,
+                footprint_rows: 14_000,
+                write_fraction: 0.30,
+            },
+            BenignProfile {
+                name: "tpcc",
+                class: Medium,
+                apki: 11.0,
+                row_locality: 0.25,
+                hot_row_fraction: 0.15,
+                hot_rows: 64,
+                footprint_rows: 18_000,
+                write_fraction: 0.35,
+            },
+            BenignProfile {
+                name: "ycsb-a",
+                class: Medium,
+                apki: 10.0,
+                row_locality: 0.25,
+                hot_row_fraction: 0.12,
+                hot_rows: 48,
+                footprint_rows: 16_000,
+                write_fraction: 0.40,
+            },
             // --- Low intensity -----------------------------------------------
-            BenignProfile { name: "povray", class: Low, apki: 1.0, row_locality: 0.60, hot_row_fraction: 0.05, hot_rows: 8, footprint_rows: 4_000, write_fraction: 0.15 },
-            BenignProfile { name: "calculix", class: Low, apki: 2.0, row_locality: 0.55, hot_row_fraction: 0.05, hot_rows: 8, footprint_rows: 5_000, write_fraction: 0.20 },
-            BenignProfile { name: "h264-dec", class: Low, apki: 3.0, row_locality: 0.65, hot_row_fraction: 0.04, hot_rows: 8, footprint_rows: 6_000, write_fraction: 0.25 },
-            BenignProfile { name: "ycsb-c", class: Low, apki: 4.5, row_locality: 0.30, hot_row_fraction: 0.08, hot_rows: 16, footprint_rows: 8_000, write_fraction: 0.10 },
+            BenignProfile {
+                name: "povray",
+                class: Low,
+                apki: 1.0,
+                row_locality: 0.60,
+                hot_row_fraction: 0.05,
+                hot_rows: 8,
+                footprint_rows: 4_000,
+                write_fraction: 0.15,
+            },
+            BenignProfile {
+                name: "calculix",
+                class: Low,
+                apki: 2.0,
+                row_locality: 0.55,
+                hot_row_fraction: 0.05,
+                hot_rows: 8,
+                footprint_rows: 5_000,
+                write_fraction: 0.20,
+            },
+            BenignProfile {
+                name: "h264-dec",
+                class: Low,
+                apki: 3.0,
+                row_locality: 0.65,
+                hot_row_fraction: 0.04,
+                hot_rows: 8,
+                footprint_rows: 6_000,
+                write_fraction: 0.25,
+            },
+            BenignProfile {
+                name: "ycsb-c",
+                class: Low,
+                apki: 4.5,
+                row_locality: 0.30,
+                hot_row_fraction: 0.08,
+                hot_rows: 16,
+                footprint_rows: 8_000,
+                write_fraction: 0.10,
+            },
         ]
     }
 

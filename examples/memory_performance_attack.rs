@@ -34,12 +34,13 @@ fn main() {
         "configuration", "WS(benign)", "max slowdown", "prev.actions", "bitflips"
     );
 
-    let mut configs = Vec::new();
-    configs.push(("no mitigation".to_string(), config_for(MechanismKind::None, nrh, false)));
-    configs.push(("Graphene".to_string(), config_for(MechanismKind::Graphene, nrh, false)));
-    configs.push(("Graphene+BreakHammer".to_string(), config_for(MechanismKind::Graphene, nrh, true)));
-    configs.push(("Hydra".to_string(), config_for(MechanismKind::Hydra, nrh, false)));
-    configs.push(("Hydra+BreakHammer".to_string(), config_for(MechanismKind::Hydra, nrh, true)));
+    let configs = vec![
+        ("no mitigation".to_string(), config_for(MechanismKind::None, nrh, false)),
+        ("Graphene".to_string(), config_for(MechanismKind::Graphene, nrh, false)),
+        ("Graphene+BreakHammer".to_string(), config_for(MechanismKind::Graphene, nrh, true)),
+        ("Hydra".to_string(), config_for(MechanismKind::Hydra, nrh, false)),
+        ("Hydra+BreakHammer".to_string(), config_for(MechanismKind::Hydra, nrh, true)),
+    ];
 
     for (label, config) in configs {
         let mut evaluator = Evaluator::new(config);

@@ -22,7 +22,14 @@ fn main() {
     builder.attacker_entries = 4_000;
     let mix = builder.build(MixClass::attack_classes()[0], 0, 11); // HHHA
 
-    let mut table = Table::new(["mechanism", "WS without BH", "WS with BH", "BH gain", "actions w/o BH", "actions w/ BH"]);
+    let mut table = Table::new([
+        "mechanism",
+        "WS without BH",
+        "WS with BH",
+        "BH gain",
+        "actions w/o BH",
+        "actions w/ BH",
+    ]);
     for mechanism in MechanismKind::paper_mechanisms() {
         let mut results = Vec::new();
         for breakhammer in [false, true] {

@@ -52,8 +52,7 @@ fn main() {
             }
         }
         let result = System::new(config.clone(), &traces, required.clone()).run();
-        let identified: Vec<usize> =
-            (0..4).filter(|t| result.ever_suspect[*t]).collect();
+        let identified: Vec<usize> = (0..4).filter(|t| result.ever_suspect[*t]).collect();
         let benign_ipc: f64 = required.iter().map(|t| result.cores[*t].ipc).sum();
         println!(
             "  {attackers} attacker thread(s): suspects identified = {:?}, preventive actions = {}, benign IPC sum = {:.3}, bitflips = {}",

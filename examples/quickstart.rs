@@ -39,10 +39,7 @@ fn main() {
         println!("  DRAM energy:                    {:.1} uJ", eval.energy_nj() / 1000.0);
         println!("  would-be RowHammer bitflips:    {}", eval.result.bitflips);
         if let Some(attacker) = mix.attacker_thread {
-            println!(
-                "  attacker identified as suspect: {}",
-                eval.result.ever_suspect[attacker]
-            );
+            println!("  attacker identified as suspect: {}", eval.result.ever_suspect[attacker]);
         }
     }
     println!("\nBreakHammer throttles the thread that keeps triggering Graphene's preventive");

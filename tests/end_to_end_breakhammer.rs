@@ -86,7 +86,15 @@ fn breakhammer_helps_across_multiple_mechanisms() {
     // N_RH = 64: low enough that even PRAC's per-row back-off threshold
     // (N_RH / 2) is crossed many times within this reduced-scale run.
     for mechanism in [MechanismKind::Para, MechanismKind::Hydra, MechanismKind::Prac] {
-        let configs = paired_configs(mechanism, 64);
+        let mut configs = paired_configs(mechanism, 64);
+        for config in &mut configs {
+            // PRAC's back-off RFMs are much rarer than refresh-style actions
+            // (one per N_RH/2 activations of a single row), so give the
+            // attacker enough hammering time to accumulate a TH_threat worth
+            // of attributable actions — and the benign outlier filter enough
+            // actions to stabilise — before the benign cores finish.
+            config.instructions_per_core = 40_000;
+        }
         let mix = build_mix(&configs[0], true, 21);
         let evals = evaluate_under_configs(&mix, &configs);
         assert!(

@@ -22,7 +22,11 @@ fn attacked_traces(config: &SystemConfig) -> breakhammer_suite::workloads::Workl
     builder.build(MixClass::attack_classes()[0], 0, 13)
 }
 
-fn run(mechanism: MechanismKind, breakhammer: bool, nrh: u64) -> breakhammer_suite::sim::SimulationResult {
+fn run(
+    mechanism: MechanismKind,
+    breakhammer: bool,
+    nrh: u64,
+) -> breakhammer_suite::sim::SimulationResult {
     let mut config = SystemConfig::fast_test(mechanism, nrh, breakhammer);
     config.instructions_per_core = 8_000;
     let mix = attacked_traces(&config);

@@ -1,0 +1,40 @@
+//! Workspace smoke test: the facade re-exports resolve, and the
+//! `BreakHammerConfig::paper_table2` doctest flow from the crate-level docs
+//! runs end to end through `breakhammer_suite` paths only.
+
+use breakhammer_suite::breakhammer::{BreakHammer, BreakHammerConfig};
+use breakhammer_suite::dram::{ThreadId, TimingParams};
+use breakhammer_suite::mitigation::ScoreAttribution;
+
+/// Every facade module must re-export its layer crate. A function signature
+/// naming one type per layer is a compile-time assertion of exactly that.
+#[allow(clippy::too_many_arguments)]
+fn facade_layers_resolve(
+    _dram: Option<breakhammer_suite::dram::DramGeometry>,
+    _mem: Option<breakhammer_suite::mem::AddressMapping>,
+    _cpu: Option<breakhammer_suite::cpu::Trace>,
+    _mitigation: Option<breakhammer_suite::mitigation::MechanismKind>,
+    _core: Option<breakhammer_suite::breakhammer::BreakHammerConfig>,
+    _sim: Option<breakhammer_suite::sim::SystemConfig>,
+    _workloads: Option<breakhammer_suite::workloads::TraceGenerator>,
+    _stats: Option<breakhammer_suite::stats::AppPerf>,
+) {
+}
+
+#[test]
+fn facade_reexports_compile() {
+    facade_layers_resolve(None, None, None, None, None, None, None, None);
+}
+
+#[test]
+fn paper_table2_flow_runs_end_to_end() {
+    // The same flow as the crate-level doctest in src/lib.rs, kept as a
+    // plain test so a doctest regression cannot slip through a test runner
+    // that skips doctests.
+    let timing = TimingParams::ddr5_4800();
+    let config = BreakHammerConfig::paper_table2(&timing, 4, 64);
+    let mut bh = BreakHammer::new(config, ScoreAttribution::ProportionalToActivations);
+    bh.on_activation(ThreadId(0), 0);
+    bh.on_preventive_action(0);
+    assert!(bh.score(ThreadId(0)) > 0.0);
+}

@@ -1,0 +1,275 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no cargo-registry access, so the workspace
+//! vendors the subset the trace codec uses: [`Bytes`]/[`BytesMut`] with
+//! cheap cloning and zero-copy `slice`, plus the [`Buf`]/[`BufMut`] traits
+//! with the big-endian integer accessors. Unlike the real crate this shim
+//! always backs `Bytes` with a reference-counted `Vec<u8>`; the observable
+//! semantics the tests rely on (big-endian order, cursor advancement,
+//! `slice` sharing, `freeze`) are identical.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Cheaply cloneable, sliceable, immutable byte buffer with an internal
+/// read cursor (advanced by the [`Buf`] accessors).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static byte slice (copied here; the real crate borrows it,
+    /// which is indistinguishable to safe callers).
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Remaining (unread) length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a new `Bytes` viewing `range` of this buffer (relative to the
+    /// current cursor), sharing the same backing storage.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of bounds of buffer of length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes { data: Arc::new(data), start: 0, end }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with `capacity` bytes preallocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read access to a byte buffer with an advancing cursor (big-endian
+/// accessors), mirroring `bytes::Buf`.
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` bytes into `dst` and advances the cursor.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Panics
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.remaining(),
+            "buffer exhausted: need {} bytes, have {}",
+            dst.len(),
+            self.remaining()
+        );
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// Write access to a growable byte buffer (big-endian writers), mirroring
+/// `bytes::BufMut`.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_roundtrip() {
+        let mut buf = BytesMut::with_capacity(13);
+        buf.put_u64(0x0102_0304_0506_0708);
+        buf.put_u32(0xdead_beef);
+        buf.put_u8(0x7f);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 13);
+        assert_eq!(bytes.get_u64(), 0x0102_0304_0506_0708);
+        assert_eq!(bytes.get_u32(), 0xdead_beef);
+        assert_eq!(bytes.get_u8(), 0x7f);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn header_matches_to_be_bytes() {
+        let mut buf = BytesMut::new();
+        buf.put_u64(3);
+        assert_eq!(buf.as_ref(), &3u64.to_be_bytes());
+    }
+
+    #[test]
+    fn slice_shares_storage_and_reads_relative() {
+        let mut buf = BytesMut::new();
+        for i in 0..10u8 {
+            buf.put_u8(i);
+        }
+        let bytes = buf.freeze();
+        let mid = bytes.slice(2..6);
+        assert_eq!(mid.as_slice(), &[2, 3, 4, 5]);
+        let clone = bytes.clone();
+        assert_eq!(clone, bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer exhausted")]
+    fn reading_past_the_end_panics() {
+        let mut bytes = Bytes::from_static(&[1, 2]);
+        let _ = bytes.get_u32();
+    }
+}

@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no cargo-registry access, so the workspace
+//! vendors the API subset its four benches use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size`/`finish`), `Bencher::iter` /
+//! `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's full statistical
+//! machinery it runs a calibrated warm-up to pick an iteration count, times
+//! a configurable number of samples, and prints the median ns/iteration —
+//! enough to track hot-path regressions between PRs with stable numbers.
+//!
+//! Environment knobs: `BH_BENCH_SAMPLES` (default 10) and
+//! `BH_BENCH_TARGET_MS` (per-sample time budget, default 50).
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `Bencher::iter_batched` amortises setup cost; mirrored from
+/// criterion, where it controls batch sizing. The shim only uses it to pick
+/// how many routine calls share one timing window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: many routine calls per batch.
+    SmallInput,
+    /// Large setup output: one routine call per batch.
+    LargeInput,
+    /// One setup per routine call, timed individually.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over freshly `setup`-produced inputs, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn samples_from_env(default: usize) -> usize {
+    std::env::var("BH_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn target_ms_from_env() -> u64 {
+    std::env::var("BH_BENCH_TARGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(50)
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
+    // Calibration pass: find an iteration count that fills the per-sample
+    // time budget, starting from a single iteration.
+    let target = Duration::from_millis(target_ms_from_env());
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= target || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            (target.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 100) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!("{id:<44} median {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {iters} iters x {samples} samples)");
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+    /// When true (under `cargo test` or `--test`), run each routine once
+    /// instead of measuring, so benches double as smoke tests.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { samples: samples_from_env(10), test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs (or, in test mode, smoke-runs) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{id}: ok (test mode)");
+        } else {
+            run_one(id, self.samples, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), samples: None }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group (id is prefixed with the group
+    /// name, as in criterion's `group/function` convention).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.test_mode {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("{full}: ok (test mode)");
+        } else {
+            let samples = self.samples.unwrap_or(self.parent.samples);
+            run_one(&full, samples, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

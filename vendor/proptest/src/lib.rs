@@ -1,0 +1,377 @@
+//! Offline stand-in for the `proptest` property-testing harness.
+//!
+//! The build environment has no cargo-registry access, so the workspace
+//! vendors the subset its property tests use: the [`proptest!`] macro with
+//! `#![proptest_config(...)]`, range / tuple / [`strategy::Just`] / [`strategy::any`] /
+//! `collection::vec` strategies, [`prop_oneof!`], and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Semantics versus the real crate: cases are generated from a
+//! deterministic per-test seed (a hash of the test name), assertions fail
+//! fast via `assert!` with the standard panic message, and there is **no
+//! shrinking** — a failing case reports the inputs via the panic message of
+//! the underlying assertion. For CI regression tests of a deterministic
+//! simulator this preserves the guarantees that matter: uniform coverage of
+//! the input space and reproducible failures.
+
+#![warn(missing_docs)]
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic case generator handed to strategies.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// The random source strategies draw from; seeded per test from the
+    /// test's name so every run explores the same cases.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Creates the deterministic generator for the named test.
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            test_name.hash(&mut hasher);
+            TestRng(StdRng::seed_from_u64(hasher.finish()))
+        }
+    }
+}
+
+/// Strategy trait and the built-in strategy combinators.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`, mirroring
+    /// `proptest::strategy::Strategy` (minus shrinking).
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy that always yields a clone of one value, mirroring
+    /// `proptest::strategy::Just`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between same-typed strategies; the expansion of
+    /// [`crate::prop_oneof!`].
+    #[derive(Debug, Clone)]
+    pub struct OneOf<S: Strategy>(pub Vec<S>);
+
+    impl<S: Strategy> Strategy for OneOf<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one alternative");
+            let index = rng.0.gen_range(0..self.0.len());
+            self.0[index].generate(rng)
+        }
+    }
+
+    /// Types with a canonical "any value" strategy, mirroring
+    /// `proptest::arbitrary::Arbitrary`.
+    pub trait Arbitrary: Sized {
+        /// Generates one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_via_gen {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.0.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_via_gen!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy producing any value of `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (S0 0);
+        (S0 0, S1 1);
+        (S0 0, S1 1, S2 2);
+        (S0 0, S1 1, S2 2, S3 3);
+        (S0 0, S1 1, S2 2, S3 3, S4 4);
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Length specifications accepted by [`vec()`]: an exact `usize` or a
+    /// (half-open or inclusive) range.
+    pub trait IntoSizeRange {
+        /// Draws a concrete length.
+        fn sample_len(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl IntoSizeRange for usize {
+        fn sample_len(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// The strategy returned by [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.len.sample_len(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length comes from `len`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirror of `proptest::prelude::prop` (module alias used for
+    /// `prop::collection::vec` style paths).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, mirroring `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property, mirroring `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property, mirroring `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition,
+/// mirroring `prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice among strategies, mirroring `prop_oneof!` (the shim
+/// requires the alternatives to share one strategy type, which every
+/// in-tree use satisfies).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![$($strategy),+])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the form used in-tree: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name),
+                ));
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds; tuple strategies decompose.
+        #[test]
+        fn ranges_and_tuples(x in 3u32..10, pair in (0usize..4, 0.5f64..1.5)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.0 < 4);
+            prop_assert!((0.5..1.5).contains(&pair.1));
+        }
+
+        /// Vec strategies honour their length specification.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u64..100, 2..5), exact in crate::collection::vec(any::<bool>(), 3usize)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert_eq!(exact.len(), 3);
+        }
+
+        /// prop_oneof and Just yield only the listed alternatives; assume
+        /// filters cases.
+        #[test]
+        fn oneof_and_assume(choice in prop_oneof![Just(-1i64), Just(1i64)], n in 0u8..20) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(choice == -1 || choice == 1);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(choice, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same-test");
+        let mut b = TestRng::deterministic("same-test");
+        let strat = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so the workspace vendors a minimal API-compatible subset of the
+//! crates it depends on (see `vendor/README.md`). The simulation code only
+//! uses serde as *markers* — `#[derive(Serialize, Deserialize)]` on config
+//! and result types so downstream tooling can serialise them — and never
+//! invokes a serialiser in-tree. This shim therefore provides the two traits
+//! as blanket-implemented markers plus no-op derive macros that accept (and
+//! ignore) `#[serde(...)]` helper attributes.
+//!
+//! Swapping this shim for the real `serde` is a one-line change in the root
+//! `Cargo.toml` (`[workspace.dependencies]`) once a registry is reachable;
+//! no source file needs to change.
+
+#![warn(missing_docs)]
+
+/// Marker form of `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that `T: Serialize` bounds and
+/// `#[derive(Serialize)]` compile unchanged against this shim.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker form of `serde::Deserialize`.
+///
+/// Blanket-implemented for every type so that `T: Deserialize<'de>` bounds
+/// and `#[derive(Deserialize)]` compile unchanged against this shim.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker form of `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for `Serialize` imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,22 @@
+//! No-op derive macros backing the vendored `serde` shim.
+//!
+//! The shim's `Serialize`/`Deserialize` traits are blanket-implemented
+//! markers, so the derives have nothing to generate; they exist so that
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper attributes
+//! parse exactly as they would against the real serde_derive.
+
+#![warn(missing_docs)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
