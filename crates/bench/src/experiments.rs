@@ -13,6 +13,7 @@
 //! | `BH_INSTRUCTIONS` | instructions each benign core retires | 120 000 |
 //! | `BH_MIXES_PER_CLASS` | workloads per mix class (paper: 15) | 1 |
 //! | `BH_TRACE_ENTRIES` | trace records per benign application | 20 000 |
+//! | `BH_ATTACKER_ENTRIES` | trace records for the attacker | 8 000 |
 //! | `BH_NRH_LIST` | comma-separated `N_RH` sweep | `4096,1024,256,64` |
 //! | `BH_SEED` | workload-generation seed | 42 |
 //! | `BH_THREADS` | worker threads for parallel runs | all cores |
@@ -60,8 +61,15 @@ impl Scale {
     /// Reads the scale from the environment, falling back to
     /// [`Scale::quick`] for anything unspecified.
     pub fn from_env() -> Self {
+        Scale::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// Reads the scale from an arbitrary variable lookup (the injection point
+    /// the tests use: mutating real process environment variables under a
+    /// parallel test runner races against every other test reading them).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
         let mut scale = Scale::quick();
-        let parse_u64 = |name: &str| std::env::var(name).ok().and_then(|v| v.parse::<u64>().ok());
+        let parse_u64 = |name: &str| lookup(name).and_then(|v| v.parse::<u64>().ok());
         if let Some(v) = parse_u64("BH_INSTRUCTIONS") {
             scale.instructions_per_core = v.max(1);
         }
@@ -71,13 +79,16 @@ impl Scale {
         if let Some(v) = parse_u64("BH_TRACE_ENTRIES") {
             scale.benign_entries = (v as usize).max(100);
         }
+        if let Some(v) = parse_u64("BH_ATTACKER_ENTRIES") {
+            scale.attacker_entries = (v as usize).max(100);
+        }
         if let Some(v) = parse_u64("BH_SEED") {
             scale.seed = v;
         }
         if let Some(v) = parse_u64("BH_THREADS") {
             scale.worker_threads = (v as usize).max(1);
         }
-        if let Ok(list) = std::env::var("BH_NRH_LIST") {
+        if let Some(list) = lookup("BH_NRH_LIST") {
             let parsed: Vec<u64> =
                 list.split(',').filter_map(|s| s.trim().parse::<u64>().ok()).collect();
             if !parsed.is_empty() {
@@ -245,25 +256,63 @@ impl Campaign {
     /// Evaluates one configuration against the attack or benign mix suite,
     /// running mixes in parallel, and returns one record per mix.
     pub fn run(&mut self, config: &SystemConfig, attack: bool) -> Vec<RunRecord> {
+        self.run_configs(std::slice::from_ref(config), attack)
+    }
+
+    /// Runs a full (mechanism × N_RH × ±BreakHammer) matrix over the chosen
+    /// mix suite, parallelizing over the *flattened* (configuration × mix)
+    /// grid so short sweeps (few mixes per class) still keep every worker
+    /// busy instead of serializing on one configuration at a time.
+    pub fn run_matrix(
+        &mut self,
+        mechanisms: &[MechanismKind],
+        nrh_values: &[u64],
+        breakhammer_options: &[bool],
+        attack: bool,
+    ) -> Vec<RunRecord> {
+        let scale = self.scale.clone();
+        let mut configs = Vec::new();
+        for &mechanism in mechanisms {
+            for &nrh in nrh_values {
+                for &bh in breakhammer_options {
+                    if mechanism == MechanismKind::None && bh {
+                        continue; // BreakHammer needs a mechanism to observe.
+                    }
+                    configs.push(paper_config(mechanism, nrh, bh, &scale));
+                }
+            }
+        }
+        self.run_configs(&configs, attack)
+    }
+
+    /// Evaluates every (configuration, mix) pair of `configs` × the chosen
+    /// suite with a shared worker pool, returning records grouped by
+    /// configuration (in `configs` order) and, within each configuration, in
+    /// mix order — the same order the former config-serial loop produced.
+    fn run_configs(&mut self, configs: &[SystemConfig], attack: bool) -> Vec<RunRecord> {
         self.warm_alone_cache();
         let mixes = self.mixes(attack).to_vec();
         let cache = self.alone_cache.clone();
-        let workers = self.scale.worker_threads.clamp(1, mixes.len().max(1));
+        let jobs: Vec<(usize, usize)> =
+            (0..configs.len()).flat_map(|c| (0..mixes.len()).map(move |m| (c, m))).collect();
+        let workers = self.scale.worker_threads.clamp(1, jobs.len().max(1));
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results: std::sync::Mutex<Vec<Option<RunRecord>>> =
-            std::sync::Mutex::new(vec![None; mixes.len()]);
+            std::sync::Mutex::new(vec![None; jobs.len()]);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= mixes.len() {
+                    if i >= jobs.len() {
                         break;
                     }
+                    let (c, m) = jobs[i];
+                    let config = &configs[c];
                     let mut evaluator =
                         Evaluator::new(config.clone()).with_alone_cache(cache.clone());
-                    let eval = evaluator.evaluate(&mixes[i]);
-                    let record = RunRecord::from_eval(config, &mixes[i], &eval);
+                    let eval = evaluator.evaluate(&mixes[m]);
+                    let record = RunRecord::from_eval(config, &mixes[m], &eval);
                     results.lock().expect("result lock poisoned")[i] = Some(record);
                 });
             }
@@ -273,33 +322,8 @@ impl Campaign {
             .into_inner()
             .expect("result lock poisoned")
             .into_iter()
-            .map(|slot| slot.expect("every mix was evaluated"))
+            .map(|slot| slot.expect("every job was evaluated"))
             .collect()
-    }
-
-    /// Runs a full (mechanism × N_RH × ±BreakHammer) matrix over the chosen
-    /// mix suite.
-    pub fn run_matrix(
-        &mut self,
-        mechanisms: &[MechanismKind],
-        nrh_values: &[u64],
-        breakhammer_options: &[bool],
-        attack: bool,
-    ) -> Vec<RunRecord> {
-        let scale = self.scale.clone();
-        let mut records = Vec::new();
-        for &mechanism in mechanisms {
-            for &nrh in nrh_values {
-                for &bh in breakhammer_options {
-                    if mechanism == MechanismKind::None && bh {
-                        continue; // BreakHammer needs a mechanism to observe.
-                    }
-                    let config = paper_config(mechanism, nrh, bh, &scale);
-                    records.extend(self.run(&config, attack));
-                }
-            }
-        }
-        records
     }
 }
 
@@ -386,19 +410,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn scale_env_overrides_are_applied() {
-        // Note: tests run in parallel within one process; use unique variable
-        // values and restore them to avoid interfering with other tests.
-        std::env::set_var("BH_INSTRUCTIONS", "5000");
-        std::env::set_var("BH_NRH_LIST", "128, 64");
-        std::env::set_var("BH_MIXES_PER_CLASS", "2");
-        let scale = Scale::from_env();
+    fn scale_lookup_overrides_are_applied() {
+        // `from_lookup` is the injection point: mutating real environment
+        // variables under the parallel test runner would race against every
+        // other test that reads the scale.
+        let vars: std::collections::HashMap<&str, &str> = [
+            ("BH_INSTRUCTIONS", "5000"),
+            ("BH_NRH_LIST", "128, 64"),
+            ("BH_MIXES_PER_CLASS", "2"),
+            ("BH_ATTACKER_ENTRIES", "1234"),
+        ]
+        .into_iter()
+        .collect();
+        let scale = Scale::from_lookup(|name| vars.get(name).map(|v| v.to_string()));
         assert_eq!(scale.instructions_per_core, 5000);
         assert_eq!(scale.nrh_values, vec![128, 64]);
         assert_eq!(scale.mixes_per_class, 2);
-        std::env::remove_var("BH_INSTRUCTIONS");
-        std::env::remove_var("BH_NRH_LIST");
-        std::env::remove_var("BH_MIXES_PER_CLASS");
+        assert_eq!(scale.attacker_entries, 1234);
+        // Unset variables keep their quick defaults.
+        assert_eq!(scale.benign_entries, Scale::quick().benign_entries);
+    }
+
+    #[test]
+    fn unparseable_lookup_values_fall_back_to_defaults() {
+        let scale = Scale::from_lookup(|name| {
+            (name == "BH_INSTRUCTIONS").then(|| "not-a-number".to_string())
+        });
+        assert_eq!(scale, Scale::quick());
     }
 
     #[test]

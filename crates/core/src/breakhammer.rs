@@ -129,6 +129,15 @@ impl BreakHammer {
         self.threads[thread.index()].suspect_windows
     }
 
+    /// The cycle at which the current throttling window ends (i.e. the next
+    /// cycle whose [`BreakHammer::advance_to`] rotates the counter sets and
+    /// may restore quotas). The event-driven simulation kernel treats this
+    /// window edge as a wake-up event so quota restorations become visible
+    /// to the LLC at exactly the same cycle as under per-cycle ticking.
+    pub fn next_window_end(&self) -> Cycle {
+        self.window_end
+    }
+
     /// The thread's RowHammer-preventive score in the active counter set.
     ///
     /// This is the value BreakHammer optionally exposes to system software

@@ -11,10 +11,14 @@
 
 use bh_dram::{Cycle, PhysAddr, ThreadId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Identifier of an outstanding miss (one per allocated MSHR).
 pub type MissToken = u64;
+
+/// Number of low token bits that encode the MSHR slot index, making
+/// completion checks O(1); the remaining bits are an allocation serial that
+/// distinguishes successive occupants of the same slot.
+const TOKEN_SLOT_BITS: u32 = 8;
 
 /// LLC configuration (Table 1: 8 MiB, 8-way, 64-byte lines).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +73,13 @@ impl CacheConfig {
         }
         if self.mshrs == 0 {
             return Err("the cache needs at least one MSHR".to_string());
+        }
+        if self.mshrs > 1 << TOKEN_SLOT_BITS {
+            return Err(format!(
+                "at most {} MSHRs are supported (miss tokens encode their slot in {} bits)",
+                1usize << TOKEN_SLOT_BITS,
+                TOKEN_SLOT_BITS
+            ));
         }
         Ok(())
     }
@@ -155,6 +166,8 @@ struct Line {
 
 #[derive(Debug, Clone)]
 struct Mshr {
+    /// Token of the miss currently occupying this slot (0 = slot free).
+    token: MissToken,
     line_addr: u64,
     thread: ThreadId,
     /// Whether the fetched line is installed in the cache on completion
@@ -167,12 +180,28 @@ struct Mshr {
 pub struct LastLevelCache {
     config: CacheConfig,
     sets: Vec<Vec<Line>>,
-    outstanding: HashMap<MissToken, Mshr>,
-    next_token: MissToken,
+    /// MSHR slots, one per miss buffer. A slot with `token == 0` is free.
+    /// Tokens encode their slot in the low [`TOKEN_SLOT_BITS`] bits, so
+    /// completion checks are a single slot comparison; the pool is small, so
+    /// merge lookups scan the slots linearly.
+    slots: Vec<Mshr>,
+    /// Number of occupied MSHR slots.
+    occupied: usize,
+    /// Allocation serial for the next token's high bits.
+    next_serial: MissToken,
     per_thread_mshrs: Vec<usize>,
     quotas: Vec<usize>,
     outgoing: Vec<OutgoingRequest>,
     use_counter: u64,
+    /// Bumped whenever state that can change an access outcome changes (MSHR
+    /// allocation, fill completion / install, quota change). Lets callers
+    /// cache a rejected-access outcome and replay its counter effects without
+    /// re-walking the cache while the version is unchanged.
+    version: u64,
+    /// `log2(line_bytes)`, cached for the per-access address split.
+    line_shift: u32,
+    /// `sets() - 1`, cached for the per-access set index mask.
+    set_mask: u64,
     stats: CacheStats,
 }
 
@@ -194,15 +223,24 @@ impl LastLevelCache {
                 config.sets()
             ];
         let mshrs = config.mshrs;
+        let line_shift = config.line_bytes.trailing_zeros();
+        let set_mask = config.sets() as u64 - 1;
         LastLevelCache {
             config,
             sets,
-            outstanding: HashMap::new(),
-            next_token: 1,
+            slots: vec![
+                Mshr { token: 0, line_addr: 0, thread: ThreadId(0), install: false };
+                mshrs
+            ],
+            occupied: 0,
+            next_serial: 1,
             per_thread_mshrs: vec![0; num_threads],
             quotas: vec![mshrs; num_threads],
             outgoing: Vec::new(),
             use_counter: 0,
+            version: 0,
+            line_shift,
+            set_mask,
             stats: CacheStats::default(),
         }
     }
@@ -219,7 +257,11 @@ impl LastLevelCache {
 
     /// Sets the MSHR quota of `thread` (BreakHammer's throttling knob).
     pub fn set_quota(&mut self, thread: ThreadId, quota: usize) {
-        self.quotas[thread.index()] = quota.min(self.config.mshrs);
+        let quota = quota.min(self.config.mshrs);
+        if self.quotas[thread.index()] != quota {
+            self.quotas[thread.index()] = quota;
+            self.version += 1;
+        }
     }
 
     /// The current MSHR quota of `thread`.
@@ -232,10 +274,18 @@ impl LastLevelCache {
         self.per_thread_mshrs[thread.index()]
     }
 
+    /// Outcome-relevant state version (see the `version` field). An access
+    /// whose inputs (`thread`, `addr`, `uncached`) and version both match an
+    /// earlier rejected access is guaranteed to be rejected again with the
+    /// same reason.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// True if the miss identified by `token` has completed (its MSHR has been
-    /// released).
+    /// released). O(1): the token's low bits name its slot.
     pub fn is_completed(&self, token: MissToken) -> bool {
-        !self.outstanding.contains_key(&token)
+        self.slots[(token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize].token != token
     }
 
     /// Removes and returns the fill/writeback requests generated since the
@@ -244,16 +294,25 @@ impl LastLevelCache {
         std::mem::take(&mut self.outgoing)
     }
 
+    /// Moves the pending fill/writeback requests into `buf` (cleared first),
+    /// recycling `buf`'s allocation as the next outgoing buffer — the
+    /// allocation-free variant of [`LastLevelCache::take_outgoing`] for
+    /// callers that drain every cycle.
+    pub fn take_outgoing_into(&mut self, buf: &mut Vec<OutgoingRequest>) {
+        buf.clear();
+        std::mem::swap(&mut self.outgoing, buf);
+    }
+
     fn line_addr(&self, addr: PhysAddr) -> u64 {
-        addr.0 / self.config.line_bytes as u64
+        addr.0 >> self.line_shift
     }
 
     fn set_index(&self, line_addr: u64) -> usize {
-        (line_addr % self.config.sets() as u64) as usize
+        (line_addr & self.set_mask) as usize
     }
 
     fn tag(&self, line_addr: u64) -> u64 {
-        line_addr / self.config.sets() as u64
+        line_addr >> self.set_mask.count_ones()
     }
 
     /// Performs a demand access on behalf of `thread`.
@@ -299,16 +358,67 @@ impl LastLevelCache {
         self.miss_path(thread, line_addr, false)
     }
 
+    /// Read-only check of whether an [`LastLevelCache::access`] (or, with
+    /// `uncached`, an [`LastLevelCache::access_bypass`]) for `thread` at
+    /// `addr` would currently be rejected, mirroring the decision order of
+    /// the real access path (hit, MSHR merge, pool, per-thread quota).
+    ///
+    /// Returns `Some(reason)` iff the access would be rejected; `None` means
+    /// it would hit, merge, or allocate. The event-driven simulation kernel
+    /// uses this to classify a dispatch-stalled core without perturbing the
+    /// cache state.
+    pub fn probe_reject(
+        &self,
+        thread: ThreadId,
+        addr: PhysAddr,
+        uncached: bool,
+    ) -> Option<RejectReason> {
+        let line_addr = self.line_addr(addr);
+        if !uncached {
+            let set_idx = self.set_index(line_addr);
+            let tag = self.tag(line_addr);
+            if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+                return None;
+            }
+        }
+        if self.slots.iter().any(|m| m.token != 0 && m.line_addr == line_addr) {
+            return None;
+        }
+        if self.occupied >= self.config.mshrs {
+            return Some(RejectReason::MshrsFull);
+        }
+        if self.per_thread_mshrs[thread.index()] >= self.quotas[thread.index()] {
+            return Some(RejectReason::QuotaExceeded);
+        }
+        None
+    }
+
+    /// Replays the counter side effects of `n` rejected access retries
+    /// without walking the access path (one retry per stalled core cycle).
+    ///
+    /// A dispatch-stalled core re-issues its rejected access every cycle;
+    /// each attempt bumps the use counter and the rejection statistic. The
+    /// event-driven kernel skips those dead cycles and accounts for them here
+    /// so its statistics stay bit-identical to the per-cycle kernel's.
+    pub fn absorb_rejected_probes(&mut self, n: u64, reason: RejectReason) {
+        self.use_counter += n;
+        match reason {
+            RejectReason::MshrsFull => self.stats.mshr_full_rejections += n,
+            RejectReason::QuotaExceeded => self.stats.quota_rejections += n,
+        }
+    }
+
     /// Shared miss handling: merge, pool/quota checks, MSHR allocation.
     fn miss_path(&mut self, thread: ThreadId, line_addr: u64, install: bool) -> AccessOutcome {
-        // Merge into an outstanding miss for the same line, if any.
-        if let Some((&token, _)) = self.outstanding.iter().find(|(_, m)| m.line_addr == line_addr) {
+        // Merge into an outstanding miss for the same line, if any (lines are
+        // unique across MSHRs, so at most one slot can match).
+        if let Some(m) = self.slots.iter().find(|m| m.token != 0 && m.line_addr == line_addr) {
             self.stats.mshr_merges += 1;
-            return AccessOutcome::Miss { token, allocated: false };
+            return AccessOutcome::Miss { token: m.token, allocated: false };
         }
 
         // Need a new MSHR: enforce the global pool and the per-thread quota.
-        if self.outstanding.len() >= self.config.mshrs {
+        if self.occupied >= self.config.mshrs {
             self.stats.mshr_full_rejections += 1;
             return AccessOutcome::Rejected { reason: RejectReason::MshrsFull };
         }
@@ -317,9 +427,12 @@ impl LastLevelCache {
             return AccessOutcome::Rejected { reason: RejectReason::QuotaExceeded };
         }
 
-        let token = self.next_token;
-        self.next_token += 1;
-        self.outstanding.insert(token, Mshr { line_addr, thread, install });
+        let slot = self.slots.iter().position(|m| m.token == 0).expect("pool has a free slot");
+        let token = (self.next_serial << TOKEN_SLOT_BITS) | slot as MissToken;
+        self.next_serial += 1;
+        self.slots[slot] = Mshr { token, line_addr, thread, install };
+        self.occupied += 1;
+        self.version += 1;
         self.per_thread_mshrs[thread.index()] += 1;
         self.stats.misses += 1;
         self.outgoing.push(OutgoingRequest {
@@ -338,9 +451,14 @@ impl LastLevelCache {
     /// Unknown or already-completed tokens are ignored (the memory controller
     /// may deliver duplicate completions after a merge).
     pub fn complete_miss(&mut self, token: MissToken) {
-        let Some(mshr) = self.outstanding.remove(&token) else {
+        let slot = (token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize;
+        if slot >= self.slots.len() || self.slots[slot].token != token {
             return;
-        };
+        }
+        let mshr = self.slots[slot].clone();
+        self.slots[slot].token = 0;
+        self.occupied -= 1;
+        self.version += 1;
         let idx = mshr.thread.index();
         self.per_thread_mshrs[idx] = self.per_thread_mshrs[idx].saturating_sub(1);
         if !mshr.install {
@@ -400,6 +518,9 @@ mod tests {
         assert!(bad.validate().is_err());
         let mut bad = CacheConfig::tiny_test();
         bad.mshrs = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = CacheConfig::tiny_test();
+        bad.mshrs = 512; // beyond the slot-encoded token ceiling
         assert!(bad.validate().is_err());
     }
 

@@ -8,11 +8,45 @@
 //! stalls the core — which is how DRAM contention (and BreakHammer's MSHR
 //! throttling) translates into reduced instructions-per-cycle.
 
-use crate::cache::{AccessOutcome, LastLevelCache, MissToken};
+use crate::cache::{AccessOutcome, LastLevelCache, MissToken, RejectReason};
 use crate::trace::Trace;
 use bh_dram::{Cycle, ThreadId};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Description of a core that cannot make architectural progress, produced by
+/// [`Core::progress`]. While a core is stalled, each [`Core::tick`] is a pure
+/// counter increment; the event-driven simulation kernel uses this analysis
+/// to skip those dead cycles and replay the counters in bulk via
+/// [`Core::absorb_stall_ticks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StallInfo {
+    /// Earliest CPU cycle at which the core can make progress on its own
+    /// (the head of the window is an LLC hit completing at this cycle).
+    /// `None` means only an external event — an LLC fill completing or a
+    /// BreakHammer quota change — can wake the core.
+    pub wake_at: Option<Cycle>,
+    /// The window head is an outstanding miss: every stalled tick counts as a
+    /// retire-stall cycle.
+    pub retire_stalled: bool,
+    /// The core retries a rejected LLC access every tick (MSHRs full or the
+    /// thread is over its BreakHammer quota): every stalled tick counts as a
+    /// dispatch-stall cycle and performs one rejected LLC probe.
+    pub reject: Option<RejectReason>,
+}
+
+/// Whether a core can make progress at its next tick (see [`Core::progress`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreProgress {
+    /// The instruction budget has been retired; the core no longer ticks.
+    Finished,
+    /// The next tick retires or dispatches something: the core must be ticked
+    /// every cycle.
+    Active,
+    /// The next tick is a pure counter increment; see [`StallInfo`] for when
+    /// the core wakes and which counters each skipped tick accrues.
+    Stalled(StallInfo),
+}
 
 /// Core configuration (Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -91,6 +125,12 @@ pub struct Core {
     window: VecDeque<WindowEntry>,
     target_instructions: u64,
     finished: bool,
+    /// Memoized outcome of the last rejected LLC access:
+    /// `(addr, uncached, llc_version, reason)`. While the LLC version is
+    /// unchanged and the pending access is the same, a retry is guaranteed to
+    /// be rejected for the same reason, so the retry's counter effects are
+    /// replayed without re-walking the cache.
+    last_reject: Option<(bh_dram::PhysAddr, bool, u64, crate::cache::RejectReason)>,
     stats: CoreStats,
 }
 
@@ -118,6 +158,7 @@ impl Core {
             window: VecDeque::with_capacity(config.window_size),
             target_instructions,
             finished: false,
+            last_reject: None,
             stats: CoreStats::default(),
         }
     }
@@ -151,6 +192,62 @@ impl Core {
         self.position = (self.position + 1) % self.trace.len();
         self.bubbles_left = self.trace.entry(self.position).bubbles;
         self.access_pending = true;
+    }
+
+    /// Classifies what the core's next tick (at CPU cycle `next_cycle`) would
+    /// do, without mutating anything: make progress, stall on the window
+    /// head, or spin on a rejected LLC access. The analysis mirrors
+    /// [`Core::tick`] exactly and stays valid until an external event (an LLC
+    /// fill completion or a quota change) occurs, because a stalled core
+    /// cannot change its own inputs.
+    pub fn progress(&self, llc: &LastLevelCache, next_cycle: Cycle) -> CoreProgress {
+        if self.finished {
+            return CoreProgress::Finished;
+        }
+        // Would the retire stage make progress?
+        let (retire_progress, wake_at, retire_stalled) = match self.window.front() {
+            Some(WindowEntry::Done) => (true, None, false),
+            Some(WindowEntry::ReadyAt(t)) => (*t <= next_cycle, Some(*t), false),
+            Some(WindowEntry::Pending(token)) => (llc.is_completed(*token), None, true),
+            None => (false, None, false),
+        };
+        if retire_progress {
+            return CoreProgress::Active;
+        }
+        // Would the dispatch stage make progress?
+        let mut reject = None;
+        if self.window.len() < self.config.window_size {
+            if self.bubbles_left > 0 || !self.access_pending {
+                return CoreProgress::Active;
+            }
+            let entry = self.trace.entry(self.position);
+            if let Some((addr, uncached, version, reason)) = self.last_reject {
+                if addr == entry.addr && uncached == entry.uncached && version == llc.version() {
+                    reject = Some(reason);
+                    return CoreProgress::Stalled(StallInfo { wake_at, retire_stalled, reject });
+                }
+            }
+            match llc.probe_reject(self.thread, entry.addr, entry.uncached) {
+                None => return CoreProgress::Active,
+                Some(reason) => reject = Some(reason),
+            }
+        }
+        CoreProgress::Stalled(StallInfo { wake_at, retire_stalled, reject })
+    }
+
+    /// Replays `ticks` stalled cycles' counter increments in bulk (the
+    /// event-driven kernel's counterpart of calling [`Core::tick`] that many
+    /// times while [`Core::progress`] reports [`CoreProgress::Stalled`]).
+    /// The caller accounts for the rejected LLC probes separately via
+    /// [`LastLevelCache::absorb_rejected_probes`].
+    pub fn absorb_stall_ticks(&mut self, ticks: u64, stall: &StallInfo) {
+        self.stats.cycles += ticks;
+        if stall.retire_stalled {
+            self.stats.retire_stall_cycles += ticks;
+        }
+        if stall.reject.is_some() {
+            self.stats.dispatch_stall_cycles += ticks;
+        }
     }
 
     /// Advances the core by one cycle, retiring and dispatching instructions.
@@ -199,6 +296,16 @@ impl Core {
                 continue;
             }
             let entry = self.trace.entry(self.position);
+            // Fast path for a spinning retry: if the LLC is unchanged since
+            // this same access was last rejected, replay the rejection's
+            // counter effects without re-walking the cache.
+            if let Some((addr, uncached, version, reason)) = self.last_reject {
+                if addr == entry.addr && uncached == entry.uncached && version == llc.version() {
+                    llc.absorb_rejected_probes(1, reason);
+                    self.stats.dispatch_stall_cycles += 1;
+                    break;
+                }
+            }
             let outcome = if entry.uncached {
                 llc.access_bypass(self.thread, entry.addr, entry.is_write, cycle)
             } else {
@@ -235,9 +342,10 @@ impl Core {
                     self.advance_trace();
                     dispatched += 1;
                 }
-                AccessOutcome::Rejected { .. } => {
+                AccessOutcome::Rejected { reason } => {
                     // The LLC cannot take the access this cycle (MSHRs full or
                     // the thread is over its BreakHammer quota): stall.
+                    self.last_reject = Some((entry.addr, entry.uncached, llc.version(), reason));
                     self.stats.dispatch_stall_cycles += 1;
                     break;
                 }

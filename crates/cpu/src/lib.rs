@@ -50,5 +50,5 @@ pub use cache::{
     AccessOutcome, CacheConfig, CacheStats, LastLevelCache, MissToken, OutgoingRequest,
     RejectReason,
 };
-pub use core::{Core, CoreConfig, CoreStats};
+pub use core::{Core, CoreConfig, CoreProgress, CoreStats, StallInfo};
 pub use trace::{Trace, TraceEntry};

@@ -6,6 +6,7 @@
 //! "next allowed" horizons as commands are issued; checking a candidate
 //! command then reduces to taking the maximum over the relevant scopes.
 
+use crate::command::CommandKind;
 use crate::types::Cycle;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -73,6 +74,24 @@ impl BankState {
     /// True if the bank is precharged (no open row).
     pub fn is_closed(&self) -> bool {
         matches!(self.row, RowState::Closed)
+    }
+
+    /// Earliest cycle at which this bank's *local* constraints allow a
+    /// command of `kind` (rank/bank-group constraints are layered on top by
+    /// the device). This is the per-bank "ready horizon" the event-driven
+    /// scheduler uses to jump the clock instead of polling `can_issue` at
+    /// every cycle.
+    pub fn earliest(&self, kind: CommandKind) -> Cycle {
+        match kind {
+            CommandKind::Activate | CommandKind::VictimRefresh => self.next_act,
+            CommandKind::Precharge | CommandKind::PrechargeAll => self.next_pre,
+            CommandKind::Read => self.next_rd,
+            CommandKind::Write => self.next_wr,
+            // Refresh-class commands require the bank to be ACT-quiet.
+            CommandKind::Refresh
+            | CommandKind::RefreshSameBank
+            | CommandKind::RefreshManagement => self.next_act,
+        }
     }
 }
 

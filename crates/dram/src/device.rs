@@ -184,6 +184,13 @@ impl DramChannel {
         self.banks[self.geometry.flat_bank(bank)].open_row()
     }
 
+    /// The row currently open in the bank with flat index `flat`, if any
+    /// (the allocation- and recomputation-free fast path for schedulers that
+    /// cache flat bank indices).
+    pub fn open_row_flat(&self, flat: usize) -> Option<usize> {
+        self.banks[flat].open_row()
+    }
+
     /// True if every bank of `rank` is precharged.
     pub fn all_banks_closed(&self, rank: usize) -> bool {
         self.geometry
@@ -275,35 +282,90 @@ impl DramChannel {
 
         match cmd.kind {
             CommandKind::Activate | CommandKind::VictimRefresh => bank
-                .next_act
+                .earliest(cmd.kind)
                 .max(group.next_act)
                 .max(rank.next_act)
                 .max(rank.faw_earliest(FAW_DEPTH, t.t_faw)),
-            CommandKind::Precharge => bank.next_pre,
+            CommandKind::Precharge => bank.earliest(cmd.kind),
             CommandKind::PrechargeAll => self
                 .geometry
                 .iter_banks()
                 .filter(|b| b.rank == cmd.bank.rank)
-                .map(|b| self.banks[self.geometry.flat_bank(b)].next_pre)
+                .map(|b| self.banks[self.geometry.flat_bank(b)].earliest(CommandKind::Precharge))
                 .max()
                 .unwrap_or(0),
-            CommandKind::Read => {
-                bank.next_rd.max(group.next_rd).max(rank.next_rd).max(self.next_column_bus)
-            }
-            CommandKind::Write => {
-                bank.next_wr.max(group.next_wr).max(rank.next_wr).max(self.next_column_bus)
-            }
+            CommandKind::Read => bank
+                .earliest(cmd.kind)
+                .max(group.next_rd)
+                .max(rank.next_rd)
+                .max(self.next_column_bus),
+            CommandKind::Write => bank
+                .earliest(cmd.kind)
+                .max(group.next_wr)
+                .max(rank.next_wr)
+                .max(self.next_column_bus),
             CommandKind::Refresh => self
                 .geometry
                 .iter_banks()
                 .filter(|b| b.rank == cmd.bank.rank)
-                .map(|b| self.banks[self.geometry.flat_bank(b)].next_act)
+                .map(|b| self.banks[self.geometry.flat_bank(b)].earliest(CommandKind::Refresh))
                 .max()
                 .unwrap_or(0)
                 .max(rank.next_ref),
             CommandKind::RefreshSameBank | CommandKind::RefreshManagement => {
-                bank.next_act.max(rank.next_ref)
+                bank.earliest(cmd.kind).max(rank.next_ref)
             }
+        }
+    }
+
+    /// Earliest cycle at which a demand-class command (`Read`, `Write`,
+    /// `Activate` or `Precharge`) may issue to the bank with flat index
+    /// `flat` — equivalent to [`DramChannel::earliest_issue`] for those
+    /// kinds, but takes the cached flat index instead of re-deriving it and
+    /// needs no `DramCommand`.
+    pub fn demand_ready_at(&self, flat: usize, bank_addr: BankAddr, kind: CommandKind) -> Cycle {
+        self.demand_ready_at_cached(flat, self.group_index(bank_addr), bank_addr.rank, kind)
+    }
+
+    /// Like [`DramChannel::demand_ready_at`], but with the bank-group and
+    /// rank indices also pre-resolved by the caller (the hottest scheduler
+    /// path: pure loads and maxes).
+    ///
+    /// # Panics
+    /// Panics (debug) or computes a precharge horizon (release) for
+    /// refresh-class kinds; use [`DramChannel::earliest_issue`] for those.
+    pub fn demand_ready_at_cached(
+        &self,
+        flat: usize,
+        group: usize,
+        rank: usize,
+        kind: CommandKind,
+    ) -> Cycle {
+        debug_assert!(matches!(
+            kind,
+            CommandKind::Read | CommandKind::Write | CommandKind::Activate | CommandKind::Precharge
+        ));
+        let bank = &self.banks[flat];
+        match kind {
+            CommandKind::Read => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                bank.next_rd.max(group.next_rd).max(rank.next_rd).max(self.next_column_bus)
+            }
+            CommandKind::Write => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                bank.next_wr.max(group.next_wr).max(rank.next_wr).max(self.next_column_bus)
+            }
+            CommandKind::Activate => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                bank.next_act
+                    .max(group.next_act)
+                    .max(rank.next_act)
+                    .max(rank.faw_earliest(FAW_DEPTH, self.timing.t_faw))
+            }
+            _ => bank.next_pre,
         }
     }
 
@@ -329,7 +391,7 @@ impl DramChannel {
 
         let flat = self.geometry.flat_bank(cmd.bank);
         let group_idx = self.group_index(cmd.bank);
-        let t = self.timing.clone();
+        let t = &self.timing;
         let outcome = match cmd.kind {
             CommandKind::Activate => {
                 let bank = &mut self.banks[flat];

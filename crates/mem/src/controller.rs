@@ -80,6 +80,11 @@ const PREVENTIVE_DEFER_TICKS: u32 = 32;
 struct QueueEntry {
     req: MemRequest,
     loc: DramLocation,
+    /// Flat bank index of `loc.bank`, cached at enqueue time so the
+    /// scheduler's per-tick scans do not re-derive it per entry.
+    flat: usize,
+    /// Bank-group index of `loc.bank`, cached alongside `flat`.
+    group: usize,
     /// Whether the row hit/miss/conflict classification was already recorded.
     classified: bool,
 }
@@ -93,6 +98,17 @@ enum ServiceStep {
     Activate,
     /// Another row is open: precharge first.
     Precharge,
+}
+
+/// Result of one scheduling stage within a tick: either a command was issued,
+/// or the stage reports the earliest future cycle at which it could act
+/// ([`Cycle::MAX`] if never, absent external changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TickOutcome {
+    /// A DRAM command was issued; scheduling state changed.
+    Issued,
+    /// Nothing was issued; the stage cannot act before this cycle.
+    Horizon(Cycle),
 }
 
 /// The memory controller for one channel.
@@ -111,6 +127,14 @@ pub struct MemoryController {
     /// favour of pending demand row-hits (bounded by
     /// [`PREVENTIVE_DEFER_TICKS`]).
     preventive_deferred_ticks: u32,
+    /// Memoized [`MemoryController::next_event`] horizon: until this cycle,
+    /// `tick` is known to be a pure no-op and early-returns instead of
+    /// re-deriving scheduling state. Reset to 0 whenever the queues or the
+    /// DRAM timing state change (enqueue or command issue).
+    idle_until: Cycle,
+    /// Cached [`TriggerMechanism::may_block`]: lets the scheduler skip the
+    /// per-request blacklist query for the mechanisms that never block.
+    mechanism_may_block: bool,
     hit_streak: Vec<u32>,
     stats: ControllerStats,
     per_thread_latency: Vec<LatencyHistogram>,
@@ -145,6 +169,7 @@ impl MemoryController {
         let banks = channel.geometry().banks_per_channel();
         let t_refi = channel.timing().t_refi;
         let num_threads = config.num_threads;
+        let mechanism_may_block = mechanism.may_block();
         MemoryController {
             config,
             channel,
@@ -159,6 +184,8 @@ impl MemoryController {
                 .collect(),
             write_drain_mode: false,
             preventive_deferred_ticks: 0,
+            idle_until: 0,
+            mechanism_may_block,
             hit_streak: vec![0; banks],
             stats: ControllerStats::default(),
             per_thread_latency: (0..num_threads).map(|_| LatencyHistogram::new()).collect(),
@@ -222,8 +249,31 @@ impl MemoryController {
             self.stats.enqueue_rejections += 1;
             return Err(req);
         }
-        let loc = self.config.mapping.decode(req.addr, self.channel.geometry());
-        let entry = QueueEntry { req, loc, classified: false };
+        let geometry = self.channel.geometry();
+        let loc = self.config.mapping.decode(req.addr, geometry);
+        let flat = geometry.flat_bank(loc.bank);
+        let group = loc.bank.rank * geometry.bank_groups + loc.bank.bank_group;
+        let entry = QueueEntry { req, loc, flat, group, classified: false };
+        // A new request can only move the memoized no-op horizon *earlier*:
+        // lower it to this entry's earliest issuable cycle (ignoring
+        // scheduling masks, which can only delay further — undershooting the
+        // horizon merely wastes a tick, overshooting would skip work).
+        if self.idle_until > 0 {
+            let kind = match self.channel.open_row_flat(flat) {
+                Some(row) if row == loc.row => match req.kind {
+                    AccessKind::Read => CommandKind::Read,
+                    AccessKind::Write => CommandKind::Write,
+                },
+                Some(_) => CommandKind::Precharge,
+                None => CommandKind::Activate,
+            };
+            self.idle_until = self.idle_until.min(self.channel.demand_ready_at_cached(
+                flat,
+                group,
+                loc.bank.rank,
+                kind,
+            ));
+        }
         match req.kind {
             AccessKind::Read => self.read_queue.push(entry),
             AccessKind::Write => self.write_queue.push(entry),
@@ -236,19 +286,95 @@ impl MemoryController {
         std::mem::take(&mut self.responses)
     }
 
+    /// Moves all responses generated so far into `buf` (cleared first),
+    /// recycling `buf`'s allocation as the controller's next response buffer
+    /// — the allocation-free variant of [`MemoryController::drain_responses`]
+    /// for callers that drain every cycle.
+    pub fn drain_responses_into(&mut self, buf: &mut Vec<MemResponse>) {
+        buf.clear();
+        std::mem::swap(&mut self.responses, buf);
+    }
+
+    /// Earliest cycle strictly after `now` at which [`MemoryController::tick`]
+    /// could do anything beyond a pure no-op — issue a refresh, preventive or
+    /// demand command, or advance the bounded preventive-deferral counter.
+    ///
+    /// The horizon is computed as a by-product of the most recent
+    /// non-issuing [`MemoryController::tick`] (whose scheduling scan already
+    /// derives, for every queued command, the earliest cycle its timing
+    /// constraints are met), so this query is O(1). Immediately after a tick
+    /// that issued a command — or an enqueue that could beat the memoized
+    /// horizon — the horizon is unknown and `now + 1` is returned: the next
+    /// tick re-derives it. Horizons may undershoot (waking early is only
+    /// wasted work) but never overshoot: between `now` and the returned
+    /// cycle, `tick` is guaranteed to leave all controller, DRAM and
+    /// mitigation state untouched (BreakHammer's window rotations are driven
+    /// separately by the simulation kernel).
+    pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.idle_until > now {
+            self.idle_until
+        } else {
+            now + 1
+        }
+    }
+
+    /// Records `n` enqueue attempts rejected while their queue stayed full.
+    ///
+    /// The per-cycle kernel retries a rejected request once per cycle, and
+    /// every failed retry counts as an enqueue rejection; the event-driven
+    /// kernel skips those dead cycles and replays the counter here.
+    pub fn absorb_enqueue_rejections(&mut self, n: u64) {
+        self.stats.enqueue_rejections += n;
+    }
+
     /// Advances the controller by one DRAM cycle, issuing at most one command.
     pub fn tick(&mut self, cycle: Cycle) {
         if let Some(bh) = &mut self.breakhammer {
             bh.advance_to(cycle);
         }
+        // Fast path: a previous tick proved nothing can happen before
+        // `idle_until` and nothing has changed since, so this tick is a pure
+        // no-op (the write-drain mode and all scheduling decisions depend
+        // only on state that invalidates the memo when it changes).
+        if cycle < self.idle_until {
+            return;
+        }
+        let mut horizon = Cycle::MAX;
         self.update_write_drain_mode();
-        if self.try_refresh(cycle) {
-            return;
+        match self.try_refresh(cycle) {
+            TickOutcome::Issued => {
+                self.idle_until = 0;
+                return;
+            }
+            TickOutcome::Horizon(h) => horizon = horizon.min(h),
         }
-        if self.try_preventive(cycle) {
-            return;
+        match self.try_preventive(cycle) {
+            TickOutcome::Issued => {
+                self.idle_until = 0;
+                return;
+            }
+            TickOutcome::Horizon(h) => horizon = horizon.min(h),
         }
-        self.try_demand(cycle);
+        let refresh_pending = self.refresh_pending_ranks(cycle);
+        let preventive_bank =
+            self.preventive_queue.front().map(|c| self.channel.geometry().flat_bank(c.bank));
+        let first_writes = self.write_drain_mode && !self.write_queue.is_empty();
+        let order = if first_writes { [true, false] } else { [false, true] };
+        for use_writes in order {
+            let (candidate, queue_horizon) =
+                self.scan_queue(use_writes, cycle, refresh_pending, preventive_bank);
+            if let Some((idx, step)) = candidate {
+                self.service(use_writes, idx, step, cycle);
+                // A command was issued: timing and queue state changed, so
+                // the next tick must re-derive its decisions from scratch.
+                self.idle_until = 0;
+                return;
+            }
+            horizon = horizon.min(queue_horizon);
+        }
+        // Nothing could issue: memoize the horizon until which every tick is
+        // a pure no-op.
+        self.idle_until = horizon.max(cycle + 1);
     }
 
     fn update_write_drain_mode(&mut self) {
@@ -263,17 +389,27 @@ impl MemoryController {
         }
     }
 
-    /// Ranks whose periodic refresh is overdue.
-    fn refresh_pending_ranks(&self, cycle: Cycle) -> Vec<bool> {
-        self.next_refresh.iter().map(|deadline| cycle >= *deadline).collect()
+    /// Bitmask of ranks whose periodic refresh is overdue.
+    fn refresh_pending_ranks(&self, cycle: Cycle) -> u64 {
+        let mut mask = 0u64;
+        for (rank, deadline) in self.next_refresh.iter().enumerate() {
+            if cycle >= *deadline {
+                mask |= 1 << rank;
+            }
+        }
+        mask
     }
 
-    /// Tries to make progress on a due periodic refresh. Returns true if a
-    /// command was issued.
-    fn try_refresh(&mut self, cycle: Cycle) -> bool {
+    /// Tries to make progress on a due periodic refresh; otherwise reports
+    /// the earliest cycle the refresh machinery could next act (for a rank
+    /// that is not yet due, its deadline).
+    fn try_refresh(&mut self, cycle: Cycle) -> TickOutcome {
         let geometry = self.channel.geometry().clone();
+        let mut horizon = Cycle::MAX;
         for rank in 0..geometry.ranks {
-            if cycle < self.next_refresh[rank] {
+            let deadline = self.next_refresh[rank];
+            if cycle < deadline {
+                horizon = horizon.min(deadline);
                 continue;
             }
             if self.channel.all_banks_closed(rank) {
@@ -282,28 +418,30 @@ impl MemoryController {
                     self.channel.issue(&cmd, cycle).expect("checked refresh");
                     self.next_refresh[rank] += self.channel.timing().t_refi;
                     self.stats.periodic_refreshes += 1;
-                    return true;
+                    return TickOutcome::Issued;
                 }
+                horizon = horizon.min(self.channel.earliest_issue(&cmd));
             } else {
                 for bank in geometry.iter_banks().filter(|b| b.rank == rank) {
                     if self.channel.open_row(bank).is_some() {
                         let pre = DramCommand::precharge(bank);
                         if self.channel.can_issue(&pre, cycle) {
                             self.channel.issue(&pre, cycle).expect("checked precharge");
-                            return true;
+                            return TickOutcome::Issued;
                         }
+                        horizon = horizon.min(self.channel.earliest_issue(&pre));
                     }
                 }
             }
         }
-        false
+        TickOutcome::Horizon(horizon)
     }
 
     /// Tries to issue the next pending preventive command (or a command that
-    /// prepares the bank for it). Returns true if a command was issued.
-    fn try_preventive(&mut self, cycle: Cycle) -> bool {
+    /// prepares the bank for it); otherwise reports when it could next act.
+    fn try_preventive(&mut self, cycle: Cycle) -> TickOutcome {
         let Some(head) = self.preventive_queue.front().copied() else {
-            return false;
+            return TickOutcome::Horizon(Cycle::MAX);
         };
         let open = self.channel.open_row(head.bank);
         let cmd = match head.kind {
@@ -336,19 +474,21 @@ impl MemoryController {
                     && self.preventive_deferred_ticks < PREVENTIVE_DEFER_TICKS
                 {
                     self.preventive_deferred_ticks += 1;
-                    return false;
+                    // The deferral counter advances every tick: no cycle may
+                    // be skipped while deferring.
+                    return TickOutcome::Horizon(cycle + 1);
                 }
             }
         }
         if !self.channel.can_issue(&cmd, cycle) {
-            return false;
+            return TickOutcome::Horizon(self.channel.earliest_issue(&cmd));
         }
         self.preventive_deferred_ticks = 0;
         self.channel.issue(&cmd, cycle).expect("checked preventive command");
         if cmd == head {
             self.preventive_queue.pop_front();
         }
-        true
+        TickOutcome::Issued
     }
 
     /// True if some queued demand request is a row hit on `bank`'s open
@@ -360,67 +500,36 @@ impl MemoryController {
             .any(|e| e.loc.bank == bank && e.loc.row == row)
     }
 
-    /// FR-FCFS+Cap demand scheduling. Returns true if a command was issued.
-    fn try_demand(&mut self, cycle: Cycle) -> bool {
-        let refresh_pending = self.refresh_pending_ranks(cycle);
-        let preventive_bank =
-            self.preventive_queue.front().map(|c| self.channel.geometry().flat_bank(c.bank));
-
-        let first_writes = self.write_drain_mode && !self.write_queue.is_empty();
-        let order = if first_writes { [true, false] } else { [false, true] };
-        for use_writes in order {
-            if self.schedule_from_queue(use_writes, cycle, &refresh_pending, preventive_bank) {
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Attempts to schedule one command from the read or write queue.
-    fn schedule_from_queue(
-        &mut self,
-        use_writes: bool,
-        cycle: Cycle,
-        refresh_pending: &[bool],
-        preventive_bank: Option<usize>,
-    ) -> bool {
-        // Pass 1: row-buffer hits (FR), respecting the reordering cap.
-        // Pass 2: oldest request first (FCFS).
-        for hits_only in [true, false] {
-            if let Some((idx, step)) = self.select_candidate(
-                use_writes,
-                cycle,
-                hits_only,
-                refresh_pending,
-                preventive_bank,
-            ) {
-                self.service(use_writes, idx, step, cycle);
-                return true;
-            }
-        }
-        false
-    }
-
-    /// Finds the first schedulable request in the chosen queue.
-    fn select_candidate(
+    /// One scan over the chosen queue: finds the next request to service —
+    /// the oldest row-buffer hit whose bank is still under the FR-FCFS
+    /// reordering cap, falling back to the oldest schedulable request (FCFS)
+    /// — and, as a by-product, the earliest future cycle at which any entry
+    /// of this queue could become issuable (the demand contribution to the
+    /// controller's no-op horizon).
+    ///
+    /// Entries are pre-filtered by rank-refresh masking, the preventive-head
+    /// bank reservation and BlockHammer blacklists; filtered entries
+    /// contribute no horizon of their own because the event that unblocks
+    /// them (refresh issued, preventive head popped, an activation elsewhere)
+    /// invalidates the memoized horizon anyway.
+    fn scan_queue(
         &self,
         use_writes: bool,
         cycle: Cycle,
-        hits_only: bool,
-        refresh_pending: &[bool],
+        refresh_pending: u64,
         preventive_bank: Option<usize>,
-    ) -> Option<(usize, ServiceStep)> {
+    ) -> (Option<(usize, ServiceStep)>, Cycle) {
         let queue = if use_writes { &self.write_queue } else { &self.read_queue };
-        let geometry = self.channel.geometry();
-        let mut best: Option<(usize, ServiceStep, Cycle)> = None;
+        // (index, arrival) of the oldest capped row hit; (index, step,
+        // arrival) of the oldest schedulable request of any kind.
+        let mut best_hit: Option<(usize, Cycle)> = None;
+        let mut best_any: Option<(usize, ServiceStep, Cycle)> = None;
+        let mut horizon = Cycle::MAX;
         for (idx, entry) in queue.iter().enumerate() {
-            let bank = entry.loc.bank;
-            let flat = geometry.flat_bank(bank);
-            if refresh_pending[bank.rank] {
+            if refresh_pending & (1 << entry.loc.bank.rank) != 0 {
                 continue;
             }
-            let open = self.channel.open_row(bank);
-            let step = match open {
+            let step = match self.channel.open_row_flat(entry.flat) {
                 Some(row) if row == entry.loc.row => ServiceStep::Column,
                 Some(_) => ServiceStep::Precharge,
                 None => ServiceStep::Activate,
@@ -428,36 +537,56 @@ impl MemoryController {
             // A bank the preventive head is waiting on accepts no new row
             // cycles, but pending hits on its open row may still drain (the
             // counterpart of the forward-progress rule in `try_preventive`).
-            if preventive_bank == Some(flat) && step != ServiceStep::Column {
+            if preventive_bank == Some(entry.flat) && step != ServiceStep::Column {
                 continue;
             }
-            if hits_only {
-                if step != ServiceStep::Column {
-                    continue;
+            // Queue entries are decoded from in-range addresses and their
+            // step matches the bank state by construction, so only the
+            // timing constraints (and BlockHammer blacklists) gate issue.
+            let kind = match step {
+                ServiceStep::Column if use_writes => CommandKind::Write,
+                ServiceStep::Column => CommandKind::Read,
+                ServiceStep::Activate => CommandKind::Activate,
+                ServiceStep::Precharge => CommandKind::Precharge,
+            };
+            let mut ready_at = self.channel.demand_ready_at_cached(
+                entry.flat,
+                entry.group,
+                entry.loc.bank.rank,
+                kind,
+            );
+            if step == ServiceStep::Activate && self.mechanism_may_block {
+                // BlockHammer: rows whose activation is blocked cannot be
+                // opened before their delay expires.
+                ready_at = ready_at.max(self.mechanism.blocked_until(entry.loc.row_addr(), cycle));
+            }
+            if cycle < ready_at {
+                // Not issuable yet: contributes to the horizon unless the
+                // rank's refresh will interpose first (the refresh horizon
+                // covers that case).
+                if ready_at < self.next_refresh[entry.loc.bank.rank] {
+                    horizon = horizon.min(ready_at);
                 }
-                if self.hit_streak[flat] >= self.config.frfcfs_cap {
-                    // Cap reached: stop reordering younger hits ahead of older
-                    // requests for this bank.
-                    continue;
+                continue;
+            }
+            let arrival = entry.req.arrival;
+            if step == ServiceStep::Column && self.hit_streak[entry.flat] < self.config.frfcfs_cap {
+                // Oldest-first among row hits still under the reordering cap.
+                match best_hit {
+                    Some((_, a)) if a <= arrival => {}
+                    _ => best_hit = Some((idx, arrival)),
                 }
             }
-            // BlockHammer: rows whose activation is blocked cannot be opened.
-            if step == ServiceStep::Activate
-                && self.mechanism.is_blocked(entry.loc.row_addr(), cycle)
-            {
-                continue;
-            }
-            let cmd = self.command_for(entry, step, use_writes);
-            if !self.channel.can_issue(&cmd, cycle) {
-                continue;
-            }
-            // Oldest-first among eligible candidates.
-            match best {
-                Some((_, _, arrival)) if arrival <= entry.req.arrival => {}
-                _ => best = Some((idx, step, entry.req.arrival)),
+            // Oldest-first among all eligible candidates.
+            match best_any {
+                Some((_, _, a)) if a <= arrival => {}
+                _ => best_any = Some((idx, step, arrival)),
             }
         }
-        best.map(|(idx, step, _)| (idx, step))
+        if let Some((idx, _)) = best_hit {
+            return (Some((idx, ServiceStep::Column)), horizon);
+        }
+        (best_any.map(|(idx, step, _)| (idx, step)), horizon)
     }
 
     fn command_for(&self, entry: &QueueEntry, step: ServiceStep, use_writes: bool) -> DramCommand {
@@ -478,7 +607,7 @@ impl MemoryController {
     /// mitigation/BreakHammer hooks.
     fn service(&mut self, use_writes: bool, idx: usize, step: ServiceStep, cycle: Cycle) {
         let entry = if use_writes { self.write_queue[idx] } else { self.read_queue[idx] };
-        let flat = self.channel.geometry().flat_bank(entry.loc.bank);
+        let flat = entry.flat;
         let cmd = self.command_for(&entry, step, use_writes);
         let outcome = self.channel.issue(&cmd, cycle).expect("checked demand command");
 

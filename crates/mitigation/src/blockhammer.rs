@@ -135,6 +135,18 @@ impl TriggerMechanism for BlockHammer {
         }
     }
 
+    fn may_block(&self) -> bool {
+        true
+    }
+
+    fn blocked_until(&self, row: RowAddr, cycle: Cycle) -> Cycle {
+        let bank = self.geometry.flat_bank(row.bank);
+        match self.next_allowed.get(&(bank, row.row)) {
+            Some(allowed) => cycle.max(*allowed),
+            None => cycle,
+        }
+    }
+
     fn storage_bits(&self) -> u64 {
         // Two time-interleaved counting Bloom filters sized to distinguish
         // rows above the blacklisting threshold among the worst-case number of

@@ -37,6 +37,26 @@ pub trait TriggerMechanism: fmt::Debug + Send {
         false
     }
 
+    /// True if this mechanism can ever block activations (i.e.
+    /// [`TriggerMechanism::is_blocked`] can return true). Schedulers use this
+    /// to skip per-request blacklist queries for the mechanisms that never
+    /// block. The default is false.
+    fn may_block(&self) -> bool {
+        false
+    }
+
+    /// Earliest cycle at or after `cycle` at which an activation of `row` is
+    /// no longer blocked — i.e. the first `c >= cycle` with
+    /// `!is_blocked(row, c)`, assuming no further activations are observed in
+    /// between. The event-driven scheduler uses this horizon to jump the
+    /// clock across a blocking delay instead of re-polling
+    /// [`TriggerMechanism::is_blocked`] every cycle. The default (no
+    /// blocking) returns `cycle`.
+    fn blocked_until(&self, row: RowAddr, cycle: Cycle) -> Cycle {
+        let _ = row;
+        cycle
+    }
+
     /// DRAM timing adjustment the mechanism requires (REGA). The default is no
     /// adjustment.
     fn timing_adjustment(&self) -> TimingAdjustment {

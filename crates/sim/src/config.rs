@@ -7,6 +7,25 @@ use bh_mem::MemControllerConfig;
 use bh_mitigation::MechanismKind;
 use serde::{Deserialize, Serialize};
 
+/// Which kernel drives the simulation clock in [`crate::System::run`].
+///
+/// Both kernels produce bit-identical [`crate::SimulationResult`]s; the
+/// per-cycle kernel is retained as the executable reference model for
+/// differential testing of the event-driven one (see
+/// `tests/scheduler_differential.rs` at the workspace root).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Reference kernel: tick every layer at every DRAM command-clock cycle.
+    PerCycle,
+    /// Event-driven kernel: jump the clock to the next cycle at which any
+    /// layer can make progress (a queued DRAM command becoming issuable, a
+    /// refresh deadline, an LLC fill completing, a core's window head
+    /// becoming ready, a BreakHammer window edge), replaying the skipped
+    /// cycles' counter increments in bulk.
+    #[default]
+    EventDriven,
+}
+
 /// Configuration of one simulated system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -44,6 +63,10 @@ pub struct SystemConfig {
     pub max_dram_cycles: u64,
     /// Seed for the probabilistic mechanisms (PARA).
     pub seed: u64,
+    /// The simulation kernel driving the clock (results are identical for
+    /// both; see [`SchedulerKind`]).
+    #[serde(default)]
+    pub scheduler: SchedulerKind,
 }
 
 impl SystemConfig {
@@ -68,6 +91,7 @@ impl SystemConfig {
             instructions_per_core: 1_000_000,
             max_dram_cycles: 2_000_000_000,
             seed: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -101,6 +125,7 @@ impl SystemConfig {
             instructions_per_core: 30_000,
             max_dram_cycles: 5_000_000,
             seed: 0,
+            scheduler: SchedulerKind::default(),
         }
     }
 

@@ -22,7 +22,10 @@ pub struct CorePerformance {
 }
 
 /// Everything measured during one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Implements `PartialEq` so the differential test suite can assert that the
+/// per-cycle and event-driven kernels produce bit-identical results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationResult {
     /// Per-core performance.
     pub cores: Vec<CorePerformance>,

@@ -5,14 +5,86 @@
 //! memory-controller tick per iteration); the cores run at the CPU frequency
 //! and are ticked `cpu_freq / dram_freq` times per memory cycle using a
 //! fractional accumulator, matching Table 1's 4.2 GHz cores over DDR5-4800.
+//!
+//! Two interchangeable kernels drive the clock (selected by
+//! [`SchedulerKind`]): the reference per-cycle kernel executes the loop body
+//! at every DRAM cycle, while the event-driven kernel asks each layer for its
+//! next-event horizon — the memory controller's earliest issuable command,
+//! the earliest pending LLC fill, each core's stall wake-up, BreakHammer's
+//! next window edge — and jumps the clock straight to the minimum, replaying
+//! the skipped cycles' counter increments in bulk. The two kernels produce
+//! bit-identical [`SimulationResult`]s; `tests/scheduler_differential.rs`
+//! enforces this differentially.
 
-use crate::config::SystemConfig;
+use crate::config::{SchedulerKind, SystemConfig};
 use crate::result::{CorePerformance, SimulationResult};
 use bh_core::BreakHammer;
-use bh_cpu::{Core, LastLevelCache, Trace};
+use bh_cpu::{Core, CoreProgress, LastLevelCache, StallInfo, Trace};
 use bh_dram::{Cycle, DramChannel, RowHammerTracker, ThreadId};
 use bh_mem::{MemRequest, MemoryController};
 use std::collections::VecDeque;
+use std::ops::Range;
+
+/// The CPU/DRAM clock-domain crossing: a fractional accumulator that hands
+/// out the CPU-cycle values to tick for each DRAM cycle. Both kernels drive
+/// the same accumulator arithmetic, so their clock-domain behaviour is
+/// identical by construction.
+#[derive(Debug, Clone)]
+struct CpuClock {
+    /// CPU cycles per DRAM command-clock cycle.
+    ratio: f64,
+    /// Fractional CPU cycles accumulated but not yet ticked.
+    acc: f64,
+    /// The CPU-cycle value of the next tick.
+    next_cpu_cycle: Cycle,
+}
+
+impl CpuClock {
+    fn new(ratio: f64) -> Self {
+        CpuClock { ratio, acc: 0.0, next_cpu_cycle: 0 }
+    }
+
+    /// The CPU-cycle value the next tick will carry.
+    fn next_cpu_cycle(&self) -> Cycle {
+        self.next_cpu_cycle
+    }
+
+    /// Advances the accumulator by one DRAM cycle and returns the range of
+    /// CPU-cycle values to tick during it (possibly empty).
+    fn tick_range(&mut self) -> Range<Cycle> {
+        self.acc += self.ratio;
+        let start = self.next_cpu_cycle;
+        while self.acc >= 1.0 {
+            self.acc -= 1.0;
+            self.next_cpu_cycle += 1;
+        }
+        start..self.next_cpu_cycle
+    }
+
+    /// Advances through `dram_cycles` DRAM cycles and returns how many CPU
+    /// ticks elapse in total (the event-driven kernel's bulk skip).
+    fn advance(&mut self, dram_cycles: u64) -> u64 {
+        let mut ticks = 0;
+        for _ in 0..dram_cycles {
+            let range = self.tick_range();
+            ticks += range.end - range.start;
+        }
+        ticks
+    }
+
+    /// Number of DRAM cycles (>= 1) until the DRAM cycle whose tick batch
+    /// contains the CPU cycle `target` (which must not have been ticked yet).
+    fn dram_cycles_until(&self, target: Cycle) -> u64 {
+        let mut probe = self.clone();
+        let mut cycles = 0u64;
+        loop {
+            cycles += 1;
+            if probe.tick_range().end > target {
+                return cycles;
+            }
+        }
+    }
+}
 
 /// A fully-wired simulated system.
 #[derive(Debug)]
@@ -29,6 +101,10 @@ pub struct System {
     /// Requests that could not be enqueued yet (controller queue full).
     pending_enqueue: VecDeque<MemRequest>,
     next_writeback_id: u64,
+    /// Recycled buffer for draining controller responses each step.
+    response_buf: Vec<bh_mem::MemResponse>,
+    /// Recycled buffer for draining LLC outgoing requests each step.
+    outgoing_buf: Vec<bh_cpu::OutgoingRequest>,
 }
 
 impl System {
@@ -89,6 +165,8 @@ impl System {
             pending_fills: VecDeque::new(),
             pending_enqueue: VecDeque::new(),
             next_writeback_id: 1 << 60,
+            response_buf: Vec::new(),
+            outgoing_buf: Vec::new(),
         }
     }
 
@@ -107,81 +185,225 @@ impl System {
     }
 
     /// Runs the simulation to completion and returns the measured results.
-    pub fn run(mut self) -> SimulationResult {
-        let cpu_per_dram = self.config.cpu_cycles_per_dram_cycle();
-        let mut cpu_accumulator = 0.0f64;
-        let mut cpu_cycle: Cycle = 0;
+    ///
+    /// Dispatches to the kernel selected by
+    /// [`SystemConfig::scheduler`](crate::SystemConfig); both kernels produce
+    /// bit-identical results.
+    pub fn run(self) -> SimulationResult {
+        match self.config.scheduler {
+            SchedulerKind::PerCycle => self.run_per_cycle(),
+            SchedulerKind::EventDriven => self.run_event_driven(),
+        }
+    }
+
+    /// The reference kernel: executes [`System::step`] at every DRAM cycle.
+    fn run_per_cycle(mut self) -> SimulationResult {
+        let mut clock = CpuClock::new(self.config.cpu_cycles_per_dram_cycle());
         let mut dram_cycle: Cycle = 0;
-
         while !self.required_finished() && dram_cycle < self.config.max_dram_cycles {
-            // 1. Propagate BreakHammer's current quotas into the LLC.
-            if let Some(bh) = self.controller.breakhammer() {
-                for t in 0..self.config.cores {
-                    self.llc.set_quota(ThreadId(t), bh.quota(ThreadId(t)));
-                }
-            }
-
-            // 2. Retry requests the controller previously rejected, then tick it.
-            while let Some(req) = self.pending_enqueue.front().copied() {
-                if self.controller.try_enqueue(req).is_ok() {
-                    self.pending_enqueue.pop_front();
-                } else {
-                    break;
-                }
-            }
-            self.controller.tick(dram_cycle);
-
-            // 3. Collect responses and complete LLC misses whose data arrived.
-            for response in self.controller.drain_responses() {
-                if response.kind.is_read() && response.id < (1 << 60) {
-                    self.pending_fills.push_back((response.completed_at, response.id));
-                }
-            }
-            let mut still_pending = VecDeque::new();
-            while let Some((ready, token)) = self.pending_fills.pop_front() {
-                if ready <= dram_cycle {
-                    self.llc.complete_miss(token);
-                } else {
-                    still_pending.push_back((ready, token));
-                }
-            }
-            self.pending_fills = still_pending;
-
-            // 4. Tick the cores in the CPU clock domain.
-            cpu_accumulator += cpu_per_dram;
-            while cpu_accumulator >= 1.0 {
-                for core in &mut self.cores {
-                    if !core.finished() {
-                        core.tick(cpu_cycle, &mut self.llc);
-                    }
-                }
-                cpu_cycle += 1;
-                cpu_accumulator -= 1.0;
-            }
-
-            // 5. Forward new LLC fills and writebacks to the memory controller.
-            for outgoing in self.llc.take_outgoing() {
-                let req = if outgoing.is_writeback {
-                    let id = self.next_writeback_id;
-                    self.next_writeback_id += 1;
-                    MemRequest::write(id, outgoing.thread, outgoing.addr, dram_cycle)
-                } else {
-                    MemRequest::read(
-                        outgoing.token.expect("fills carry their MSHR token"),
-                        outgoing.thread,
-                        outgoing.addr,
-                        dram_cycle,
-                    )
-                };
-                if let Err(rejected) = self.controller.try_enqueue(req) {
-                    self.pending_enqueue.push_back(rejected);
-                }
-            }
-
+            self.step(dram_cycle, &mut clock);
             dram_cycle += 1;
         }
-
         self.finish(dram_cycle)
+    }
+
+    /// The event-driven kernel: executes [`System::step`] only at cycles
+    /// where some layer can make progress, and fast-forwards across the dead
+    /// cycles in between, replaying their counter increments in bulk so the
+    /// results stay bit-identical to [`System::run_per_cycle`].
+    fn run_event_driven(mut self) -> SimulationResult {
+        let mut clock = CpuClock::new(self.config.cpu_cycles_per_dram_cycle());
+        let max = self.config.max_dram_cycles;
+        let mut dram_cycle: Cycle = 0;
+        while !self.required_finished() && dram_cycle < max {
+            self.step(dram_cycle, &mut clock);
+            if self.required_finished() {
+                dram_cycle += 1;
+                break;
+            }
+            let (next, progress) = self.next_event(dram_cycle, &clock);
+            let next = next.clamp(dram_cycle + 1, max);
+            if next > dram_cycle + 1 {
+                self.skip_dead_cycles(next - dram_cycle - 1, &mut clock, &progress);
+            }
+            dram_cycle = next;
+        }
+        self.finish(dram_cycle)
+    }
+
+    /// One iteration of the simulation loop at `dram_cycle` — identical for
+    /// both kernels.
+    fn step(&mut self, dram_cycle: Cycle, clock: &mut CpuClock) {
+        self.step_inner_quota(dram_cycle);
+        self.step_inner_ctrl(dram_cycle);
+        self.step_inner_fill(dram_cycle);
+        self.step_inner_core(clock);
+        self.step_inner_out(dram_cycle);
+    }
+
+    fn step_inner_quota(&mut self, _dram_cycle: Cycle) {
+        // 1. Propagate BreakHammer's current quotas into the LLC.
+        if let Some(bh) = self.controller.breakhammer() {
+            for t in 0..self.config.cores {
+                self.llc.set_quota(ThreadId(t), bh.quota(ThreadId(t)));
+            }
+        }
+    }
+
+    fn step_inner_ctrl(&mut self, dram_cycle: Cycle) {
+        // 2. Retry requests the controller previously rejected, then tick it.
+        while let Some(req) = self.pending_enqueue.front().copied() {
+            if self.controller.try_enqueue(req).is_ok() {
+                self.pending_enqueue.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.controller.tick(dram_cycle);
+    }
+
+    fn step_inner_fill(&mut self, dram_cycle: Cycle) {
+        // 3. Collect responses and complete LLC misses whose data arrived.
+        self.controller.drain_responses_into(&mut self.response_buf);
+        for response in &self.response_buf {
+            if response.kind.is_read() && response.id < (1 << 60) {
+                self.pending_fills.push_back((response.completed_at, response.id));
+            }
+        }
+        // In-place, order-preserving completion of due fills (same visit
+        // order as draining the queue front to back).
+        let llc = &mut self.llc;
+        self.pending_fills.retain(|(ready, token)| {
+            if *ready <= dram_cycle {
+                llc.complete_miss(*token);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn step_inner_core(&mut self, clock: &mut CpuClock) {
+        // 4. Tick the cores in the CPU clock domain.
+        for cpu_cycle in clock.tick_range() {
+            for core in &mut self.cores {
+                if !core.finished() {
+                    core.tick(cpu_cycle, &mut self.llc);
+                }
+            }
+        }
+    }
+
+    fn step_inner_out(&mut self, dram_cycle: Cycle) {
+        // 5. Forward new LLC fills and writebacks to the memory controller.
+        self.llc.take_outgoing_into(&mut self.outgoing_buf);
+        for i in 0..self.outgoing_buf.len() {
+            let outgoing = self.outgoing_buf[i];
+            let req = if outgoing.is_writeback {
+                let id = self.next_writeback_id;
+                self.next_writeback_id += 1;
+                MemRequest::write(id, outgoing.thread, outgoing.addr, dram_cycle)
+            } else {
+                MemRequest::read(
+                    outgoing.token.expect("fills carry their MSHR token"),
+                    outgoing.thread,
+                    outgoing.addr,
+                    dram_cycle,
+                )
+            };
+            if let Err(rejected) = self.controller.try_enqueue(req) {
+                self.pending_enqueue.push_back(rejected);
+            }
+        }
+    }
+
+    /// Computes the next cycle at which [`System::step`] must run (strictly
+    /// after `dram_cycle`), together with the per-core progress analysis the
+    /// skip replay needs.
+    ///
+    /// Events, from any layer: a core able to retire or dispatch (forces the
+    /// very next cycle), a core's window-head hit completing, a pending LLC
+    /// fill arriving, the memory controller having an issuable command or
+    /// refresh/preventive deadline, BreakHammer's next window edge, and a
+    /// BreakHammer quota the LLC has not absorbed yet. Horizons may
+    /// undershoot (waking early is only wasted work) but never overshoot.
+    fn next_event(&self, dram_cycle: Cycle, clock: &CpuClock) -> (Cycle, Vec<CoreProgress>) {
+        // Cheapest checks first: when the controller (O(1), memoized) or a
+        // pending fill already pins the next event to the very next cycle, no
+        // skip is possible and the per-core analysis is not needed (an empty
+        // progress vector is fine — the skip replay never runs for a
+        // one-cycle advance).
+        let mut next = self.controller.next_event(dram_cycle);
+        if next <= dram_cycle + 1 {
+            return (dram_cycle + 1, Vec::new());
+        }
+        if let Some(bh) = self.controller.breakhammer() {
+            // BreakHammer quotas the LLC has not absorbed yet (e.g. restored
+            // by the window rotation that `tick` just performed) are
+            // propagated at the top of the next step — that step must not be
+            // skipped, or a quota-stalled core would wake late.
+            let mshrs = self.llc.config().mshrs;
+            for t in 0..self.config.cores {
+                if self.llc.quota(ThreadId(t)) != bh.quota(ThreadId(t)).min(mshrs) {
+                    return (dram_cycle + 1, Vec::new());
+                }
+            }
+        }
+        if let Some((ready, _)) = self.pending_fills.iter().min_by_key(|(ready, _)| *ready) {
+            next = next.min(*ready);
+            if next <= dram_cycle + 1 {
+                return (dram_cycle + 1, Vec::new());
+            }
+        }
+
+        let next_cpu = clock.next_cpu_cycle();
+        let mut progress: Vec<CoreProgress> = Vec::with_capacity(self.cores.len());
+        for core in &self.cores {
+            let p = core.progress(&self.llc, next_cpu);
+            if matches!(p, CoreProgress::Active) {
+                return (dram_cycle + 1, Vec::new());
+            }
+            progress.push(p);
+        }
+        for p in &progress {
+            if let CoreProgress::Stalled(StallInfo { wake_at: Some(t), .. }) = p {
+                next = next.min(dram_cycle + clock.dram_cycles_until(*t));
+            }
+        }
+        if let Some(bh) = self.controller.breakhammer() {
+            // The window rotation must happen at its exact cycle; the cycle
+            // after it (when rotated quotas reach the LLC) is covered by the
+            // pending-quota check above.
+            next = next.min(bh.next_window_end());
+        }
+        (next, progress)
+    }
+
+    /// Fast-forwards across `dead_cycles` DRAM cycles in which, by
+    /// construction of [`System::next_event`], every layer is quiescent:
+    /// replays exactly the counter increments the per-cycle kernel would
+    /// have accrued (stalled-core cycle/stall counters, rejected LLC access
+    /// probes, failed enqueue retries) without touching any other state.
+    fn skip_dead_cycles(
+        &mut self,
+        dead_cycles: u64,
+        clock: &mut CpuClock,
+        progress: &[CoreProgress],
+    ) {
+        let cpu_ticks = clock.advance(dead_cycles);
+        if cpu_ticks > 0 {
+            for (core, p) in self.cores.iter_mut().zip(progress) {
+                if let CoreProgress::Stalled(stall) = p {
+                    core.absorb_stall_ticks(cpu_ticks, stall);
+                    if let Some(reason) = stall.reject {
+                        self.llc.absorb_rejected_probes(cpu_ticks, reason);
+                    }
+                }
+            }
+        }
+        if !self.pending_enqueue.is_empty() {
+            self.controller.absorb_enqueue_rejections(dead_cycles);
+        }
     }
 
     fn finish(self, dram_cycles: Cycle) -> SimulationResult {
