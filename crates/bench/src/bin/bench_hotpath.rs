@@ -1,0 +1,237 @@
+//! Machine-readable hot-path benchmark runner.
+//!
+//! Runs the same measurements as the criterion hot-path benches
+//! (`mechanism_overhead`, `breakhammer_hotpath`, `simulator_throughput`) and
+//! writes them to `BENCH_hotpath.json` — median ns/iter per benchmark plus
+//! the date and git revision — so the performance trajectory of the
+//! activation hot path is tracked in-repo, PR over PR, instead of living in
+//! scrollback.
+//!
+//! ```text
+//! cargo run --release -p bh-bench --bin bench_hotpath [-- <output-path>]
+//! ```
+//!
+//! Environment knobs (shared with the criterion shim): `BH_BENCH_SAMPLES`
+//! (default 10) and `BH_BENCH_TARGET_MS` (per-sample budget, default 50).
+
+use bh_dram::{BankAddr, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams};
+use bh_mem::AddressMapping;
+use bh_mitigation::{ActionSink, ActivationEvent, MechanismKind, ScoreAttribution};
+use bh_sim::{System, SystemConfig};
+use bh_workloads::{MixBuilder, MixClass, TraceGenerator};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// One measured benchmark.
+struct BenchResult {
+    name: String,
+    median_ns_per_iter: f64,
+    iters: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+}
+
+/// Calibrates an iteration count filling the per-sample budget, then reports
+/// the median ns/iter over the configured number of samples (the same scheme
+/// as the vendored criterion shim, so numbers are comparable).
+fn measure<F: FnMut(u64)>(name: &str, mut routine: F) -> BenchResult {
+    let samples = env_usize("BH_BENCH_SAMPLES", 10);
+    let target = Duration::from_millis(env_usize("BH_BENCH_TARGET_MS", 50) as u64);
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        routine(iters);
+        let elapsed = start.elapsed();
+        if elapsed >= target || iters >= 1 << 20 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            100
+        } else {
+            (target.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 100) as u64
+        };
+        iters = iters.saturating_mul(grow);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            routine(iters);
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    println!("{name:<52} median {median:>12.1} ns/iter ({iters} iters x {samples} samples)");
+    BenchResult { name: name.to_string(), median_ns_per_iter: median, iters }
+}
+
+/// Per-mechanism `on_activation` cost at paper-scale table sizes; `stride`
+/// and `row_space` select the access pattern (see the `mechanism_overhead`
+/// bench for the two patterns' rationale).
+fn mechanism_bench(
+    group: &str,
+    kind: MechanismKind,
+    nrh: u64,
+    stride: usize,
+    row_space: usize,
+) -> BenchResult {
+    let geometry = DramGeometry::paper_ddr5();
+    let timing = TimingParams::ddr5_4800();
+    let mut mechanism = kind.build(&geometry, &timing, nrh, 7);
+    let mut sink = ActionSink::default();
+    let mut cycle = 0u64;
+    let mut row = 0usize;
+    measure(&format!("{group}/{kind}"), |iters| {
+        for _ in 0..iters {
+            cycle += 30;
+            row = (row + stride) % row_space;
+            let event = ActivationEvent {
+                row: RowAddr { bank: BankAddr { rank: 0, bank_group: row % 8, bank: 0 }, row },
+                thread: ThreadId(row % 4),
+                cycle,
+            };
+            sink.clear();
+            mechanism.on_activation(std::hint::black_box(&event), &mut sink);
+            std::hint::black_box(sink.len());
+        }
+    })
+}
+
+fn breakhammer_benches(results: &mut Vec<BenchResult>) {
+    use bh_core::{BreakHammer, BreakHammerConfig};
+    let timing = TimingParams::ddr5_4800();
+
+    let config = BreakHammerConfig::paper_table2(&timing, 4, 64);
+    let mut bh = BreakHammer::new(config, ScoreAttribution::ProportionalToActivations);
+    let mut cycle = 0u64;
+    results.push(measure("breakhammer_on_activation", |iters| {
+        for _ in 0..iters {
+            cycle += 30;
+            bh.on_activation(std::hint::black_box(ThreadId((cycle % 4) as usize)), cycle);
+        }
+    }));
+
+    let config = BreakHammerConfig::paper_table2(&timing, 4, 64);
+    let mut bh = BreakHammer::new(config, ScoreAttribution::ProportionalToActivations);
+    let mut cycle = 0u64;
+    results.push(measure("breakhammer_on_preventive_action", |iters| {
+        for _ in 0..iters {
+            cycle += 500;
+            for t in 0..4usize {
+                for _ in 0..(t + 1) {
+                    bh.on_activation(ThreadId(t), cycle);
+                }
+            }
+            bh.on_preventive_action(std::hint::black_box(cycle));
+        }
+    }));
+}
+
+fn tracker_bench(results: &mut Vec<BenchResult>) {
+    let geometry = DramGeometry::paper_ddr5();
+    let mut tracker = RowHammerTracker::new(geometry, 1 << 20, 1);
+    let mut cycle = 0u64;
+    let mut row = 0usize;
+    results.push(measure("rowhammer_tracker_on_activate", |iters| {
+        for _ in 0..iters {
+            cycle += 30;
+            row = (row + 17) % 4096;
+            let addr = RowAddr { bank: BankAddr { rank: 0, bank_group: row % 8, bank: 0 }, row };
+            tracker.on_activate(std::hint::black_box(addr), cycle);
+            if cycle.is_multiple_of(1 << 16) {
+                // Keep disturbance bounded so the bitflip log stays empty.
+                tracker.on_periodic_refresh(0, 0, usize::MAX);
+            }
+        }
+    }));
+}
+
+fn simulator_bench(results: &mut Vec<BenchResult>) {
+    let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 256, true);
+    config.instructions_per_core = 8_000;
+    let generator = TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
+    let mut builder = MixBuilder::new(generator);
+    builder.benign_entries = 2_000;
+    builder.attacker_entries = 2_000;
+    let mix = builder.build(MixClass::attack_classes()[0], 0, 42);
+    results.push(measure("simulator_throughput/four_core_attack_8k_instructions", |iters| {
+        for _ in 0..iters {
+            let system = System::new(config.clone(), &mix.traces.clone(), vec![0, 1, 2]);
+            std::hint::black_box(system.run());
+        }
+    }));
+}
+
+/// Days-since-epoch to civil `YYYY-MM-DD` (Howard Hinnant's algorithm), so
+/// the stamp needs no external date crate.
+fn utc_date() -> String {
+    let days =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs() / 86_400).unwrap_or(0)
+            as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let mut results = Vec::new();
+    for kind in [
+        MechanismKind::Para,
+        MechanismKind::Graphene,
+        MechanismKind::Hydra,
+        MechanismKind::Twice,
+        MechanismKind::Aqua,
+        MechanismKind::Rega,
+        MechanismKind::Rfm,
+        MechanismKind::Prac,
+        MechanismKind::BlockHammer,
+    ] {
+        results.push(mechanism_bench("mechanism_on_activation", kind, 1024, 17, 4096));
+        results.push(mechanism_bench("mechanism_on_activation_churn", kind, 256, 6151, 65536));
+    }
+    breakhammer_benches(&mut results);
+    tracker_bench(&mut results);
+    simulator_bench(&mut results);
+
+    // Flat structure, written by hand: the workspace has no JSON dependency
+    // and the schema is trivial.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!("  \"date\": \"{}\",\n", utc_date()));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    json.push_str(&format!("  \"samples\": {},\n", env_usize("BH_BENCH_SAMPLES", 10)));
+    json.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns_per_iter\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.name, r.median_ns_per_iter, r.iters
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("\nwrote {} results to {out_path}", results.len());
+}

@@ -65,6 +65,9 @@ pub struct BreakHammer {
     threads: Vec<ThreadState>,
     window_end: Cycle,
     stats: BreakHammerStats,
+    /// Bumped whenever any thread's quota changes; lets the simulator skip
+    /// re-propagating unchanged quotas into the LLC on its per-cycle path.
+    quota_version: u64,
 }
 
 impl BreakHammer {
@@ -95,6 +98,7 @@ impl BreakHammer {
             threads,
             window_end,
             stats: BreakHammerStats::default(),
+            quota_version: 0,
         }
     }
 
@@ -127,6 +131,13 @@ impl BreakHammer {
     /// Number of windows in which `thread` has been identified as a suspect.
     pub fn suspect_windows(&self, thread: ThreadId) -> u64 {
         self.threads[thread.index()].suspect_windows
+    }
+
+    /// Monotone counter that increments whenever any thread's quota changes
+    /// (throttling or restoration). Consumers that mirror the quotas (the
+    /// LLC) can skip refreshing them while the version is unchanged.
+    pub fn quota_version(&self) -> u64 {
+        self.quota_version
     }
 
     /// The cycle at which the current throttling window ends (i.e. the next
@@ -164,6 +175,7 @@ impl BreakHammer {
                     // A full clean window restores the thread's quota (§4.3).
                     t.quota = self.config.total_mshrs;
                     self.stats.quota_restorations += 1;
+                    self.quota_version += 1;
                 }
                 t.recent_suspect = t.suspect_now;
                 t.suspect_now = false;
@@ -245,6 +257,7 @@ impl BreakHammer {
         }
         t.suspect_now = true;
         self.stats.suspect_identifications += 1;
+        self.quota_version += 1;
         t.quota = if t.recent_suspect {
             t.quota.saturating_sub(self.config.old_suspect_penalty)
         } else {

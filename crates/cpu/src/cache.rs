@@ -9,7 +9,7 @@
 //! already exists in or is being brought to caches") — but it cannot allocate
 //! new miss buffers, which limits its dynamic memory request count.
 
-use bh_dram::{Cycle, PhysAddr, ThreadId};
+use bh_dram::{Cycle, FlatMap, PhysAddr, ThreadId};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of an outstanding miss (one per allocated MSHR).
@@ -182,9 +182,20 @@ pub struct LastLevelCache {
     sets: Vec<Vec<Line>>,
     /// MSHR slots, one per miss buffer. A slot with `token == 0` is free.
     /// Tokens encode their slot in the low [`TOKEN_SLOT_BITS`] bits, so
-    /// completion checks are a single slot comparison; the pool is small, so
-    /// merge lookups scan the slots linearly.
+    /// completion checks are a single slot comparison.
     slots: Vec<Mshr>,
+    /// The live token of each slot (0 = free), kept separately from the slot
+    /// payloads: stalled cores poll [`LastLevelCache::is_completed`] every
+    /// cycle, and the compact array keeps that poll inside one or two hot
+    /// cache lines.
+    slot_tokens: Vec<MissToken>,
+    /// Bitset of free slots (bit set = free); the allocator picks the lowest
+    /// set bit, so slot assignment matches the linear scan it replaced.
+    free_slots: [u64; (1 << TOKEN_SLOT_BITS) / 64],
+    /// Active miss line addresses -> slot index, for O(1) merge lookups on
+    /// the per-access miss path (the slot scan it replaces is small but runs
+    /// on every LLC miss and every reject probe).
+    line_to_slot: FlatMap<u32>,
     /// Number of occupied MSHR slots.
     occupied: usize,
     /// Allocation serial for the next token's high bits.
@@ -193,11 +204,22 @@ pub struct LastLevelCache {
     quotas: Vec<usize>,
     outgoing: Vec<OutgoingRequest>,
     use_counter: u64,
-    /// Bumped whenever state that can change an access outcome changes (MSHR
-    /// allocation, fill completion / install, quota change). Lets callers
-    /// cache a rejected-access outcome and replay its counter effects without
-    /// re-walking the cache while the version is unchanged.
-    version: u64,
+    /// Bumped on every fill completion (slot release). Invalidation stamp
+    /// for memoized `MshrsFull` rejections: while the pool is full no MSHR
+    /// can be allocated, so only a completion can change any stage of the
+    /// access walk (hit-install, merge, pool, quota) for the stalled access.
+    completes_version: u64,
+    /// Bumped when an allocation fills the last MSHR. A thread stalled on
+    /// its *quota* would start being rejected for the pool instead (the pool
+    /// check precedes the quota check), so its memo must be revisited.
+    pool_full_version: u64,
+    /// Per-thread event stamp: bumped when one of the thread's misses
+    /// completes (its in-flight count dropped) or its quota changes — the
+    /// thread-local reasons a memoized `QuotaExceeded` rejection can stop
+    /// holding. The remaining reason (the line gaining an active miss to
+    /// merge into, which on completion could also turn the access into a
+    /// hit) is checked directly against `line_to_slot`.
+    per_thread_events: Vec<u64>,
     /// `log2(line_bytes)`, cached for the per-access address split.
     line_shift: u32,
     /// `sets() - 1`, cached for the per-access set index mask.
@@ -225,6 +247,10 @@ impl LastLevelCache {
         let mshrs = config.mshrs;
         let line_shift = config.line_bytes.trailing_zeros();
         let set_mask = config.sets() as u64 - 1;
+        let mut free_slots = [0u64; (1 << TOKEN_SLOT_BITS) / 64];
+        for slot in 0..mshrs {
+            free_slots[slot / 64] |= 1 << (slot % 64);
+        }
         LastLevelCache {
             config,
             sets,
@@ -232,13 +258,18 @@ impl LastLevelCache {
                 Mshr { token: 0, line_addr: 0, thread: ThreadId(0), install: false };
                 mshrs
             ],
+            slot_tokens: vec![0; mshrs],
+            free_slots,
+            line_to_slot: FlatMap::with_capacity(mshrs),
             occupied: 0,
             next_serial: 1,
             per_thread_mshrs: vec![0; num_threads],
             quotas: vec![mshrs; num_threads],
             outgoing: Vec::new(),
             use_counter: 0,
-            version: 0,
+            completes_version: 0,
+            pool_full_version: 0,
+            per_thread_events: vec![0; num_threads],
             line_shift,
             set_mask,
             stats: CacheStats::default(),
@@ -260,7 +291,7 @@ impl LastLevelCache {
         let quota = quota.min(self.config.mshrs);
         if self.quotas[thread.index()] != quota {
             self.quotas[thread.index()] = quota;
-            self.version += 1;
+            self.per_thread_events[thread.index()] += 1;
         }
     }
 
@@ -274,18 +305,47 @@ impl LastLevelCache {
         self.per_thread_mshrs[thread.index()]
     }
 
-    /// Outcome-relevant state version (see the `version` field). An access
-    /// whose inputs (`thread`, `addr`, `uncached`) and version both match an
-    /// earlier rejected access is guaranteed to be rejected again with the
-    /// same reason.
-    pub fn version(&self) -> u64 {
-        self.version
+    /// Stamp to store alongside a memoized rejection of reason `reason` for
+    /// `thread`; see [`LastLevelCache::reject_memo_valid`].
+    pub fn reject_stamp(&self, thread: ThreadId, reason: RejectReason) -> u64 {
+        match reason {
+            RejectReason::MshrsFull => self.completes_version,
+            // Both counters are monotone, so their sum is unchanged iff both
+            // are.
+            RejectReason::QuotaExceeded => {
+                self.per_thread_events[thread.index()].wrapping_add(self.pool_full_version)
+            }
+        }
+    }
+
+    /// True if an access by `thread` to `addr`, previously rejected with
+    /// `reason` when [`LastLevelCache::reject_stamp`] read `stamp`, is
+    /// guaranteed to be rejected with the same reason now. Replaces a global
+    /// change counter: unrelated MSHR traffic (other threads' allocations
+    /// and, for quota rejections, other threads' completions) no longer
+    /// forces a stalled core to re-walk the cache every time.
+    ///
+    /// The stamp's invalidation conditions are exhaustive only across one
+    /// *continuous* rejection episode: the caller must drop the memo as soon
+    /// as a retry of the access succeeds (the core does so on every
+    /// non-rejected dispatch), or a stale memo could re-validate after the
+    /// line has been installed by another thread's fill.
+    pub fn reject_memo_valid(
+        &self,
+        thread: ThreadId,
+        addr: PhysAddr,
+        reason: RejectReason,
+        stamp: u64,
+    ) -> bool {
+        self.reject_stamp(thread, reason) == stamp
+            && (reason == RejectReason::MshrsFull
+                || !self.line_to_slot.contains_key(self.line_addr(addr)))
     }
 
     /// True if the miss identified by `token` has completed (its MSHR has been
     /// released). O(1): the token's low bits name its slot.
     pub fn is_completed(&self, token: MissToken) -> bool {
-        self.slots[(token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize].token != token
+        self.slot_tokens[(token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize] != token
     }
 
     /// Removes and returns the fill/writeback requests generated since the
@@ -381,7 +441,7 @@ impl LastLevelCache {
                 return None;
             }
         }
-        if self.slots.iter().any(|m| m.token != 0 && m.line_addr == line_addr) {
+        if self.line_to_slot.contains_key(line_addr) {
             return None;
         }
         if self.occupied >= self.config.mshrs {
@@ -412,9 +472,12 @@ impl LastLevelCache {
     fn miss_path(&mut self, thread: ThreadId, line_addr: u64, install: bool) -> AccessOutcome {
         // Merge into an outstanding miss for the same line, if any (lines are
         // unique across MSHRs, so at most one slot can match).
-        if let Some(m) = self.slots.iter().find(|m| m.token != 0 && m.line_addr == line_addr) {
+        if let Some(slot) = self.line_to_slot.get(line_addr) {
             self.stats.mshr_merges += 1;
-            return AccessOutcome::Miss { token: m.token, allocated: false };
+            return AccessOutcome::Miss {
+                token: self.slots[slot as usize].token,
+                allocated: false,
+            };
         }
 
         // Need a new MSHR: enforce the global pool and the per-thread quota.
@@ -427,12 +490,23 @@ impl LastLevelCache {
             return AccessOutcome::Rejected { reason: RejectReason::QuotaExceeded };
         }
 
-        let slot = self.slots.iter().position(|m| m.token == 0).expect("pool has a free slot");
+        let slot = self
+            .free_slots
+            .iter()
+            .enumerate()
+            .find(|(_, word)| **word != 0)
+            .map(|(i, word)| i * 64 + word.trailing_zeros() as usize)
+            .expect("pool has a free slot");
+        self.free_slots[slot / 64] &= !(1 << (slot % 64));
+        self.line_to_slot.insert(line_addr, slot as u32);
         let token = (self.next_serial << TOKEN_SLOT_BITS) | slot as MissToken;
         self.next_serial += 1;
         self.slots[slot] = Mshr { token, line_addr, thread, install };
+        self.slot_tokens[slot] = token;
         self.occupied += 1;
-        self.version += 1;
+        if self.occupied >= self.config.mshrs {
+            self.pool_full_version += 1;
+        }
         self.per_thread_mshrs[thread.index()] += 1;
         self.stats.misses += 1;
         self.outgoing.push(OutgoingRequest {
@@ -452,13 +526,17 @@ impl LastLevelCache {
     /// may deliver duplicate completions after a merge).
     pub fn complete_miss(&mut self, token: MissToken) {
         let slot = (token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize;
-        if slot >= self.slots.len() || self.slots[slot].token != token {
+        if slot >= self.slots.len() || self.slot_tokens[slot] != token {
             return;
         }
         let mshr = self.slots[slot].clone();
         self.slots[slot].token = 0;
+        self.slot_tokens[slot] = 0;
+        self.free_slots[slot / 64] |= 1 << (slot % 64);
+        self.line_to_slot.remove(mshr.line_addr);
         self.occupied -= 1;
-        self.version += 1;
+        self.completes_version += 1;
+        self.per_thread_events[mshr.thread.index()] += 1;
         let idx = mshr.thread.index();
         self.per_thread_mshrs[idx] = self.per_thread_mshrs[idx].saturating_sub(1);
         if !mshr.install {

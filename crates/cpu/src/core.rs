@@ -103,8 +103,11 @@ impl CoreStats {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum WindowEntry {
-    /// A non-memory instruction or a store: complete immediately.
-    Done,
+    /// A run of `n` consecutive already-complete instructions (non-memory
+    /// instructions and stores). Run-length encoding keeps the window deque
+    /// short: bubble-heavy traces would otherwise push and pop one entry per
+    /// instruction on the simulator's per-cycle path.
+    Done(u32),
     /// An LLC hit that completes at the given core cycle.
     ReadyAt(Cycle),
     /// An outstanding LLC miss.
@@ -123,6 +126,9 @@ pub struct Core {
     /// been dispatched.
     access_pending: bool,
     window: VecDeque<WindowEntry>,
+    /// Instructions currently in the window (`Done` runs count their length),
+    /// bounded by `config.window_size`.
+    window_len: usize,
     target_instructions: u64,
     finished: bool,
     /// Memoized outcome of the last rejected LLC access:
@@ -156,6 +162,7 @@ impl Core {
             bubbles_left,
             access_pending: true,
             window: VecDeque::with_capacity(config.window_size),
+            window_len: 0,
             target_instructions,
             finished: false,
             last_reject: None,
@@ -194,6 +201,41 @@ impl Core {
         self.access_pending = true;
     }
 
+    /// If the core is hard-stalled — instruction window full with an
+    /// incomplete-looking miss at its head — returns that head's token. Until
+    /// the token completes, every tick of this core is exactly one retire
+    /// stall (no dispatch can run, no self-state can change), so the
+    /// simulator may skip ticking it and replay the cycles in bulk via
+    /// [`Core::absorb_hard_stall`]. The caller checks the token's completion.
+    pub fn window_full_on(&self) -> Option<MissToken> {
+        if self.window_len < self.config.window_size {
+            return None;
+        }
+        match self.window.front() {
+            Some(WindowEntry::Pending(token)) => Some(*token),
+            _ => None,
+        }
+    }
+
+    /// Replays `ticks` hard-stalled cycles (see [`Core::window_full_on`]):
+    /// the per-cycle kernel would have counted each as one core cycle and one
+    /// retire-stall cycle.
+    pub fn absorb_hard_stall(&mut self, ticks: u64) {
+        self.stats.cycles += ticks;
+        self.stats.retire_stall_cycles += ticks;
+    }
+
+    /// Appends `n` complete instructions to the window, extending a trailing
+    /// `Done` run instead of growing the deque.
+    fn push_done(&mut self, n: usize) {
+        if let Some(WindowEntry::Done(run)) = self.window.back_mut() {
+            *run += n as u32;
+        } else {
+            self.window.push_back(WindowEntry::Done(n as u32));
+        }
+        self.window_len += n;
+    }
+
     /// Classifies what the core's next tick (at CPU cycle `next_cycle`) would
     /// do, without mutating anything: make progress, stall on the window
     /// head, or spin on a rejected LLC access. The analysis mirrors
@@ -206,7 +248,7 @@ impl Core {
         }
         // Would the retire stage make progress?
         let (retire_progress, wake_at, retire_stalled) = match self.window.front() {
-            Some(WindowEntry::Done) => (true, None, false),
+            Some(WindowEntry::Done(_)) => (true, None, false),
             Some(WindowEntry::ReadyAt(t)) => (*t <= next_cycle, Some(*t), false),
             Some(WindowEntry::Pending(token)) => (llc.is_completed(*token), None, true),
             None => (false, None, false),
@@ -216,13 +258,16 @@ impl Core {
         }
         // Would the dispatch stage make progress?
         let mut reject = None;
-        if self.window.len() < self.config.window_size {
+        if self.window_len < self.config.window_size {
             if self.bubbles_left > 0 || !self.access_pending {
                 return CoreProgress::Active;
             }
             let entry = self.trace.entry(self.position);
-            if let Some((addr, uncached, version, reason)) = self.last_reject {
-                if addr == entry.addr && uncached == entry.uncached && version == llc.version() {
+            if let Some((addr, uncached, stamp, reason)) = self.last_reject {
+                if addr == entry.addr
+                    && uncached == entry.uncached
+                    && llc.reject_memo_valid(self.thread, addr, reason, stamp)
+                {
                     reject = Some(reason);
                     return CoreProgress::Stalled(StallInfo { wake_at, retire_stalled, reject });
                 }
@@ -257,24 +302,32 @@ impl Core {
         }
         self.stats.cycles += 1;
 
-        // Retire in order.
+        // Retire in order (a `Done` run retires as many of its instructions
+        // as the retire width and the instruction target allow).
         let mut retired = 0;
         while retired < self.config.retire_width {
-            let complete = match self.window.front() {
-                Some(WindowEntry::Done) => true,
-                Some(WindowEntry::ReadyAt(t)) => cycle >= *t,
-                Some(WindowEntry::Pending(token)) => llc.is_completed(*token),
-                None => false,
-            };
-            if !complete {
-                if matches!(self.window.front(), Some(WindowEntry::Pending(_))) && retired == 0 {
-                    self.stats.retire_stall_cycles += 1;
+            let run = match self.window.front() {
+                Some(WindowEntry::Done(n)) => *n as usize,
+                Some(WindowEntry::ReadyAt(t)) if cycle >= *t => 1,
+                Some(WindowEntry::Pending(token)) if llc.is_completed(*token) => 1,
+                other => {
+                    if matches!(other, Some(WindowEntry::Pending(_))) && retired == 0 {
+                        self.stats.retire_stall_cycles += 1;
+                    }
+                    break;
                 }
-                break;
+            };
+            let budget = (self.config.retire_width - retired)
+                .min((self.target_instructions - self.stats.retired_instructions) as usize);
+            let take = run.min(budget);
+            if take == run {
+                self.window.pop_front();
+            } else if let Some(WindowEntry::Done(n)) = self.window.front_mut() {
+                *n -= take as u32;
             }
-            self.window.pop_front();
-            self.stats.retired_instructions += 1;
-            retired += 1;
+            self.window_len -= take;
+            self.stats.retired_instructions += take as u64;
+            retired += take;
             if self.stats.retired_instructions >= self.target_instructions {
                 self.finished = true;
                 return;
@@ -283,11 +336,17 @@ impl Core {
 
         // Dispatch up to `width` instructions into the window.
         let mut dispatched = 0;
-        while dispatched < self.config.width && self.window.len() < self.config.window_size {
+        while dispatched < self.config.width && self.window_len < self.config.window_size {
             if self.bubbles_left > 0 {
-                self.bubbles_left -= 1;
-                self.window.push_back(WindowEntry::Done);
-                dispatched += 1;
+                // Dispatch the whole bubble run at once (bounded by the
+                // dispatch width and the window space), coalescing it into
+                // the window's trailing `Done` run.
+                let take = (self.bubbles_left as usize)
+                    .min(self.config.width - dispatched)
+                    .min(self.config.window_size - self.window_len);
+                self.bubbles_left -= take as u32;
+                self.push_done(take);
+                dispatched += take;
                 continue;
             }
             if !self.access_pending {
@@ -296,11 +355,14 @@ impl Core {
                 continue;
             }
             let entry = self.trace.entry(self.position);
-            // Fast path for a spinning retry: if the LLC is unchanged since
-            // this same access was last rejected, replay the rejection's
-            // counter effects without re-walking the cache.
-            if let Some((addr, uncached, version, reason)) = self.last_reject {
-                if addr == entry.addr && uncached == entry.uncached && version == llc.version() {
+            // Fast path for a spinning retry: while the LLC attests that the
+            // rejection still holds, replay its counter effects without
+            // re-walking the cache.
+            if let Some((addr, uncached, stamp, reason)) = self.last_reject {
+                if addr == entry.addr
+                    && uncached == entry.uncached
+                    && llc.reject_memo_valid(self.thread, addr, reason, stamp)
+                {
                     llc.absorb_rejected_probes(1, reason);
                     self.stats.dispatch_stall_cycles += 1;
                     break;
@@ -311,13 +373,24 @@ impl Core {
             } else {
                 llc.access(self.thread, entry.addr, entry.is_write, cycle)
             };
+            if !matches!(outcome, AccessOutcome::Rejected { .. }) {
+                // The memo must not outlive the rejected episode: a stale
+                // entry could re-validate much later (same trace address, no
+                // thread-local events in between) even though the line has
+                // since been installed by another thread's fill. Clearing on
+                // every successful dispatch confines the memo to one
+                // continuous rejection, where the stamp's invalidation
+                // conditions are exhaustive.
+                self.last_reject = None;
+            }
             match outcome {
                 AccessOutcome::Hit { ready_at } => {
-                    self.window.push_back(if entry.is_write {
-                        WindowEntry::Done
+                    if entry.is_write {
+                        self.push_done(1);
                     } else {
-                        WindowEntry::ReadyAt(ready_at)
-                    });
+                        self.window.push_back(WindowEntry::ReadyAt(ready_at));
+                        self.window_len += 1;
+                    }
                     if entry.is_write {
                         self.stats.stores += 1;
                     } else {
@@ -328,11 +401,12 @@ impl Core {
                     dispatched += 1;
                 }
                 AccessOutcome::Miss { token, .. } => {
-                    self.window.push_back(if entry.is_write {
-                        WindowEntry::Done
+                    if entry.is_write {
+                        self.push_done(1);
                     } else {
-                        WindowEntry::Pending(token)
-                    });
+                        self.window.push_back(WindowEntry::Pending(token));
+                        self.window_len += 1;
+                    }
                     if entry.is_write {
                         self.stats.stores += 1;
                     } else {
@@ -345,7 +419,12 @@ impl Core {
                 AccessOutcome::Rejected { reason } => {
                     // The LLC cannot take the access this cycle (MSHRs full or
                     // the thread is over its BreakHammer quota): stall.
-                    self.last_reject = Some((entry.addr, entry.uncached, llc.version(), reason));
+                    self.last_reject = Some((
+                        entry.addr,
+                        entry.uncached,
+                        llc.reject_stamp(self.thread, reason),
+                        reason,
+                    ));
                     self.stats.dispatch_stall_cycles += 1;
                     break;
                 }

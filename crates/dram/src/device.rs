@@ -95,6 +95,9 @@ pub struct DramChannel {
     banks: Vec<BankState>,
     groups: Vec<BankGroupState>,
     ranks: Vec<RankState>,
+    /// Number of banks with an open row, per rank — keeps the refresh
+    /// machinery's every-tick [`DramChannel::all_banks_closed`] query O(1).
+    open_per_rank: Vec<u32>,
     /// Earliest cycle the shared data bus accepts another column command.
     next_column_bus: Cycle,
     stats: DramStats,
@@ -129,6 +132,7 @@ impl DramChannel {
         let banks = vec![BankState::new(); geometry.banks_per_channel()];
         let groups = vec![BankGroupState::default(); geometry.ranks * geometry.bank_groups];
         let ranks = vec![RankState::default(); geometry.ranks];
+        let ranks_count = geometry.ranks;
         DramChannel {
             geometry,
             timing,
@@ -137,6 +141,7 @@ impl DramChannel {
             banks,
             groups,
             ranks,
+            open_per_rank: vec![0; ranks_count],
             next_column_bus: 0,
             stats: DramStats::default(),
             energy: EnergyCounters::new(),
@@ -193,10 +198,12 @@ impl DramChannel {
 
     /// True if every bank of `rank` is precharged.
     pub fn all_banks_closed(&self, rank: usize) -> bool {
-        self.geometry
-            .iter_banks()
-            .filter(|b| b.rank == rank)
-            .all(|b| self.banks[self.geometry.flat_bank(b)].is_closed())
+        debug_assert_eq!(
+            u64::from(self.open_per_rank[rank]),
+            self.geometry.rank_flat_range(rank).filter(|f| !self.banks[*f].is_closed()).count()
+                as u64
+        );
+        self.open_per_rank[rank] == 0
     }
 
     /// Lifetime activation count of `bank`.
@@ -289,9 +296,8 @@ impl DramChannel {
             CommandKind::Precharge => bank.earliest(cmd.kind),
             CommandKind::PrechargeAll => self
                 .geometry
-                .iter_banks()
-                .filter(|b| b.rank == cmd.bank.rank)
-                .map(|b| self.banks[self.geometry.flat_bank(b)].earliest(CommandKind::Precharge))
+                .rank_flat_range(cmd.bank.rank)
+                .map(|f| self.banks[f].earliest(CommandKind::Precharge))
                 .max()
                 .unwrap_or(0),
             CommandKind::Read => bank
@@ -306,9 +312,8 @@ impl DramChannel {
                 .max(self.next_column_bus),
             CommandKind::Refresh => self
                 .geometry
-                .iter_banks()
-                .filter(|b| b.rank == cmd.bank.rank)
-                .map(|b| self.banks[self.geometry.flat_bank(b)].earliest(CommandKind::Refresh))
+                .rank_flat_range(cmd.bank.rank)
+                .map(|f| self.banks[f].earliest(CommandKind::Refresh))
                 .max()
                 .unwrap_or(0)
                 .max(rank.next_ref),
@@ -388,13 +393,40 @@ impl DramChannel {
         if cycle < earliest {
             return Err(DramError::TimingViolation { command: *cmd, issued_at: cycle, earliest });
         }
+        Ok(self.apply(cmd, cycle))
+    }
 
+    /// Like [`DramChannel::issue`], for callers that have already established
+    /// issuability at `cycle` (the memory controller's scheduling scan
+    /// derives exactly these checks as part of candidate selection). Address,
+    /// state and timing validation still runs in debug builds — the test
+    /// suite exercises it on every command — but is skipped in release
+    /// builds, keeping redundant re-validation off the per-command hot path.
+    pub fn issue_prechecked(&mut self, cmd: &DramCommand, cycle: Cycle) -> CommandOutcome {
+        #[cfg(debug_assertions)]
+        {
+            self.check_address(cmd).expect("prechecked command has a valid address");
+            self.check_state(cmd).expect("prechecked command matches the bank state");
+            let earliest = self.earliest_issue(cmd);
+            assert!(
+                cycle >= earliest,
+                "prechecked command violates timing: {cmd:?} at {cycle} < {earliest}"
+            );
+        }
+        self.apply(cmd, cycle)
+    }
+
+    /// Applies `cmd` to the device state at `cycle`; the caller guarantees
+    /// validity.
+    fn apply(&mut self, cmd: &DramCommand, cycle: Cycle) -> CommandOutcome {
         let flat = self.geometry.flat_bank(cmd.bank);
         let group_idx = self.group_index(cmd.bank);
         let t = &self.timing;
         let outcome = match cmd.kind {
             CommandKind::Activate => {
                 let bank = &mut self.banks[flat];
+                debug_assert!(bank.is_closed(), "ACT on open bank");
+                self.open_per_rank[cmd.bank.rank] += 1;
                 bank.row = RowState::Open { row: cmd.row, since: cycle };
                 bank.activation_count += 1;
                 bank.next_pre = bank.next_pre.max(cycle + t.t_ras);
@@ -436,6 +468,9 @@ impl DramChannel {
             }
             CommandKind::Precharge => {
                 let bank = &mut self.banks[flat];
+                if !bank.is_closed() {
+                    self.open_per_rank[cmd.bank.rank] -= 1;
+                }
                 bank.row = RowState::Closed;
                 bank.next_act = bank.next_act.max(cycle + t.t_rp);
                 self.stats.precharges += 1;
@@ -443,14 +478,11 @@ impl DramChannel {
                 CommandOutcome { data_ready_at: None, busy_until: cycle + t.t_rp }
             }
             CommandKind::PrechargeAll => {
-                for b in self
-                    .geometry
-                    .iter_banks()
-                    .filter(|b| b.rank == cmd.bank.rank)
-                    .collect::<Vec<_>>()
-                {
-                    let bi = self.geometry.flat_bank(b);
+                for bi in self.geometry.rank_flat_range(cmd.bank.rank) {
                     let bank = &mut self.banks[bi];
+                    if !bank.is_closed() {
+                        self.open_per_rank[cmd.bank.rank] -= 1;
+                    }
                     bank.row = RowState::Closed;
                     bank.next_act = bank.next_act.max(cycle + t.t_rp);
                 }
@@ -490,13 +522,7 @@ impl DramChannel {
             }
             CommandKind::Refresh => {
                 let rows_per_ref = self.rows_per_periodic_refresh();
-                for b in self
-                    .geometry
-                    .iter_banks()
-                    .filter(|b| b.rank == cmd.bank.rank)
-                    .collect::<Vec<_>>()
-                {
-                    let bi = self.geometry.flat_bank(b);
+                for bi in self.geometry.rank_flat_range(cmd.bank.rank) {
                     let bank = &mut self.banks[bi];
                     bank.next_act = bank.next_act.max(cycle + t.t_rfc);
                     bank.next_rd = bank.next_rd.max(cycle + t.t_rfc);
@@ -544,7 +570,7 @@ impl DramChannel {
                 CommandOutcome { data_ready_at: None, busy_until: cycle + t.t_rfm }
             }
         };
-        Ok(outcome)
+        outcome
     }
 
     /// Number of rows per bank refreshed by one periodic REF command.

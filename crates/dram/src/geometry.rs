@@ -214,19 +214,71 @@ impl DramGeometry {
         (0..self.banks_per_channel()).map(|i| self.bank_from_flat(i))
     }
 
+    /// The contiguous range of flat bank indices belonging to `rank` (flat
+    /// order is rank-major, so a rank's banks are adjacent).
+    pub fn rank_flat_range(&self, rank: usize) -> std::ops::Range<usize> {
+        assert!(rank < self.ranks, "rank {rank} out of range");
+        let banks = self.banks_per_rank();
+        rank * banks..(rank + 1) * banks
+    }
+
     /// Returns the physical neighbours of `row` within the same bank at
     /// distance up to `blast_radius` (the rows a RowHammer aggressor disturbs).
+    ///
+    /// Allocates; the per-activation hot paths use the allocation-free
+    /// [`DramGeometry::neighbors`] iterator instead.
     pub fn neighbor_rows(&self, row: RowAddr, blast_radius: usize) -> Vec<RowAddr> {
-        let mut out = Vec::with_capacity(2 * blast_radius);
-        for d in 1..=blast_radius {
-            if row.row >= d {
-                out.push(RowAddr { bank: row.bank, row: row.row - d });
-            }
-            if row.row + d < self.rows_per_bank {
-                out.push(RowAddr { bank: row.bank, row: row.row + d });
+        self.neighbors(row, blast_radius).collect()
+    }
+
+    /// Iterates over the physical neighbours of `row` (same order as
+    /// [`DramGeometry::neighbor_rows`]: distance 1 below, 1 above, 2 below,
+    /// 2 above, …) without allocating. The iterator owns the few scalars it
+    /// needs, so it does not borrow the geometry.
+    pub fn neighbors(&self, row: RowAddr, blast_radius: usize) -> NeighborRows {
+        NeighborRows {
+            bank: row.bank,
+            row: row.row,
+            rows_per_bank: self.rows_per_bank,
+            radius: blast_radius,
+            distance: 1,
+            below_next: true,
+        }
+    }
+}
+
+/// Allocation-free iterator over a row's physical neighbours; see
+/// [`DramGeometry::neighbors`].
+#[derive(Debug, Clone)]
+pub struct NeighborRows {
+    bank: BankAddr,
+    row: usize,
+    rows_per_bank: usize,
+    radius: usize,
+    distance: usize,
+    below_next: bool,
+}
+
+impl Iterator for NeighborRows {
+    type Item = RowAddr;
+
+    fn next(&mut self) -> Option<RowAddr> {
+        while self.distance <= self.radius {
+            if self.below_next {
+                self.below_next = false;
+                if self.row >= self.distance {
+                    return Some(RowAddr { bank: self.bank, row: self.row - self.distance });
+                }
+            } else {
+                self.below_next = true;
+                let above = self.row + self.distance;
+                self.distance += 1;
+                if above < self.rows_per_bank {
+                    return Some(RowAddr { bank: self.bank, row: above });
+                }
             }
         }
-        out
+        None
     }
 }
 

@@ -47,6 +47,7 @@ pub mod command;
 pub mod device;
 pub mod energy;
 pub mod error;
+pub mod flat;
 pub mod geometry;
 pub mod rowhammer;
 pub mod timing;
@@ -57,7 +58,8 @@ pub use command::{CommandKind, DramCommand};
 pub use device::{CommandOutcome, DeviceConfig, DramChannel, DramStats};
 pub use energy::{EnergyCounters, EnergyParams};
 pub use error::DramError;
-pub use geometry::{BankAddr, DramGeometry, DramLocation, RowAddr};
+pub use flat::FlatMap;
+pub use geometry::{BankAddr, DramGeometry, DramLocation, NeighborRows, RowAddr};
 pub use rowhammer::{BitflipEvent, RowHammerTracker};
 pub use timing::{TimingAdjustment, TimingParams};
 pub use types::{AccessKind, Cycle, CycleDelta, PhysAddr, ThreadId};

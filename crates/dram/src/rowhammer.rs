@@ -12,11 +12,19 @@
 //! The tracker also maintains per-aggressor activation counts, which the
 //! device uses to model the in-DRAM preventive refreshes performed during RFM
 //! windows (the RFM and PRAC mechanisms).
+//!
+//! Both stores sit on the simulator's per-activation hot path (every ACT
+//! command lands here), so they are flat rather than `HashMap`-backed: the
+//! disturbance store is one dense `u32` array indexed by flat row (bank-base
+//! plus row index — two adjacent array increments per activation at blast
+//! radius 1), and the aggressor store is a per-bank [`FlatMap`] because only
+//! RFM servicing ever iterates it. Steady-state activations perform no heap
+//! allocation.
 
+use crate::flat::FlatMap;
 use crate::geometry::{DramGeometry, RowAddr};
 use crate::types::Cycle;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// A (potential) RowHammer bitflip event: a victim row accumulated `N_RH`
 /// disturbance before being refreshed.
@@ -35,16 +43,30 @@ pub struct BitflipEvent {
 pub struct RowHammerTracker {
     geometry: DramGeometry,
     nrh: u64,
+    /// `nrh` as `u32` for the dense-store equality check. Zero disables the
+    /// check: thresholds at or above `u32::MAX` can never be crossed before
+    /// the dense counters saturate, so they are "effectively infinite" (tests
+    /// use such thresholds to assert no bitflip is possible).
+    nrh_u32: u32,
     blast_radius: usize,
-    /// Per flat bank: victim row -> accumulated disturbance since last refresh.
-    disturbance: Vec<HashMap<usize, u64>>,
+    /// Dense per-row disturbance since the row's last refresh, indexed by
+    /// `flat_bank * rows_per_bank + row`.
+    disturbance: Box<[u32]>,
     /// Per flat bank: aggressor row -> activations since its victims were last
     /// preventively refreshed (used to service RFM windows).
-    aggressor_acts: Vec<HashMap<usize, u64>>,
+    aggressor_acts: Vec<FlatMap<u64>>,
     /// Recorded would-be bitflips.
     bitflips: Vec<BitflipEvent>,
     /// Total activations observed.
     total_activations: u64,
+    /// Reusable scratch for [`RowHammerTracker::service_rfm`]'s hottest-rows
+    /// sort.
+    rfm_scratch: Vec<(usize, u64)>,
+    /// Reusable output buffer for [`RowHammerTracker::service_rfm`].
+    refreshed_buf: Vec<RowAddr>,
+    /// Reusable scratch for range removals in
+    /// [`RowHammerTracker::on_periodic_refresh`].
+    retain_scratch: Vec<u64>,
 }
 
 impl RowHammerTracker {
@@ -58,14 +80,19 @@ impl RowHammerTracker {
         assert!(nrh > 0, "RowHammer threshold must be positive");
         assert!(blast_radius > 0, "blast radius must be positive");
         let banks = geometry.banks_per_channel();
+        let rows = geometry.rows_per_channel();
         RowHammerTracker {
             geometry,
             nrh,
+            nrh_u32: if nrh < u64::from(u32::MAX) { nrh as u32 } else { 0 },
             blast_radius,
-            disturbance: vec![HashMap::new(); banks],
-            aggressor_acts: vec![HashMap::new(); banks],
+            disturbance: vec![0; rows].into_boxed_slice(),
+            aggressor_acts: (0..banks).map(|_| FlatMap::with_capacity(64)).collect(),
             bitflips: Vec::new(),
             total_activations: 0,
+            rfm_scratch: Vec::new(),
+            refreshed_buf: Vec::new(),
+            retain_scratch: Vec::new(),
         }
     }
 
@@ -84,15 +111,36 @@ impl RowHammerTracker {
     pub fn on_activate(&mut self, row: RowAddr, cycle: Cycle) {
         self.total_activations += 1;
         let flat_bank = self.geometry.flat_bank(row.bank);
-        *self.aggressor_acts[flat_bank].entry(row.row).or_insert(0) += 1;
+        *self.aggressor_acts[flat_bank].or_insert(row.row as u64, 0) += 1;
 
-        for victim in self.geometry.neighbor_rows(row, self.blast_radius) {
-            let v_bank = self.geometry.flat_bank(victim.bank);
-            let entry = self.disturbance[v_bank].entry(victim.row).or_insert(0);
-            *entry += 1;
-            if *entry == self.nrh {
-                self.bitflips.push(BitflipEvent { victim, cycle, disturbance: *entry });
+        let base = flat_bank * self.geometry.rows_per_bank;
+        // Same victim order as `DramGeometry::neighbors`: d below, d above.
+        for d in 1..=self.blast_radius {
+            if row.row >= d {
+                self.disturb(base, row.bank, row.row - d, cycle);
             }
+            if row.row + d < self.geometry.rows_per_bank {
+                self.disturb(base, row.bank, row.row + d, cycle);
+            }
+        }
+    }
+
+    #[inline]
+    fn disturb(
+        &mut self,
+        bank_base: usize,
+        bank: crate::geometry::BankAddr,
+        row: usize,
+        cycle: Cycle,
+    ) {
+        let entry = &mut self.disturbance[bank_base + row];
+        *entry = entry.saturating_add(1);
+        if *entry == self.nrh_u32 {
+            self.bitflips.push(BitflipEvent {
+                victim: RowAddr { bank, row },
+                cycle,
+                disturbance: self.nrh,
+            });
         }
     }
 
@@ -100,7 +148,7 @@ impl RowHammerTracker {
     /// accumulated disturbance is cleared.
     pub fn on_row_refreshed(&mut self, row: RowAddr) {
         let flat_bank = self.geometry.flat_bank(row.bank);
-        self.disturbance[flat_bank].remove(&row.row);
+        self.disturbance[flat_bank * self.geometry.rows_per_bank + row.row] = 0;
         // Refreshing a row also clears the "pending preventive work" of the
         // aggressors for which this row was the victim only partially; we keep
         // the aggressor counters untouched so RFM servicing stays conservative.
@@ -110,10 +158,21 @@ impl RowHammerTracker {
     /// of every bank in `rank`: those rows are restored, so their accumulated
     /// disturbance is cleared.
     pub fn on_periodic_refresh(&mut self, rank: usize, row_start: usize, row_end: usize) {
-        for bank in self.geometry.iter_banks().filter(|b| b.rank == rank).collect::<Vec<_>>() {
-            let flat = self.geometry.flat_bank(bank);
-            self.disturbance[flat].retain(|row, _| *row < row_start || *row >= row_end);
-            self.aggressor_acts[flat].retain(|row, _| *row < row_start || *row >= row_end);
+        let rows_per_bank = self.geometry.rows_per_bank;
+        let start = row_start.min(rows_per_bank);
+        let end = row_end.min(rows_per_bank);
+        for flat in self.geometry.rank_flat_range(rank) {
+            let base = flat * rows_per_bank;
+            self.disturbance[base + start..base + end].fill(0);
+            self.retain_scratch.clear();
+            for (row, _) in self.aggressor_acts[flat].iter() {
+                if (row as usize) >= start && (row as usize) < end {
+                    self.retain_scratch.push(row);
+                }
+            }
+            for i in 0..self.retain_scratch.len() {
+                self.aggressor_acts[flat].remove(self.retain_scratch[i]);
+            }
         }
     }
 
@@ -121,46 +180,55 @@ impl RowHammerTracker {
     /// PRAC back-off) window on `bank`: the `aggressors` most-activated rows
     /// have their neighbours refreshed and their counters reset.
     ///
-    /// Returns the victim rows that were refreshed.
+    /// Returns the victim rows that were refreshed. The slice borrows an
+    /// internal buffer that the next `service_rfm` call reuses.
     pub fn service_rfm(
         &mut self,
         bank: crate::geometry::BankAddr,
         aggressors: usize,
-    ) -> Vec<RowAddr> {
+    ) -> &[RowAddr] {
         let flat = self.geometry.flat_bank(bank);
-        let mut hot: Vec<(usize, u64)> =
-            self.aggressor_acts[flat].iter().map(|(r, c)| (*r, *c)).collect();
-        hot.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        hot.truncate(aggressors);
+        self.rfm_scratch.clear();
+        for (row, count) in self.aggressor_acts[flat].iter() {
+            self.rfm_scratch.push((row as usize, count));
+        }
+        self.rfm_scratch.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        self.rfm_scratch.truncate(aggressors);
 
-        let mut refreshed = Vec::new();
-        for (row, _) in hot {
-            let aggressor = RowAddr { bank, row };
-            self.aggressor_acts[flat].remove(&row);
-            for victim in self.geometry.neighbor_rows(aggressor, self.blast_radius) {
-                let v_bank = self.geometry.flat_bank(victim.bank);
-                self.disturbance[v_bank].remove(&victim.row);
-                refreshed.push(victim);
+        self.refreshed_buf.clear();
+        let base = flat * self.geometry.rows_per_bank;
+        for i in 0..self.rfm_scratch.len() {
+            let row = self.rfm_scratch[i].0;
+            self.aggressor_acts[flat].remove(row as u64);
+            for d in 1..=self.blast_radius {
+                if row >= d {
+                    self.disturbance[base + row - d] = 0;
+                    self.refreshed_buf.push(RowAddr { bank, row: row - d });
+                }
+                if row + d < self.geometry.rows_per_bank {
+                    self.disturbance[base + row + d] = 0;
+                    self.refreshed_buf.push(RowAddr { bank, row: row + d });
+                }
             }
         }
-        refreshed
+        &self.refreshed_buf
     }
 
     /// Current disturbance of a specific row.
     pub fn disturbance_of(&self, row: RowAddr) -> u64 {
         let flat = self.geometry.flat_bank(row.bank);
-        self.disturbance[flat].get(&row.row).copied().unwrap_or(0)
+        u64::from(self.disturbance[flat * self.geometry.rows_per_bank + row.row])
     }
 
     /// Activation count of an aggressor row since its last RFM service.
     pub fn aggressor_activations(&self, row: RowAddr) -> u64 {
         let flat = self.geometry.flat_bank(row.bank);
-        self.aggressor_acts[flat].get(&row.row).copied().unwrap_or(0)
+        self.aggressor_acts[flat].get(row.row as u64).unwrap_or(0)
     }
 
     /// The largest disturbance currently accumulated by any row.
     pub fn max_disturbance(&self) -> u64 {
-        self.disturbance.iter().flat_map(|m| m.values()).copied().max().unwrap_or(0)
+        u64::from(self.disturbance.iter().copied().max().unwrap_or(0))
     }
 
     /// All recorded would-be bitflips.
@@ -256,6 +324,18 @@ mod tests {
     }
 
     #[test]
+    fn periodic_refresh_clears_swept_aggressor_counters() {
+        let mut t = tracker(1000);
+        for c in 0..9 {
+            t.on_activate(row(0, 20), c);
+        }
+        t.on_activate(row(0, 100), 9);
+        t.on_periodic_refresh(0, 0, 32);
+        assert_eq!(t.aggressor_activations(row(0, 20)), 0);
+        assert_eq!(t.aggressor_activations(row(0, 100)), 1);
+    }
+
+    #[test]
     fn rfm_service_targets_hottest_aggressors() {
         let mut t = tracker(1000);
         for c in 0..50 {
@@ -265,7 +345,7 @@ mod tests {
             t.on_activate(row(0, 80), c);
         }
         let bank = BankAddr { rank: 0, bank_group: 0, bank: 0 };
-        let refreshed = t.service_rfm(bank, 1);
+        let refreshed: Vec<RowAddr> = t.service_rfm(bank, 1).to_vec();
         // The hotter aggressor (row 40) is serviced: victims 39 and 41.
         assert_eq!(refreshed.len(), 2);
         assert!(refreshed.iter().all(|r| r.row == 39 || r.row == 41));
@@ -274,6 +354,18 @@ mod tests {
         // The cooler aggressor is untouched.
         assert_eq!(t.disturbance_of(row(0, 79)), 10);
         assert_eq!(t.aggressor_activations(row(0, 80)), 10);
+    }
+
+    #[test]
+    fn rfm_service_breaks_count_ties_by_lowest_row() {
+        let mut t = tracker(1000);
+        for c in 0..10 {
+            t.on_activate(row(0, 80), c);
+            t.on_activate(row(0, 40), c);
+        }
+        let bank = BankAddr { rank: 0, bank_group: 0, bank: 0 };
+        let refreshed: Vec<RowAddr> = t.service_rfm(bank, 1).to_vec();
+        assert!(refreshed.iter().all(|r| r.row == 39 || r.row == 41), "{refreshed:?}");
     }
 
     #[test]

@@ -26,7 +26,7 @@ use bh_core::BreakHammer;
 use bh_dram::{
     AccessKind, BankAddr, CommandKind, Cycle, DramChannel, DramCommand, DramLocation, ThreadId,
 };
-use bh_mitigation::{ActivationEvent, PreventiveAction, TriggerMechanism};
+use bh_mitigation::{ActionSink, ActionView, ActivationEvent, TriggerMechanism};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -89,6 +89,49 @@ struct QueueEntry {
     classified: bool,
 }
 
+/// The scan-relevant coordinates of a queue entry packed into one `u64`
+/// (`row | flat << 32 | group << 40 | rank << 48`). The per-tick FR-FCFS
+/// scan walks these dense keys (8 bytes/entry) instead of the ~80-byte
+/// [`QueueEntry`] records — the full entry is only touched once a candidate
+/// is selected. Kept in lockstep with its queue (same index order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ScanKey(u64);
+
+impl ScanKey {
+    fn new(entry: &QueueEntry) -> ScanKey {
+        debug_assert!(entry.loc.row < (1 << 32));
+        debug_assert!(entry.flat < (1 << 8));
+        debug_assert!(entry.group < (1 << 8));
+        debug_assert!(entry.loc.bank.rank < (1 << 8));
+        ScanKey(
+            entry.loc.row as u64
+                | (entry.flat as u64) << 32
+                | (entry.group as u64) << 40
+                | (entry.loc.bank.rank as u64) << 48,
+        )
+    }
+
+    #[inline]
+    fn row(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn flat(self) -> usize {
+        (self.0 >> 32 & 0xFF) as usize
+    }
+
+    #[inline]
+    fn group(self) -> usize {
+        (self.0 >> 40 & 0xFF) as usize
+    }
+
+    #[inline]
+    fn rank(self) -> usize {
+        (self.0 >> 48 & 0xFF) as usize
+    }
+}
+
 /// What the scheduler decided to issue for a chosen demand request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ServiceStep {
@@ -98,6 +141,24 @@ enum ServiceStep {
     Activate,
     /// Another row is open: precharge first.
     Precharge,
+}
+
+/// Per-tick cached scheduling view of one bank: its open row and the
+/// earliest issue cycles per relevant command kind. Entries in the same bank
+/// share these (only the row decides column-vs-precharge), so the FR-FCFS
+/// scan computes them once per bank per tick instead of once per queue
+/// entry — the bank/group/rank timing structs are the scan's only scattered
+/// memory.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankScanEntry {
+    /// Tick stamp this entry is valid for.
+    stamp: u64,
+    /// Open row index, or -1 if the bank is closed.
+    open_row: i64,
+    ready_read: Cycle,
+    ready_write: Cycle,
+    ready_act: Cycle,
+    ready_pre: Cycle,
 }
 
 /// Result of one scheduling stage within a tick: either a command was issued,
@@ -117,8 +178,11 @@ pub struct MemoryController {
     channel: DramChannel,
     mechanism: Box<dyn TriggerMechanism>,
     breakhammer: Option<BreakHammer>,
-    read_queue: Vec<QueueEntry>,
-    write_queue: Vec<QueueEntry>,
+    read_queue: VecDeque<QueueEntry>,
+    write_queue: VecDeque<QueueEntry>,
+    /// Packed scan keys, index-aligned with `read_queue` / `write_queue`.
+    read_keys: VecDeque<ScanKey>,
+    write_keys: VecDeque<ScanKey>,
     responses: Vec<MemResponse>,
     preventive_queue: VecDeque<DramCommand>,
     next_refresh: Vec<Cycle>,
@@ -135,6 +199,17 @@ pub struct MemoryController {
     /// Cached [`TriggerMechanism::may_block`]: lets the scheduler skip the
     /// per-request blacklist query for the mechanisms that never block.
     mechanism_may_block: bool,
+    /// Reusable scratch sink the mechanism pushes preventive actions into on
+    /// every demand activation (cleared and drained by
+    /// [`MemoryController::on_demand_activation`]; never allocates in the
+    /// steady state).
+    sink: ActionSink,
+    /// Per-bank scheduling view for the current tick (see [`BankScanEntry`];
+    /// `scan_stamp` is bumped once per [`MemoryController::tick`], and no
+    /// command issues between the two queue scans of a tick, so the cache
+    /// stays coherent for the whole tick).
+    bank_scan: Vec<BankScanEntry>,
+    scan_stamp: u64,
     hit_streak: Vec<u32>,
     stats: ControllerStats,
     per_thread_latency: Vec<LatencyHistogram>,
@@ -165,6 +240,15 @@ impl MemoryController {
         breakhammer: Option<BreakHammer>,
     ) -> Self {
         config.validate().expect("invalid memory controller configuration");
+        // The packed 8-byte scan keys give flat-bank/group/rank 8 bits each
+        // and the row 32; reject out-of-range geometries up front instead of
+        // silently truncating in release builds.
+        let geometry = channel.geometry();
+        assert!(
+            geometry.banks_per_channel() <= 1 << 8,
+            "scan keys support at most 256 banks per channel"
+        );
+        assert!(geometry.rows_per_bank <= 1 << 32, "scan keys support at most 2^32 rows per bank");
         let ranks = channel.geometry().ranks;
         let banks = channel.geometry().banks_per_channel();
         let t_refi = channel.timing().t_refi;
@@ -175,8 +259,10 @@ impl MemoryController {
             channel,
             mechanism,
             breakhammer,
-            read_queue: Vec::new(),
-            write_queue: Vec::new(),
+            read_queue: VecDeque::new(),
+            write_queue: VecDeque::new(),
+            read_keys: VecDeque::new(),
+            write_keys: VecDeque::new(),
             responses: Vec::new(),
             preventive_queue: VecDeque::new(),
             next_refresh: (0..ranks)
@@ -186,6 +272,9 @@ impl MemoryController {
             preventive_deferred_ticks: 0,
             idle_until: 0,
             mechanism_may_block,
+            sink: ActionSink::default(),
+            bank_scan: vec![BankScanEntry::default(); banks],
+            scan_stamp: 0,
             hit_streak: vec![0; banks],
             stats: ControllerStats::default(),
             per_thread_latency: (0..num_threads).map(|_| LatencyHistogram::new()).collect(),
@@ -258,6 +347,14 @@ impl MemoryController {
         // lower it to this entry's earliest issuable cycle (ignoring
         // scheduling masks, which can only delay further — undershooting the
         // horizon merely wastes a tick, overshooting would skip work).
+        // Known nuance (pre-dating the memo's introduction in the
+        // event-driven-kernel PR): if this entry is a row hit on the bank the
+        // preventive head is waiting for, the ticks skipped until `ready_at`
+        // do not advance the bounded-deferral counter, so the head can be
+        // deferred up to that many wall-cycles beyond
+        // `PREVENTIVE_DEFER_TICKS`. Both kernels share the memo, so they stay
+        // bit-identical; the deferral remains bounded (ticking resumes at the
+        // hit's ready cycle) and is security-neutral while the row is open.
         if self.idle_until > 0 {
             let kind = match self.channel.open_row_flat(flat) {
                 Some(row) if row == loc.row => match req.kind {
@@ -275,8 +372,16 @@ impl MemoryController {
             ));
         }
         match req.kind {
-            AccessKind::Read => self.read_queue.push(entry),
-            AccessKind::Write => self.write_queue.push(entry),
+            AccessKind::Read => {
+                debug_assert!(self.read_queue.back().is_none_or(|e| e.req.arrival <= req.arrival));
+                self.read_queue.push_back(entry);
+                self.read_keys.push_back(ScanKey::new(&entry));
+            }
+            AccessKind::Write => {
+                debug_assert!(self.write_queue.back().is_none_or(|e| e.req.arrival <= req.arrival));
+                self.write_queue.push_back(entry);
+                self.write_keys.push_back(ScanKey::new(&entry));
+            }
         }
         Ok(())
     }
@@ -339,6 +444,7 @@ impl MemoryController {
         if cycle < self.idle_until {
             return;
         }
+        self.scan_stamp += 1;
         let mut horizon = Cycle::MAX;
         self.update_write_drain_mode();
         match self.try_refresh(cycle) {
@@ -404,9 +510,9 @@ impl MemoryController {
     /// the earliest cycle the refresh machinery could next act (for a rank
     /// that is not yet due, its deadline).
     fn try_refresh(&mut self, cycle: Cycle) -> TickOutcome {
-        let geometry = self.channel.geometry().clone();
+        let ranks = self.channel.geometry().ranks;
         let mut horizon = Cycle::MAX;
-        for rank in 0..geometry.ranks {
+        for rank in 0..ranks {
             let deadline = self.next_refresh[rank];
             if cycle < deadline {
                 horizon = horizon.min(deadline);
@@ -415,18 +521,19 @@ impl MemoryController {
             if self.channel.all_banks_closed(rank) {
                 let cmd = DramCommand::refresh(rank);
                 if self.channel.can_issue(&cmd, cycle) {
-                    self.channel.issue(&cmd, cycle).expect("checked refresh");
+                    self.channel.issue_prechecked(&cmd, cycle);
                     self.next_refresh[rank] += self.channel.timing().t_refi;
                     self.stats.periodic_refreshes += 1;
                     return TickOutcome::Issued;
                 }
                 horizon = horizon.min(self.channel.earliest_issue(&cmd));
             } else {
-                for bank in geometry.iter_banks().filter(|b| b.rank == rank) {
-                    if self.channel.open_row(bank).is_some() {
+                for flat in self.channel.geometry().rank_flat_range(rank) {
+                    if self.channel.open_row_flat(flat).is_some() {
+                        let bank = self.channel.geometry().bank_from_flat(flat);
                         let pre = DramCommand::precharge(bank);
                         if self.channel.can_issue(&pre, cycle) {
-                            self.channel.issue(&pre, cycle).expect("checked precharge");
+                            self.channel.issue_prechecked(&pre, cycle);
                             return TickOutcome::Issued;
                         }
                         horizon = horizon.min(self.channel.earliest_issue(&pre));
@@ -484,7 +591,7 @@ impl MemoryController {
             return TickOutcome::Horizon(self.channel.earliest_issue(&cmd));
         }
         self.preventive_deferred_ticks = 0;
-        self.channel.issue(&cmd, cycle).expect("checked preventive command");
+        self.channel.issue_prechecked(&cmd, cycle);
         if cmd == head {
             self.preventive_queue.pop_front();
         }
@@ -494,10 +601,11 @@ impl MemoryController {
     /// True if some queued demand request is a row hit on `bank`'s open
     /// `row` (and could therefore be lost by precharging the bank now).
     fn demand_hit_pending(&self, bank: BankAddr, row: usize) -> bool {
-        self.read_queue
+        let flat = self.channel.geometry().flat_bank(bank);
+        self.read_keys
             .iter()
-            .chain(self.write_queue.iter())
-            .any(|e| e.loc.bank == bank && e.loc.row == row)
+            .chain(self.write_keys.iter())
+            .any(|k| k.flat() == flat && k.row() == row)
     }
 
     /// One scan over the chosen queue: finds the next request to service —
@@ -507,86 +615,126 @@ impl MemoryController {
     /// of this queue could become issuable (the demand contribution to the
     /// controller's no-op horizon).
     ///
+    /// The queue is arrival-ordered (enqueue cycles are monotone and removal
+    /// preserves order; `try_enqueue` debug-asserts this), which turns the
+    /// oldest-first selection into a prefix scan with two early exits:
+    ///
+    /// * the first schedulable capped row hit is *the* FR-FCFS winner — no
+    ///   later entry can be older, and hits pre-empt everything else — so the
+    ///   scan stops there (the common case under a row-hit stream costs one
+    ///   entry, not the whole queue);
+    /// * once a fallback candidate is known, only capped row hits can still
+    ///   change the outcome, so other entries skip their timing checks — and
+    ///   the horizon is no longer tracked, because the caller discards it
+    ///   whenever a command issues.
+    ///
     /// Entries are pre-filtered by rank-refresh masking, the preventive-head
     /// bank reservation and BlockHammer blacklists; filtered entries
     /// contribute no horizon of their own because the event that unblocks
     /// them (refresh issued, preventive head popped, an activation elsewhere)
     /// invalidates the memoized horizon anyway.
     fn scan_queue(
-        &self,
+        &mut self,
         use_writes: bool,
         cycle: Cycle,
         refresh_pending: u64,
         preventive_bank: Option<usize>,
     ) -> (Option<(usize, ServiceStep)>, Cycle) {
-        let queue = if use_writes { &self.write_queue } else { &self.read_queue };
-        // (index, arrival) of the oldest capped row hit; (index, step,
-        // arrival) of the oldest schedulable request of any kind.
-        let mut best_hit: Option<(usize, Cycle)> = None;
-        let mut best_any: Option<(usize, ServiceStep, Cycle)> = None;
+        let len = if use_writes { self.write_keys.len() } else { self.read_keys.len() };
+        // The oldest schedulable request of any kind (the FCFS fallback).
+        let mut best_any: Option<(usize, ServiceStep)> = None;
         let mut horizon = Cycle::MAX;
-        for (idx, entry) in queue.iter().enumerate() {
-            if refresh_pending & (1 << entry.loc.bank.rank) != 0 {
+        for idx in 0..len {
+            let key = if use_writes { self.write_keys[idx] } else { self.read_keys[idx] };
+            let flat = key.flat();
+            if refresh_pending & (1 << key.rank()) != 0 {
                 continue;
             }
-            let step = match self.channel.open_row_flat(entry.flat) {
-                Some(row) if row == entry.loc.row => ServiceStep::Column,
-                Some(_) => ServiceStep::Precharge,
-                None => ServiceStep::Activate,
+            let bank = self.bank_scan_entry(flat, key.group(), key.rank());
+            let step = if bank.open_row < 0 {
+                ServiceStep::Activate
+            } else if bank.open_row == key.row() as i64 {
+                ServiceStep::Column
+            } else {
+                ServiceStep::Precharge
             };
             // A bank the preventive head is waiting on accepts no new row
             // cycles, but pending hits on its open row may still drain (the
             // counterpart of the forward-progress rule in `try_preventive`).
-            if preventive_bank == Some(entry.flat) && step != ServiceStep::Column {
+            if preventive_bank == Some(flat) && step != ServiceStep::Column {
+                continue;
+            }
+            let capped_hit =
+                step == ServiceStep::Column && self.hit_streak[flat] < self.config.frfcfs_cap;
+            if best_any.is_some() && !capped_hit {
+                // Only an older capped hit can beat the known candidate.
                 continue;
             }
             // Queue entries are decoded from in-range addresses and their
             // step matches the bank state by construction, so only the
             // timing constraints (and BlockHammer blacklists) gate issue.
-            let kind = match step {
-                ServiceStep::Column if use_writes => CommandKind::Write,
-                ServiceStep::Column => CommandKind::Read,
-                ServiceStep::Activate => CommandKind::Activate,
-                ServiceStep::Precharge => CommandKind::Precharge,
+            let mut ready_at = match step {
+                ServiceStep::Column if use_writes => bank.ready_write,
+                ServiceStep::Column => bank.ready_read,
+                ServiceStep::Activate => bank.ready_act,
+                ServiceStep::Precharge => bank.ready_pre,
             };
-            let mut ready_at = self.channel.demand_ready_at_cached(
-                entry.flat,
-                entry.group,
-                entry.loc.bank.rank,
-                kind,
-            );
             if step == ServiceStep::Activate && self.mechanism_may_block {
                 // BlockHammer: rows whose activation is blocked cannot be
-                // opened before their delay expires.
-                ready_at = ready_at.max(self.mechanism.blocked_until(entry.loc.row_addr(), cycle));
+                // opened before their delay expires. (Rare enough that
+                // touching the full entry for its row address is fine.)
+                let queue = if use_writes { &self.write_queue } else { &self.read_queue };
+                ready_at =
+                    ready_at.max(self.mechanism.blocked_until(queue[idx].loc.row_addr(), cycle));
             }
             if cycle < ready_at {
                 // Not issuable yet: contributes to the horizon unless the
                 // rank's refresh will interpose first (the refresh horizon
-                // covers that case).
-                if ready_at < self.next_refresh[entry.loc.bank.rank] {
+                // covers that case). Irrelevant once a candidate exists.
+                if best_any.is_none() && ready_at < self.next_refresh[key.rank()] {
                     horizon = horizon.min(ready_at);
                 }
                 continue;
             }
-            let arrival = entry.req.arrival;
-            if step == ServiceStep::Column && self.hit_streak[entry.flat] < self.config.frfcfs_cap {
-                // Oldest-first among row hits still under the reordering cap.
-                match best_hit {
-                    Some((_, a)) if a <= arrival => {}
-                    _ => best_hit = Some((idx, arrival)),
-                }
+            if capped_hit {
+                // Oldest capped row hit: nothing later can pre-empt it.
+                return (Some((idx, ServiceStep::Column)), horizon);
             }
-            // Oldest-first among all eligible candidates.
-            match best_any {
-                Some((_, _, a)) if a <= arrival => {}
-                _ => best_any = Some((idx, step, arrival)),
+            if best_any.is_none() {
+                best_any = Some((idx, step));
             }
         }
-        if let Some((idx, _)) = best_hit {
-            return (Some((idx, ServiceStep::Column)), horizon);
+        (best_any, horizon)
+    }
+
+    /// The current tick's cached scheduling view of bank `flat`, computing it
+    /// on first touch.
+    #[inline]
+    fn bank_scan_entry(&mut self, flat: usize, group: usize, rank: usize) -> BankScanEntry {
+        let entry = self.bank_scan[flat];
+        if entry.stamp == self.scan_stamp {
+            return entry;
         }
-        (best_any.map(|(idx, step, _)| (idx, step)), horizon)
+        let entry = BankScanEntry {
+            stamp: self.scan_stamp,
+            open_row: self.channel.open_row_flat(flat).map_or(-1, |r| r as i64),
+            ready_read: self.channel.demand_ready_at_cached(flat, group, rank, CommandKind::Read),
+            ready_write: self.channel.demand_ready_at_cached(flat, group, rank, CommandKind::Write),
+            ready_act: self.channel.demand_ready_at_cached(
+                flat,
+                group,
+                rank,
+                CommandKind::Activate,
+            ),
+            ready_pre: self.channel.demand_ready_at_cached(
+                flat,
+                group,
+                rank,
+                CommandKind::Precharge,
+            ),
+        };
+        self.bank_scan[flat] = entry;
+        entry
     }
 
     fn command_for(&self, entry: &QueueEntry, step: ServiceStep, use_writes: bool) -> DramCommand {
@@ -609,7 +757,7 @@ impl MemoryController {
         let entry = if use_writes { self.write_queue[idx] } else { self.read_queue[idx] };
         let flat = entry.flat;
         let cmd = self.command_for(&entry, step, use_writes);
-        let outcome = self.channel.issue(&cmd, cycle).expect("checked demand command");
+        let outcome = self.channel.issue_prechecked(&cmd, cycle);
 
         match step {
             ServiceStep::Column => {
@@ -637,8 +785,13 @@ impl MemoryController {
                 });
                 if use_writes {
                     self.write_queue.remove(idx);
+                    self.write_keys.remove(idx);
                 } else {
+                    // `remove` shifts the shorter side; the serviced entry is
+                    // almost always at or near the front (oldest-first), so
+                    // this is O(1)-ish in practice.
                     self.read_queue.remove(idx);
+                    self.read_keys.remove(idx);
                 }
             }
             ServiceStep::Precharge => {
@@ -667,43 +820,54 @@ impl MemoryController {
 
     /// Reports a demand activation to the mitigation mechanism and
     /// BreakHammer, and queues any requested preventive actions.
+    ///
+    /// This is the simulator's per-activation hot path: the mechanism pushes
+    /// its actions into the controller-owned scratch [`ActionSink`], which is
+    /// cleared and drained here — no allocation occurs once the sink and the
+    /// preventive queue are warm.
     fn on_demand_activation(&mut self, loc: DramLocation, thread: ThreadId, cycle: Cycle) {
         self.stats.demand_activations += 1;
         if let Some(bh) = &mut self.breakhammer {
             bh.on_activation(thread, cycle);
         }
         let event = ActivationEvent { row: loc.row_addr(), thread, cycle };
-        let actions = self.mechanism.on_activation(&event);
-        for action in actions {
-            self.expand_action(&action);
+        // Move the sink out so its borrow does not alias `self` while the
+        // drained actions are expanded (`take` leaves an empty, non-allocated
+        // sink behind and the buffers come right back).
+        let mut sink = std::mem::take(&mut self.sink);
+        sink.clear();
+        self.mechanism.on_activation(&event, &mut sink);
+        for action in sink.iter() {
+            self.expand_action(action);
             if let Some(bh) = &mut self.breakhammer {
                 bh.on_preventive_action(cycle);
             }
         }
+        self.sink = sink;
     }
 
     /// Converts a preventive action into the DRAM command sequence that
     /// performs it and appends it to the preventive queue.
-    fn expand_action(&mut self, action: &PreventiveAction) {
-        let geometry = self.channel.geometry().clone();
+    fn expand_action(&mut self, action: ActionView<'_>) {
         match action {
-            PreventiveAction::RefreshRows(rows) => {
+            ActionView::RefreshRows(rows) => {
                 self.stats.preventive_refresh_actions += 1;
                 for row in rows {
                     self.stats.victim_rows_refreshed += 1;
                     self.preventive_queue.push_back(DramCommand::victim_refresh(*row));
                 }
             }
-            PreventiveAction::MigrateRow { source, dest } => {
+            ActionView::MigrateRow { source, dest } => {
                 self.stats.migrations += 1;
+                let columns = self.channel.geometry().columns_per_row;
                 // Moving the aggressor away ends its disturbance relationship
                 // with the neighbouring victims; model that by restoring the
                 // neighbours as part of the migration sequence (a negligible
                 // 2-4 extra row cycles on top of the ~2x128 column transfers).
-                for victim in geometry.neighbor_rows(*source, 2) {
+                for victim in self.channel.geometry().neighbors(source, 2) {
                     self.preventive_queue.push_back(DramCommand::victim_refresh(victim));
                 }
-                for column in 0..geometry.columns_per_row {
+                for column in 0..columns {
                     self.preventive_queue.push_back(DramCommand::read(DramLocation {
                         channel: 0,
                         bank: source.bank,
@@ -711,7 +875,7 @@ impl MemoryController {
                         column,
                     }));
                 }
-                for column in 0..geometry.columns_per_row {
+                for column in 0..columns {
                     self.preventive_queue.push_back(DramCommand::write(DramLocation {
                         channel: 0,
                         bank: dest.bank,
@@ -720,11 +884,11 @@ impl MemoryController {
                     }));
                 }
             }
-            PreventiveAction::IssueRfm { bank } => {
+            ActionView::IssueRfm { bank } => {
                 self.stats.rfm_actions += 1;
-                self.preventive_queue.push_back(DramCommand::rfm(*bank));
+                self.preventive_queue.push_back(DramCommand::rfm(bank));
             }
-            PreventiveAction::TableAccess { row, write_back } => {
+            ActionView::TableAccess { row, write_back } => {
                 self.stats.table_accesses += 1;
                 self.preventive_queue.push_back(DramCommand::read(DramLocation {
                     channel: 0,
@@ -732,7 +896,7 @@ impl MemoryController {
                     row: row.row,
                     column: 0,
                 }));
-                if *write_back {
+                if write_back {
                     self.preventive_queue.push_back(DramCommand::write(DramLocation {
                         channel: 0,
                         bank: row.bank,

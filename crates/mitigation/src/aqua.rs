@@ -8,7 +8,7 @@
 //! out and written back — which is why the paper finds AQUA has the highest
 //! preventive-action cost and the worst scaling at low `N_RH` (§8.1).
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use crate::misra_gries::MisraGries;
 use bh_dram::{Cycle, DramGeometry, RowAddr, TimingParams};
@@ -94,12 +94,12 @@ impl TriggerMechanism for Aqua {
         MechanismKind::Aqua
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         self.maybe_reset_window(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
         // Activations inside the quarantine area are not re-quarantined.
         if event.row.row >= self.quarantine_base() {
-            return Vec::new();
+            return;
         }
         let count = self.tables[bank].record(event.row.row);
         if count >= self.threshold {
@@ -108,9 +108,7 @@ impl TriggerMechanism for Aqua {
             self.quarantine_next[bank] = (slot + 1) % self.quarantine_rows;
             let dest = RowAddr { bank: event.row.bank, row: self.quarantine_base() + slot };
             self.migrations += 1;
-            vec![PreventiveAction::MigrateRow { source: event.row, dest }]
-        } else {
-            Vec::new()
+            sink.push_migrate(event.row, dest);
         }
     }
 
@@ -131,6 +129,7 @@ impl TriggerMechanism for Aqua {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, ThreadId};
 
     fn mech(nrh: u64) -> Aqua {
@@ -150,7 +149,7 @@ mod tests {
         let mut a = mech(64); // threshold 16
         let mut migration = None;
         for i in 0..16u64 {
-            let acts = a.on_activation(&event(10, i));
+            let acts = a.on_activation_vec(&event(10, i));
             if !acts.is_empty() {
                 migration = Some(acts[0].clone());
             }
@@ -172,7 +171,7 @@ mod tests {
         let mut dests = Vec::new();
         for round in 0..3u64 {
             for i in 0..16u64 {
-                let acts = a.on_activation(&event(10 + round as usize, round * 100 + i));
+                let acts = a.on_activation_vec(&event(10 + round as usize, round * 100 + i));
                 for act in acts {
                     if let PreventiveAction::MigrateRow { dest, .. } = act {
                         dests.push(dest.row);
@@ -190,7 +189,7 @@ mod tests {
         let mut a = mech(64);
         let qrow = a.quarantine_base() + 1;
         for i in 0..200u64 {
-            assert!(a.on_activation(&event(qrow, i)).is_empty());
+            assert!(a.on_activation_vec(&event(qrow, i)).is_empty());
         }
         assert_eq!(a.migrations(), 0);
     }
@@ -200,7 +199,7 @@ mod tests {
         let mut a = mech(64);
         let mut migrations = 0;
         for i in 0..64u64 {
-            for act in a.on_activation(&event(10, i)) {
+            for act in a.on_activation_vec(&event(10, i)) {
                 if matches!(act, PreventiveAction::MigrateRow { .. }) {
                     migrations += 1;
                 }
@@ -216,11 +215,11 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mut a = Aqua::new(DramGeometry::tiny(), &timing, 64);
         for i in 0..15u64 {
-            assert!(a.on_activation(&event(10, i)).is_empty());
+            assert!(a.on_activation_vec(&event(10, i)).is_empty());
         }
         let far = timing.t_refw + 1;
         for i in 0..15u64 {
-            assert!(a.on_activation(&event(10, far + i)).is_empty());
+            assert!(a.on_activation_vec(&event(10, far + i)).is_empty());
         }
         assert_eq!(a.migrations(), 0);
     }

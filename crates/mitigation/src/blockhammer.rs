@@ -13,10 +13,9 @@
 //! activate rows tens or hundreds of times per window (Table 3), BlockHammer
 //! ends up delaying benign accesses and its performance collapses (Fig. 18).
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
-use bh_dram::{Cycle, DramGeometry, RowAddr, TimingParams};
-use std::collections::HashMap;
+use bh_dram::{Cycle, DramGeometry, FlatMap, RowAddr, TimingParams};
 
 /// The BlockHammer mechanism.
 #[derive(Debug)]
@@ -29,11 +28,16 @@ pub struct BlockHammer {
     allowed_per_window: u64,
     window_cycles: Cycle,
     window_end: Cycle,
-    /// Per flat bank: row -> activations in the current window.
-    counts: Vec<HashMap<usize, u64>>,
-    /// Blacklisted rows: (flat bank, row) -> earliest cycle the next
-    /// activation is allowed.
-    next_allowed: HashMap<(usize, usize), Cycle>,
+    /// Dense per-row activation counters for the current window, indexed by
+    /// `flat_bank * rows_per_bank + row` (the software stand-in for the
+    /// hardware's counting Bloom filters — exact, flat, and cleared once per
+    /// window).
+    counts: Box<[u32]>,
+    /// Blacklisted rows, keyed by `flat_bank << 32 | row` -> earliest cycle
+    /// the next activation is allowed. Only rows past the blacklisting
+    /// threshold appear, so the table stays small and the per-request
+    /// `is_blocked` probe stays O(1).
+    next_allowed: FlatMap<Cycle>,
     blacklisted_total: u64,
 }
 
@@ -55,15 +59,15 @@ impl BlockHammer {
         // refresh, so each row's per-window budget is N_RH / 8 (with margin).
         let allowed_per_window = (nrh / 8).max(2);
         let blacklist_threshold = (allowed_per_window / 2).max(1);
-        let banks = geometry.banks_per_channel();
+        let rows = geometry.rows_per_channel();
         BlockHammer {
             geometry,
             blacklist_threshold,
             allowed_per_window,
             window_cycles: timing.t_refw,
             window_end: timing.t_refw,
-            counts: vec![HashMap::new(); banks],
-            next_allowed: HashMap::new(),
+            counts: vec![0; rows].into_boxed_slice(),
+            next_allowed: FlatMap::with_capacity(64),
             blacklisted_total: 0,
         }
     }
@@ -85,14 +89,17 @@ impl BlockHammer {
 
     fn maybe_reset_window(&mut self, cycle: Cycle) {
         if cycle >= self.window_end {
-            for c in &mut self.counts {
-                c.clear();
-            }
+            self.counts.fill(0);
             self.next_allowed.clear();
             while cycle >= self.window_end {
                 self.window_end += self.window_cycles;
             }
         }
+    }
+
+    #[inline]
+    fn key(&self, flat_bank: usize, row: usize) -> u64 {
+        (flat_bank as u64) << 32 | row as u64
     }
 }
 
@@ -105,32 +112,32 @@ impl TriggerMechanism for BlockHammer {
         MechanismKind::BlockHammer
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, _sink: &mut ActionSink) {
         self.maybe_reset_window(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
-        let count = self.counts[bank].entry(event.row.row).or_insert(0);
+        let count = &mut self.counts[bank * self.geometry.rows_per_bank + event.row.row];
         *count += 1;
-        if *count >= self.blacklist_threshold {
+        let count = u64::from(*count);
+        if count >= self.blacklist_threshold {
             // Spread the row's remaining activation budget over the remaining
             // window so it can never exceed its per-window allowance.
-            let remaining_budget = self.allowed_per_window.saturating_sub(*count).max(1);
+            let remaining_budget = self.allowed_per_window.saturating_sub(count).max(1);
             let time_left = self.window_end.saturating_sub(event.cycle).max(1);
             let delay = time_left / remaining_budget;
-            let key = (bank, event.row.row);
-            if !self.next_allowed.contains_key(&key) {
+            let key = self.key(bank, event.row.row);
+            if !self.next_allowed.contains_key(key) {
                 self.blacklisted_total += 1;
             }
             self.next_allowed.insert(key, event.cycle + delay);
         }
         // BlockHammer's preventive action is the delay itself; it never issues
         // extra DRAM commands.
-        Vec::new()
     }
 
     fn is_blocked(&self, row: RowAddr, cycle: Cycle) -> bool {
         let bank = self.geometry.flat_bank(row.bank);
-        match self.next_allowed.get(&(bank, row.row)) {
-            Some(allowed) => cycle < *allowed,
+        match self.next_allowed.get(self.key(bank, row.row)) {
+            Some(allowed) => cycle < allowed,
             None => false,
         }
     }
@@ -141,8 +148,8 @@ impl TriggerMechanism for BlockHammer {
 
     fn blocked_until(&self, row: RowAddr, cycle: Cycle) -> Cycle {
         let bank = self.geometry.flat_bank(row.bank);
-        match self.next_allowed.get(&(bank, row.row)) {
-            Some(allowed) => cycle.max(*allowed),
+        match self.next_allowed.get(self.key(bank, row.row)) {
+            Some(allowed) => cycle.max(allowed),
             None => cycle,
         }
     }
@@ -183,7 +190,7 @@ mod tests {
     fn cold_rows_are_never_blocked() {
         let mut b = mech(1024);
         for i in 0..100u64 {
-            b.on_activation(&event(i as usize, i));
+            b.on_activation_vec(&event(i as usize, i));
         }
         assert_eq!(b.blacklisted_now(), 0);
         assert!(!b.is_blocked(event(5, 0).row, 101));
@@ -194,7 +201,7 @@ mod tests {
         let mut b = mech(64); // per-window allowance 8, blacklist threshold 4
         assert_eq!(b.blacklist_threshold(), 4);
         for i in 0..16u64 {
-            b.on_activation(&event(7, i));
+            b.on_activation_vec(&event(7, i));
         }
         assert_eq!(b.blacklisted_total(), 1);
         assert!(b.is_blocked(event(7, 0).row, 17));
@@ -206,7 +213,7 @@ mod tests {
     fn delay_expires_eventually() {
         let mut b = mech(64);
         for i in 0..16u64 {
-            b.on_activation(&event(7, i));
+            b.on_activation_vec(&event(7, i));
         }
         let row = event(7, 0).row;
         assert!(b.is_blocked(row, 20));
@@ -228,7 +235,7 @@ mod tests {
         let mut cycle = 0u64;
         while cycle < timing.t_refw {
             if !b.is_blocked(row, cycle) {
-                b.on_activation(&event(3, cycle));
+                b.on_activation_vec(&event(3, cycle));
                 activations_in_window += 1;
             }
             cycle += 1;
@@ -244,10 +251,10 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mut b = BlockHammer::new(DramGeometry::tiny(), &timing, 64, 1);
         for i in 0..16u64 {
-            b.on_activation(&event(7, i));
+            b.on_activation_vec(&event(7, i));
         }
         assert_eq!(b.blacklisted_now(), 1);
-        b.on_activation(&event(1, timing.t_refw + 1));
+        b.on_activation_vec(&event(1, timing.t_refw + 1));
         assert_eq!(b.blacklisted_now(), 0);
     }
 
@@ -260,7 +267,7 @@ mod tests {
     fn never_issues_dram_commands() {
         let mut b = mech(64);
         for i in 0..200u64 {
-            assert!(b.on_activation(&event(7, i)).is_empty());
+            assert!(b.on_activation_vec(&event(7, i)).is_empty());
         }
     }
 

@@ -6,7 +6,7 @@
 //! threshold, Graphene preventively refreshes the row's neighbours and resets
 //! the counter. Tables are cleared every reset window (tREFW).
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use crate::misra_gries::MisraGries;
 use bh_dram::{Cycle, DramGeometry, TimingParams};
@@ -97,17 +97,14 @@ impl TriggerMechanism for Graphene {
         MechanismKind::Graphene
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         self.maybe_reset_window(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
         let count = self.tables[bank].record(event.row.row);
         if count >= self.threshold {
             self.tables[bank].reset_row(event.row.row);
             self.triggers += 1;
-            let victims = self.geometry.neighbor_rows(event.row, self.blast_radius);
-            vec![PreventiveAction::RefreshRows(victims)]
-        } else {
-            Vec::new()
+            sink.push_refresh_rows(self.geometry.neighbors(event.row, self.blast_radius));
         }
     }
 
@@ -122,6 +119,7 @@ impl TriggerMechanism for Graphene {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, RowAddr, ThreadId};
 
     fn mech(nrh: u64) -> Graphene {
@@ -142,7 +140,7 @@ mod tests {
         assert_eq!(g.threshold(), 16);
         let mut actions = Vec::new();
         for i in 0..16 {
-            actions = g.on_activation(&event(30, i));
+            actions = g.on_activation_vec(&event(30, i));
             if i < 15 {
                 assert!(actions.is_empty(), "no trigger before threshold (i={i})");
             }
@@ -164,7 +162,7 @@ mod tests {
         let mut g = mech(64);
         let mut trigger_count = 0;
         for i in 0..64u64 {
-            if !g.on_activation(&event(30, i)).is_empty() {
+            if !g.on_activation_vec(&event(30, i)).is_empty() {
                 trigger_count += 1;
             }
         }
@@ -178,9 +176,9 @@ mod tests {
         let other_bank = RowAddr { bank: BankAddr { rank: 1, bank_group: 1, bank: 1 }, row: 30 };
         // 15 activations in bank A, 15 in bank B: no trigger in either.
         for i in 0..15u64 {
-            assert!(g.on_activation(&event(30, i)).is_empty());
+            assert!(g.on_activation_vec(&event(30, i)).is_empty());
             let ev = ActivationEvent { row: other_bank, thread: ThreadId(1), cycle: i };
-            assert!(g.on_activation(&ev).is_empty());
+            assert!(g.on_activation_vec(&ev).is_empty());
         }
         assert_eq!(g.triggers(), 0);
     }
@@ -190,16 +188,16 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mut g = Graphene::new(DramGeometry::tiny(), &timing, 64, 1);
         for i in 0..15u64 {
-            assert!(g.on_activation(&event(30, i)).is_empty());
+            assert!(g.on_activation_vec(&event(30, i)).is_empty());
         }
         // Jump past the reset window: the accumulated count is gone.
         let far = timing.t_refw + 10;
-        assert!(g.on_activation(&event(30, far)).is_empty());
+        assert!(g.on_activation_vec(&event(30, far)).is_empty());
         for i in 1..15u64 {
-            assert!(g.on_activation(&event(30, far + i)).is_empty(), "i={i}");
+            assert!(g.on_activation_vec(&event(30, far + i)).is_empty(), "i={i}");
         }
         // The 16th activation after the reset triggers again.
-        assert!(!g.on_activation(&event(30, far + 20)).is_empty());
+        assert!(!g.on_activation_vec(&event(30, far + 20)).is_empty());
     }
 
     #[test]
@@ -221,10 +219,10 @@ mod tests {
         for i in 0..30_000u64 {
             // Background noise over many rows.
             let noise_row = 2 + (i as usize % 100);
-            g.on_activation(&event(noise_row, i));
+            g.on_activation_vec(&event(noise_row, i));
             // Hot aggressor row 1 every other activation.
             hot_since_refresh += 1;
-            let acts = g.on_activation(&event(1, i));
+            let acts = g.on_activation_vec(&event(1, i));
             if !acts.is_empty() {
                 worst = worst.max(hot_since_refresh);
                 hot_since_refresh = 0;

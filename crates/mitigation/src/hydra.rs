@@ -13,10 +13,9 @@
 //! and evictions, both of which the paper counts as RowHammer-preventive
 //! actions for score attribution (§4.1).
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
-use bh_dram::{Cycle, DramGeometry, RowAddr, TimingParams};
-use std::collections::{HashMap, VecDeque};
+use bh_dram::{Cycle, DramGeometry, FlatMap, RowAddr, TimingParams};
 
 /// Rows per tracking group (Hydra uses 128 in the paper's configuration).
 const GROUP_SIZE: usize = 128;
@@ -30,14 +29,19 @@ pub struct Hydra {
     blast_radius: usize,
     group_threshold: u64,
     refresh_threshold: u64,
-    /// Per bank: group index -> group activation count (GCT).
-    group_counts: Vec<HashMap<usize, u64>>,
-    /// Per bank: row -> per-row activation count (RCT, conceptually in DRAM).
-    row_counts: Vec<HashMap<usize, u64>>,
-    /// Row Count Cache: set of (flat bank, row) entries currently cached, with
-    /// FIFO replacement order.
-    rcc: HashMap<(usize, usize), ()>,
-    rcc_order: VecDeque<(usize, usize)>,
+    /// Dense per-group activation counters (the on-chip GCT), indexed by
+    /// `flat_bank * groups_per_bank + group`.
+    group_counts: Box<[u64]>,
+    groups_per_bank: usize,
+    /// Per bank: row -> per-row activation count (RCT, conceptually in DRAM;
+    /// only escalated groups' rows appear, so the table stays sparse).
+    row_counts: Vec<FlatMap<u64>>,
+    /// Row Count Cache membership, keyed by `flat_bank << 32 | row`, with a
+    /// fixed-size ring buffer providing the FIFO replacement order.
+    rcc: FlatMap<()>,
+    rcc_fifo: Box<[u64]>,
+    rcc_head: usize,
+    rcc_len: usize,
     window_cycles: Cycle,
     window_end: Cycle,
     refresh_triggers: u64,
@@ -60,15 +64,19 @@ impl Hydra {
         let refresh_threshold = (nrh / 4).max(2);
         let group_threshold = (refresh_threshold / 2).max(1);
         let banks = geometry.banks_per_channel();
+        let groups_per_bank = geometry.rows_per_bank.div_ceil(GROUP_SIZE);
         Hydra {
             geometry,
             blast_radius,
             group_threshold,
             refresh_threshold,
-            group_counts: vec![HashMap::new(); banks],
-            row_counts: vec![HashMap::new(); banks],
-            rcc: HashMap::with_capacity(RCC_ENTRIES),
-            rcc_order: VecDeque::with_capacity(RCC_ENTRIES),
+            group_counts: vec![0; banks * groups_per_bank].into_boxed_slice(),
+            groups_per_bank,
+            row_counts: (0..banks).map(|_| FlatMap::with_capacity(64)).collect(),
+            rcc: FlatMap::with_capacity(RCC_ENTRIES),
+            rcc_fifo: vec![0; RCC_ENTRIES].into_boxed_slice(),
+            rcc_head: 0,
+            rcc_len: 0,
             window_cycles: timing.t_refw,
             window_end: timing.t_refw,
             refresh_triggers: 0,
@@ -98,45 +106,45 @@ impl Hydra {
 
     fn maybe_reset_window(&mut self, cycle: Cycle) {
         if cycle >= self.window_end {
-            for m in &mut self.group_counts {
-                m.clear();
-            }
+            self.group_counts.fill(0);
             for m in &mut self.row_counts {
                 m.clear();
             }
             self.rcc.clear();
-            self.rcc_order.clear();
+            self.rcc_head = 0;
+            self.rcc_len = 0;
             while cycle >= self.window_end {
                 self.window_end += self.window_cycles;
             }
         }
     }
 
-    /// Touches the RCC for `(bank, row)`, returning the table-access actions
+    /// Touches the RCC for `(bank, row)`, pushing the table-access action
     /// caused by a miss (a fill read, plus a write-back if an entry is
-    /// evicted).
-    fn access_rcc(&mut self, bank: usize, row: usize) -> Vec<PreventiveAction> {
-        if self.rcc.contains_key(&(bank, row)) {
-            return Vec::new();
+    /// evicted) into `sink`.
+    fn access_rcc(&mut self, bank: usize, row: usize, sink: &mut ActionSink) {
+        let key = (bank as u64) << 32 | row as u64;
+        if self.rcc.contains_key(key) {
+            return;
         }
         self.rcc_misses += 1;
-        let mut actions = Vec::new();
-        let evicting = self.rcc.len() >= RCC_ENTRIES;
+        let evicting = self.rcc_len >= RCC_ENTRIES;
         if evicting {
-            if let Some(old) = self.rcc_order.pop_front() {
-                self.rcc.remove(&old);
-            }
+            let old = self.rcc_fifo[self.rcc_head];
+            self.rcc_head = (self.rcc_head + 1) % RCC_ENTRIES;
+            self.rcc_len -= 1;
+            self.rcc.remove(old);
         }
-        self.rcc.insert((bank, row), ());
-        self.rcc_order.push_back((bank, row));
+        self.rcc.insert(key, ());
+        self.rcc_fifo[(self.rcc_head + self.rcc_len) % RCC_ENTRIES] = key;
+        self.rcc_len += 1;
         // The RCT is stored in a reserved region of the same bank; model the
         // fill (and possible write-back) as one table access there.
         let table_row = RowAddr {
             bank: self.geometry.bank_from_flat(bank),
             row: self.geometry.rows_per_bank - 1 - (row % GROUP_SIZE),
         };
-        actions.push(PreventiveAction::TableAccess { row: table_row, write_back: evicting });
-        actions
+        sink.push_table_access(table_row, evicting);
     }
 }
 
@@ -149,29 +157,27 @@ impl TriggerMechanism for Hydra {
         MechanismKind::Hydra
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         self.maybe_reset_window(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
         let group = event.row.row / GROUP_SIZE;
 
-        let group_count = self.group_counts[bank].entry(group).or_insert(0);
+        let group_count = &mut self.group_counts[bank * self.groups_per_bank + group];
         if *group_count < self.group_threshold {
             // Aggregated tracking only: cheap, no DRAM-side table involved.
             *group_count += 1;
-            return Vec::new();
+            return;
         }
 
         // Escalated group: per-row tracking through the RCC/RCT.
-        let mut actions = self.access_rcc(bank, event.row.row);
-        let count = self.row_counts[bank].entry(event.row.row).or_insert(self.group_threshold);
+        self.access_rcc(bank, event.row.row, sink);
+        let count = self.row_counts[bank].or_insert(event.row.row as u64, self.group_threshold);
         *count += 1;
         if *count >= self.refresh_threshold {
             *count = 0;
             self.refresh_triggers += 1;
-            let victims = self.geometry.neighbor_rows(event.row, self.blast_radius);
-            actions.push(PreventiveAction::RefreshRows(victims));
+            sink.push_refresh_rows(self.geometry.neighbors(event.row, self.blast_radius));
         }
-        actions
     }
 
     fn storage_bits(&self) -> u64 {
@@ -189,6 +195,7 @@ impl TriggerMechanism for Hydra {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, ThreadId};
 
     fn mech(nrh: u64) -> Hydra {
@@ -209,10 +216,10 @@ mod tests {
         assert_eq!(h.refresh_threshold(), 64);
         assert_eq!(h.group_threshold(), 32);
         for i in 0..32u64 {
-            assert!(h.on_activation(&event(10, i)).is_empty(), "i={i}");
+            assert!(h.on_activation_vec(&event(10, i)).is_empty(), "i={i}");
         }
         // The next activation of the escalated group touches the RCT.
-        let actions = h.on_activation(&event(10, 32));
+        let actions = h.on_activation_vec(&event(10, 32));
         assert!(actions.iter().any(|a| matches!(a, PreventiveAction::TableAccess { .. })));
         assert_eq!(h.rcc_misses(), 1);
     }
@@ -222,7 +229,7 @@ mod tests {
         let mut h = mech(64); // refresh threshold 16, group threshold 8
         let mut refreshed = false;
         for i in 0..40u64 {
-            for a in h.on_activation(&event(10, i)) {
+            for a in h.on_activation_vec(&event(10, i)) {
                 if let PreventiveAction::RefreshRows(rows) = a {
                     refreshed = true;
                     assert!(rows.iter().all(|r| r.row == 9 || r.row == 11));
@@ -239,9 +246,9 @@ mod tests {
         // 32 activations spread over the group escalate it even though no
         // single row is hot.
         for i in 0..32u64 {
-            assert!(h.on_activation(&event((i % 8) as usize, i)).is_empty());
+            assert!(h.on_activation_vec(&event((i % 8) as usize, i)).is_empty());
         }
-        let actions = h.on_activation(&event(3, 33));
+        let actions = h.on_activation_vec(&event(3, 33));
         assert!(!actions.is_empty(), "escalated group must touch the RCT");
     }
 
@@ -250,15 +257,15 @@ mod tests {
         let mut h = mech(64);
         // Escalate the group.
         for i in 0..8u64 {
-            h.on_activation(&event(10, i));
+            h.on_activation_vec(&event(10, i));
         }
-        let first = h.on_activation(&event(10, 8));
+        let first = h.on_activation_vec(&event(10, 8));
         assert!(first.iter().any(|a| matches!(a, PreventiveAction::TableAccess { .. })));
         let misses_after_first = h.rcc_misses();
         // Subsequent activations of the same row hit the RCC.
         let mut extra_misses = 0;
         for i in 9..14u64 {
-            let acts = h.on_activation(&event(10, i));
+            let acts = h.on_activation_vec(&event(10, i));
             if acts.iter().any(|a| matches!(a, PreventiveAction::TableAccess { .. })) {
                 extra_misses += 1;
             }
@@ -272,12 +279,12 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mut h = Hydra::new(DramGeometry::tiny(), &timing, 64, 1);
         for i in 0..12u64 {
-            h.on_activation(&event(10, i));
+            h.on_activation_vec(&event(10, i));
         }
         assert!(h.rcc_misses() >= 1);
         let far = timing.t_refw + 5;
         // After the reset the group starts cold again: no table access.
-        assert!(h.on_activation(&event(10, far)).is_empty());
+        assert!(h.on_activation_vec(&event(10, far)).is_empty());
     }
 
     #[test]

@@ -18,14 +18,16 @@
 //!
 //! Every mechanism implements the [`TriggerMechanism`] trait: the memory
 //! controller reports each row activation (annotated with the hardware thread
-//! that caused it), and the mechanism returns the [`PreventiveAction`]s to
-//! perform. BreakHammer (in `bh-core`) observes those actions and attributes
+//! that caused it), and the mechanism pushes the preventive actions to
+//! perform into a caller-owned, reusable [`ActionSink`] — the activation path
+//! is the simulator's hot loop, so it is allocation-free in the steady state.
+//! BreakHammer (in `bh-core`) observes those actions and attributes
 //! per-thread scores according to the mechanism's [`ScoreAttribution`].
 //!
 //! ## Example
 //!
 //! ```
-//! use bh_mitigation::{ActivationEvent, MechanismKind, PreventiveAction};
+//! use bh_mitigation::{ActionSink, ActionView, ActivationEvent, MechanismKind};
 //! use bh_dram::{BankAddr, DramGeometry, RowAddr, ThreadId, TimingParams};
 //!
 //! let geometry = DramGeometry::paper_ddr5();
@@ -33,11 +35,14 @@
 //! let mut graphene = MechanismKind::Graphene.build(&geometry, &timing, 1024, 0);
 //!
 //! let row = RowAddr { bank: BankAddr { rank: 0, bank_group: 0, bank: 0 }, row: 42 };
+//! let mut sink = ActionSink::default();
 //! let mut preventive_refreshes = 0;
 //! for cycle in 0..10_000u64 {
 //!     let event = ActivationEvent { row, thread: ThreadId(0), cycle };
-//!     for action in graphene.on_activation(&event) {
-//!         if let PreventiveAction::RefreshRows(victims) = action {
+//!     sink.clear();
+//!     graphene.on_activation(&event, &mut sink);
+//!     for action in sink.iter() {
+//!         if let ActionView::RefreshRows(victims) = action {
 //!             preventive_refreshes += victims.len();
 //!         }
 //!     }
@@ -61,7 +66,7 @@ pub mod rega;
 pub mod rfm;
 pub mod twice;
 
-pub use action::{ActivationEvent, PreventiveAction, ScoreAttribution};
+pub use action::{ActionSink, ActionView, ActivationEvent, PreventiveAction, ScoreAttribution};
 pub use aqua::Aqua;
 pub use blockhammer::BlockHammer;
 pub use graphene::Graphene;

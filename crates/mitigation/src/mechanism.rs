@@ -2,7 +2,7 @@
 //! mechanism, and the [`MechanismKind`] factory used by the experiment
 //! harness to instantiate mechanisms by name.
 
-use crate::action::{ActivationEvent, PreventiveAction, ScoreAttribution};
+use crate::action::{ActionSink, ActivationEvent, PreventiveAction, ScoreAttribution};
 use crate::{
     aqua::Aqua, blockhammer::BlockHammer, graphene::Graphene, hydra::Hydra, para::Para, prac::Prac,
     rega::Rega, rfm::Rfm, twice::Twice,
@@ -14,11 +14,12 @@ use std::fmt;
 /// A RowHammer mitigation mechanism's trigger algorithm.
 ///
 /// The memory controller feeds every row activation to the mechanism via
-/// [`TriggerMechanism::on_activation`]; the mechanism returns the
-/// RowHammer-preventive actions it wants performed. BlockHammer additionally
-/// blocks scheduling of requests to blacklisted rows via
-/// [`TriggerMechanism::is_blocked`], and REGA adjusts DRAM timing via
-/// [`TriggerMechanism::timing_adjustment`].
+/// [`TriggerMechanism::on_activation`]; the mechanism pushes the
+/// RowHammer-preventive actions it wants performed into the caller-owned
+/// [`ActionSink`] (see the sink's documentation for the ownership and
+/// reentrancy contract). BlockHammer additionally blocks scheduling of
+/// requests to blacklisted rows via [`TriggerMechanism::is_blocked`], and
+/// REGA adjusts DRAM timing via [`TriggerMechanism::timing_adjustment`].
 pub trait TriggerMechanism: fmt::Debug + Send {
     /// Human-readable mechanism name (e.g. `"Graphene"`).
     fn name(&self) -> &'static str;
@@ -26,9 +27,21 @@ pub trait TriggerMechanism: fmt::Debug + Send {
     /// The mechanism's kind tag.
     fn kind(&self) -> MechanismKind;
 
-    /// Observes one row activation and returns any preventive actions to
-    /// perform now.
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction>;
+    /// Observes one row activation and appends any preventive actions to
+    /// perform now to `sink`. This is the simulator's per-activation hot
+    /// path: implementations must not allocate in the steady state (the sink
+    /// reuses its buffers; trackers must not rehash or grow after warm-up).
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink);
+
+    /// Convenience wrapper around [`TriggerMechanism::on_activation`] that
+    /// collects the actions into a fresh `Vec`. Allocates per call — meant
+    /// for tests, examples and offline analysis, never for the simulation
+    /// loop.
+    fn on_activation_vec(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+        let mut sink = ActionSink::default();
+        self.on_activation(event, &mut sink);
+        sink.to_actions()
+    }
 
     /// True if a request that would activate `row` must not be scheduled at
     /// `cycle` (BlockHammer's blacklisting throttle). The default never blocks.
@@ -216,9 +229,7 @@ impl TriggerMechanism for NoMitigation {
         MechanismKind::None
     }
 
-    fn on_activation(&mut self, _event: &ActivationEvent) -> Vec<PreventiveAction> {
-        Vec::new()
-    }
+    fn on_activation(&mut self, _event: &ActivationEvent, _sink: &mut ActionSink) {}
 
     fn storage_bits(&self) -> u64 {
         0
@@ -238,9 +249,12 @@ mod tests {
             thread: ThreadId(0),
             cycle: 0,
         };
+        let mut sink = ActionSink::default();
         for _ in 0..10_000 {
-            assert!(m.on_activation(&ev).is_empty());
+            m.on_activation(&ev, &mut sink);
+            assert!(sink.is_empty());
         }
+        assert!(m.on_activation_vec(&ev).is_empty());
         assert_eq!(m.storage_bits(), 0);
         assert_eq!(m.kind(), MechanismKind::None);
         assert_eq!(m.name(), "NoDefense");

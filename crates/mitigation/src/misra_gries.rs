@@ -6,15 +6,63 @@
 //! `spillover` times is guaranteed to be present in the table, and a tracked
 //! row's counter is at most `spillover` below its true activation count. Both
 //! Graphene and AQUA rely on this guarantee to never miss an aggressor.
+//!
+//! ## Storage layout
+//!
+//! This mirrors the CAM Graphene builds in hardware: a flat open-addressing
+//! table (Fibonacci hashing, linear probing, backward-shift deletion) sized
+//! at construction to at most 50% load, so it never rehashes or grows. The
+//! original `HashMap` implementation found an eviction victim by iterating
+//! the whole map and taking the minimum decayed row — an O(capacity) scan
+//! with SipHash on every access. Here eviction candidates are tracked *in
+//! table*: an entry's count can only fall to the spillover level through one
+//! of three observable transitions (insertion-time spillover catch-up,
+//! [`MisraGries::reset_row`], or a spillover increment), and each transition
+//! pushes the row into a min-heap of decayed candidates, deduplicated by a
+//! per-slot flag. `record` is therefore O(1) amortized — a probe plus, on
+//! eviction, an O(log capacity) heap pop — and the only remaining full scan
+//! runs when the spillover itself increments (at most once per
+//! capacity-exceeding activation burst, the same event that forced the old
+//! implementation's scan on *every* eviction).
+//!
+//! Behaviour is bit-identical to the `HashMap` version, including the
+//! deterministic lowest-row-index victim rule; the `reference_equivalence`
+//! proptest below drives both implementations with random operation streams
+//! and asserts identical observable state at every step.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Sentinel row index marking an empty slot.
+const EMPTY: u32 = u32::MAX;
+
+/// Multiplier for Fibonacci hashing (2^64 / φ, odd).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// A Misra–Gries summary over row indices.
+///
+/// Rows must fit in a `u32` below `u32::MAX` (row indices are bounded by
+/// `rows_per_bank`, far below that).
 #[derive(Debug, Clone)]
 pub struct MisraGries {
     capacity: usize,
-    counts: HashMap<usize, u64>,
+    /// `slots - 1`; slots is a power of two `>= 2 * capacity`.
+    mask: usize,
+    /// `64 - log2(slots)`.
+    shift: u32,
+    /// Row key per slot (`EMPTY` = vacant).
+    rows: Box<[u32]>,
+    /// Estimated activation count per slot.
+    counts: Box<[u64]>,
+    /// True if the slot's row currently has a copy in `decayed` (dedup flag;
+    /// moves with the entry on backward-shift deletion).
+    in_heap: Box<[bool]>,
+    len: usize,
     spillover: u64,
+    /// Min-heap (by row index) of candidate eviction victims: every row whose
+    /// count equals the spillover has a copy here (the converse need not
+    /// hold — stale copies are discarded lazily on pop).
+    decayed: BinaryHeap<Reverse<u32>>,
 }
 
 impl MisraGries {
@@ -24,70 +72,191 @@ impl MisraGries {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "Misra-Gries capacity must be positive");
-        MisraGries { capacity, counts: HashMap::with_capacity(capacity), spillover: 0 }
+        let slots = (capacity * 2).max(8).next_power_of_two();
+        MisraGries {
+            capacity,
+            mask: slots - 1,
+            shift: 64 - slots.trailing_zeros(),
+            rows: vec![EMPTY; slots].into_boxed_slice(),
+            counts: vec![0; slots].into_boxed_slice(),
+            in_heap: vec![false; slots].into_boxed_slice(),
+            len: 0,
+            spillover: 0,
+            decayed: BinaryHeap::new(),
+        }
+    }
+
+    #[inline]
+    fn home(&self, row: u32) -> usize {
+        (u64::from(row).wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// `Ok(slot)` if `row` is present, `Err(slot)` with its insertion point.
+    #[inline]
+    fn probe(&self, row: u32) -> Result<usize, usize> {
+        let mut i = self.home(row);
+        loop {
+            let r = self.rows[i];
+            if r == row {
+                return Ok(i);
+            }
+            if r == EMPTY {
+                return Err(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Marks slot `i` as an eviction candidate (its count reached the
+    /// spillover level), unless it already has a heap copy.
+    #[inline]
+    fn mark_decayed(&mut self, i: usize) {
+        if !self.in_heap[i] {
+            self.in_heap[i] = true;
+            self.decayed.push(Reverse(self.rows[i]));
+        }
+    }
+
+    /// Pops the lowest-row-index entry whose count still equals the
+    /// spillover, discarding stale candidates. Returns its slot.
+    fn pop_decayed(&mut self) -> Option<usize> {
+        while let Some(Reverse(row)) = self.decayed.pop() {
+            if let Ok(i) = self.probe(row) {
+                self.in_heap[i] = false;
+                if self.counts[i] == self.spillover {
+                    return Some(i);
+                }
+            }
+            // Absent rows are ghosts of removed entries; drop them.
+        }
+        None
+    }
+
+    /// Re-derives the eviction-candidate set after a spillover increment:
+    /// entries whose count just fell to the (new) spillover level join the
+    /// heap. This is the only O(capacity) path left in the structure.
+    #[cold]
+    fn rescan_decayed(&mut self) {
+        for i in 0..self.rows.len() {
+            if self.rows[i] != EMPTY && self.counts[i] == self.spillover {
+                self.mark_decayed(i);
+            }
+        }
+    }
+
+    /// Removes the entry at slot `hole` (backward-shift deletion, so probe
+    /// chains stay intact without tombstones).
+    ///
+    /// Mirrors `bh_dram::FlatMap::remove` — duplicated because this table
+    /// moves the `in_heap` flag alongside each entry; keep the
+    /// cyclic-interval rule in sync with the generic map's.
+    fn remove_slot(&mut self, mut hole: usize) {
+        let mut i = hole;
+        loop {
+            i = (i + 1) & self.mask;
+            let r = self.rows[i];
+            if r == EMPTY {
+                break;
+            }
+            let home = self.home(r);
+            if (i.wrapping_sub(home) & self.mask) >= (i.wrapping_sub(hole) & self.mask) {
+                self.rows[hole] = r;
+                self.counts[hole] = self.counts[i];
+                self.in_heap[hole] = self.in_heap[i];
+                hole = i;
+            }
+        }
+        self.rows[hole] = EMPTY;
+        self.in_heap[hole] = false;
+        self.len -= 1;
+    }
+
+    /// Inserts `row` at its probe position with the given count. The caller
+    /// guarantees the row is absent and the table below capacity.
+    fn insert(&mut self, row: u32, count: u64) {
+        let i = self.probe(row).unwrap_err();
+        self.rows[i] = row;
+        self.counts[i] = count;
+        self.in_heap[i] = false;
+        self.len += 1;
+        if count == self.spillover {
+            self.mark_decayed(i);
+        }
     }
 
     /// Records one activation of `row` and returns its estimated count.
     pub fn record(&mut self, row: usize) -> u64 {
-        if let Some(c) = self.counts.get_mut(&row) {
-            *c += 1;
-            return *c;
+        let row = row as u32;
+        if let Ok(i) = self.probe(row) {
+            // A decayed entry that gains a count leaves the candidate set;
+            // its heap copy (if any) goes stale and is skipped on pop.
+            self.counts[i] += 1;
+            return self.counts[i];
         }
-        if self.counts.len() < self.capacity {
+        if self.len < self.capacity {
             let count = self.spillover + 1;
-            self.counts.insert(row, count);
+            self.insert(row, count);
             return count;
         }
         // Table full: either replace an entry that has decayed to the
         // spillover level, or absorb the activation into the spillover.
-        // The victim choice is made deterministic (lowest row index) so that
+        // The victim choice is deterministic (lowest row index) so that
         // simulations are exactly reproducible run to run.
-        if let Some(&victim) =
-            self.counts.iter().filter(|(_, c)| **c <= self.spillover).map(|(r, _)| r).min()
-        {
-            self.counts.remove(&victim);
+        if let Some(victim) = self.pop_decayed() {
+            self.remove_slot(victim);
             let count = self.spillover + 1;
-            self.counts.insert(row, count);
+            self.insert(row, count);
             count
         } else {
             self.spillover += 1;
+            self.rescan_decayed();
             self.spillover
         }
     }
 
     /// Estimated activation count of `row` (the spillover if untracked).
     pub fn estimate(&self, row: usize) -> u64 {
-        self.counts.get(&row).copied().unwrap_or(self.spillover)
+        match self.probe(row as u32) {
+            Ok(i) => self.counts[i],
+            Err(_) => self.spillover,
+        }
     }
 
     /// Resets the counter of `row` to the current spillover level, as Graphene
     /// does after issuing a preventive refresh for the row.
     pub fn reset_row(&mut self, row: usize) {
-        if let Some(c) = self.counts.get_mut(&row) {
-            *c = self.spillover;
+        if let Ok(i) = self.probe(row as u32) {
+            self.counts[i] = self.spillover;
+            self.mark_decayed(i);
         }
     }
 
     /// Removes `row` from the table entirely (AQUA does this after migrating
     /// the row away, because the quarantined copy starts cold).
     pub fn remove_row(&mut self, row: usize) {
-        self.counts.remove(&row);
+        if let Ok(i) = self.probe(row as u32) {
+            // A heap copy may survive as a ghost; pop discards it.
+            self.remove_slot(i);
+        }
     }
 
     /// Clears the whole summary (done at every reset window).
     pub fn clear(&mut self) {
-        self.counts.clear();
+        self.rows.fill(EMPTY);
+        self.in_heap.fill(false);
+        self.len = 0;
         self.spillover = 0;
+        self.decayed.clear();
     }
 
     /// Number of tracked rows.
     pub fn len(&self) -> usize {
-        self.counts.len()
+        self.len
     }
 
     /// True if no row is currently tracked.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.len == 0
     }
 
     /// The configured capacity.
@@ -102,13 +271,98 @@ impl MisraGries {
 
     /// Iterates over `(row, estimated_count)` pairs of tracked rows.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
-        self.counts.iter().map(|(r, c)| (*r, *c))
+        self.rows
+            .iter()
+            .zip(self.counts.iter())
+            .filter(|(r, _)| **r != EMPTY)
+            .map(|(r, c)| (*r as usize, *c))
+    }
+}
+
+/// The original `HashMap`-backed implementation, kept as the executable
+/// reference model: the `reference_equivalence` proptest drives it in
+/// lockstep with the flat table and asserts identical observable behaviour,
+/// including the deterministic lowest-row-index eviction rule.
+#[cfg(test)]
+pub(crate) mod reference {
+    use std::collections::HashMap;
+
+    /// Reference Misra–Gries summary (see the module docs of
+    /// [`super::MisraGries`] for semantics).
+    #[derive(Debug, Clone)]
+    pub struct HashMisraGries {
+        capacity: usize,
+        counts: HashMap<usize, u64>,
+        spillover: u64,
+    }
+
+    impl HashMisraGries {
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "Misra-Gries capacity must be positive");
+            HashMisraGries { capacity, counts: HashMap::with_capacity(capacity), spillover: 0 }
+        }
+
+        pub fn record(&mut self, row: usize) -> u64 {
+            if let Some(c) = self.counts.get_mut(&row) {
+                *c += 1;
+                return *c;
+            }
+            if self.counts.len() < self.capacity {
+                let count = self.spillover + 1;
+                self.counts.insert(row, count);
+                return count;
+            }
+            if let Some(&victim) =
+                self.counts.iter().filter(|(_, c)| **c <= self.spillover).map(|(r, _)| r).min()
+            {
+                self.counts.remove(&victim);
+                let count = self.spillover + 1;
+                self.counts.insert(row, count);
+                count
+            } else {
+                self.spillover += 1;
+                self.spillover
+            }
+        }
+
+        pub fn estimate(&self, row: usize) -> u64 {
+            self.counts.get(&row).copied().unwrap_or(self.spillover)
+        }
+
+        pub fn reset_row(&mut self, row: usize) {
+            if let Some(c) = self.counts.get_mut(&row) {
+                *c = self.spillover;
+            }
+        }
+
+        pub fn remove_row(&mut self, row: usize) {
+            self.counts.remove(&row);
+        }
+
+        pub fn clear(&mut self) {
+            self.counts.clear();
+            self.spillover = 0;
+        }
+
+        pub fn len(&self) -> usize {
+            self.counts.len()
+        }
+
+        pub fn spillover(&self) -> u64 {
+            self.spillover
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+            self.counts.iter().map(|(r, c)| (*r, *c))
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::HashMisraGries;
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn tracks_up_to_capacity_exactly() {
@@ -180,8 +434,99 @@ mod tests {
     }
 
     #[test]
+    fn eviction_picks_the_lowest_decayed_row_index() {
+        // Fill a capacity-3 table, decay every entry via reset_row, then
+        // insert new rows: victims must leave in ascending row order.
+        let mut mg = MisraGries::new(3);
+        for row in [30, 10, 20] {
+            mg.record(row);
+            mg.reset_row(row);
+        }
+        mg.record(40); // evicts 10
+        let mut tracked: Vec<usize> = mg.iter().map(|(r, _)| r).collect();
+        tracked.sort_unstable();
+        assert_eq!(tracked, vec![20, 30, 40]);
+        mg.reset_row(40);
+        mg.record(50); // evicts 20 (40 was reset after the others)
+        let mut tracked: Vec<usize> = mg.iter().map(|(r, _)| r).collect();
+        tracked.sort_unstable();
+        assert_eq!(tracked, vec![30, 40, 50]);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = MisraGries::new(0);
+    }
+
+    /// Asserts every observable of the flat and reference implementations
+    /// matches.
+    fn assert_same_state(flat: &MisraGries, reference: &HashMisraGries, context: &str) {
+        assert_eq!(flat.len(), reference.len(), "len after {context}");
+        assert_eq!(flat.spillover(), reference.spillover(), "spillover after {context}");
+        let mut flat_entries: Vec<(usize, u64)> = flat.iter().collect();
+        flat_entries.sort_unstable();
+        let mut ref_entries: Vec<(usize, u64)> = reference.iter().collect();
+        ref_entries.sort_unstable();
+        assert_eq!(flat_entries, ref_entries, "tracked entries after {context}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The flat table and the `HashMap` reference model agree on every
+        /// `record` return value, every `estimate`, the tracked-row set and
+        /// the spillover across random operation streams — i.e. the rewrite
+        /// (including its in-table min-tracking eviction path) is
+        /// bit-identical to the original, lowest-row-victim rule included.
+        #[test]
+        fn reference_equivalence(
+            capacity in 1usize..6,
+            ops in proptest::collection::vec((0u8..8, 0usize..24), 1..400),
+        ) {
+            let mut flat = MisraGries::new(capacity);
+            let mut reference = HashMisraGries::new(capacity);
+            for (i, (op, row)) in ops.iter().enumerate() {
+                let context = format!("op {i} ({op}, row {row})");
+                match op {
+                    // Bias toward record: it is the only operation with a
+                    // non-trivial (eviction/spillover) decision to compare.
+                    0..=4 => {
+                        let a = flat.record(*row);
+                        let b = reference.record(*row);
+                        prop_assert_eq!(a, b, "record return at {}", context);
+                    }
+                    5 => {
+                        flat.reset_row(*row);
+                        reference.reset_row(*row);
+                    }
+                    6 => {
+                        flat.remove_row(*row);
+                        reference.remove_row(*row);
+                    }
+                    _ => {
+                        prop_assert_eq!(
+                            flat.estimate(*row),
+                            reference.estimate(*row),
+                            "estimate at {}",
+                            context
+                        );
+                    }
+                }
+                assert_same_state(&flat, &reference, &context);
+                for probe_row in 0..24usize {
+                    prop_assert_eq!(
+                        flat.estimate(probe_row),
+                        reference.estimate(probe_row),
+                        "estimate of row {} after {}",
+                        probe_row,
+                        context
+                    );
+                }
+            }
+            flat.clear();
+            reference.clear();
+            assert_same_state(&flat, &reference, "clear");
+        }
     }
 }

@@ -9,7 +9,7 @@
 //! the paper finds PARA degrades performance below the no-defense baseline at
 //! very low thresholds even when the attacker is throttled (§8.1).
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use bh_dram::DramGeometry;
 use rand::rngs::StdRng;
@@ -69,18 +69,19 @@ impl TriggerMechanism for Para {
         MechanismKind::Para
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         self.activations += 1;
         if self.rng.gen::<f64>() >= self.probability {
-            return Vec::new();
+            return;
         }
-        let neighbors = self.geometry.neighbor_rows(event.row, self.blast_radius);
-        if neighbors.is_empty() {
-            return Vec::new();
+        let neighbors = self.geometry.neighbors(event.row, self.blast_radius);
+        let candidates = neighbors.clone().count();
+        if candidates == 0 {
+            return;
         }
-        let pick = self.rng.gen_range(0..neighbors.len());
+        let pick = self.rng.gen_range(0..candidates);
         self.triggers += 1;
-        vec![PreventiveAction::RefreshRows(vec![neighbors[pick]])]
+        sink.push_refresh_rows(neighbors.skip(pick).take(1));
     }
 
     fn storage_bits(&self) -> u64 {
@@ -92,6 +93,7 @@ impl TriggerMechanism for Para {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, RowAddr, ThreadId};
 
     fn event(row: usize, cycle: u64) -> ActivationEvent {
@@ -122,7 +124,7 @@ mod tests {
         let n = 40_000u64;
         let mut triggered = 0u64;
         for i in 0..n {
-            if !para.on_activation(&event(10, i)).is_empty() {
+            if !para.on_activation_vec(&event(10, i)).is_empty() {
                 triggered += 1;
             }
         }
@@ -136,7 +138,7 @@ mod tests {
         let g = DramGeometry::tiny();
         let mut para = Para::new(g, 64, 1, 7); // p == 1, always triggers
         for i in 0..100 {
-            let actions = para.on_activation(&event(50, i));
+            let actions = para.on_activation_vec(&event(50, i));
             assert_eq!(actions.len(), 1);
             match &actions[0] {
                 PreventiveAction::RefreshRows(rows) => {
@@ -155,7 +157,7 @@ mod tests {
             let mut para = Para::new(g.clone(), 512, 1, seed);
             (0..500)
                 .filter_map(|i| {
-                    let a = para.on_activation(&event(20, i));
+                    let a = para.on_activation_vec(&event(20, i));
                     match a.first() {
                         Some(PreventiveAction::RefreshRows(rows)) => Some(rows[0].row),
                         _ => None,

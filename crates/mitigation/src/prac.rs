@@ -9,10 +9,9 @@
 //! `N_RH` — but an attacker can still force frequent back-offs, which is the
 //! behaviour BreakHammer exploits to identify and throttle the attacker.
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use bh_dram::DramGeometry;
-use std::collections::HashMap;
 
 /// The PRAC mechanism.
 #[derive(Debug)]
@@ -20,8 +19,11 @@ pub struct Prac {
     geometry: DramGeometry,
     backoff_threshold: u64,
     rfms_per_alert: usize,
-    /// Per flat bank: row -> in-DRAM activation counter.
-    row_counts: Vec<HashMap<usize, u64>>,
+    /// Dense per-row in-DRAM activation counters, indexed by
+    /// `flat_bank * rows_per_bank + row` — mirroring PRAC's actual storage
+    /// (one counter per DRAM row) and keeping the per-activation update a
+    /// single array increment.
+    row_counts: Box<[u32]>,
     alerts: u64,
 }
 
@@ -35,12 +37,13 @@ impl Prac {
         // Back-off asserted at half the threshold, leaving the chip time to
         // refresh the victims before bitflips become possible.
         let backoff_threshold = (nrh / 2).max(2);
-        let banks = geometry.banks_per_channel();
+        assert!(backoff_threshold < u64::from(u32::MAX), "back-off threshold must fit in a u32");
+        let rows = geometry.rows_per_channel();
         Prac {
             geometry,
             backoff_threshold,
             rfms_per_alert: 1,
-            row_counts: vec![HashMap::new(); banks],
+            row_counts: vec![0; rows].into_boxed_slice(),
             alerts: 0,
         }
     }
@@ -62,7 +65,7 @@ impl Prac {
 
     /// In-DRAM activation count of a row (for tests and statistics).
     pub fn row_count(&self, flat_bank: usize, row: usize) -> u64 {
-        self.row_counts[flat_bank].get(&row).copied().unwrap_or(0)
+        u64::from(self.row_counts[flat_bank * self.geometry.rows_per_bank + row])
     }
 }
 
@@ -75,16 +78,16 @@ impl TriggerMechanism for Prac {
         MechanismKind::Prac
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         let bank = self.geometry.flat_bank(event.row.bank);
-        let count = self.row_counts[bank].entry(event.row.row).or_insert(0);
+        let count = &mut self.row_counts[bank * self.geometry.rows_per_bank + event.row.row];
         *count += 1;
-        if *count >= self.backoff_threshold {
+        if u64::from(*count) >= self.backoff_threshold {
             *count = 0;
             self.alerts += 1;
-            vec![PreventiveAction::IssueRfm { bank: event.row.bank }; self.rfms_per_alert]
-        } else {
-            Vec::new()
+            for _ in 0..self.rfms_per_alert {
+                sink.push_rfm(event.row.bank);
+            }
         }
     }
 
@@ -98,6 +101,7 @@ impl TriggerMechanism for Prac {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, RowAddr, ThreadId};
 
     fn event(row: usize, cycle: u64) -> ActivationEvent {
@@ -115,13 +119,13 @@ mod tests {
         // A benign pattern cycling over many rows never trips the per-row
         // counter even after many total activations.
         for i in 0..5000u64 {
-            assert!(p.on_activation(&event((i % 64) as usize, i)).is_empty());
+            assert!(p.on_activation_vec(&event((i % 64) as usize, i)).is_empty());
         }
         assert_eq!(p.alerts(), 0);
         // A hot row does.
         let mut fired = 0;
         for i in 0..512u64 {
-            fired += p.on_activation(&event(7, 10_000 + i)).len();
+            fired += p.on_activation_vec(&event(7, 10_000 + i)).len();
         }
         assert!(fired >= 1);
         assert_eq!(p.alerts() as usize, fired);
@@ -132,7 +136,7 @@ mod tests {
         let mut p = Prac::new(DramGeometry::tiny(), 64); // threshold 32
         let mut alerts = 0;
         for i in 0..128u64 {
-            alerts += p.on_activation(&event(3, i)).len();
+            alerts += p.on_activation_vec(&event(3, i)).len();
         }
         assert_eq!(alerts, 4);
         assert_eq!(p.row_count(0, 3), 0);
@@ -144,7 +148,7 @@ mod tests {
         assert_eq!(p.rfms_per_alert(), 1);
         let mut last = Vec::new();
         for i in 0..32u64 {
-            let acts = p.on_activation(&event(5, i));
+            let acts = p.on_activation_vec(&event(5, i));
             if !acts.is_empty() {
                 last = acts;
             }

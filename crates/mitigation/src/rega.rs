@@ -14,7 +14,7 @@
 //! RowHammer-preventive score is incremented by one for every `REGA_T`
 //! activations the thread performs.
 
-use crate::action::{ActivationEvent, PreventiveAction, ScoreAttribution};
+use crate::action::{ActionSink, ActivationEvent, ScoreAttribution};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use bh_dram::TimingAdjustment;
 
@@ -68,11 +68,10 @@ impl TriggerMechanism for Rega {
         MechanismKind::Rega
     }
 
-    fn on_activation(&mut self, _event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, _event: &ActivationEvent, _sink: &mut ActionSink) {
         // Refreshes happen inside the DRAM chip, in parallel with the
         // activation; no controller-visible action is generated.
         self.activations += 1;
-        Vec::new()
     }
 
     fn timing_adjustment(&self) -> TimingAdjustment {
@@ -106,7 +105,7 @@ mod tests {
     fn never_emits_controller_visible_actions() {
         let mut r = Rega::new(64);
         for i in 0..1000 {
-            assert!(r.on_activation(&event(i)).is_empty());
+            assert!(r.on_activation_vec(&event(i)).is_empty());
         }
         assert_eq!(r.activations(), 1000);
     }

@@ -9,7 +9,7 @@
 //! (reference \[220\] in the paper), so protecting weaker chips requires more
 //! frequent RFMs and thus more bank-blocked time.
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
 use bh_dram::DramGeometry;
 
@@ -63,15 +63,13 @@ impl TriggerMechanism for Rfm {
         MechanismKind::Rfm
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         let bank = self.geometry.flat_bank(event.row.bank);
         self.counters[bank] += 1;
         if self.counters[bank] >= self.raaimt {
             self.counters[bank] = 0;
             self.rfms_issued += 1;
-            vec![PreventiveAction::IssueRfm { bank: event.row.bank }]
-        } else {
-            Vec::new()
+            sink.push_rfm(event.row.bank);
         }
     }
 
@@ -84,6 +82,7 @@ impl TriggerMechanism for Rfm {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, RowAddr, ThreadId};
 
     fn event(bank: usize, row: usize, cycle: u64) -> ActivationEvent {
@@ -102,7 +101,7 @@ mod tests {
         for i in 0..1280u64 {
             // Spread over distinct rows: RFM counts bank activations, not
             // per-row activations.
-            let acts = r.on_activation(&event(0, (i % 50) as usize, i));
+            let acts = r.on_activation_vec(&event(0, (i % 50) as usize, i));
             rfms += acts.len();
             for a in acts {
                 assert!(matches!(a, PreventiveAction::IssueRfm { bank } if bank.bank == 0));
@@ -116,8 +115,8 @@ mod tests {
     fn counters_are_per_bank() {
         let mut r = Rfm::new(DramGeometry::tiny(), 1024);
         for i in 0..100u64 {
-            assert!(r.on_activation(&event(0, 1, i)).is_empty());
-            assert!(r.on_activation(&event(1, 1, i)).is_empty());
+            assert!(r.on_activation_vec(&event(0, 1, i)).is_empty());
+            assert!(r.on_activation_vec(&event(1, 1, i)).is_empty());
         }
         assert_eq!(r.raa_counter(0), 100);
         assert_eq!(r.raa_counter(1), 100);

@@ -6,13 +6,12 @@
 //! which keeps the table small for benign access patterns. Rows whose counter
 //! crosses the refresh threshold have their neighbours preventively refreshed.
 
-use crate::action::{ActivationEvent, PreventiveAction};
+use crate::action::{ActionSink, ActivationEvent};
 use crate::mechanism::{MechanismKind, TriggerMechanism};
-use bh_dram::{Cycle, DramGeometry, TimingParams};
-use std::collections::HashMap;
+use bh_dram::{Cycle, DramGeometry, FlatMap, TimingParams};
 
 /// One TWiCe table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct TwiceEntry {
     /// Activations observed for the row in the current window.
     count: u64,
@@ -33,7 +32,14 @@ pub struct Twice {
     next_prune: Cycle,
     window_cycles: Cycle,
     window_end: Cycle,
-    tables: Vec<HashMap<usize, TwiceEntry>>,
+    tables: Vec<FlatMap<TwiceEntry>>,
+    /// Live entries across all banks (maintained incrementally so the
+    /// per-activation peak update is O(1) instead of a per-bank sum).
+    live_entries: usize,
+    /// Reusable scratch listing the keys to prune (two-phase prune: mutate
+    /// lifetimes, then delete — keeps the open-addressing iteration simple
+    /// and allocation-free in the steady state).
+    prune_scratch: Vec<u64>,
     triggers: u64,
     pruned_entries: u64,
     peak_entries: usize,
@@ -67,7 +73,9 @@ impl Twice {
             next_prune: prune_interval,
             window_cycles,
             window_end: window_cycles,
-            tables: vec![HashMap::new(); banks],
+            tables: (0..banks).map(|_| FlatMap::with_capacity(64)).collect(),
+            live_entries: 0,
+            prune_scratch: Vec::new(),
             triggers: 0,
             pruned_entries: 0,
             peak_entries: 0,
@@ -99,6 +107,7 @@ impl Twice {
             for t in &mut self.tables {
                 t.clear();
             }
+            self.live_entries = 0;
             while cycle >= self.window_end {
                 self.window_end += self.window_cycles;
             }
@@ -108,15 +117,22 @@ impl Twice {
             let rate = self.prune_rate;
             let mut pruned = 0u64;
             for t in &mut self.tables {
-                let before = t.len();
-                t.retain(|_, e| {
+                self.prune_scratch.clear();
+                let scratch = &mut self.prune_scratch;
+                t.for_each_mut(|row, e| {
                     e.life += 1;
                     // Keep an entry only if it sustains the rate needed to
                     // reach the refresh threshold within the window.
-                    e.count as f64 >= rate * e.life as f64
+                    if (e.count as f64) < rate * e.life as f64 {
+                        scratch.push(row);
+                    }
                 });
-                pruned += (before - t.len()) as u64;
+                for i in 0..self.prune_scratch.len() {
+                    t.remove(self.prune_scratch[i]);
+                }
+                pruned += self.prune_scratch.len() as u64;
             }
+            self.live_entries -= pruned as usize;
             self.pruned_entries += pruned;
             self.next_prune += self.prune_interval;
         }
@@ -132,22 +148,21 @@ impl TriggerMechanism for Twice {
         MechanismKind::Twice
     }
 
-    fn on_activation(&mut self, event: &ActivationEvent) -> Vec<PreventiveAction> {
+    fn on_activation(&mut self, event: &ActivationEvent, sink: &mut ActionSink) {
         self.maybe_prune_and_reset(event.cycle);
         let bank = self.geometry.flat_bank(event.row.bank);
-        let entry =
-            self.tables[bank].entry(event.row.row).or_insert(TwiceEntry { count: 0, life: 0 });
+        let table = &mut self.tables[bank];
+        let len_before = table.len();
+        let entry = table.or_insert(event.row.row as u64, TwiceEntry { count: 0, life: 0 });
         entry.count += 1;
         let count = entry.count;
-        let total_entries: usize = self.tables.iter().map(HashMap::len).sum();
-        self.peak_entries = self.peak_entries.max(total_entries);
+        self.live_entries += table.len() - len_before;
+        self.peak_entries = self.peak_entries.max(self.live_entries);
         if count >= self.refresh_threshold {
-            self.tables[bank].remove(&event.row.row);
+            self.tables[bank].remove(event.row.row as u64);
+            self.live_entries -= 1;
             self.triggers += 1;
-            let victims = self.geometry.neighbor_rows(event.row, self.blast_radius);
-            vec![PreventiveAction::RefreshRows(victims)]
-        } else {
-            Vec::new()
+            sink.push_refresh_rows(self.geometry.neighbors(event.row, self.blast_radius));
         }
     }
 
@@ -167,6 +182,7 @@ impl TriggerMechanism for Twice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::action::PreventiveAction;
     use bh_dram::{BankAddr, RowAddr, ThreadId};
 
     fn mech(nrh: u64) -> Twice {
@@ -188,7 +204,7 @@ mod tests {
         let mut triggered_at = None;
         for i in 0..16u64 {
             // Keep the activations dense so pruning cannot interfere.
-            let acts = t.on_activation(&event(40, i));
+            let acts = t.on_activation_vec(&event(40, i));
             if !acts.is_empty() {
                 triggered_at = Some(i);
                 match &acts[0] {
@@ -209,17 +225,17 @@ mod tests {
         let mut t = Twice::new(DramGeometry::tiny(), &timing, 4096, 1);
         // Touch many rows once at cycle 0..100.
         for r in 0..50usize {
-            t.on_activation(&event(r, r as u64));
+            t.on_activation_vec(&event(r, r as u64));
         }
         assert!(t.peak_entries() >= 50);
         // Advance several pruning intervals with a single (hot-ish) row.
         let mut cycle = 0;
         for i in 0..20u64 {
             cycle = i * timing.t_refi + 200;
-            t.on_activation(&event(100, cycle));
+            t.on_activation_vec(&event(100, cycle));
         }
         assert!(t.pruned_entries() >= 40, "pruned {}", t.pruned_entries());
-        let live: usize = t.tables.iter().map(HashMap::len).sum();
+        let live: usize = t.tables.iter().map(FlatMap::len).sum();
         assert!(live < 50, "live entries {live}");
         let _ = cycle;
     }
@@ -229,14 +245,14 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mut t = Twice::new(DramGeometry::tiny(), &timing, 64, 1);
         for i in 0..15u64 {
-            assert!(t.on_activation(&event(40, i)).is_empty());
+            assert!(t.on_activation_vec(&event(40, i)).is_empty());
         }
         let far = timing.t_refw + 1;
         // After the window reset the row needs a full threshold again.
         for i in 0..15u64 {
-            assert!(t.on_activation(&event(40, far + i)).is_empty(), "i={i}");
+            assert!(t.on_activation_vec(&event(40, far + i)).is_empty(), "i={i}");
         }
-        assert!(!t.on_activation(&event(40, far + 15)).is_empty());
+        assert!(!t.on_activation_vec(&event(40, far + 15)).is_empty());
     }
 
     #[test]
@@ -244,7 +260,7 @@ mod tests {
         let mut t = mech(64);
         let mut triggers = 0;
         for i in 0..160u64 {
-            if !t.on_activation(&event(40, i)).is_empty() {
+            if !t.on_activation_vec(&event(40, i)).is_empty() {
                 triggers += 1;
             }
         }

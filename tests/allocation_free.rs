@@ -1,0 +1,160 @@
+//! Verifies the zero-allocation guarantee of the activation hot path.
+//!
+//! An instrumented global allocator counts every heap allocation in this test
+//! binary. Each mitigation mechanism — and the DRAM-side RowHammer
+//! disturbance tracker — is warmed up with a deterministic activation stream
+//! (long enough to reach every steady-state behaviour: table capacity,
+//! Misra–Gries spillover and eviction, TWiCe pruning, window resets), then
+//! driven through the *same* stream again while the allocation counter is
+//! watched. A single allocation during the measured phase fails the test:
+//! `on_activation` must not return heap-allocated action lists, and the flat
+//! trackers must not rehash or grow once warm.
+//!
+//! This file contains exactly one `#[test]` on purpose: Rust runs tests in a
+//! binary concurrently, and a second test's allocations would race the
+//! counter.
+
+use breakhammer_suite::dram::{
+    BankAddr, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams,
+};
+use breakhammer_suite::mitigation::{ActionSink, ActivationEvent, MechanismKind};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts allocations (not deallocations: frees are harmless on a hot path,
+/// and a steady-state path that frees must have allocated first anyway).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Deterministic activation stream exercising hot rows (threshold triggers),
+/// cold sweeps (table churn/eviction) and long cycle jumps (window resets and
+/// TWiCe pruning). The stream is a pure function of the step index, so the
+/// warm-up and measured phases replay identical state trajectories.
+fn event_at(geometry: &DramGeometry, step: u64) -> ActivationEvent {
+    let rows = geometry.rows_per_bank;
+    let row = match step % 4 {
+        // A hot aggressor pair: drives Graphene/TWiCe/PRAC triggers and AQUA
+        // migrations.
+        0 => 50,
+        1 => 52,
+        // A strided cold sweep: fills tables to capacity and keeps the
+        // Misra-Gries eviction and spillover paths hot.
+        2 => (step.wrapping_mul(31) % rows as u64) as usize,
+        // A second hot-ish group for Hydra escalation.
+        _ => 70 + (step % 8) as usize,
+    };
+    ActivationEvent {
+        row: RowAddr {
+            bank: BankAddr {
+                rank: (step % 2) as usize,
+                bank_group: ((step / 2) % 2) as usize,
+                bank: ((step / 4) % 2) as usize,
+            },
+            row,
+        },
+        thread: ThreadId((step % 4) as usize),
+        // ~tRC-spaced activations; crosses several fast_test refresh windows
+        // over the course of the stream.
+        cycle: step * 50,
+    }
+}
+
+const WARMUP_STEPS: u64 = 60_000;
+const MEASURED_STEPS: u64 = 60_000;
+
+#[test]
+fn activation_hot_path_is_allocation_free_after_warmup() {
+    let geometry = DramGeometry::tiny();
+    let timing = TimingParams::fast_test();
+
+    for kind in [
+        MechanismKind::None,
+        MechanismKind::Para,
+        MechanismKind::Graphene,
+        MechanismKind::Hydra,
+        MechanismKind::Twice,
+        MechanismKind::Aqua,
+        MechanismKind::Rega,
+        MechanismKind::Rfm,
+        MechanismKind::Prac,
+        MechanismKind::BlockHammer,
+    ] {
+        let mut mechanism = kind.build(&geometry, &timing, 64, 7);
+        let mut sink = ActionSink::default();
+        let mut total_actions = 0usize;
+        for step in 0..WARMUP_STEPS {
+            sink.clear();
+            mechanism.on_activation(&event_at(&geometry, step), &mut sink);
+            total_actions += sink.len();
+        }
+
+        let before = allocations();
+        for step in WARMUP_STEPS..WARMUP_STEPS + MEASURED_STEPS {
+            sink.clear();
+            mechanism.on_activation(&event_at(&geometry, step), &mut sink);
+            total_actions += sink.len();
+        }
+        let allocated = allocations() - before;
+        assert_eq!(
+            allocated, 0,
+            "{kind}: {allocated} heap allocation(s) in {MEASURED_STEPS} steady-state activations"
+        );
+        // Sanity: the stream really exercised the trigger paths (every
+        // action-producing mechanism must have produced some).
+        if !matches!(kind, MechanismKind::None | MechanismKind::Rega | MechanismKind::BlockHammer) {
+            assert!(total_actions > 0, "{kind}: stream never triggered an action");
+        }
+    }
+
+    // The DRAM-side disturbance tracker shares the per-ACT hot path. Victim
+    // refreshes and periodic sweeps are interleaved so disturbance counters
+    // stay bounded and no bitflip event is ever pushed.
+    let mut tracker = RowHammerTracker::new(geometry.clone(), 1 << 20, 2);
+    let drive = |tracker: &mut RowHammerTracker, from: u64, to: u64| {
+        for step in from..to {
+            let event = event_at(&geometry, step);
+            tracker.on_activate(event.row, event.cycle);
+            if step % 64 == 0 {
+                tracker.on_row_refreshed(RowAddr { bank: event.row.bank, row: 51 });
+                tracker.on_periodic_refresh((step % 2) as usize, 0, geometry.rows_per_bank);
+            }
+            if step % 977 == 0 {
+                tracker.service_rfm(event.row.bank, 4);
+            }
+        }
+    };
+    drive(&mut tracker, 0, WARMUP_STEPS);
+    let before = allocations();
+    drive(&mut tracker, WARMUP_STEPS, WARMUP_STEPS + MEASURED_STEPS);
+    let allocated = allocations() - before;
+    assert_eq!(
+        allocated, 0,
+        "RowHammerTracker: {allocated} heap allocation(s) in {MEASURED_STEPS} steady-state \
+         activations"
+    );
+    assert_eq!(tracker.bitflip_count(), 0, "threshold chosen so no bitflip is recorded");
+}
