@@ -98,11 +98,34 @@ pub struct System {
     required: Vec<usize>,
     /// Miss completions scheduled for a future DRAM cycle.
     pending_fills: VecDeque<(Cycle, u64)>,
+    /// Cached minimum completion cycle in `pending_fills` (`Cycle::MAX` when
+    /// empty): the per-step completion walk and the next-event fill horizon
+    /// both skip the deque entirely while nothing is due.
+    pending_fills_min: Cycle,
     /// Requests that could not be enqueued yet (controller queue full).
     pending_enqueue: VecDeque<MemRequest>,
     next_writeback_id: u64,
+    /// Per-core hard-stall token: while `Some`, the core's instruction
+    /// window is full with this incomplete miss at its head, so its ticks
+    /// are deferred into `core_stall_debt` instead of being executed (fills
+    /// complete strictly before the core phase of a step, so the token's
+    /// completion is the only event that can wake the core).
+    core_stalled_on: Vec<Option<bh_cpu::MissToken>>,
+    /// Deferred stalled cycles per core, replayed on wake-up (or at the end
+    /// of the run) via `Core::absorb_hard_stall`.
+    core_stall_debt: Vec<u64>,
+    /// The BreakHammer [`quota_version`](BreakHammer::quota_version) whose
+    /// quotas were last propagated into the LLC (`None` before the first
+    /// propagation). While the version is unchanged the per-step propagation
+    /// and the `next_event` quota-sync check are skipped — the LLC mirror is
+    /// known to be current.
+    synced_quota_version: Option<u64>,
     /// Recycled buffer for draining controller responses each step.
     response_buf: Vec<bh_mem::MemResponse>,
+    /// Recycled per-core progress classifications from the latest
+    /// [`System::next_event`] (empty whenever the next event is pinned to
+    /// the very next cycle, where the skip replay never runs).
+    progress_buf: Vec<CoreProgress>,
     /// Recycled buffer for draining LLC outgoing requests each step.
     outgoing_buf: Vec<bh_cpu::OutgoingRequest>,
 }
@@ -156,6 +179,7 @@ impl System {
             })
             .collect();
 
+        let cores_count = config.cores;
         System {
             config,
             cores,
@@ -163,9 +187,14 @@ impl System {
             controller,
             required,
             pending_fills: VecDeque::new(),
+            pending_fills_min: Cycle::MAX,
             pending_enqueue: VecDeque::new(),
             next_writeback_id: 1 << 60,
+            core_stalled_on: vec![None; cores_count],
+            core_stall_debt: vec![0; cores_count],
+            synced_quota_version: None,
             response_buf: Vec::new(),
+            progress_buf: Vec::new(),
             outgoing_buf: Vec::new(),
         }
     }
@@ -221,10 +250,10 @@ impl System {
                 dram_cycle += 1;
                 break;
             }
-            let (next, progress) = self.next_event(dram_cycle, &clock);
+            let next = self.next_event(dram_cycle, &clock);
             let next = next.clamp(dram_cycle + 1, max);
             if next > dram_cycle + 1 {
-                self.skip_dead_cycles(next - dram_cycle - 1, &mut clock, &progress);
+                self.skip_dead_cycles(next - dram_cycle - 1, &mut clock);
             }
             dram_cycle = next;
         }
@@ -242,11 +271,16 @@ impl System {
     }
 
     fn step_inner_quota(&mut self, _dram_cycle: Cycle) {
-        // 1. Propagate BreakHammer's current quotas into the LLC.
+        // 1. Propagate BreakHammer's current quotas into the LLC (skipped
+        // while the quota version says the LLC mirror is already current).
         if let Some(bh) = self.controller.breakhammer() {
+            if self.synced_quota_version == Some(bh.quota_version()) {
+                return;
+            }
             for t in 0..self.config.cores {
                 self.llc.set_quota(ThreadId(t), bh.quota(ThreadId(t)));
             }
+            self.synced_quota_version = Some(bh.quota_version());
         }
     }
 
@@ -268,28 +302,50 @@ impl System {
         for response in &self.response_buf {
             if response.kind.is_read() && response.id < (1 << 60) {
                 self.pending_fills.push_back((response.completed_at, response.id));
+                self.pending_fills_min = self.pending_fills_min.min(response.completed_at);
             }
+        }
+        if self.pending_fills_min > dram_cycle {
+            // Nothing is due yet: skip the completion walk.
+            return;
         }
         // In-place, order-preserving completion of due fills (same visit
         // order as draining the queue front to back).
         let llc = &mut self.llc;
+        let mut next_min = Cycle::MAX;
         self.pending_fills.retain(|(ready, token)| {
             if *ready <= dram_cycle {
                 llc.complete_miss(*token);
                 false
             } else {
+                next_min = next_min.min(*ready);
                 true
             }
         });
+        self.pending_fills_min = next_min;
     }
 
     fn step_inner_core(&mut self, clock: &mut CpuClock) {
-        // 4. Tick the cores in the CPU clock domain.
+        // 4. Tick the cores in the CPU clock domain. Hard-stalled cores
+        // (window full behind an incomplete miss) are not ticked: their
+        // cycles accumulate as debt and are replayed in bulk when their miss
+        // completes, which is the only event that can change their state —
+        // completions happen in the fill phase, strictly before this one.
         for cpu_cycle in clock.tick_range() {
-            for core in &mut self.cores {
-                if !core.finished() {
-                    core.tick(cpu_cycle, &mut self.llc);
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                if core.finished() {
+                    continue;
                 }
+                if let Some(token) = self.core_stalled_on[i] {
+                    if !self.llc.is_completed(token) {
+                        self.core_stall_debt[i] += 1;
+                        continue;
+                    }
+                    core.absorb_hard_stall(std::mem::take(&mut self.core_stall_debt[i]));
+                    self.core_stalled_on[i] = None;
+                }
+                core.tick(cpu_cycle, &mut self.llc);
+                self.core_stalled_on[i] = core.window_full_on();
             }
         }
     }
@@ -318,8 +374,9 @@ impl System {
     }
 
     /// Computes the next cycle at which [`System::step`] must run (strictly
-    /// after `dram_cycle`), together with the per-core progress analysis the
-    /// skip replay needs.
+    /// after `dram_cycle`), leaving the per-core progress analysis the skip
+    /// replay needs in `progress_buf` (reused across calls; left empty when
+    /// the next event is one cycle away and no skip can happen).
     ///
     /// Events, from any layer: a core able to retire or dispatch (forces the
     /// very next cycle), a core's window-head hit completing, a pending LLC
@@ -327,45 +384,50 @@ impl System {
     /// refresh/preventive deadline, BreakHammer's next window edge, and a
     /// BreakHammer quota the LLC has not absorbed yet. Horizons may
     /// undershoot (waking early is only wasted work) but never overshoot.
-    fn next_event(&self, dram_cycle: Cycle, clock: &CpuClock) -> (Cycle, Vec<CoreProgress>) {
+    fn next_event(&mut self, dram_cycle: Cycle, clock: &CpuClock) -> Cycle {
         // Cheapest checks first: when the controller (O(1), memoized) or a
         // pending fill already pins the next event to the very next cycle, no
         // skip is possible and the per-core analysis is not needed (an empty
-        // progress vector is fine — the skip replay never runs for a
+        // progress buffer is fine — the skip replay never runs for a
         // one-cycle advance).
+        self.progress_buf.clear();
         let mut next = self.controller.next_event(dram_cycle);
         if next <= dram_cycle + 1 {
-            return (dram_cycle + 1, Vec::new());
+            return dram_cycle + 1;
         }
         if let Some(bh) = self.controller.breakhammer() {
             // BreakHammer quotas the LLC has not absorbed yet (e.g. restored
             // by the window rotation that `tick` just performed) are
             // propagated at the top of the next step — that step must not be
-            // skipped, or a quota-stalled core would wake late.
-            let mshrs = self.llc.config().mshrs;
-            for t in 0..self.config.cores {
-                if self.llc.quota(ThreadId(t)) != bh.quota(ThreadId(t)).min(mshrs) {
-                    return (dram_cycle + 1, Vec::new());
+            // skipped, or a quota-stalled core would wake late. While the
+            // quota version matches the last propagation the mirror is
+            // known-current and the per-thread comparison is skipped.
+            if self.synced_quota_version != Some(bh.quota_version()) {
+                let mshrs = self.llc.config().mshrs;
+                for t in 0..self.config.cores {
+                    if self.llc.quota(ThreadId(t)) != bh.quota(ThreadId(t)).min(mshrs) {
+                        return dram_cycle + 1;
+                    }
                 }
             }
         }
-        if let Some((ready, _)) = self.pending_fills.iter().min_by_key(|(ready, _)| *ready) {
-            next = next.min(*ready);
+        if self.pending_fills_min != Cycle::MAX {
+            next = next.min(self.pending_fills_min);
             if next <= dram_cycle + 1 {
-                return (dram_cycle + 1, Vec::new());
+                return dram_cycle + 1;
             }
         }
 
         let next_cpu = clock.next_cpu_cycle();
-        let mut progress: Vec<CoreProgress> = Vec::with_capacity(self.cores.len());
         for core in &self.cores {
             let p = core.progress(&self.llc, next_cpu);
             if matches!(p, CoreProgress::Active) {
-                return (dram_cycle + 1, Vec::new());
+                self.progress_buf.clear();
+                return dram_cycle + 1;
             }
-            progress.push(p);
+            self.progress_buf.push(p);
         }
-        for p in &progress {
+        for p in &self.progress_buf {
             if let CoreProgress::Stalled(StallInfo { wake_at: Some(t), .. }) = p {
                 next = next.min(dram_cycle + clock.dram_cycles_until(*t));
             }
@@ -376,7 +438,7 @@ impl System {
             // pending-quota check above.
             next = next.min(bh.next_window_end());
         }
-        (next, progress)
+        next
     }
 
     /// Fast-forwards across `dead_cycles` DRAM cycles in which, by
@@ -384,15 +446,10 @@ impl System {
     /// replays exactly the counter increments the per-cycle kernel would
     /// have accrued (stalled-core cycle/stall counters, rejected LLC access
     /// probes, failed enqueue retries) without touching any other state.
-    fn skip_dead_cycles(
-        &mut self,
-        dead_cycles: u64,
-        clock: &mut CpuClock,
-        progress: &[CoreProgress],
-    ) {
+    fn skip_dead_cycles(&mut self, dead_cycles: u64, clock: &mut CpuClock) {
         let cpu_ticks = clock.advance(dead_cycles);
         if cpu_ticks > 0 {
-            for (core, p) in self.cores.iter_mut().zip(progress) {
+            for (core, p) in self.cores.iter_mut().zip(self.progress_buf.iter()) {
                 if let CoreProgress::Stalled(stall) = p {
                     core.absorb_stall_ticks(cpu_ticks, stall);
                     if let Some(reason) = stall.reject {
@@ -406,7 +463,14 @@ impl System {
         }
     }
 
-    fn finish(self, dram_cycles: Cycle) -> SimulationResult {
+    fn finish(mut self, dram_cycles: Cycle) -> SimulationResult {
+        // Settle any deferred hard-stall cycles before reading core stats.
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            let debt = std::mem::take(&mut self.core_stall_debt[i]);
+            if debt > 0 {
+                core.absorb_hard_stall(debt);
+            }
+        }
         let cores: Vec<CorePerformance> = self
             .cores
             .iter()
