@@ -31,6 +31,31 @@ fn bench_system(c: &mut Criterion) {
             BatchSize::LargeInput,
         );
     });
+
+    // The sharded memory system: the same workload shape distributed over
+    // 2 and 4 channels, with the attacker interleaving its pattern across
+    // all of them (every channel's tracker stays busy).
+    for channels in [2usize, 4] {
+        let mut config =
+            SystemConfig::fast_test(MechanismKind::Graphene, 256, true).with_channels(channels);
+        config.instructions_per_core = 8_000;
+        let generator =
+            TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
+        let mut builder = MixBuilder::new(generator);
+        builder.benign_entries = 2_000;
+        builder.attacker_entries = 2_000;
+        let mix = builder.build_channel_interleaved(MixClass::attack_classes()[0], 0, 42);
+        group.bench_function(&format!("four_core_attack_8k_instructions_{channels}ch"), |b| {
+            b.iter_batched(
+                || (config.clone(), mix.traces.clone()),
+                |(cfg, traces)| {
+                    let system = System::new(cfg, &traces, vec![0, 1, 2]);
+                    system.run()
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
     group.finish();
 }
 

@@ -17,6 +17,7 @@
 //! | `BH_NRH_LIST` | comma-separated `N_RH` sweep | `4096,1024,256,64` |
 //! | `BH_SEED` | workload-generation seed | 42 |
 //! | `BH_THREADS` | worker threads for parallel runs | all cores |
+//! | `BH_CHANNELS` | memory channels (sharded memory system) | 1 |
 
 use bh_mitigation::MechanismKind;
 use bh_sim::{Evaluator, MixEvaluation, SystemConfig};
@@ -42,6 +43,10 @@ pub struct Scale {
     pub seed: u64,
     /// Worker threads used to evaluate mixes in parallel.
     pub worker_threads: usize,
+    /// Memory channels in the simulated system (1 = the paper's Table 1
+    /// system; more shard the memory system into per-channel controllers and
+    /// mitigation instances with one shared BreakHammer).
+    pub channels: usize,
 }
 
 impl Scale {
@@ -55,6 +60,7 @@ impl Scale {
             nrh_values: vec![4096, 1024, 256, 64],
             seed: 42,
             worker_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            channels: 1,
         }
     }
 
@@ -87,6 +93,9 @@ impl Scale {
         }
         if let Some(v) = parse_u64("BH_THREADS") {
             scale.worker_threads = (v as usize).max(1);
+        }
+        if let Some(v) = parse_u64("BH_CHANNELS") {
+            scale.channels = (v as usize).max(1);
         }
         if let Some(list) = lookup("BH_NRH_LIST") {
             let parsed: Vec<u64> =
@@ -183,7 +192,8 @@ pub fn paper_config(
     breakhammer: bool,
     scale: &Scale,
 ) -> SystemConfig {
-    let mut config = SystemConfig::paper_table1(mechanism, nrh, breakhammer);
+    let mut config =
+        SystemConfig::paper_table1(mechanism, nrh, breakhammer).with_channels(scale.channels);
     config.instructions_per_core = scale.instructions_per_core;
     config.seed = scale.seed;
     // Bound the worst case (e.g. AQUA at N_RH=64 under attack, without
@@ -206,7 +216,10 @@ pub struct Campaign {
 impl Campaign {
     /// Generates the attack and benign mix suites for `scale`.
     pub fn new(scale: Scale) -> Self {
-        let generator = TraceGenerator::paper_default();
+        let generator = TraceGenerator::new(
+            bh_dram::DramGeometry::paper_ddr5().with_channels(scale.channels),
+            bh_mem::AddressMapping::paper_default(),
+        );
         let mut builder = MixBuilder::new(generator);
         builder.benign_entries = scale.benign_entries;
         builder.attacker_entries = scale.attacker_entries;

@@ -29,6 +29,13 @@ use serde::{Deserialize, Serialize};
 pub struct BreakHammerStats {
     /// Preventive actions observed.
     pub actions_observed: u64,
+    /// Preventive actions observed per memory channel (indexed by channel;
+    /// pre-sized to the system's channel count by
+    /// [`BreakHammer::declare_channels`], so zero-action channels report an
+    /// explicit 0 instead of being absent). The scores themselves are
+    /// system-wide — this only records where the triggering tracker lived.
+    #[serde(default)]
+    pub actions_per_channel: Vec<u64>,
     /// Suspect identifications (at most one per thread per window).
     pub suspect_identifications: u64,
     /// Quota restorations after a clean window.
@@ -133,6 +140,17 @@ impl BreakHammer {
         self.threads[thread.index()].suspect_windows
     }
 
+    /// Declares the number of memory channels whose trackers report to this
+    /// instance: pre-sizes [`BreakHammerStats::actions_per_channel`] so every
+    /// channel has an entry (zero-action channels included) and consumers can
+    /// zip it against per-channel result breakdowns. Called by the memory
+    /// system at construction; idempotent, never shrinks.
+    pub fn declare_channels(&mut self, channels: usize) {
+        if self.stats.actions_per_channel.len() < channels {
+            self.stats.actions_per_channel.resize(channels, 0);
+        }
+    }
+
     /// Monotone counter that increments whenever any thread's quota changes
     /// (throttling or restoration). Consumers that mirror the quotas (the
     /// LLC) can skip refreshing them while the version is unchanged.
@@ -212,9 +230,27 @@ impl BreakHammer {
     /// proportionally to their activations since the previous action, the
     /// per-thread activation counters are reset, and suspect identification
     /// runs on the updated scores.
+    ///
+    /// Single-channel shorthand for
+    /// [`BreakHammer::on_preventive_action_from`] with channel 0.
     pub fn on_preventive_action(&mut self, cycle: Cycle) {
+        self.on_preventive_action_from(0, cycle);
+    }
+
+    /// Reports a preventive action performed by the tracker of memory
+    /// `channel` at `cycle`.
+    ///
+    /// BreakHammer observes every channel's mitigation instance and
+    /// aggregates all of them into the same system-wide per-thread scores
+    /// (the paper's memory-system-wide observer, §5); the channel only feeds
+    /// the per-channel statistics.
+    pub fn on_preventive_action_from(&mut self, channel: usize, cycle: Cycle) {
         self.advance_to(cycle);
         self.stats.actions_observed += 1;
+        if self.stats.actions_per_channel.len() <= channel {
+            self.stats.actions_per_channel.resize(channel + 1, 0);
+        }
+        self.stats.actions_per_channel[channel] += 1;
         if matches!(self.attribution, ScoreAttribution::PerActivationQuota { .. }) {
             // REGA-style mechanisms have no discrete actions; nothing to do.
             return;

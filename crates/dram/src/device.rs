@@ -55,6 +55,34 @@ pub struct DramStats {
 }
 
 impl DramStats {
+    /// Adds another channel's counters into this one (used by multi-channel
+    /// systems to aggregate per-channel statistics).
+    pub fn accumulate(&mut self, other: &DramStats) {
+        // Exhaustive destructuring (no `..`): adding a stat field without
+        // aggregating it here is a compile error, not a silent zero in
+        // multi-channel results.
+        let DramStats {
+            activates,
+            precharges,
+            precharge_alls,
+            reads,
+            writes,
+            refreshes,
+            refreshes_same_bank,
+            rfm_commands,
+            victim_refreshes,
+        } = other;
+        self.activates += activates;
+        self.precharges += precharges;
+        self.precharge_alls += precharge_alls;
+        self.reads += reads;
+        self.writes += writes;
+        self.refreshes += refreshes;
+        self.refreshes_same_bank += refreshes_same_bank;
+        self.rfm_commands += rfm_commands;
+        self.victim_refreshes += victim_refreshes;
+    }
+
     /// Total commands issued.
     pub fn total(&self) -> u64 {
         self.activates

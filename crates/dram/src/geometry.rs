@@ -53,7 +53,9 @@ impl fmt::Display for RowAddr {
 /// memory controller's address-mapping stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DramLocation {
-    /// Channel index (the paper simulates a single channel).
+    /// Channel index (0 on the paper's single-channel system; the
+    /// channel-interleave policy of the address mapping decides it on
+    /// multi-channel systems).
     pub channel: usize,
     /// The bank coordinates.
     pub bank: BankAddr,
@@ -139,6 +141,14 @@ impl DramGeometry {
             columns_per_row: 16,
             column_bytes: 64,
         }
+    }
+
+    /// The same geometry with a different channel count (all other
+    /// dimensions are per channel and stay unchanged).
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        assert!(channels >= 1, "a memory system needs at least one channel");
+        self.channels = channels;
+        self
     }
 
     /// Banks per rank.

@@ -67,6 +67,42 @@ impl ControllerStats {
     pub fn preventive_actions_total(&self) -> u64 {
         self.preventive_refresh_actions + self.migrations + self.rfm_actions + self.table_accesses
     }
+
+    /// Adds another controller's counters into this one (used by
+    /// multi-channel systems to aggregate per-channel statistics).
+    pub fn accumulate(&mut self, other: &ControllerStats) {
+        // Exhaustive destructuring (no `..`): adding a stat field without
+        // aggregating it here is a compile error, not a silent zero in
+        // multi-channel results.
+        let ControllerStats {
+            reads_served,
+            writes_served,
+            row_hits,
+            row_misses,
+            row_conflicts,
+            demand_activations,
+            enqueue_rejections,
+            preventive_refresh_actions,
+            victim_rows_refreshed,
+            migrations,
+            rfm_actions,
+            table_accesses,
+            periodic_refreshes,
+        } = other;
+        self.reads_served += reads_served;
+        self.writes_served += writes_served;
+        self.row_hits += row_hits;
+        self.row_misses += row_misses;
+        self.row_conflicts += row_conflicts;
+        self.demand_activations += demand_activations;
+        self.enqueue_rejections += enqueue_rejections;
+        self.preventive_refresh_actions += preventive_refresh_actions;
+        self.victim_rows_refreshed += victim_rows_refreshed;
+        self.migrations += migrations;
+        self.rfm_actions += rfm_actions;
+        self.table_accesses += table_accesses;
+        self.periodic_refreshes += periodic_refreshes;
+    }
 }
 
 /// Maximum consecutive ticks the head of the preventive queue may be
@@ -173,11 +209,19 @@ enum TickOutcome {
 }
 
 /// The memory controller for one channel.
+///
+/// BreakHammer is *not* owned by the controller: it is a memory-system-wide
+/// observer shared by every channel's controller (see
+/// [`MemorySystem`](crate::MemorySystem)), so the caller passes it into
+/// [`MemoryController::tick`] by mutable reference.
 pub struct MemoryController {
     config: MemControllerConfig,
     channel: DramChannel,
     mechanism: Box<dyn TriggerMechanism>,
-    breakhammer: Option<BreakHammer>,
+    /// Index of this controller's channel in the memory system (0 on
+    /// single-channel systems); reported to BreakHammer with every preventive
+    /// action.
+    channel_index: usize,
     read_queue: VecDeque<QueueEntry>,
     write_queue: VecDeque<QueueEntry>,
     /// Packed scan keys, index-aligned with `read_queue` / `write_queue`.
@@ -228,8 +272,10 @@ impl std::fmt::Debug for MemoryController {
 }
 
 impl MemoryController {
-    /// Creates a controller driving `channel`, protected by `mechanism` and
-    /// optionally enhanced with BreakHammer.
+    /// Creates a controller driving `channel`, protected by `mechanism`.
+    ///
+    /// To attach BreakHammer, pass it to [`MemoryController::tick`] (it is
+    /// shared across channels and therefore owned by the caller).
     ///
     /// # Panics
     /// Panics if the configuration is invalid.
@@ -237,7 +283,6 @@ impl MemoryController {
         config: MemControllerConfig,
         channel: DramChannel,
         mechanism: Box<dyn TriggerMechanism>,
-        breakhammer: Option<BreakHammer>,
     ) -> Self {
         config.validate().expect("invalid memory controller configuration");
         // The packed 8-byte scan keys give flat-bank/group/rank 8 bits each
@@ -258,7 +303,7 @@ impl MemoryController {
             config,
             channel,
             mechanism,
-            breakhammer,
+            channel_index: 0,
             read_queue: VecDeque::new(),
             write_queue: VecDeque::new(),
             read_keys: VecDeque::new(),
@@ -281,6 +326,18 @@ impl MemoryController {
         }
     }
 
+    /// The same controller tagged with its channel index in a multi-channel
+    /// memory system (reported to BreakHammer with every preventive action).
+    pub fn with_channel_index(mut self, channel_index: usize) -> Self {
+        self.channel_index = channel_index;
+        self
+    }
+
+    /// This controller's channel index in the memory system.
+    pub fn channel_index(&self) -> usize {
+        self.channel_index
+    }
+
     /// The controller configuration.
     pub fn config(&self) -> &MemControllerConfig {
         &self.config
@@ -294,11 +351,6 @@ impl MemoryController {
     /// The attached mitigation mechanism.
     pub fn mechanism(&self) -> &dyn TriggerMechanism {
         self.mechanism.as_ref()
-    }
-
-    /// The BreakHammer instance, if attached.
-    pub fn breakhammer(&self) -> Option<&BreakHammer> {
-        self.breakhammer.as_ref()
     }
 
     /// Controller statistics.
@@ -400,6 +452,14 @@ impl MemoryController {
         std::mem::swap(&mut self.responses, buf);
     }
 
+    /// Appends all responses generated so far to `buf` (without clearing it),
+    /// leaving this controller's response buffer empty but warm — used by the
+    /// multi-channel [`MemorySystem`](crate::MemorySystem) to drain every
+    /// channel into one merged buffer each step.
+    pub fn append_responses_into(&mut self, buf: &mut Vec<MemResponse>) {
+        buf.append(&mut self.responses);
+    }
+
     /// Earliest cycle strictly after `now` at which [`MemoryController::tick`]
     /// could do anything beyond a pure no-op — issue a refresh, preventive or
     /// demand command, or advance the bounded preventive-deferral counter.
@@ -433,8 +493,12 @@ impl MemoryController {
     }
 
     /// Advances the controller by one DRAM cycle, issuing at most one command.
-    pub fn tick(&mut self, cycle: Cycle) {
-        if let Some(bh) = &mut self.breakhammer {
+    ///
+    /// `breakhammer` is the shared memory-system-wide observer (or `None`
+    /// when BreakHammer is disabled): demand activations and preventive
+    /// actions performed during this tick are reported to it.
+    pub fn tick(&mut self, cycle: Cycle, mut breakhammer: Option<&mut BreakHammer>) {
+        if let Some(bh) = breakhammer.as_deref_mut() {
             bh.advance_to(cycle);
         }
         // Fast path: a previous tick proved nothing can happen before
@@ -470,7 +534,7 @@ impl MemoryController {
             let (candidate, queue_horizon) =
                 self.scan_queue(use_writes, cycle, refresh_pending, preventive_bank);
             if let Some((idx, step)) = candidate {
-                self.service(use_writes, idx, step, cycle);
+                self.service(use_writes, idx, step, cycle, breakhammer.as_deref_mut());
                 // A command was issued: timing and queue state changed, so
                 // the next tick must re-derive its decisions from scratch.
                 self.idle_until = 0;
@@ -753,7 +817,14 @@ impl MemoryController {
 
     /// Issues the chosen command and updates queues, statistics and the
     /// mitigation/BreakHammer hooks.
-    fn service(&mut self, use_writes: bool, idx: usize, step: ServiceStep, cycle: Cycle) {
+    fn service(
+        &mut self,
+        use_writes: bool,
+        idx: usize,
+        step: ServiceStep,
+        cycle: Cycle,
+        breakhammer: Option<&mut BreakHammer>,
+    ) {
         let entry = if use_writes { self.write_queue[idx] } else { self.read_queue[idx] };
         let flat = entry.flat;
         let cmd = self.command_for(&entry, step, use_writes);
@@ -805,7 +876,7 @@ impl MemoryController {
                 if !self.mark_classified(use_writes, idx) {
                     self.stats.row_misses += 1;
                 }
-                self.on_demand_activation(entry.loc, entry.req.thread, cycle);
+                self.on_demand_activation(entry.loc, entry.req.thread, cycle, breakhammer);
             }
         }
     }
@@ -825,9 +896,15 @@ impl MemoryController {
     /// its actions into the controller-owned scratch [`ActionSink`], which is
     /// cleared and drained here — no allocation occurs once the sink and the
     /// preventive queue are warm.
-    fn on_demand_activation(&mut self, loc: DramLocation, thread: ThreadId, cycle: Cycle) {
+    fn on_demand_activation(
+        &mut self,
+        loc: DramLocation,
+        thread: ThreadId,
+        cycle: Cycle,
+        mut breakhammer: Option<&mut BreakHammer>,
+    ) {
         self.stats.demand_activations += 1;
-        if let Some(bh) = &mut self.breakhammer {
+        if let Some(bh) = breakhammer.as_deref_mut() {
             bh.on_activation(thread, cycle);
         }
         let event = ActivationEvent { row: loc.row_addr(), thread, cycle };
@@ -839,8 +916,8 @@ impl MemoryController {
         self.mechanism.on_activation(&event, &mut sink);
         for action in sink.iter() {
             self.expand_action(action);
-            if let Some(bh) = &mut self.breakhammer {
-                bh.on_preventive_action(cycle);
+            if let Some(bh) = breakhammer.as_deref_mut() {
+                bh.on_preventive_action_from(self.channel_index, cycle);
             }
         }
         self.sink = sink;
@@ -931,10 +1008,13 @@ mod tests {
         let timing = TimingParams::fast_test();
         let mechanism = kind.build(&geometry, &timing, nrh, 1);
         let channel = DramChannel::with_rowhammer(geometry, timing, nrh);
-        MemoryController::new(small_config(), channel, mechanism, None)
+        MemoryController::new(small_config(), channel, mechanism)
     }
 
-    fn controller_with_bh(kind: MechanismKind, nrh: u64) -> MemoryController {
+    /// A controller plus the caller-owned BreakHammer instance that must be
+    /// passed into every `tick` (BreakHammer is shared across channels, so
+    /// the controller only borrows it).
+    fn controller_with_bh(kind: MechanismKind, nrh: u64) -> (MemoryController, BreakHammer) {
         let geometry = DramGeometry::tiny();
         let timing = TimingParams::fast_test();
         let mechanism = kind.build(&geometry, &timing, nrh, 1);
@@ -943,7 +1023,7 @@ mod tests {
         let mut bh_cfg = BreakHammerConfig::fast_test(4, 16);
         bh_cfg.window_cycles = 200_000;
         let bh = BreakHammer::new(bh_cfg, attribution);
-        MemoryController::new(small_config(), channel, mechanism, Some(bh))
+        (MemoryController::new(small_config(), channel, mechanism), bh)
     }
 
     /// Physical address of (bank 0, `row`, `column`) under the default MOP
@@ -967,7 +1047,7 @@ mod tests {
         let mut responses = Vec::new();
         let mut cycle = start;
         while responses.len() < expected && cycle < start + max_cycles {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             responses.extend(ctrl.drain_responses());
             cycle += 1;
         }
@@ -1032,7 +1112,7 @@ mod tests {
         let mut ctrl = controller(MechanismKind::None, 1024);
         let t_refi = ctrl.channel().timing().t_refi;
         for cycle in 0..(t_refi * 4) {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
         }
         // Both ranks refresh roughly every tREFI.
         assert!(ctrl.stats().periodic_refreshes >= 4, "{}", ctrl.stats().periodic_refreshes);
@@ -1068,21 +1148,21 @@ mod tests {
                 // Retry enqueue until accepted.
                 let mut r = ctrl.try_enqueue(req);
                 while r.is_err() {
-                    ctrl.tick(cycle);
+                    ctrl.tick(cycle, None);
                     cycle += 1;
                     let _ = ctrl.drain_responses();
                     r = ctrl.try_enqueue(req);
                 }
             }
             for _ in 0..8 {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
             }
             let _ = ctrl.drain_responses();
         }
         // Drain everything left.
         while ctrl.queued_requests() > 0 || ctrl.pending_preventive_commands() > 0 {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             cycle += 1;
             let _ = ctrl.drain_responses();
             if cycle > 10_000_000 {
@@ -1143,19 +1223,19 @@ mod tests {
             let req = MemRequest::read(i, ThreadId(0), addr, cycle);
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
                 let _ = ctrl.drain_responses();
                 r = ctrl.try_enqueue(req);
             }
             for _ in 0..4 {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
             }
             let _ = ctrl.drain_responses();
         }
         for _ in 0..20_000 {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             cycle += 1;
         }
         assert!(ctrl.stats().rfm_actions > 0);
@@ -1194,7 +1274,7 @@ mod tests {
                 addr_of(&ctrl, 50, served % 4),
                 cycle,
             ));
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             served += ctrl.drain_responses().len();
             cycle += 1;
         }
@@ -1209,8 +1289,8 @@ mod tests {
 
     #[test]
     fn breakhammer_throttles_the_hammering_thread() {
-        let mut ctrl = controller_with_bh(MechanismKind::Graphene, 64);
-        let full_quota = ctrl.breakhammer().unwrap().quota(ThreadId(0));
+        let (mut ctrl, mut bh) = controller_with_bh(MechanismKind::Graphene, 64);
+        let full_quota = bh.quota(ThreadId(0));
         let mut cycle = 0u64;
         let mut id = 0u64;
         // Thread 0 hammers; thread 1 does a light scan of distinct rows.
@@ -1220,7 +1300,7 @@ mod tests {
             id += 1;
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, Some(&mut bh));
                 cycle += 1;
                 let _ = ctrl.drain_responses();
                 r = ctrl.try_enqueue(req);
@@ -1236,12 +1316,11 @@ mod tests {
                 let _ = ctrl.try_enqueue(benign);
             }
             for _ in 0..6 {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, Some(&mut bh));
                 cycle += 1;
             }
             let _ = ctrl.drain_responses();
         }
-        let bh = ctrl.breakhammer().unwrap();
         assert!(bh.is_suspect(ThreadId(0)), "the hammering thread must be a suspect");
         assert!(bh.quota(ThreadId(0)) < full_quota);
         assert_eq!(bh.quota(ThreadId(1)), full_quota);
@@ -1257,19 +1336,19 @@ mod tests {
             let req = MemRequest::read(round, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
                 let _ = ctrl.drain_responses();
                 r = ctrl.try_enqueue(req);
             }
             for _ in 0..6 {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
             }
             let _ = ctrl.drain_responses();
         }
         for _ in 0..100_000 {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             cycle += 1;
         }
         assert!(ctrl.stats().migrations > 0);
@@ -1290,19 +1369,19 @@ mod tests {
             let req = MemRequest::read(round, ThreadId(0), addr_of(&ctrl, row, 0), cycle);
             let mut r = ctrl.try_enqueue(req);
             while r.is_err() {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
                 let _ = ctrl.drain_responses();
                 r = ctrl.try_enqueue(req);
             }
             for _ in 0..6 {
-                ctrl.tick(cycle);
+                ctrl.tick(cycle, None);
                 cycle += 1;
             }
             let _ = ctrl.drain_responses();
         }
         for _ in 0..20_000 {
-            ctrl.tick(cycle);
+            ctrl.tick(cycle, None);
             cycle += 1;
         }
         assert!(ctrl.stats().table_accesses > 0);

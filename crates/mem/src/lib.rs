@@ -26,12 +26,12 @@
 //! let mechanism = MechanismKind::Graphene.build(&geometry, &timing, 1024, 0);
 //! let channel = DramChannel::with_rowhammer(geometry, timing, 1024);
 //! let mut controller =
-//!     MemoryController::new(MemControllerConfig::paper_table1(4), channel, mechanism, None);
+//!     MemoryController::new(MemControllerConfig::paper_table1(4), channel, mechanism);
 //!
 //! controller.try_enqueue(MemRequest::read(0, ThreadId(0), PhysAddr(0x4000), 0)).unwrap();
 //! let mut responses = Vec::new();
 //! for cycle in 0..10_000u64 {
-//!     controller.tick(cycle);
+//!     controller.tick(cycle, None);
 //!     responses.extend(controller.drain_responses());
 //! }
 //! assert_eq!(responses.len(), 1);
@@ -45,9 +45,11 @@ pub mod controller;
 pub mod latency;
 pub mod mapping;
 pub mod request;
+pub mod system;
 
 pub use config::MemControllerConfig;
 pub use controller::{ControllerStats, MemoryController};
 pub use latency::LatencyHistogram;
-pub use mapping::AddressMapping;
+pub use mapping::{AddressMapping, ChannelInterleave, MappingScheme};
 pub use request::{MemRequest, MemResponse};
+pub use system::MemorySystem;

@@ -120,10 +120,18 @@ impl TriggerMechanism for BlockHammer {
         let count = u64::from(*count);
         if count >= self.blacklist_threshold {
             // Spread the row's remaining activation budget over the remaining
-            // window so it can never exceed its per-window allowance.
+            // window so it can never exceed its per-window allowance. The
+            // delay is floored at one cycle: near the window edge the integer
+            // division `time_left / remaining_budget` truncates to zero
+            // (time_left < remaining_budget), which would leave a blacklisted
+            // row entirely unthrottled for the window's tail — a zero-spread
+            // hole the edge regression test below pins shut. A row at or past
+            // its allowance (`remaining_budget` saturated to 1) is pushed to
+            // the window edge itself, where the reset re-admits it with fresh
+            // counters.
             let remaining_budget = self.allowed_per_window.saturating_sub(count).max(1);
             let time_left = self.window_end.saturating_sub(event.cycle).max(1);
-            let delay = time_left / remaining_budget;
+            let delay = (time_left / remaining_budget).max(1);
             let key = self.key(bank, event.row.row);
             if !self.next_allowed.contains_key(key) {
                 self.blacklisted_total += 1;
@@ -256,6 +264,57 @@ mod tests {
         assert_eq!(b.blacklisted_now(), 1);
         b.on_activation_vec(&event(1, timing.t_refw + 1));
         assert_eq!(b.blacklisted_now(), 0);
+    }
+
+    /// Window-edge regression: a row blacklisted at the very end of one
+    /// window must (a) still be delayed by at least one cycle there (the
+    /// integer spread `time_left / remaining_budget` used to truncate to a
+    /// zero delay, leaving the row unthrottled for the window's tail), and
+    /// (b) carry neither its stale delay nor its `blacklisted_total` dedup
+    /// key into the next window — after the reset the row starts clean and a
+    /// re-blacklisting is counted again.
+    #[test]
+    fn window_edge_carries_no_stale_delay_or_dedup_key() {
+        let timing = TimingParams::fast_test();
+        let mut b = BlockHammer::new(DramGeometry::tiny(), &timing, 64, 1);
+        let window = timing.t_refw;
+        let row = event(7, 0).row;
+
+        // Cross the blacklist threshold (4) right at the window's edge, with
+        // plenty of per-window budget left (allowance is 8), so
+        // time_left (2) < remaining_budget and the old spread truncated to 0.
+        for i in 0..4u64 {
+            b.on_activation_vec(&event(7, window - 6 + i));
+        }
+        assert_eq!(b.blacklisted_total(), 1);
+        // The last activation happened at `window - 3`; with the zero-spread
+        // hole the row's next activation was allowed at that same cycle,
+        // i.e. it was never blocked at all. The one-cycle floor pushes the
+        // next allowed cycle strictly past the blacklisting activation.
+        assert!(
+            b.is_blocked(row, window - 3),
+            "a row blacklisted at the window edge must not get a zero-spread delay"
+        );
+        assert!(b.blocked_until(row, window - 3) > window - 3);
+
+        // First activation of the next window resets the window state: the
+        // stale delay is dropped and the per-row counters restart.
+        b.on_activation_vec(&event(7, window + 1));
+        assert_eq!(b.blacklisted_now(), 0, "the old window's blacklist must be cleared");
+        assert!(!b.is_blocked(row, window + 2), "no stale delay may leak into the new window");
+
+        // The dedup key was cleared too: re-blacklisting the row in the new
+        // window increments the cumulative counter again (the activation
+        // above already counted 1 toward the new window's threshold).
+        for i in 0..3u64 {
+            b.on_activation_vec(&event(7, window + 2 + i));
+        }
+        assert_eq!(
+            b.blacklisted_total(),
+            2,
+            "a re-blacklisted row must be counted once per window, not deduped forever"
+        );
+        assert!(b.is_blocked(row, window + 5));
     }
 
     #[test]

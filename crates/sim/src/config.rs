@@ -70,6 +70,27 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Number of memory channels in the simulated system (1 in Table 1).
+    ///
+    /// The geometry's channel count is the single source of truth; this is a
+    /// convenience accessor paired with [`SystemConfig::with_channels`].
+    pub fn channels(&self) -> usize {
+        self.geometry.channels
+    }
+
+    /// The same configuration sharded over `channels` memory channels: one
+    /// memory controller and one mitigation-mechanism instance per channel,
+    /// with requests distributed by the address mapping's channel-interleave
+    /// policy (`memctrl.mapping.interleave`) and one shared BreakHammer
+    /// observing all channels.
+    ///
+    /// # Panics
+    /// Panics if `channels` is zero.
+    pub fn with_channels(mut self, channels: usize) -> Self {
+        self.geometry = self.geometry.with_channels(channels);
+        self
+    }
+
     /// The paper's simulated system (Table 1): 4 cores at 4.2 GHz, 8 MiB LLC,
     /// single-channel dual-rank DDR5 with 32 banks, FR-FCFS+Cap(4), MOP
     /// mapping — protected by `mechanism` at threshold `nrh`.
@@ -171,6 +192,9 @@ impl SystemConfig {
             return Err(
                 "the memory controller must be configured for the same thread count".to_string()
             );
+        }
+        if self.geometry.channels == 0 {
+            return Err("the memory system needs at least one channel".to_string());
         }
         self.cache.validate()?;
         self.memctrl.validate()?;

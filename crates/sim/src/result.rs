@@ -21,6 +21,21 @@ pub struct CorePerformance {
     pub finished: bool,
 }
 
+/// Per-memory-channel slice of a simulation's statistics (one entry per
+/// channel, in channel order). On the paper's single-channel system this is
+/// one entry equal to the aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelBreakdown {
+    /// This channel's memory-controller statistics.
+    pub controller: ControllerStats,
+    /// This channel's DRAM command statistics.
+    pub dram: DramStats,
+    /// This channel's DRAM energy in nanojoules.
+    pub energy_nj: f64,
+    /// Would-be bitflips recorded by this channel's victim model.
+    pub bitflips: usize,
+}
+
 /// Everything measured during one simulation run.
 ///
 /// Implements `PartialEq` so the differential test suite can assert that the
@@ -48,8 +63,11 @@ pub struct SimulationResult {
     pub ever_suspect: Vec<bool>,
     /// BreakHammer statistics, when BreakHammer was attached.
     pub breakhammer: Option<BreakHammerStats>,
-    /// Per-thread read-latency histograms.
+    /// Per-thread read-latency histograms (merged over all channels).
     pub latency: Vec<LatencyHistogram>,
+    /// Per-memory-channel statistics breakdown (one entry per channel).
+    #[serde(default)]
+    pub per_channel: Vec<ChannelBreakdown>,
 }
 
 impl SimulationResult {
@@ -105,6 +123,7 @@ mod tests {
             ever_suspect: vec![false, false, false, true],
             breakhammer: None,
             latency: (0..4).map(|_| LatencyHistogram::new()).collect(),
+            per_channel: Vec::new(),
         }
     }
 

@@ -17,11 +17,11 @@
 //! enforces this differentially.
 
 use crate::config::{SchedulerKind, SystemConfig};
-use crate::result::{CorePerformance, SimulationResult};
+use crate::result::{ChannelBreakdown, CorePerformance, SimulationResult};
 use bh_core::BreakHammer;
 use bh_cpu::{Core, CoreProgress, LastLevelCache, StallInfo, Trace};
 use bh_dram::{Cycle, DramChannel, RowHammerTracker, ThreadId};
-use bh_mem::{MemRequest, MemoryController};
+use bh_mem::{MemRequest, MemorySystem};
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -92,7 +92,9 @@ pub struct System {
     config: SystemConfig,
     cores: Vec<Core>,
     llc: LastLevelCache,
-    controller: MemoryController,
+    /// The sharded memory system: one controller + mitigation instance per
+    /// channel, one shared BreakHammer observer.
+    memory: MemorySystem,
     /// Cores that must finish for the simulation to end (benign cores; the
     /// attacker's progress is irrelevant, footnote 9 of the paper).
     required: Vec<usize>,
@@ -102,8 +104,6 @@ pub struct System {
     /// empty): the per-step completion walk and the next-event fill horizon
     /// both skip the deque entirely while nothing is due.
     pending_fills_min: Cycle,
-    /// Requests that could not be enqueued yet (controller queue full).
-    pending_enqueue: VecDeque<MemRequest>,
     next_writeback_id: u64,
     /// Per-core hard-stall token: while `Some`, the core's instruction
     /// window is full with this incomplete miss at its head, so its ticks
@@ -149,26 +149,51 @@ impl System {
         );
         assert!(required.iter().all(|r| *r < config.cores), "required core index out of range");
 
-        // Build the mitigation first: REGA adjusts the DRAM timing parameters.
-        let mechanism =
-            config.mechanism.build(&config.geometry, &config.timing, config.nrh, config.seed);
-        let timing = config.timing.clone().with_adjustment(&mechanism.timing_adjustment());
-        let tracker =
-            RowHammerTracker::new(config.geometry.clone(), config.nrh, config.device.blast_radius);
-        let channel = DramChannel::with_config(
-            config.geometry.clone(),
-            timing,
-            config.energy.clone(),
-            config.device.clone(),
-            Some(tracker),
-        );
+        // Build one mitigation instance per memory channel (the paper — and
+        // BlockHammer before it — provisions per-channel trackers). Channel 0
+        // uses the configured seed unchanged so single-channel systems are
+        // bit-identical to the pre-multichannel simulator; further channels
+        // derive their probabilistic seeds by offset.
+        let channels = config.geometry.channels.max(1);
+        let mechanisms: Vec<_> = (0..channels)
+            .map(|ch| {
+                config.mechanism.build(
+                    &config.geometry,
+                    &config.timing,
+                    config.nrh,
+                    config.seed.wrapping_add(ch as u64),
+                )
+            })
+            .collect();
+        // REGA adjusts the DRAM timing parameters (identically per channel).
+        let timing = config.timing.clone().with_adjustment(&mechanisms[0].timing_adjustment());
         let breakhammer = if config.breakhammer {
-            Some(BreakHammer::new(config.effective_breakhammer_config(), mechanism.attribution()))
+            Some(BreakHammer::new(
+                config.effective_breakhammer_config(),
+                mechanisms[0].attribution(),
+            ))
         } else {
             None
         };
-        let controller =
-            MemoryController::new(config.memctrl.clone(), channel, mechanism, breakhammer);
+        let instances = mechanisms
+            .into_iter()
+            .map(|mechanism| {
+                let tracker = RowHammerTracker::new(
+                    config.geometry.clone(),
+                    config.nrh,
+                    config.device.blast_radius,
+                );
+                let channel = DramChannel::with_config(
+                    config.geometry.clone(),
+                    timing.clone(),
+                    config.energy.clone(),
+                    config.device.clone(),
+                    Some(tracker),
+                );
+                (channel, mechanism)
+            })
+            .collect();
+        let memory = MemorySystem::new(config.memctrl.clone(), instances, breakhammer);
 
         let llc = LastLevelCache::new(config.cache.clone(), config.cores);
         let cores = traces
@@ -184,11 +209,10 @@ impl System {
             config,
             cores,
             llc,
-            controller,
+            memory,
             required,
             pending_fills: VecDeque::new(),
             pending_fills_min: Cycle::MAX,
-            pending_enqueue: VecDeque::new(),
             next_writeback_id: 1 << 60,
             core_stalled_on: vec![None; cores_count],
             core_stall_debt: vec![0; cores_count],
@@ -199,9 +223,9 @@ impl System {
         }
     }
 
-    /// The memory controller (for inspection in tests).
-    pub fn controller(&self) -> &MemoryController {
-        &self.controller
+    /// The memory system (for inspection in tests).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.memory
     }
 
     /// The LLC (for inspection in tests).
@@ -273,7 +297,7 @@ impl System {
     fn step_inner_quota(&mut self, _dram_cycle: Cycle) {
         // 1. Propagate BreakHammer's current quotas into the LLC (skipped
         // while the quota version says the LLC mirror is already current).
-        if let Some(bh) = self.controller.breakhammer() {
+        if let Some(bh) = self.memory.breakhammer() {
             if self.synced_quota_version == Some(bh.quota_version()) {
                 return;
             }
@@ -285,20 +309,15 @@ impl System {
     }
 
     fn step_inner_ctrl(&mut self, dram_cycle: Cycle) {
-        // 2. Retry requests the controller previously rejected, then tick it.
-        while let Some(req) = self.pending_enqueue.front().copied() {
-            if self.controller.try_enqueue(req).is_ok() {
-                self.pending_enqueue.pop_front();
-            } else {
-                break;
-            }
-        }
-        self.controller.tick(dram_cycle);
+        // 2. Retry requests the memory system previously rejected, then tick
+        // every channel's controller.
+        self.memory.retry_pending();
+        self.memory.tick(dram_cycle);
     }
 
     fn step_inner_fill(&mut self, dram_cycle: Cycle) {
         // 3. Collect responses and complete LLC misses whose data arrived.
-        self.controller.drain_responses_into(&mut self.response_buf);
+        self.memory.drain_responses_into(&mut self.response_buf);
         for response in &self.response_buf {
             if response.kind.is_read() && response.id < (1 << 60) {
                 self.pending_fills.push_back((response.completed_at, response.id));
@@ -351,7 +370,7 @@ impl System {
     }
 
     fn step_inner_out(&mut self, dram_cycle: Cycle) {
-        // 5. Forward new LLC fills and writebacks to the memory controller.
+        // 5. Forward new LLC fills and writebacks to their memory channel.
         self.llc.take_outgoing_into(&mut self.outgoing_buf);
         for i in 0..self.outgoing_buf.len() {
             let outgoing = self.outgoing_buf[i];
@@ -367,9 +386,7 @@ impl System {
                     dram_cycle,
                 )
             };
-            if let Err(rejected) = self.controller.try_enqueue(req) {
-                self.pending_enqueue.push_back(rejected);
-            }
+            self.memory.enqueue_or_defer(req);
         }
     }
 
@@ -391,11 +408,11 @@ impl System {
         // progress buffer is fine — the skip replay never runs for a
         // one-cycle advance).
         self.progress_buf.clear();
-        let mut next = self.controller.next_event(dram_cycle);
+        let mut next = self.memory.next_event(dram_cycle);
         if next <= dram_cycle + 1 {
             return dram_cycle + 1;
         }
-        if let Some(bh) = self.controller.breakhammer() {
+        if let Some(bh) = self.memory.breakhammer() {
             // BreakHammer quotas the LLC has not absorbed yet (e.g. restored
             // by the window rotation that `tick` just performed) are
             // propagated at the top of the next step — that step must not be
@@ -432,7 +449,7 @@ impl System {
                 next = next.min(dram_cycle + clock.dram_cycles_until(*t));
             }
         }
-        if let Some(bh) = self.controller.breakhammer() {
+        if let Some(bh) = self.memory.breakhammer() {
             // The window rotation must happen at its exact cycle; the cycle
             // after it (when rotated quotas reach the LLC) is covered by the
             // pending-quota check above.
@@ -458,8 +475,8 @@ impl System {
                 }
             }
         }
-        if !self.pending_enqueue.is_empty() {
-            self.controller.absorb_enqueue_rejections(dead_cycles);
+        if self.memory.has_pending_enqueue() {
+            self.memory.absorb_enqueue_rejections(dead_cycles);
         }
     }
 
@@ -483,38 +500,55 @@ impl System {
             })
             .collect();
 
-        let channel = self.controller.channel();
-        let energy_nj = channel.energy().total_nj(
-            channel.energy_params(),
-            channel.timing(),
-            dram_cycles,
-            channel.geometry().ranks,
-        );
-        let bitflips = channel.rowhammer().map(|t| t.bitflip_count()).unwrap_or(0);
         let ever_suspect: Vec<bool> = (0..self.config.cores)
             .map(|t| {
-                self.controller
+                self.memory
                     .breakhammer()
                     .map(|bh| bh.is_suspect(ThreadId(t)) || bh.suspect_windows(ThreadId(t)) > 0)
                     .unwrap_or(false)
             })
             .collect();
-        let latency = (0..self.config.cores)
-            .map(|t| self.controller.latency_of(ThreadId(t)).clone())
+        let latency = (0..self.config.cores).map(|t| self.memory.latency_of(ThreadId(t))).collect();
+        // The per-channel breakdown is the single source for energy and
+        // bitflips: the aggregates below are sums over it, so the two views
+        // can never drift apart.
+        let per_channel: Vec<ChannelBreakdown> = self
+            .memory
+            .controllers()
+            .iter()
+            .map(|ctrl| {
+                let channel = ctrl.channel();
+                ChannelBreakdown {
+                    controller: ctrl.stats().clone(),
+                    dram: channel.stats().clone(),
+                    energy_nj: channel.energy().total_nj(
+                        channel.energy_params(),
+                        channel.timing(),
+                        dram_cycles,
+                        channel.geometry().ranks,
+                    ),
+                    bitflips: channel.rowhammer().map(|t| t.bitflip_count()).unwrap_or(0),
+                }
+            })
             .collect();
+        let energy_nj = per_channel.iter().map(|c| c.energy_nj).sum();
+        let bitflips = per_channel.iter().map(|c| c.bitflips).sum();
+        let controller = self.memory.aggregate_stats();
+        let preventive_actions = controller.preventive_actions_total();
 
         SimulationResult {
             cores,
             dram_cycles,
-            controller: self.controller.stats().clone(),
-            dram: channel.stats().clone(),
+            controller,
+            dram: self.memory.aggregate_dram_stats(),
             cache: self.llc.stats().clone(),
             energy_nj,
-            preventive_actions: self.controller.stats().preventive_actions_total(),
+            preventive_actions,
             bitflips,
             ever_suspect,
-            breakhammer: self.controller.breakhammer().map(|bh| bh.stats().clone()),
+            breakhammer: self.memory.breakhammer().map(|bh| bh.stats().clone()),
             latency,
+            per_channel,
         }
     }
 }
@@ -540,7 +574,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let mut p = BenignProfile::by_name(name).unwrap();
+                // `resolve` threads an actionable error naming the known
+                // profiles; a typo here fails with that message instead of an
+                // anonymous `unwrap` panic mid-simulation.
+                let mut p = BenignProfile::resolve(name).unwrap_or_else(|e| panic!("{e}"));
                 // Shrink footprints to the tiny test geometry.
                 p.footprint_rows = p.footprint_rows.min(2_000);
                 p.hot_rows = p.hot_rows.min(16).max(if p.hot_row_fraction > 0.0 { 1 } else { 0 });

@@ -42,6 +42,28 @@ pub enum AttackerKind {
     },
 }
 
+/// Which memory channels an attacker hammers (irrelevant on single-channel
+/// systems, where every variant degenerates to channel 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelTarget {
+    /// All hammering traffic concentrates on one channel — the adversarial
+    /// placement against per-channel trackers (one channel's mitigation does
+    /// all the work while the others see nothing).
+    Pinned(
+        /// The targeted channel (taken modulo the geometry's channel count).
+        usize,
+    ),
+    /// The hammering pattern is replicated over every channel in turn,
+    /// keeping all per-channel trackers busy simultaneously.
+    Interleave,
+}
+
+impl Default for ChannelTarget {
+    fn default() -> Self {
+        ChannelTarget::Pinned(0)
+    }
+}
+
 /// An attacker configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AttackerProfile {
@@ -50,6 +72,8 @@ pub struct AttackerProfile {
     /// Non-memory instructions between consecutive hammering accesses (a
     /// tight attack loop has very few).
     pub bubbles: u32,
+    /// Which memory channels the pattern targets.
+    pub channels: ChannelTarget,
 }
 
 impl AttackerProfile {
@@ -61,12 +85,32 @@ impl AttackerProfile {
     /// short simulations; use [`AttackerKind::MultiBank`] with more banks and
     /// aggressors for longer runs.
     pub fn paper_default() -> Self {
-        AttackerProfile { kind: AttackerKind::MultiBank { banks: 4, aggressors: 2 }, bubbles: 0 }
+        AttackerProfile {
+            kind: AttackerKind::MultiBank { banks: 4, aggressors: 2 },
+            bubbles: 0,
+            channels: ChannelTarget::default(),
+        }
     }
 
     /// A double-sided attacker.
     pub fn double_sided() -> Self {
-        AttackerProfile { kind: AttackerKind::DoubleSided, bubbles: 1 }
+        AttackerProfile {
+            kind: AttackerKind::DoubleSided,
+            bubbles: 1,
+            channels: ChannelTarget::default(),
+        }
+    }
+
+    /// The same attacker with all hammering pinned to one memory channel.
+    pub fn pinned_to_channel(mut self, channel: usize) -> Self {
+        self.channels = ChannelTarget::Pinned(channel);
+        self
+    }
+
+    /// The same attacker replicating its pattern over every memory channel.
+    pub fn interleaved_channels(mut self) -> Self {
+        self.channels = ChannelTarget::Interleave;
+        self
     }
 
     /// Generates the attack trace.
@@ -94,18 +138,29 @@ impl AttackerProfile {
             }
         };
 
+        let channel_count = geometry.channels.max(1);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e5);
         let mut records = Vec::with_capacity(entries);
         let mut column = 0usize;
         for i in 0..entries {
             let bank_idx = i % banks;
-            let agg_idx = (i / banks) % aggressors_per_bank;
+            // The channel progression nests between the bank and aggressor
+            // strides: the pattern sweeps every bank of one channel, moves to
+            // the next channel, and only then advances the aggressor index —
+            // so an interleaved attacker keeps every channel's tracker warm.
+            let (channel, agg_step) = match self.channels {
+                ChannelTarget::Pinned(channel) => (channel % channel_count, i / banks),
+                ChannelTarget::Interleave => {
+                    ((i / banks) % channel_count, i / banks / channel_count)
+                }
+            };
+            let agg_idx = agg_step % aggressors_per_bank;
             let bank: BankAddr = geometry.bank_from_flat(bank_idx);
             // Aggressor rows are spaced two apart so that every consecutive
             // pair sandwiches a victim row (double/many-sided hammering).
             let row = AGGRESSOR_BASE + 2 * agg_idx;
             column = (column + 1 + rng.gen_range(0..3usize)) % geometry.columns_per_row;
-            let loc = DramLocation { channel: 0, bank, row: row % geometry.rows_per_bank, column };
+            let loc = DramLocation { channel, bank, row: row % geometry.rows_per_bank, column };
             let addr = mapping.encode(&loc, geometry);
             records.push(TraceEntry {
                 bubbles: self.bubbles,
@@ -182,7 +237,11 @@ mod tests {
 
     #[test]
     fn many_sided_attack_cycles_the_requested_number_of_aggressors() {
-        let p = AttackerProfile { kind: AttackerKind::ManySided { aggressors: 16 }, bubbles: 0 };
+        let p = AttackerProfile {
+            kind: AttackerKind::ManySided { aggressors: 16 },
+            bubbles: 0,
+            channels: ChannelTarget::default(),
+        };
         let g = geometry();
         let mapping = AddressMapping::paper_default();
         let t = p.trace(&g, mapping, 3_200, 3);
@@ -197,6 +256,7 @@ mod tests {
         let p = AttackerProfile {
             kind: AttackerKind::MultiBank { banks: 8, aggressors: 4 },
             bubbles: 0,
+            channels: ChannelTarget::default(),
         };
         let g = geometry();
         let mapping = AddressMapping::paper_default();
@@ -231,9 +291,52 @@ mod tests {
     }
 
     #[test]
+    fn channel_targets_are_identity_on_single_channel_systems() {
+        let g = geometry();
+        let m = AddressMapping::paper_default();
+        let base = AttackerProfile::paper_default();
+        let pinned = base.pinned_to_channel(0);
+        let interleaved = base.interleaved_channels();
+        assert_eq!(base.trace(&g, m, 500, 3), pinned.trace(&g, m, 500, 3));
+        assert_eq!(base.trace(&g, m, 500, 3), interleaved.trace(&g, m, 500, 3));
+    }
+
+    #[test]
+    fn pinned_attacker_stays_in_its_channel() {
+        let g = geometry().with_channels(4);
+        let m = AddressMapping::paper_default();
+        let p = AttackerProfile::paper_default().pinned_to_channel(2);
+        let t = p.trace(&g, m, 2_000, 6);
+        let channels: HashSet<usize> =
+            t.entries().iter().map(|e| m.decode(e.addr, &g).channel).collect();
+        assert_eq!(channels, HashSet::from([2]));
+    }
+
+    #[test]
+    fn interleaved_attacker_replicates_the_pattern_on_every_channel() {
+        let g = geometry().with_channels(2);
+        let m = AddressMapping::paper_default();
+        let p = AttackerProfile::paper_default().interleaved_channels();
+        let t = p.trace(&g, m, 4_000, 6);
+        let locs: Vec<_> = t.entries().iter().map(|e| m.decode(e.addr, &g)).collect();
+        let channels: HashSet<usize> = locs.iter().map(|l| l.channel).collect();
+        assert_eq!(channels, HashSet::from([0, 1]));
+        // Each channel sees the full multi-bank many-sided pattern.
+        for channel in 0..2 {
+            let rows: HashSet<(BankAddr, usize)> =
+                locs.iter().filter(|l| l.channel == channel).map(|l| (l.bank, l.row)).collect();
+            assert_eq!(rows.len(), p.aggressor_rows(&g).len(), "channel {channel}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "at least two aggressors")]
     fn degenerate_many_sided_rejected() {
-        let p = AttackerProfile { kind: AttackerKind::ManySided { aggressors: 1 }, bubbles: 0 };
+        let p = AttackerProfile {
+            kind: AttackerKind::ManySided { aggressors: 1 },
+            bubbles: 0,
+            channels: ChannelTarget::default(),
+        };
         let _ = p.trace(&geometry(), AddressMapping::paper_default(), 10, 0);
     }
 }

@@ -6,7 +6,7 @@
 //! mapping the memory controller uses, so the generator can place accesses in
 //! specific banks and rows.
 
-use crate::profile::BenignProfile;
+use crate::profile::{BenignProfile, UnknownProfileError};
 use bh_cpu::{Trace, TraceEntry};
 use bh_dram::{BankAddr, DramGeometry, DramLocation};
 use bh_mem::AddressMapping;
@@ -47,14 +47,53 @@ impl TraceGenerator {
         self.mapping
     }
 
-    fn encode(&self, bank: BankAddr, row: usize, column: usize) -> bh_dram::PhysAddr {
+    fn encode(
+        &self,
+        channel: usize,
+        bank: BankAddr,
+        row: usize,
+        column: usize,
+    ) -> bh_dram::PhysAddr {
         let row = row % self.geometry.rows_per_bank;
         let column = column % self.geometry.columns_per_row;
-        self.mapping.encode(&DramLocation { channel: 0, bank, row, column }, &self.geometry)
+        self.mapping.encode(&DramLocation { channel, bank, row, column }, &self.geometry)
     }
 
-    fn bank_for(&self, index: usize) -> BankAddr {
-        self.geometry.bank_from_flat(index % self.geometry.banks_per_channel())
+    /// Spreads a flat placement index over `(channel, bank)` pairs, channel
+    /// 0's banks first — identical to the single-channel placement when the
+    /// geometry has one channel, and covering every channel's banks evenly
+    /// otherwise.
+    fn place(&self, index: usize) -> (usize, BankAddr) {
+        let banks = self.geometry.banks_per_channel();
+        let slots = banks * self.geometry.channels.max(1);
+        let slot = index % slots;
+        (slot / banks, self.geometry.bank_from_flat(slot % banks))
+    }
+
+    /// Number of `(channel, bank)` placement slots (the divisor turning a
+    /// flat row index into a per-bank row).
+    fn placement_slots(&self) -> usize {
+        self.geometry.banks_per_channel() * self.geometry.channels.max(1)
+    }
+
+    /// Generates a benign trace for the library profile named `name` — the
+    /// non-panicking composition of [`BenignProfile::resolve`] and
+    /// [`TraceGenerator::benign`] for callers driven by external workload
+    /// lists (campaign configs, CLI arguments).
+    ///
+    /// # Errors
+    /// Returns [`UnknownProfileError`] if `name` is not in the profile
+    /// library.
+    ///
+    /// # Panics
+    /// Panics if `entries` is zero.
+    pub fn benign_named(
+        &self,
+        name: &str,
+        entries: usize,
+        seed: u64,
+    ) -> Result<Trace, UnknownProfileError> {
+        Ok(self.benign(&BenignProfile::resolve(name)?, entries, seed))
     }
 
     /// Generates a benign trace of `entries` records from `profile`.
@@ -66,10 +105,10 @@ impl TraceGenerator {
         assert!(entries > 0, "a trace needs at least one record");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef_beef);
         let mean_bubbles = (1000.0 / profile.apki - 1.0).max(0.0);
-        let banks = self.geometry.banks_per_channel();
+        let slots = self.placement_slots();
 
         let mut records = Vec::with_capacity(entries);
-        let mut current: Option<(BankAddr, usize, usize)> = None;
+        let mut current: Option<(usize, BankAddr, usize, usize)> = None;
         for _ in 0..entries {
             // Bubble count jitters around the profile mean so the intensity
             // target is met on average without being perfectly periodic.
@@ -80,33 +119,35 @@ impl TraceGenerator {
             };
 
             let roll: f64 = rng.gen();
-            let (bank, row, column) = if roll < profile.hot_row_fraction && profile.hot_rows > 0 {
-                // Hot rows: skewed popularity so a handful of rows dominate
-                // (what produces Table 3's 512+ activation rows).
-                let skew: f64 = rng.gen::<f64>().powi(2);
-                let hot_index = (skew * profile.hot_rows as f64) as usize % profile.hot_rows;
-                let bank = self.bank_for(hot_index);
-                let row = HOT_ROW_BASE + hot_index / banks;
-                (bank, row, rng.gen_range(0..self.geometry.columns_per_row))
-            } else if roll < profile.hot_row_fraction + profile.row_locality {
-                // Stay in the current row (streaming within a row).
-                match current {
-                    Some((bank, row, column)) => (bank, row, column + 1),
-                    None => {
-                        let idx = rng.gen_range(0..profile.footprint_rows);
-                        (self.bank_for(idx), FOOTPRINT_BASE + idx / banks, 0)
+            let (channel, bank, row, column) =
+                if roll < profile.hot_row_fraction && profile.hot_rows > 0 {
+                    // Hot rows: skewed popularity so a handful of rows dominate
+                    // (what produces Table 3's 512+ activation rows).
+                    let skew: f64 = rng.gen::<f64>().powi(2);
+                    let hot_index = (skew * profile.hot_rows as f64) as usize % profile.hot_rows;
+                    let (channel, bank) = self.place(hot_index);
+                    let row = HOT_ROW_BASE + hot_index / slots;
+                    (channel, bank, row, rng.gen_range(0..self.geometry.columns_per_row))
+                } else if roll < profile.hot_row_fraction + profile.row_locality {
+                    // Stay in the current row (streaming within a row).
+                    match current {
+                        Some((channel, bank, row, column)) => (channel, bank, row, column + 1),
+                        None => {
+                            let idx = rng.gen_range(0..profile.footprint_rows);
+                            let (channel, bank) = self.place(idx);
+                            (channel, bank, FOOTPRINT_BASE + idx / slots, 0)
+                        }
                     }
-                }
-            } else {
-                // Jump to a random row of the streaming footprint.
-                let idx = rng.gen_range(0..profile.footprint_rows);
-                let bank = self.bank_for(idx);
-                let row = FOOTPRINT_BASE + idx / banks;
-                (bank, row, rng.gen_range(0..self.geometry.columns_per_row))
-            };
-            current = Some((bank, row, column));
+                } else {
+                    // Jump to a random row of the streaming footprint.
+                    let idx = rng.gen_range(0..profile.footprint_rows);
+                    let (channel, bank) = self.place(idx);
+                    let row = FOOTPRINT_BASE + idx / slots;
+                    (channel, bank, row, rng.gen_range(0..self.geometry.columns_per_row))
+                };
+            current = Some((channel, bank, row, column));
 
-            let addr = self.encode(bank, row, column);
+            let addr = self.encode(channel, bank, row, column);
             let is_write = rng.gen::<f64>() < profile.write_fraction;
             records.push(if is_write {
                 TraceEntry::store(bubbles, addr)
@@ -155,6 +196,15 @@ mod tests {
                 IntensityClass::Low => assert!(apki < 10.0, "{}", profile.name),
             }
         }
+    }
+
+    #[test]
+    fn benign_named_threads_unknown_profiles_as_errors() {
+        let g = generator();
+        let trace = g.benign_named("povray", 500, 3).expect("known profile");
+        assert_eq!(trace, g.benign(&BenignProfile::by_name("povray").unwrap(), 500, 3));
+        let err = g.benign_named("sp3c-mystery", 500, 3).unwrap_err();
+        assert_eq!(err.name, "sp3c-mystery");
     }
 
     #[test]
@@ -212,6 +262,38 @@ mod tests {
         assert!((frac - p.write_fraction).abs() < 0.05, "write fraction {frac}");
         // Benign traces never use uncached accesses.
         assert!(trace.entries().iter().all(|e| !e.uncached));
+    }
+
+    #[test]
+    fn multichannel_generation_spreads_benign_footprints_over_all_channels() {
+        let geometry = DramGeometry::paper_ddr5().with_channels(4);
+        let g = TraceGenerator::new(geometry, AddressMapping::paper_default());
+        let p = BenignProfile::by_name("lbm06").unwrap();
+        let trace = g.benign(&p, 6_000, 11);
+        let mut per_channel = [0usize; 4];
+        for e in trace.entries() {
+            per_channel[g.mapping().decode(e.addr, g.geometry()).channel] += 1;
+        }
+        for (channel, count) in per_channel.iter().enumerate() {
+            assert!(
+                *count > trace.len() / 16,
+                "channel {channel} only received {count} of {} accesses",
+                trace.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_channel_traces_are_unchanged_by_the_channel_spread() {
+        // The flat placement index spreads over (channel, bank) slots; with
+        // one channel that must degenerate to the historical per-bank layout.
+        let g = generator();
+        let p = BenignProfile::by_name("mcf").unwrap();
+        let trace = g.benign(&p, 2_000, 9);
+        assert!(trace
+            .entries()
+            .iter()
+            .all(|e| g.mapping().decode(e.addr, g.geometry()).channel == 0));
     }
 
     #[test]

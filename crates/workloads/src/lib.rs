@@ -37,8 +37,8 @@ pub mod generator;
 pub mod mix;
 pub mod profile;
 
-pub use attacker::{AttackerKind, AttackerProfile};
+pub use attacker::{AttackerKind, AttackerProfile, ChannelTarget};
 pub use characterize::{characterize, WorkloadCharacteristics};
 pub use generator::TraceGenerator;
 pub use mix::{MixBuilder, MixClass, SlotClass, WorkloadMix};
-pub use profile::{BenignProfile, IntensityClass};
+pub use profile::{BenignProfile, IntensityClass, UnknownProfileError};

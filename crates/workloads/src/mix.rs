@@ -127,6 +127,10 @@ pub struct MixBuilder {
     pub benign_entries: usize,
     /// Trace records generated for the attacker core.
     pub attacker_entries: usize,
+    /// Optional scenario tag appended to mix names (e.g. `"chp0"` for a
+    /// channel-pinned attacker), so scenario variants of the same class and
+    /// index stay distinguishable in result tables.
+    scenario_suffix: Option<String>,
 }
 
 impl MixBuilder {
@@ -137,6 +141,7 @@ impl MixBuilder {
             attacker: AttackerProfile::paper_default(),
             benign_entries: 20_000,
             attacker_entries: 8_000,
+            scenario_suffix: None,
         }
     }
 
@@ -179,13 +184,50 @@ impl MixBuilder {
                 }
             }
         }
-        WorkloadMix {
-            name: format!("{}-{index:02}", class.label()),
-            class,
-            app_names,
-            traces,
-            attacker_thread,
-        }
+        let name = match &self.scenario_suffix {
+            Some(suffix) => format!("{}-{suffix}-{index:02}", class.label()),
+            None => format!("{}-{index:02}", class.label()),
+        };
+        WorkloadMix { name, class, app_names, traces, attacker_thread }
+    }
+
+    /// Builds the channel-pinned attack scenario: the attacker concentrates
+    /// its whole hammering pattern on memory channel `channel`, so one
+    /// channel's mitigation tracker absorbs every preventive action while
+    /// the benign applications spread over all channels. This is the
+    /// adversarial placement for per-channel trackers — only a
+    /// memory-system-wide observer (BreakHammer) sees the full picture.
+    ///
+    /// On single-channel systems this is identical to
+    /// [`MixBuilder::build`].
+    pub fn build_channel_pinned(
+        &self,
+        class: MixClass,
+        index: usize,
+        seed: u64,
+        channel: usize,
+    ) -> WorkloadMix {
+        let mut builder = self.clone().with_attacker(self.attacker.pinned_to_channel(channel));
+        builder.scenario_suffix = Some(format!("chp{channel}"));
+        builder.build(class, index, seed)
+    }
+
+    /// Builds the channel-interleaved attack scenario: the attacker
+    /// replicates its hammering pattern across every memory channel in turn,
+    /// keeping all per-channel trackers busy simultaneously (the maximum
+    /// total preventive-action rate the attacker can sustain).
+    ///
+    /// On single-channel systems this is identical to
+    /// [`MixBuilder::build`].
+    pub fn build_channel_interleaved(
+        &self,
+        class: MixClass,
+        index: usize,
+        seed: u64,
+    ) -> WorkloadMix {
+        let mut builder = self.clone().with_attacker(self.attacker.interleaved_channels());
+        builder.scenario_suffix = Some("chi".to_string());
+        builder.build(class, index, seed)
     }
 
     /// Builds `per_class` workloads for each of the given classes (the paper
@@ -258,6 +300,46 @@ mod tests {
         // Names are unique.
         let names: std::collections::HashSet<_> = suite.iter().map(|m| m.name.clone()).collect();
         assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn channel_scenarios_tag_names_and_retarget_the_attacker() {
+        use crate::generator::TraceGenerator;
+        use bh_dram::DramGeometry;
+        use bh_mem::AddressMapping;
+
+        let geometry = DramGeometry::paper_ddr5().with_channels(2);
+        let mapping = AddressMapping::paper_default();
+        let mut b = MixBuilder::new(TraceGenerator::new(geometry.clone(), mapping));
+        b.benign_entries = 1_000;
+        b.attacker_entries = 1_000;
+        let class = MixClass::attack_classes()[0];
+
+        let pinned = b.build_channel_pinned(class, 0, 42, 1);
+        assert_eq!(pinned.name, "HHHA-chp1-00");
+        let attacker = pinned.attacker_thread.unwrap();
+        assert!(pinned.traces[attacker]
+            .entries()
+            .iter()
+            .all(|e| mapping.decode(e.addr, &geometry).channel == 1));
+
+        let interleaved = b.build_channel_interleaved(class, 0, 42);
+        assert_eq!(interleaved.name, "HHHA-chi-00");
+        let attacker = interleaved.attacker_thread.unwrap();
+        let channels: std::collections::HashSet<usize> = interleaved.traces[attacker]
+            .entries()
+            .iter()
+            .map(|e| mapping.decode(e.addr, &geometry).channel)
+            .collect();
+        assert_eq!(channels.len(), 2, "interleaved attacker must touch both channels");
+
+        // The benign cores are identical across scenarios (only the attacker
+        // is retargeted), so scenario comparisons isolate attacker placement.
+        let plain = b.build(class, 0, 42);
+        for t in plain.benign_threads() {
+            assert_eq!(plain.traces[t], pinned.traces[t]);
+            assert_eq!(plain.traces[t], interleaved.traces[t]);
+        }
     }
 
     #[test]

@@ -13,6 +13,33 @@
 //!    *benign* thread triggers RowHammer-preventive actions at low `N_RH`.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A benign-profile lookup failed: the requested name is not in the library.
+///
+/// Carries the offending name and the list of known profiles, so a typo in a
+/// workload configuration surfaces as an actionable error instead of
+/// crashing a long simulation campaign half-way through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProfileError {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name the library does know, for the error message.
+    pub known: Vec<&'static str>,
+}
+
+impl fmt::Display for UnknownProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown benign profile `{}` (known profiles: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownProfileError {}
 
 /// Memory-intensity class of an application (Table 3 / §7 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -245,6 +272,20 @@ impl BenignProfile {
         BenignProfile::library().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
     }
 
+    /// Looks up a profile by name, threading an actionable error instead of
+    /// leaving the caller to `unwrap` an [`Option`] (an unknown name used to
+    /// crash whole simulation campaigns with a bare `unwrap` panic).
+    ///
+    /// # Errors
+    /// Returns [`UnknownProfileError`] — naming the known profiles — if no
+    /// profile matches.
+    pub fn resolve(name: &str) -> Result<BenignProfile, UnknownProfileError> {
+        BenignProfile::by_name(name).ok_or_else(|| UnknownProfileError {
+            name: name.to_string(),
+            known: BenignProfile::library().iter().map(|p| p.name).collect(),
+        })
+    }
+
     /// The eight most memory-intensive profiles, mirroring Table 3.
     pub fn table3_profiles() -> Vec<BenignProfile> {
         BenignProfile::of_class(IntensityClass::High)
@@ -317,6 +358,19 @@ mod tests {
     fn lookup_by_name_is_case_insensitive() {
         assert!(BenignProfile::by_name("MCF").is_some());
         assert!(BenignProfile::by_name("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn resolve_threads_an_actionable_error_for_unknown_names() {
+        assert_eq!(BenignProfile::resolve("mcf").unwrap().name, "mcf");
+        let err = BenignProfile::resolve("does-not-exist").unwrap_err();
+        assert_eq!(err.name, "does-not-exist");
+        assert!(err.known.contains(&"mcf"));
+        let msg = err.to_string();
+        assert!(msg.contains("does-not-exist"), "{msg}");
+        assert!(msg.contains("mcf"), "error must list the known profiles: {msg}");
+        // It is a real error type, so `?` works in campaign code.
+        let _: &dyn std::error::Error = &err;
     }
 
     #[test]

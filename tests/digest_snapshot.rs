@@ -1,0 +1,254 @@
+//! Golden-digest harness for [`SimulationResult`]s.
+//!
+//! Runs the canonical 40-configuration matrix (10 mechanisms × ±BreakHammer ×
+//! both kernels) on the standard attack workload and folds every field that
+//! existed in the result as of the digest capture into a stable FNV-1a
+//! fingerprint. The digests are compared against `tests/digests.golden.txt`,
+//! which pins the simulator's observable behaviour across refactors: any
+//! change to scheduling, mitigation, throttling or accounting shows up as a
+//! digest mismatch even if both kernels still agree with each other.
+//!
+//! To regenerate the golden file after an *intentional* behaviour change:
+//!
+//! ```text
+//! BH_DIGEST_RECORD=1 cargo test --test digest_snapshot
+//! ```
+//!
+//! and commit the updated `tests/digests.golden.txt` together with an
+//! explanation of why the behaviour moved.
+
+use breakhammer_suite::mitigation::MechanismKind;
+use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
+
+mod common;
+use common::attack_traces;
+
+/// FNV-1a, the digest accumulator. Stable across platforms and releases.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.byte(v as u8);
+    }
+}
+
+/// Folds the pre-multichannel field set of a [`SimulationResult`] into one
+/// digest. New fields added after the golden capture (per-channel breakdowns,
+/// per-channel BreakHammer counters) are deliberately not digested here; they
+/// are covered by the full-equality differential suite instead.
+fn digest(result: &SimulationResult) -> u64 {
+    let mut d = Digest::new();
+    d.usize(result.cores.len());
+    for core in &result.cores {
+        d.usize(core.thread.index());
+        d.u64(core.instructions);
+        d.u64(core.cycles);
+        d.f64(core.ipc);
+        d.bool(core.finished);
+    }
+    d.u64(result.dram_cycles);
+
+    let c = &result.controller;
+    for v in [
+        c.reads_served,
+        c.writes_served,
+        c.row_hits,
+        c.row_misses,
+        c.row_conflicts,
+        c.demand_activations,
+        c.enqueue_rejections,
+        c.preventive_refresh_actions,
+        c.victim_rows_refreshed,
+        c.migrations,
+        c.rfm_actions,
+        c.table_accesses,
+        c.periodic_refreshes,
+    ] {
+        d.u64(v);
+    }
+
+    let m = &result.dram;
+    for v in [
+        m.activates,
+        m.precharges,
+        m.precharge_alls,
+        m.reads,
+        m.writes,
+        m.refreshes,
+        m.refreshes_same_bank,
+        m.rfm_commands,
+        m.victim_refreshes,
+    ] {
+        d.u64(v);
+    }
+
+    let l = &result.cache;
+    for v in
+        [l.hits, l.misses, l.mshr_merges, l.mshr_full_rejections, l.quota_rejections, l.writebacks]
+    {
+        d.u64(v);
+    }
+
+    d.f64(result.energy_nj);
+    d.u64(result.preventive_actions);
+    d.usize(result.bitflips);
+    for s in &result.ever_suspect {
+        d.bool(*s);
+    }
+    match &result.breakhammer {
+        None => d.bool(false),
+        Some(bh) => {
+            d.bool(true);
+            d.u64(bh.actions_observed);
+            d.u64(bh.suspect_identifications);
+            d.u64(bh.quota_restorations);
+            d.u64(bh.windows_completed);
+        }
+    }
+    d.usize(result.latency.len());
+    for h in &result.latency {
+        d.u64(h.count());
+        d.u64(h.max());
+        d.f64(h.mean());
+    }
+    d.0
+}
+
+const MECHANISMS: [MechanismKind; 10] = [
+    MechanismKind::None,
+    MechanismKind::Para,
+    MechanismKind::Graphene,
+    MechanismKind::Hydra,
+    MechanismKind::Twice,
+    MechanismKind::Aqua,
+    MechanismKind::Rega,
+    MechanismKind::Rfm,
+    MechanismKind::Prac,
+    MechanismKind::BlockHammer,
+];
+
+fn config_for(mechanism: MechanismKind, breakhammer: bool, kernel: SchedulerKind) -> SystemConfig {
+    let mut config = SystemConfig::fast_test(mechanism, 128, breakhammer);
+    config.instructions_per_core = 6_000;
+    config.scheduler = kernel;
+    config
+}
+
+fn kernel_name(kernel: SchedulerKind) -> &'static str {
+    match kernel {
+        SchedulerKind::PerCycle => "per_cycle",
+        SchedulerKind::EventDriven => "event_driven",
+    }
+}
+
+fn run_matrix() -> Vec<(String, u64)> {
+    let mut out = Vec::with_capacity(40);
+    for mechanism in MECHANISMS {
+        for breakhammer in [false, true] {
+            for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+                let config = config_for(mechanism, breakhammer, kernel);
+                let traces = attack_traces(&config, 2_000, 100);
+                let result = System::new(config, &traces, vec![0, 1, 2]).run();
+                let label = format!(
+                    "{mechanism} {} {}",
+                    if breakhammer { "bh" } else { "nobh" },
+                    kernel_name(kernel)
+                );
+                out.push((label, digest(&result)));
+            }
+        }
+    }
+    out
+}
+
+/// The channels axis of the digest harness: per config and channel count,
+/// both kernels must produce the same digest. (The golden file itself pins
+/// channels = 1 — multi-channel goldens would churn with every intentional
+/// routing change, while cross-kernel equality is the invariant that must
+/// never move.)
+#[test]
+fn multichannel_digests_agree_across_kernels() {
+    for channels in [1usize, 2, 4] {
+        for (mechanism, breakhammer) in
+            [(MechanismKind::Graphene, true), (MechanismKind::Hydra, false)]
+        {
+            let mut digests = Vec::new();
+            for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+                let mut config = config_for(mechanism, breakhammer, kernel);
+                config.geometry = config.geometry.with_channels(channels);
+                let traces = attack_traces(&config, 2_000, 100);
+                let result = System::new(config, &traces, vec![0, 1, 2]).run();
+                digests.push(digest(&result));
+            }
+            assert_eq!(
+                digests[0], digests[1],
+                "kernel digests diverged for {mechanism} bh={breakhammer} x{channels}ch"
+            );
+        }
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/digests.golden.txt")
+}
+
+/// The 40-config digest matrix must match the committed golden file exactly.
+#[test]
+fn simulation_digests_match_golden_file() {
+    let digests = run_matrix();
+    if std::env::var_os("BH_DIGEST_RECORD").is_some() {
+        let mut contents = String::new();
+        for (label, d) in &digests {
+            contents.push_str(&format!("{label} {d:016x}\n"));
+        }
+        std::fs::write(golden_path(), contents).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("tests/digests.golden.txt missing — run with BH_DIGEST_RECORD=1 to create it");
+    let mut mismatches = Vec::new();
+    let mut lines = golden.lines();
+    for (label, d) in &digests {
+        match lines.next() {
+            None => mismatches.push(format!("{label}: missing from golden file")),
+            Some(line) => {
+                let expected = format!("{label} {d:016x}");
+                if line != expected {
+                    mismatches.push(format!("got `{expected}`, golden has `{line}`"));
+                }
+            }
+        }
+    }
+    if let Some(extra) = lines.next() {
+        mismatches.push(format!("golden file has extra line `{extra}`"));
+    }
+    assert!(
+        mismatches.is_empty(),
+        "simulation digests diverged from tests/digests.golden.txt \
+         (regenerate with BH_DIGEST_RECORD=1 if the change is intentional):\n{}",
+        mismatches.join("\n")
+    );
+}

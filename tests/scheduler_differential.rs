@@ -10,49 +10,12 @@
 //! BreakHammer on and off).
 
 use breakhammer_suite::cpu::Trace;
-use breakhammer_suite::mem::AddressMapping;
 use breakhammer_suite::mitigation::MechanismKind;
 use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
-use breakhammer_suite::workloads::{AttackerProfile, BenignProfile, TraceGenerator};
 use proptest::prelude::*;
 
-/// Benign traces shrunk onto the tiny test geometry (the same recipe as the
-/// system-level unit tests, so this suite covers the exact scenarios the rest
-/// of the test pyramid runs under the default kernel).
-fn benign_traces(config: &SystemConfig, entries: usize, seed: u64) -> Vec<Trace> {
-    let generator = TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
-    let profiles = ["libquantum", "fotonik3d", "xalancbmk", "povray"];
-    profiles
-        .iter()
-        .enumerate()
-        .map(|(i, name)| {
-            let mut p = BenignProfile::by_name(name).unwrap();
-            p.footprint_rows = p.footprint_rows.min(2_000);
-            p.hot_rows = p.hot_rows.min(16).max(if p.hot_row_fraction > 0.0 { 1 } else { 0 });
-            gen_trace(&generator, &p, entries, seed + i as u64)
-        })
-        .collect()
-}
-
-fn gen_trace(
-    generator: &TraceGenerator,
-    profile: &BenignProfile,
-    entries: usize,
-    seed: u64,
-) -> Trace {
-    generator.benign(profile, entries, seed)
-}
-
-fn attack_traces(config: &SystemConfig, entries: usize, seed: u64) -> Vec<Trace> {
-    let mut traces = benign_traces(config, entries, seed);
-    traces[3] = AttackerProfile::paper_default().trace(
-        &config.geometry,
-        AddressMapping::paper_default(),
-        entries,
-        seed + 900,
-    );
-    traces
-}
+mod common;
+use common::{attack_traces, benign_traces};
 
 /// Runs `config` under both kernels and returns (per_cycle, event_driven).
 fn run_both(
@@ -177,6 +140,23 @@ fn quota_starved_tail_is_identical_across_kernels() {
             "window {window}: no quota was ever restored — the test lost its coverage"
         );
         assert_eq!(reference, event_driven, "kernels diverged for window {window} seed {seed}");
+    }
+}
+
+/// Multi-channel systems must not reopen the kernel gap: the merged
+/// next-event horizon (minimum over per-channel controllers) has the same
+/// never-overshoot contract as a single controller's. The fuller channel
+/// matrix (mechanisms × interleave policies) lives in `tests/multichannel.rs`;
+/// this case keeps the channels axis visible in the core differential suite.
+#[test]
+fn multi_channel_systems_are_identical_across_kernels() {
+    for channels in [2usize, 4] {
+        let mut config =
+            SystemConfig::fast_test(MechanismKind::Graphene, 128, true).with_channels(channels);
+        config.instructions_per_core = 6_000;
+        let traces = attack_traces(&config, 2_000, 100);
+        let (reference, event_driven) = run_both(config, &traces, vec![0, 1, 2]);
+        assert_eq!(reference, event_driven, "kernels diverged at {channels} channels");
     }
 }
 

@@ -7,16 +7,14 @@
 use breakhammer_suite::mem::AddressMapping;
 use breakhammer_suite::mitigation::MechanismKind;
 use breakhammer_suite::sim::{System, SystemConfig};
-use breakhammer_suite::workloads::{
-    AttackerKind, AttackerProfile, MixBuilder, MixClass, TraceGenerator,
-};
+use breakhammer_suite::workloads::{AttackerProfile, MixBuilder, MixClass, TraceGenerator};
 
 fn attacked_traces(config: &SystemConfig) -> breakhammer_suite::workloads::WorkloadMix {
     let generator = TraceGenerator::new(config.geometry.clone(), AddressMapping::paper_default());
     let mut builder = MixBuilder::new(generator)
         // A tight double-sided hammer concentrates every activation on one
         // victim row, which is the stress case for the protection invariant.
-        .with_attacker(AttackerProfile { kind: AttackerKind::DoubleSided, bubbles: 0 });
+        .with_attacker(AttackerProfile { bubbles: 0, ..AttackerProfile::double_sided() });
     builder.benign_entries = 3_000;
     builder.attacker_entries = 3_000;
     builder.build(MixClass::attack_classes()[0], 0, 13)
