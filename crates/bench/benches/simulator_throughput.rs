@@ -25,7 +25,7 @@ fn bench_system(c: &mut Criterion) {
         b.iter_batched(
             || (config.clone(), mix.traces.clone()),
             |(cfg, traces)| {
-                let system = System::new(cfg, &traces, vec![0, 1, 2]);
+                let system = System::with_compiled(cfg, &traces, vec![0, 1, 2]);
                 system.run()
             },
             BatchSize::LargeInput,
@@ -49,7 +49,7 @@ fn bench_system(c: &mut Criterion) {
             b.iter_batched(
                 || (config.clone(), mix.traces.clone()),
                 |(cfg, traces)| {
-                    let system = System::new(cfg, &traces, vec![0, 1, 2]);
+                    let system = System::with_compiled(cfg, &traces, vec![0, 1, 2]);
                     system.run()
                 },
                 BatchSize::LargeInput,

@@ -9,17 +9,37 @@
 //!
 //! ```text
 //! cargo run --release -p bh-bench --bin bench_hotpath [-- <output-path>]
+//! cargo run --release -p bh-bench --bin bench_hotpath -- --check [baseline]
 //! ```
+//!
+//! `--check` is the CI bench-regression smoke mode: it runs **only** the
+//! `simulator_throughput/*` benches (the end-to-end hot path) and compares
+//! each median against the committed `BENCH_hotpath.json` (or `[baseline]`),
+//! exiting non-zero if any regresses by more than
+//! [`CHECK_REGRESSION_TOLERANCE`]. Nothing is written in check mode.
 //!
 //! Environment knobs (shared with the criterion shim): `BH_BENCH_SAMPLES`
 //! (default 10) and `BH_BENCH_TARGET_MS` (per-sample budget, default 50).
 
-use bh_dram::{BankAddr, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams};
-use bh_mem::AddressMapping;
+use bh_dram::{
+    BankAddr, DramChannel, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams,
+};
+use bh_mem::{AddressMapping, MemControllerConfig, MemRequest, MemoryController, MemorySystem};
 use bh_mitigation::{ActionSink, ActivationEvent, MechanismKind, ScoreAttribution};
 use bh_sim::{System, SystemConfig};
 use bh_workloads::{MixBuilder, MixClass, TraceGenerator};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// `--check` fails when a `simulator_throughput/*` median exceeds its
+/// committed baseline by more than this factor. 1.25 (a >25% regression)
+/// is far above same-machine run-to-run noise for these multi-millisecond
+/// medians, yet far below the step change a reintroduced per-request
+/// dispatch layer or a de-memoized hot loop causes. The committed baselines
+/// are measured on the maintainer machine; CI runners differ in absolute
+/// speed, so the gate is only meaningful when the baseline was recorded on
+/// comparable hardware — treat a CI failure here as "measure locally before
+/// merging", not as ground truth.
+const CHECK_REGRESSION_TOLERANCE: f64 = 1.25;
 
 /// One measured benchmark.
 struct BenchResult {
@@ -147,6 +167,69 @@ fn tracker_bench(results: &mut Vec<BenchResult>) {
     }));
 }
 
+/// A/B of the per-request dispatch cost: a bare [`MemoryController`] versus
+/// the 1-channel [`MemorySystem`] facade driving the identical request
+/// stream. The two medians must stay equal (the facade's single-channel
+/// fast path); `crates/mem/tests/dispatch_overhead.rs` asserts it, this
+/// records the absolute numbers.
+fn memory_dispatch_benches(results: &mut Vec<BenchResult>) {
+    let config = || {
+        let mut c = MemControllerConfig::paper_table1(4);
+        c.read_queue_capacity = 32;
+        c.write_queue_capacity = 32;
+        c.write_drain_high = 24;
+        c.write_drain_low = 8;
+        c
+    };
+    let parts = || {
+        let geometry = DramGeometry::tiny();
+        let timing = TimingParams::fast_test();
+        let mechanism = MechanismKind::Graphene.build(&geometry, &timing, 256, 7);
+        let channel = DramChannel::with_rowhammer(geometry, timing, 256);
+        (channel, mechanism)
+    };
+
+    let (channel, mechanism) = parts();
+    let mut ctrl = MemoryController::new(config(), channel, mechanism);
+    let mut cycle = 0u64;
+    let mut id = 0u64;
+    let mut buf = Vec::new();
+    results.push(measure("memory_dispatch/controller_direct", |iters| {
+        for _ in 0..iters {
+            let addr = bh_dram::PhysAddr((id % 97) * 4096 + (id % 7) * 64);
+            let _ =
+                ctrl.try_enqueue(MemRequest::read(id, ThreadId((id % 4) as usize), addr, cycle));
+            id += 1;
+            for _ in 0..6 {
+                ctrl.tick(cycle, None);
+                cycle += 1;
+            }
+            ctrl.drain_responses_into(&mut buf);
+            std::hint::black_box(buf.len());
+        }
+    }));
+
+    let (channel, mechanism) = parts();
+    let mut mem = MemorySystem::new(config(), vec![(channel, mechanism)], None);
+    let mut cycle = 0u64;
+    let mut id = 0u64;
+    let mut buf = Vec::new();
+    results.push(measure("memory_dispatch/memory_system_1ch", |iters| {
+        for _ in 0..iters {
+            let addr = bh_dram::PhysAddr((id % 97) * 4096 + (id % 7) * 64);
+            let _ = mem.try_enqueue(MemRequest::read(id, ThreadId((id % 4) as usize), addr, cycle));
+            id += 1;
+            for _ in 0..6 {
+                mem.retry_pending();
+                mem.tick(cycle);
+                cycle += 1;
+            }
+            mem.drain_responses_into(&mut buf);
+            std::hint::black_box(buf.len());
+        }
+    }));
+}
+
 fn simulator_bench(results: &mut Vec<BenchResult>) {
     // Channels ∈ {1, 2, 4}: the single-channel bench keeps its historical
     // name (comparable PR over PR); the sharded variants measure the cost of
@@ -174,7 +257,9 @@ fn simulator_bench(results: &mut Vec<BenchResult>) {
         };
         results.push(measure(&name, |iters| {
             for _ in 0..iters {
-                let system = System::new(config.clone(), &mix.traces.clone(), vec![0, 1, 2]);
+                // The compiled traces are shared into every run (refcount
+                // bumps), as Campaign::run_matrix shares them across configs.
+                let system = System::with_compiled(config.clone(), &mix.traces, vec![0, 1, 2]);
                 std::hint::black_box(system.run());
             }
         }));
@@ -211,8 +296,76 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// Extracts `(name, median_ns_per_iter)` pairs from a `BENCH_hotpath.json`
+/// written by this binary. Hand-rolled line parsing to match the hand-rolled
+/// writer below (the workspace has no JSON dependency; the schema is one
+/// bench record per line).
+fn parse_baseline(contents: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let Some(name) = line.split("\"name\": \"").nth(1).and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        let Some(median) = line
+            .split("\"median_ns_per_iter\": ")
+            .nth(1)
+            .and_then(|r| r.split([',', '}']).next())
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), median));
+    }
+    out
+}
+
+/// The CI bench-regression smoke gate: re-measures the
+/// `simulator_throughput/*` benches and fails (exit 1) if any median
+/// regressed more than [`CHECK_REGRESSION_TOLERANCE`] versus the baseline
+/// file. Benches missing from the baseline (e.g. a newly added channel
+/// count) are reported but never fail the gate.
+fn run_check(baseline_path: &str) -> ! {
+    let contents = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&contents);
+    let mut results = Vec::new();
+    simulator_bench(&mut results);
+    let mut failures = Vec::new();
+    for r in &results {
+        match baseline.iter().find(|(name, _)| *name == r.name) {
+            None => println!("{}: no baseline entry (skipped)", r.name),
+            Some((_, base)) => {
+                let ratio = r.median_ns_per_iter / base;
+                let verdict = if ratio > CHECK_REGRESSION_TOLERANCE { "REGRESSED" } else { "ok" };
+                println!(
+                    "{}: {:.1} ns/iter vs baseline {:.1} ({:.2}x, tolerance {:.2}x) {}",
+                    r.name, r.median_ns_per_iter, base, ratio, CHECK_REGRESSION_TOLERANCE, verdict
+                );
+                if ratio > CHECK_REGRESSION_TOLERANCE {
+                    failures.push(format!("{} at {:.2}x", r.name, ratio));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("bench-regression check passed ({} benches)", results.len());
+        std::process::exit(0);
+    }
+    eprintln!(
+        "bench-regression check FAILED: {} (re-measure on the baseline machine and, if the \
+         regression is intentional, refresh BENCH_hotpath.json)",
+        failures.join(", ")
+    );
+    std::process::exit(1);
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let baseline = args.get(1).cloned().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+        run_check(&baseline);
+    }
+    let out_path = args.first().cloned().unwrap_or_else(|| "BENCH_hotpath.json".to_string());
 
     let mut results = Vec::new();
     for kind in [
@@ -231,6 +384,7 @@ fn main() {
     }
     breakhammer_benches(&mut results);
     tracker_bench(&mut results);
+    memory_dispatch_benches(&mut results);
     simulator_bench(&mut results);
 
     // Flat structure, written by hand: the workspace has no JSON dependency

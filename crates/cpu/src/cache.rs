@@ -179,7 +179,10 @@ struct Mshr {
 #[derive(Debug, Clone)]
 pub struct LastLevelCache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All cache lines in one flat array, set-major (`set * ways + way`):
+    /// a set's ways are contiguous, so the per-access tag walk touches one
+    /// or two cache lines instead of chasing a per-set heap pointer.
+    lines: Vec<Line>,
     /// MSHR slots, one per miss buffer. A slot with `token == 0` is free.
     /// Tokens encode their slot in the low [`TOKEN_SLOT_BITS`] bits, so
     /// completion checks are a single slot comparison.
@@ -224,6 +227,8 @@ pub struct LastLevelCache {
     line_shift: u32,
     /// `sets() - 1`, cached for the per-access set index mask.
     set_mask: u64,
+    /// `log2(sets())`, cached for the per-access tag extraction.
+    set_bits: u32,
     stats: CacheStats,
 }
 
@@ -236,24 +241,22 @@ impl LastLevelCache {
     pub fn new(config: CacheConfig, num_threads: usize) -> Self {
         config.validate().expect("invalid cache configuration");
         assert!(num_threads > 0, "need at least one hardware thread");
-        let sets =
+        let lines =
             vec![
-                vec![
-                    Line { tag: 0, valid: false, dirty: false, last_use: 0, owner: ThreadId(0) };
-                    config.ways
-                ];
-                config.sets()
+                Line { tag: 0, valid: false, dirty: false, last_use: 0, owner: ThreadId(0) };
+                config.sets() * config.ways
             ];
         let mshrs = config.mshrs;
         let line_shift = config.line_bytes.trailing_zeros();
         let set_mask = config.sets() as u64 - 1;
+        let set_bits = config.sets().trailing_zeros();
         let mut free_slots = [0u64; (1 << TOKEN_SLOT_BITS) / 64];
         for slot in 0..mshrs {
             free_slots[slot / 64] |= 1 << (slot % 64);
         }
         LastLevelCache {
             config,
-            sets,
+            lines,
             slots: vec![
                 Mshr { token: 0, line_addr: 0, thread: ThreadId(0), install: false };
                 mshrs
@@ -272,6 +275,7 @@ impl LastLevelCache {
             per_thread_events: vec![0; num_threads],
             line_shift,
             set_mask,
+            set_bits,
             stats: CacheStats::default(),
         }
     }
@@ -348,6 +352,13 @@ impl LastLevelCache {
         self.slot_tokens[(token & ((1 << TOKEN_SLOT_BITS) - 1)) as usize] != token
     }
 
+    /// True if at least one fill/writeback request is waiting to be taken
+    /// (the cheap per-step probe that lets the simulation loop skip the
+    /// drain entirely on quiet steps).
+    pub fn has_outgoing(&self) -> bool {
+        !self.outgoing.is_empty()
+    }
+
     /// Removes and returns the fill/writeback requests generated since the
     /// last call; the caller forwards them to the memory controller.
     pub fn take_outgoing(&mut self) -> Vec<OutgoingRequest> {
@@ -372,7 +383,7 @@ impl LastLevelCache {
     }
 
     fn tag(&self, line_addr: u64) -> u64 {
-        line_addr >> self.set_mask.count_ones()
+        line_addr >> self.set_bits
     }
 
     /// Performs a demand access on behalf of `thread`.
@@ -389,8 +400,10 @@ impl LastLevelCache {
         let tag = self.tag(line_addr);
         let use_counter = self.use_counter;
 
-        // Hit path.
-        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+        // Hit path: the set's ways are contiguous in the flat line array.
+        let ways = self.config.ways;
+        let set = &mut self.lines[set_idx * ways..set_idx * ways + ways];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = use_counter;
             if is_write {
                 line.dirty = true;
@@ -437,7 +450,9 @@ impl LastLevelCache {
         if !uncached {
             let set_idx = self.set_index(line_addr);
             let tag = self.tag(line_addr);
-            if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+            let ways = self.config.ways;
+            let set = &self.lines[set_idx * ways..set_idx * ways + ways];
+            if set.iter().any(|l| l.valid && l.tag == tag) {
                 return None;
             }
         }
@@ -552,7 +567,8 @@ impl LastLevelCache {
         let line_bytes = self.config.line_bytes as u64;
 
         // Choose a victim: an invalid way if available, else the LRU way.
-        let set = &mut self.sets[set_idx];
+        let ways = self.config.ways;
+        let set = &mut self.lines[set_idx * ways..set_idx * ways + ways];
         let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
             set.iter()
                 .enumerate()

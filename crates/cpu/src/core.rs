@@ -7,6 +7,14 @@
 //! in order, so a long-latency load at the head of the window eventually
 //! stalls the core — which is how DRAM contention (and BreakHammer's MSHR
 //! throttling) translates into reduced instructions-per-cycle.
+//!
+//! [`Core`] is the per-object **reference model** of this behaviour: the
+//! simulator's default replay path is the data-oriented
+//! [`CoreEngine`](crate::CoreEngine), whose `tick_core` mirrors
+//! [`Core::tick`] statement by statement and is differentially tested
+//! against it (a proptest in `crate::engine` and the front-end differential
+//! suite at the workspace root). Behavioural changes must be made to *both*
+//! models — the differentials will catch a one-sided edit.
 
 use crate::cache::{AccessOutcome, LastLevelCache, MissToken, RejectReason};
 use crate::trace::Trace;
@@ -429,6 +437,55 @@ impl Core {
                     break;
                 }
             }
+        }
+    }
+}
+
+/// Drives legacy per-object cores through the CPU cycles of one event
+/// epoch, exactly as the simulation kernel drives its reference front-end:
+/// cores are ticked in index order within each cycle, and a hard-stalled
+/// core (window full behind an incomplete miss, `stalled_on[i]` set) is not
+/// ticked — its cycles accrue as debt in `stall_debt[i]` and replay via
+/// [`Core::absorb_hard_stall`] when the miss completes.
+///
+/// This is *the* legacy epoch contract: the simulator's `FrontEndKind::
+/// Legacy` path and the engine's differential tests both call it, so the
+/// reference behaviour the differentials validate cannot drift from the
+/// reference behaviour the simulator runs.
+pub fn tick_epoch_legacy(
+    cores: &mut [Core],
+    stalled_on: &mut [Option<MissToken>],
+    stall_debt: &mut [u64],
+    cycles: std::ops::Range<Cycle>,
+    llc: &mut LastLevelCache,
+) {
+    for cpu_cycle in cycles {
+        for (i, core) in cores.iter_mut().enumerate() {
+            if core.finished() {
+                continue;
+            }
+            if let Some(token) = stalled_on[i] {
+                if !llc.is_completed(token) {
+                    stall_debt[i] += 1;
+                    continue;
+                }
+                core.absorb_hard_stall(std::mem::take(&mut stall_debt[i]));
+                stalled_on[i] = None;
+            }
+            core.tick(cpu_cycle, llc);
+            stalled_on[i] = core.window_full_on();
+        }
+    }
+}
+
+/// Folds outstanding hard-stall debt into the legacy cores' counters (the
+/// end-of-run counterpart of [`tick_epoch_legacy`]; see
+/// [`Core::absorb_hard_stall`]).
+pub fn settle_legacy(cores: &mut [Core], stall_debt: &mut [u64]) {
+    for (i, core) in cores.iter_mut().enumerate() {
+        let debt = std::mem::take(&mut stall_debt[i]);
+        if debt > 0 {
+            core.absorb_hard_stall(debt);
         }
     }
 }

@@ -4,9 +4,15 @@
 //!
 //! * [`Trace`] / [`TraceEntry`] — the instruction-trace format (bursts of
 //!   non-memory instructions followed by one memory access), replayed
-//!   cyclically;
-//! * [`Core`] — a 4-wide, 128-entry-window trace-driven core (Table 1) whose
-//!   in-order retirement makes DRAM latency visible as lost IPC;
+//!   cyclically; [`CompiledTrace`] is its frozen, `Arc`-shared replay form
+//!   (compile once per (mix, seed, geometry), share across every run);
+//! * [`CoreEngine`] — the data-oriented front-end: all cores' hot replay
+//!   state in flat structure-of-arrays vectors, stepped in one pass per
+//!   event epoch;
+//! * [`Core`] — the per-object reference model of one 4-wide,
+//!   128-entry-window trace-driven core (Table 1) whose in-order retirement
+//!   makes DRAM latency visible as lost IPC; `CoreEngine` is differentially
+//!   tested against it;
 //! * [`LastLevelCache`] — the shared 8 MiB LLC with MSHRs (cache-miss
 //!   buffers) and **per-thread MSHR quotas**, the actuator BreakHammer uses to
 //!   throttle suspect threads.
@@ -44,11 +50,15 @@
 
 pub mod cache;
 pub mod core;
+pub mod engine;
 pub mod trace;
 
 pub use cache::{
     AccessOutcome, CacheConfig, CacheStats, LastLevelCache, MissToken, OutgoingRequest,
     RejectReason,
 };
-pub use core::{Core, CoreConfig, CoreProgress, CoreStats, StallInfo};
-pub use trace::{Trace, TraceEntry};
+pub use core::{
+    settle_legacy, tick_epoch_legacy, Core, CoreConfig, CoreProgress, CoreStats, StallInfo,
+};
+pub use engine::CoreEngine;
+pub use trace::{CompiledTrace, Trace, TraceEntry};

@@ -9,6 +9,7 @@
 use bh_dram::PhysAddr;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One trace record: `bubbles` non-memory instructions, then one access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -109,6 +110,13 @@ impl Trace {
         buf.freeze()
     }
 
+    /// Compiles the trace into its shareable replay representation (see
+    /// [`CompiledTrace`]). Compile once per (mix, seed, geometry); every
+    /// subsequent share is a reference-count bump.
+    pub fn compile(&self) -> CompiledTrace {
+        CompiledTrace::from(self)
+    }
+
     /// Parses a trace previously produced by [`Trace::to_bytes`].
     ///
     /// # Errors
@@ -141,6 +149,74 @@ impl Trace {
             });
         }
         Ok(Trace { entries })
+    }
+}
+
+/// A compiled instruction trace: the records of a [`Trace`] in one flat,
+/// immutable, atomically reference-counted slice.
+///
+/// Compilation is the split between workload *generation* and workload
+/// *replay*: a [`Trace`] is built (or parsed) once per (mix, seed, geometry)
+/// and compiled once, and the resulting `CompiledTrace` is shared by every
+/// simulated system that replays it — across the configurations of a
+/// campaign matrix, across repeated runs of the same mix, and across worker
+/// threads. Cloning is a reference-count bump; no per-run deep copy of the
+/// record vector ever happens. The record layout (and the 13-byte on-disk
+/// format via [`Trace::to_bytes`] / [`Trace::from_bytes`]) is unchanged from
+/// `Trace` — compilation freezes, it does not re-encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTrace {
+    entries: Arc<[TraceEntry]>,
+}
+
+impl From<&Trace> for CompiledTrace {
+    fn from(trace: &Trace) -> Self {
+        CompiledTrace { entries: trace.entries().into() }
+    }
+}
+
+impl CompiledTrace {
+    /// Compiles raw records directly (without an intermediate [`Trace`]).
+    ///
+    /// # Panics
+    /// Panics if `entries` is empty (a core cannot replay an empty trace).
+    pub fn new(entries: Vec<TraceEntry>) -> Self {
+        assert!(!entries.is_empty(), "a trace must contain at least one record");
+        CompiledTrace { entries: entries.into() }
+    }
+
+    /// The trace records.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false (construction rejects empty traces); provided for API
+    /// completeness.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The record at `index` modulo the trace length (cyclic replay, same
+    /// contract as [`Trace::entry`]).
+    #[inline]
+    pub fn entry(&self, index: usize) -> TraceEntry {
+        self.entries[index % self.entries.len()]
+    }
+
+    /// True if `other` shares this trace's storage (compiled once, shared
+    /// everywhere — the property the campaign-level trace cache relies on).
+    pub fn shares_storage_with(&self, other: &CompiledTrace) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
+    }
+
+    /// Reconstructs an owned [`Trace`] (for serialisation or mutation).
+    pub fn to_trace(&self) -> Trace {
+        Trace::new(self.entries.to_vec())
     }
 }
 
@@ -196,5 +272,31 @@ mod tests {
     #[should_panic(expected = "at least one record")]
     fn empty_trace_rejected() {
         let _ = Trace::new(vec![]);
+    }
+
+    #[test]
+    fn compiled_trace_preserves_records_and_shares_storage() {
+        let t = sample();
+        let compiled = t.compile();
+        assert_eq!(compiled.len(), t.len());
+        assert!(!compiled.is_empty());
+        assert_eq!(compiled.entries(), t.entries());
+        for i in 0..7 {
+            assert_eq!(compiled.entry(i), t.entry(i), "cyclic indexing must match at {i}");
+        }
+        let shared = compiled.clone();
+        assert!(shared.shares_storage_with(&compiled), "clone must be a refcount bump");
+        assert_eq!(shared, compiled);
+        // A recompile of the same trace is equal but not shared.
+        let recompiled = t.compile();
+        assert_eq!(recompiled, compiled);
+        assert!(!recompiled.shares_storage_with(&compiled));
+        assert_eq!(compiled.to_trace(), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_compiled_trace_rejected() {
+        let _ = CompiledTrace::new(vec![]);
     }
 }

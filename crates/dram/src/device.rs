@@ -402,6 +402,59 @@ impl DramChannel {
         }
     }
 
+    /// The bank-local component of [`DramChannel::demand_ready_at_cached`]:
+    /// a single load from the bank's timing state. Split out so a scheduler
+    /// scanning many banks of the same (group, rank) can combine it with one
+    /// shared [`DramChannel::demand_ready_shared_component`] per tick
+    /// instead of re-deriving the full four-way max per bank.
+    #[inline]
+    pub fn demand_ready_bank_component(&self, flat: usize, kind: CommandKind) -> Cycle {
+        let bank = &self.banks[flat];
+        match kind {
+            CommandKind::Read => bank.next_rd,
+            CommandKind::Write => bank.next_wr,
+            CommandKind::Activate => bank.next_act,
+            _ => bank.next_pre,
+        }
+    }
+
+    /// The bank-independent component of
+    /// [`DramChannel::demand_ready_at_cached`]: the group/rank/column-bus
+    /// constraints shared by every bank of the same (group, rank).
+    /// `demand_ready_at_cached(flat, group, rank, kind)` equals
+    /// `demand_ready_bank_component(flat, kind)
+    ///  .max(demand_ready_shared_component(group, rank, kind))`.
+    #[inline]
+    pub fn demand_ready_shared_component(
+        &self,
+        group: usize,
+        rank: usize,
+        kind: CommandKind,
+    ) -> Cycle {
+        match kind {
+            CommandKind::Read => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                group.next_rd.max(rank.next_rd).max(self.next_column_bus)
+            }
+            CommandKind::Write => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                group.next_wr.max(rank.next_wr).max(self.next_column_bus)
+            }
+            CommandKind::Activate => {
+                let group = &self.groups[group];
+                let rank = &self.ranks[rank];
+                group
+                    .next_act
+                    .max(rank.next_act)
+                    .max(rank.faw_earliest(FAW_DEPTH, self.timing.t_faw))
+            }
+            // Precharge is gated by bank-local state only.
+            _ => 0,
+        }
+    }
+
     /// True if `cmd` can be legally issued at `cycle` (timing and state).
     pub fn can_issue(&self, cmd: &DramCommand, cycle: Cycle) -> bool {
         self.check_address(cmd).is_ok()

@@ -179,22 +179,68 @@ enum ServiceStep {
     Precharge,
 }
 
-/// Per-tick cached scheduling view of one bank: its open row and the
-/// earliest issue cycles per relevant command kind. Entries in the same bank
-/// share these (only the row decides column-vs-precharge), so the FR-FCFS
-/// scan computes them once per bank per tick instead of once per queue
-/// entry — the bank/group/rank timing structs are the scan's only scattered
-/// memory.
+/// Per-tick cached *shared* (group/rank/column-bus) earliest-issue
+/// components for one (bank group, rank) pair, by command kind. Every bank
+/// of the pair shares these, and a bank's full ready cycle is this shared
+/// component maxed with one bank-local load
+/// ([`DramChannel::demand_ready_bank_component`]) — so the FR-FCFS scan
+/// derives the scattered group/rank/bus maxes at most once per (pair, kind)
+/// per tick, not once per bank. Slots are stamped and filled *lazily*, only
+/// for the command kind an entry actually needs. The open row itself is
+/// read straight off the bank state — it is a single array load, cheaper
+/// than any cache in front of it.
 #[derive(Debug, Clone, Copy, Default)]
-struct BankScanEntry {
-    /// Tick stamp this entry is valid for.
+struct SharedScanEntry {
+    /// Tick stamps the corresponding `ready` slot is valid for, indexed by
+    /// [`ReadyKind`].
+    ready_stamp: [u64; 4],
+    /// Shared earliest-issue components, indexed by [`ReadyKind`].
+    ready: [Cycle; 4],
+}
+
+/// Index into [`SharedScanEntry::ready`]: the four demand command kinds the
+/// scheduler distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadyKind {
+    Read = 0,
+    Write = 1,
+    Activate = 2,
+    Precharge = 3,
+}
+
+impl ReadyKind {
+    fn command(self) -> CommandKind {
+        match self {
+            ReadyKind::Read => CommandKind::Read,
+            ReadyKind::Write => CommandKind::Write,
+            ReadyKind::Activate => CommandKind::Activate,
+            ReadyKind::Precharge => CommandKind::Precharge,
+        }
+    }
+}
+
+/// The earliest issue cycle of `kind` on bank `flat`: the tick-stamped
+/// shared (group/rank/bus) component — derived lazily on the first entry of
+/// the tick that needs this (group, kind) pair — maxed with the bank-local
+/// load. A free function over the individual fields so the FR-FCFS scan can
+/// fill the cache while it holds the key deque.
+#[inline]
+fn bank_ready_in(
+    shared_scan: &mut [SharedScanEntry],
+    channel: &DramChannel,
     stamp: u64,
-    /// Open row index, or -1 if the bank is closed.
-    open_row: i64,
-    ready_read: Cycle,
-    ready_write: Cycle,
-    ready_act: Cycle,
-    ready_pre: Cycle,
+    flat: usize,
+    group: usize,
+    rank: usize,
+    kind: ReadyKind,
+) -> Cycle {
+    let slot = kind as usize;
+    let entry = &mut shared_scan[group];
+    if entry.ready_stamp[slot] != stamp {
+        entry.ready_stamp[slot] = stamp;
+        entry.ready[slot] = channel.demand_ready_shared_component(group, rank, kind.command());
+    }
+    entry.ready[slot].max(channel.demand_ready_bank_component(flat, kind.command()))
 }
 
 /// Result of one scheduling stage within a tick: either a command was issued,
@@ -230,6 +276,9 @@ pub struct MemoryController {
     responses: Vec<MemResponse>,
     preventive_queue: VecDeque<DramCommand>,
     next_refresh: Vec<Cycle>,
+    /// Cached minimum of `next_refresh`: while `cycle` is below it, no rank
+    /// is due and the refresh stage reduces to a single compare.
+    next_refresh_min: Cycle,
     write_drain_mode: bool,
     /// Consecutive ticks the preventive-queue head has been deferred in
     /// favour of pending demand row-hits (bounded by
@@ -248,11 +297,13 @@ pub struct MemoryController {
     /// [`MemoryController::on_demand_activation`]; never allocates in the
     /// steady state).
     sink: ActionSink,
-    /// Per-bank scheduling view for the current tick (see [`BankScanEntry`];
-    /// `scan_stamp` is bumped once per [`MemoryController::tick`], and no
-    /// command issues between the two queue scans of a tick, so the cache
-    /// stays coherent for the whole tick).
-    bank_scan: Vec<BankScanEntry>,
+    /// Per-(bank group, rank) shared scheduling view for the current tick
+    /// (see [`SharedScanEntry`]; `scan_stamp` is bumped once per
+    /// [`MemoryController::tick`], and no command issues between the two
+    /// queue scans of a tick, so the cache stays coherent for the whole
+    /// tick). Indexed by the global group index `rank * bank_groups +
+    /// bank_group` (the same index [`ScanKey::group`] carries).
+    shared_scan: Vec<SharedScanEntry>,
     scan_stamp: u64,
     hit_streak: Vec<u32>,
     stats: ControllerStats,
@@ -296,6 +347,7 @@ impl MemoryController {
         assert!(geometry.rows_per_bank <= 1 << 32, "scan keys support at most 2^32 rows per bank");
         let ranks = channel.geometry().ranks;
         let banks = channel.geometry().banks_per_channel();
+        let groups_total = ranks * channel.geometry().bank_groups;
         let t_refi = channel.timing().t_refi;
         let num_threads = config.num_threads;
         let mechanism_may_block = mechanism.may_block();
@@ -313,12 +365,13 @@ impl MemoryController {
             next_refresh: (0..ranks)
                 .map(|r| t_refi + r as u64 * (t_refi / ranks.max(1) as u64))
                 .collect(),
+            next_refresh_min: t_refi,
             write_drain_mode: false,
             preventive_deferred_ticks: 0,
             idle_until: 0,
             mechanism_may_block,
             sink: ActionSink::default(),
-            bank_scan: vec![BankScanEntry::default(); banks],
+            shared_scan: vec![SharedScanEntry::default(); groups_total],
             scan_stamp: 0,
             hit_streak: vec![0; banks],
             stats: ControllerStats::default(),
@@ -438,6 +491,11 @@ impl MemoryController {
         Ok(())
     }
 
+    /// True if at least one response is waiting to be drained.
+    pub fn has_responses(&self) -> bool {
+        !self.responses.is_empty()
+    }
+
     /// Removes and returns all responses generated so far.
     pub fn drain_responses(&mut self) -> Vec<MemResponse> {
         std::mem::take(&mut self.responses)
@@ -531,6 +589,10 @@ impl MemoryController {
         let first_writes = self.write_drain_mode && !self.write_queue.is_empty();
         let order = if first_writes { [true, false] } else { [false, true] };
         for use_writes in order {
+            // An empty queue contributes neither a candidate nor a horizon.
+            if if use_writes { self.write_keys.is_empty() } else { self.read_keys.is_empty() } {
+                continue;
+            }
             let (candidate, queue_horizon) =
                 self.scan_queue(use_writes, cycle, refresh_pending, preventive_bank);
             if let Some((idx, step)) = candidate {
@@ -561,6 +623,10 @@ impl MemoryController {
 
     /// Bitmask of ranks whose periodic refresh is overdue.
     fn refresh_pending_ranks(&self, cycle: Cycle) -> u64 {
+        if cycle < self.next_refresh_min {
+            // No rank is due (the common tick): skip the per-rank walk.
+            return 0;
+        }
         let mut mask = 0u64;
         for (rank, deadline) in self.next_refresh.iter().enumerate() {
             if cycle >= *deadline {
@@ -574,6 +640,12 @@ impl MemoryController {
     /// the earliest cycle the refresh machinery could next act (for a rank
     /// that is not yet due, its deadline).
     fn try_refresh(&mut self, cycle: Cycle) -> TickOutcome {
+        if cycle < self.next_refresh_min {
+            // No rank is due (the common tick): the machinery next acts at
+            // the earliest deadline, exactly what the per-rank walk below
+            // would report.
+            return TickOutcome::Horizon(self.next_refresh_min);
+        }
         let ranks = self.channel.geometry().ranks;
         let mut horizon = Cycle::MAX;
         for rank in 0..ranks {
@@ -587,6 +659,7 @@ impl MemoryController {
                 if self.channel.can_issue(&cmd, cycle) {
                     self.channel.issue_prechecked(&cmd, cycle);
                     self.next_refresh[rank] += self.channel.timing().t_refi;
+                    self.next_refresh_min = self.next_refresh.iter().copied().min().unwrap_or(0);
                     self.stats.periodic_refreshes += 1;
                     return TickOutcome::Issued;
                 }
@@ -704,101 +777,151 @@ impl MemoryController {
         refresh_pending: u64,
         preventive_bank: Option<usize>,
     ) -> (Option<(usize, ServiceStep)>, Cycle) {
-        let len = if use_writes { self.write_keys.len() } else { self.read_keys.len() };
+        // Disjoint field borrows: the key walk holds the key deque while the
+        // bank-view cache is filled lazily — destructuring lets the borrow
+        // checker see they are different fields (and the chained-slice
+        // iterator below replaces per-index `VecDeque` wrap arithmetic).
+        let Self {
+            read_keys,
+            write_keys,
+            read_queue,
+            write_queue,
+            shared_scan,
+            channel,
+            hit_streak,
+            config,
+            next_refresh,
+            mechanism,
+            mechanism_may_block,
+            scan_stamp,
+            ..
+        } = self;
+        let keys = if use_writes { write_keys } else { read_keys };
+        let stamp = *scan_stamp;
+        let cap = config.frfcfs_cap;
+        // Sentinel form of the preventive-head bank reservation: `usize::MAX`
+        // never equals a flat bank index, so the per-entry check is one
+        // compare instead of an `Option` match.
+        let preventive_flat = preventive_bank.unwrap_or(usize::MAX);
         // The oldest schedulable request of any kind (the FCFS fallback).
         let mut best_any: Option<(usize, ServiceStep)> = None;
         let mut horizon = Cycle::MAX;
-        for idx in 0..len {
-            let key = if use_writes { self.write_keys[idx] } else { self.read_keys[idx] };
-            let flat = key.flat();
-            if refresh_pending & (1 << key.rank()) != 0 {
+        let refresh_any = refresh_pending != 0;
+        let ready_col = if use_writes { ReadyKind::Write } else { ReadyKind::Read };
+        let mut tail_from = keys.len();
+        // Duplicate-coordinate skip: a queue entry with the *same packed key*
+        // (same bank, row, group, rank) as one already classified
+        // not-schedulable this tick reaches the identical decision — same
+        // step, same ready cycle, same filters, same horizon contribution —
+        // so it is skipped outright. Two slots cover the common pattern (an
+        // attacker alternating between two aggressor rows fills the queue
+        // with duplicates of two keys).
+        let mut dup_memo = [ScanKey(u64::MAX), ScanKey(u64::MAX)];
+        let mut dup_next = 0usize;
+        // Phase 1 — until the FCFS fallback candidate is known: classify
+        // every entry, derive its ready cycle, accumulate the horizon, and
+        // early-exit on the first schedulable capped row hit.
+        for (idx, &key) in keys.iter().enumerate() {
+            if key == dup_memo[0] || key == dup_memo[1] {
                 continue;
             }
-            let bank = self.bank_scan_entry(flat, key.group(), key.rank());
-            let step = if bank.open_row < 0 {
-                ServiceStep::Activate
-            } else if bank.open_row == key.row() as i64 {
-                ServiceStep::Column
-            } else {
-                ServiceStep::Precharge
+            let flat = key.flat();
+            if refresh_any && refresh_pending & (1 << key.rank()) != 0 {
+                continue;
+            }
+            let step = match channel.open_row_flat(flat) {
+                None => ServiceStep::Activate,
+                Some(row) if row == key.row() => ServiceStep::Column,
+                Some(_) => ServiceStep::Precharge,
             };
             // A bank the preventive head is waiting on accepts no new row
             // cycles, but pending hits on its open row may still drain (the
             // counterpart of the forward-progress rule in `try_preventive`).
-            if preventive_bank == Some(flat) && step != ServiceStep::Column {
+            if preventive_flat == flat && step != ServiceStep::Column {
                 continue;
             }
-            let capped_hit =
-                step == ServiceStep::Column && self.hit_streak[flat] < self.config.frfcfs_cap;
-            if best_any.is_some() && !capped_hit {
-                // Only an older capped hit can beat the known candidate.
-                continue;
-            }
+            let capped_hit = step == ServiceStep::Column && hit_streak[flat] < cap;
             // Queue entries are decoded from in-range addresses and their
             // step matches the bank state by construction, so only the
             // timing constraints (and BlockHammer blacklists) gate issue.
-            let mut ready_at = match step {
-                ServiceStep::Column if use_writes => bank.ready_write,
-                ServiceStep::Column => bank.ready_read,
-                ServiceStep::Activate => bank.ready_act,
-                ServiceStep::Precharge => bank.ready_pre,
+            let ready_kind = match step {
+                ServiceStep::Column => ready_col,
+                ServiceStep::Activate => ReadyKind::Activate,
+                ServiceStep::Precharge => ReadyKind::Precharge,
             };
-            if step == ServiceStep::Activate && self.mechanism_may_block {
+            let mut ready_at = bank_ready_in(
+                shared_scan,
+                channel,
+                stamp,
+                flat,
+                key.group(),
+                key.rank(),
+                ready_kind,
+            );
+            if step == ServiceStep::Activate && *mechanism_may_block {
                 // BlockHammer: rows whose activation is blocked cannot be
                 // opened before their delay expires. (Rare enough that
                 // touching the full entry for its row address is fine.)
-                let queue = if use_writes { &self.write_queue } else { &self.read_queue };
-                ready_at =
-                    ready_at.max(self.mechanism.blocked_until(queue[idx].loc.row_addr(), cycle));
+                let queue = if use_writes { &write_queue } else { &read_queue };
+                ready_at = ready_at.max(mechanism.blocked_until(queue[idx].loc.row_addr(), cycle));
             }
             if cycle < ready_at {
                 // Not issuable yet: contributes to the horizon unless the
                 // rank's refresh will interpose first (the refresh horizon
-                // covers that case). Irrelevant once a candidate exists.
-                if best_any.is_none() && ready_at < self.next_refresh[key.rank()] {
+                // covers that case). Later same-key entries skip via the
+                // duplicate memo (their horizon contribution would be the
+                // same value, so the minimum is unaffected).
+                if ready_at < next_refresh[key.rank()] {
                     horizon = horizon.min(ready_at);
                 }
+                dup_memo[dup_next] = key;
+                dup_next ^= 1;
                 continue;
             }
             if capped_hit {
                 // Oldest capped row hit: nothing later can pre-empt it.
                 return (Some((idx, ServiceStep::Column)), horizon);
             }
-            if best_any.is_none() {
-                best_any = Some((idx, step));
+            best_any = Some((idx, step));
+            tail_from = idx + 1;
+            break;
+        }
+        // Phase 2 — a fallback candidate exists: only an older capped row
+        // hit can still change the outcome, so the remaining entries reduce
+        // to a row compare against their bank's open row (no horizon
+        // bookkeeping, no ready derivation for non-hits; the preventive-head
+        // reservation never filters hits, and the caller discards the
+        // horizon whenever a command issues).
+        for (off, &key) in keys.iter().skip(tail_from).enumerate() {
+            if key == dup_memo[0] || key == dup_memo[1] {
+                // Same full coordinates as an entry already classified
+                // not-schedulable this tick (possibly in phase 1).
+                continue;
             }
+            let flat = key.flat();
+            if refresh_any && refresh_pending & (1 << key.rank()) != 0 {
+                continue;
+            }
+            if channel.open_row_flat(flat) != Some(key.row()) || hit_streak[flat] >= cap {
+                continue;
+            }
+            let ready_at = bank_ready_in(
+                shared_scan,
+                channel,
+                stamp,
+                flat,
+                key.group(),
+                key.rank(),
+                ready_col,
+            );
+            if cycle >= ready_at {
+                // Oldest capped row hit: nothing later can pre-empt it.
+                return (Some((tail_from + off, ServiceStep::Column)), horizon);
+            }
+            dup_memo[dup_next] = key;
+            dup_next ^= 1;
         }
         (best_any, horizon)
-    }
-
-    /// The current tick's cached scheduling view of bank `flat`, computing it
-    /// on first touch.
-    #[inline]
-    fn bank_scan_entry(&mut self, flat: usize, group: usize, rank: usize) -> BankScanEntry {
-        let entry = self.bank_scan[flat];
-        if entry.stamp == self.scan_stamp {
-            return entry;
-        }
-        let entry = BankScanEntry {
-            stamp: self.scan_stamp,
-            open_row: self.channel.open_row_flat(flat).map_or(-1, |r| r as i64),
-            ready_read: self.channel.demand_ready_at_cached(flat, group, rank, CommandKind::Read),
-            ready_write: self.channel.demand_ready_at_cached(flat, group, rank, CommandKind::Write),
-            ready_act: self.channel.demand_ready_at_cached(
-                flat,
-                group,
-                rank,
-                CommandKind::Activate,
-            ),
-            ready_pre: self.channel.demand_ready_at_cached(
-                flat,
-                group,
-                rank,
-                CommandKind::Precharge,
-            ),
-        };
-        self.bank_scan[flat] = entry;
-        entry
     }
 
     fn command_for(&self, entry: &QueueEntry, step: ServiceStep, use_writes: bool) -> DramCommand {

@@ -16,8 +16,16 @@
 //! throttling decision is global.
 //!
 //! With a single channel, every code path degenerates to the behaviour of a
-//! lone [`MemoryController`]; the digest harness at the workspace root pins
-//! that equivalence bit-for-bit.
+//! lone [`MemoryController`] — and does so through a dedicated fast path:
+//! the hot per-request and per-step entry points ([`MemorySystem::channel_of`],
+//! [`MemorySystem::enqueue_or_defer`], [`MemorySystem::tick`],
+//! [`MemorySystem::next_event`], [`MemorySystem::drain_responses_into`])
+//! forward straight to the sole controller without consulting the address
+//! mapping's channel bits or walking per-channel collections, so a
+//! single-channel system pays no routing tax over driving the controller
+//! directly (`crates/mem/tests/dispatch_overhead.rs` pins this). The digest
+//! harness at the workspace root pins the behavioural equivalence
+//! bit-for-bit.
 
 use crate::config::MemControllerConfig;
 use crate::controller::{ControllerStats, MemoryController};
@@ -43,6 +51,10 @@ pub struct MemorySystem {
     /// Total entries across `pending_enqueue` (cheap emptiness probe on the
     /// per-step fast path).
     pending_total: usize,
+    /// True for a single-channel system: the hot entry points skip channel
+    /// routing and per-channel iteration and forward straight to
+    /// `controllers[0]`.
+    single_channel: bool,
 }
 
 impl std::fmt::Debug for MemorySystem {
@@ -88,7 +100,8 @@ impl MemorySystem {
             bh.declare_channels(controllers.len());
         }
         let pending_enqueue = controllers.iter().map(|_| VecDeque::new()).collect();
-        MemorySystem { controllers, breakhammer, pending_enqueue, pending_total: 0 }
+        let single_channel = controllers.len() == 1;
+        MemorySystem { controllers, breakhammer, pending_enqueue, pending_total: 0, single_channel }
     }
 
     /// Number of memory channels.
@@ -118,6 +131,11 @@ impl MemorySystem {
 
     /// The channel a physical address routes to.
     pub fn channel_of(&self, addr: PhysAddr) -> usize {
+        if self.single_channel {
+            // Every interleave policy is the identity at one channel; skip
+            // the mapping's channel-bit extraction on the per-request path.
+            return 0;
+        }
         let ctrl = &self.controllers[0];
         ctrl.config().mapping.channel_of(addr, ctrl.channel().geometry())
     }
@@ -180,6 +198,10 @@ impl MemorySystem {
     /// Advances every channel controller by one DRAM cycle. The shared
     /// BreakHammer instance observes all of them.
     pub fn tick(&mut self, cycle: Cycle) {
+        if self.single_channel {
+            self.controllers[0].tick(cycle, self.breakhammer.as_mut());
+            return;
+        }
         let breakhammer = &mut self.breakhammer;
         for controller in &mut self.controllers {
             controller.tick(cycle, breakhammer.as_mut());
@@ -191,13 +213,30 @@ impl MemorySystem {
     /// kernel (see [`MemoryController::next_event`] for the per-channel
     /// contract; the same undershoot-only guarantee holds for the minimum).
     pub fn next_event(&self, now: Cycle) -> Cycle {
+        if self.single_channel {
+            return self.controllers[0].next_event(now);
+        }
         self.controllers.iter().map(|c| c.next_event(now)).min().unwrap_or(now + 1)
+    }
+
+    /// True if any channel has a response waiting to be drained (the cheap
+    /// per-step probe that lets the simulation loop skip the drain
+    /// entirely on response-free steps).
+    pub fn has_responses(&self) -> bool {
+        if self.single_channel {
+            return self.controllers[0].has_responses();
+        }
+        self.controllers.iter().any(MemoryController::has_responses)
     }
 
     /// Drains every channel's responses into `buf` (cleared first), in
     /// channel order. With one channel this is exactly
-    /// [`MemoryController::drain_responses_into`].
+    /// [`MemoryController::drain_responses_into`] (a buffer swap, no copy).
     pub fn drain_responses_into(&mut self, buf: &mut Vec<MemResponse>) {
+        if self.single_channel {
+            self.controllers[0].drain_responses_into(buf);
+            return;
+        }
         buf.clear();
         for controller in &mut self.controllers {
             controller.append_responses_into(buf);

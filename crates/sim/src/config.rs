@@ -26,6 +26,26 @@ pub enum SchedulerKind {
     EventDriven,
 }
 
+/// Which CPU front-end replays the instruction traces in
+/// [`crate::System::run`].
+///
+/// Both front-ends produce bit-identical [`crate::SimulationResult`]s; the
+/// per-object model is retained as the executable reference for differential
+/// testing of the data-oriented engine (see
+/// `tests/front_end_differential.rs` at the workspace root and the
+/// differential proptest in `bh_cpu::engine`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FrontEndKind {
+    /// Reference model: one heap-allocated `Core` object per hardware
+    /// thread, ticked through its own `VecDeque` instruction window.
+    Legacy,
+    /// Data-oriented engine (`bh_cpu::CoreEngine`): every core's hot replay
+    /// state in flat structure-of-arrays vectors, stepped in one pass per
+    /// event epoch with the cores' LLC accesses drained in core-index order.
+    #[default]
+    Engine,
+}
+
 /// Configuration of one simulated system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -67,6 +87,10 @@ pub struct SystemConfig {
     /// both; see [`SchedulerKind`]).
     #[serde(default)]
     pub scheduler: SchedulerKind,
+    /// The CPU front-end replaying the traces (results are identical for
+    /// both; see [`FrontEndKind`]).
+    #[serde(default)]
+    pub front_end: FrontEndKind,
 }
 
 impl SystemConfig {
@@ -113,6 +137,7 @@ impl SystemConfig {
             max_dram_cycles: 2_000_000_000,
             seed: 0,
             scheduler: SchedulerKind::default(),
+            front_end: FrontEndKind::default(),
         }
     }
 
@@ -147,6 +172,7 @@ impl SystemConfig {
             max_dram_cycles: 5_000_000,
             seed: 0,
             scheduler: SchedulerKind::default(),
+            front_end: FrontEndKind::default(),
         }
     }
 

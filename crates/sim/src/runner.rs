@@ -5,7 +5,7 @@
 use crate::config::SystemConfig;
 use crate::result::SimulationResult;
 use crate::system::System;
-use bh_cpu::Trace;
+use bh_cpu::{CompiledTrace, Trace};
 use bh_mitigation::MechanismKind;
 use bh_stats::AppPerf;
 use bh_workloads::WorkloadMix;
@@ -95,18 +95,19 @@ impl Evaluator {
     }
 
     /// IPC of `trace` when running alone on the unprotected system, cached by
-    /// application name.
-    pub fn alone_ipc(&mut self, app_name: &str, trace: &Trace) -> f64 {
+    /// application name. The compiled trace is shared with the run, not
+    /// copied.
+    pub fn alone_ipc(&mut self, app_name: &str, trace: &CompiledTrace) -> f64 {
         if let Some(ipc) = self.alone_cache.get(app_name) {
             return *ipc;
         }
         let cfg = self.alone_config();
         let cores = cfg.cores;
         // Idle co-runners: a minimal compute-only trace that touches one line.
-        let idle = Trace::new(vec![bh_cpu::TraceEntry::load(200, bh_dram::PhysAddr(0))]);
+        let idle = Trace::new(vec![bh_cpu::TraceEntry::load(200, bh_dram::PhysAddr(0))]).compile();
         let mut traces = vec![idle; cores];
         traces[0] = trace.clone();
-        let result = System::new(cfg, &traces, vec![0]).run();
+        let result = System::with_compiled(cfg, &traces, vec![0]).run();
         let ipc = result.cores[0].ipc.max(1e-6);
         self.alone_cache.insert(app_name.to_string(), ipc);
         ipc
@@ -128,7 +129,11 @@ impl Evaluator {
             alone.push(self.alone_ipc(&mix.app_names[t], &mix.traces[t]));
         }
 
-        let result = System::new(self.config.clone(), &mix.traces, benign_threads.clone()).run();
+        // The mix's compiled traces are shared into the run (a refcount bump
+        // per core): every configuration of a campaign matrix replays the
+        // same compiled records instead of regenerating or deep-copying them.
+        let result =
+            System::with_compiled(self.config.clone(), &mix.traces, benign_threads.clone()).run();
 
         let benign_perfs: Vec<AppPerf> = benign_threads
             .iter()

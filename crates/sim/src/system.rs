@@ -16,10 +16,13 @@
 //! bit-identical [`SimulationResult`]s; `tests/scheduler_differential.rs`
 //! enforces this differentially.
 
-use crate::config::{SchedulerKind, SystemConfig};
+use crate::config::{FrontEndKind, SchedulerKind, SystemConfig};
 use crate::result::{ChannelBreakdown, CorePerformance, SimulationResult};
 use bh_core::BreakHammer;
-use bh_cpu::{Core, CoreProgress, LastLevelCache, StallInfo, Trace};
+use bh_cpu::{
+    CompiledTrace, Core, CoreConfig, CoreEngine, CoreProgress, CoreStats, LastLevelCache,
+    MissToken, StallInfo, Trace,
+};
 use bh_dram::{Cycle, DramChannel, RowHammerTracker, ThreadId};
 use bh_mem::{MemRequest, MemorySystem};
 use std::collections::VecDeque;
@@ -86,11 +89,111 @@ impl CpuClock {
     }
 }
 
+/// The CPU front-end of a [`System`]: either the per-object reference model
+/// (one [`Core`] per thread, plus the kernel-side hard-stall bookkeeping it
+/// needs) or the data-oriented [`CoreEngine`], selected by
+/// [`FrontEndKind`]. Both expose the same epoch/progress/absorb surface to
+/// the simulation loop and produce bit-identical results
+/// (`tests/front_end_differential.rs`).
+#[derive(Debug)]
+enum FrontEnd {
+    /// Reference model, driven exactly as the pre-engine kernel drove its
+    /// `Vec<Core>`: hard-stalled cores (window full behind an incomplete
+    /// miss) are not ticked — their cycles accrue as debt and replay in bulk
+    /// when the miss completes.
+    Legacy { cores: Vec<Core>, stalled_on: Vec<Option<MissToken>>, stall_debt: Vec<u64> },
+    /// The SoA engine (owns its hard-stall bookkeeping internally; boxed so
+    /// the enum's two variants are size-balanced).
+    Engine(Box<CoreEngine>),
+}
+
+impl FrontEnd {
+    fn new(kind: FrontEndKind, config: CoreConfig, traces: &[CompiledTrace], target: u64) -> Self {
+        match kind {
+            FrontEndKind::Legacy => {
+                let cores: Vec<Core> = traces
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| Core::new(ThreadId(i), config, t.to_trace(), target))
+                    .collect();
+                let n = cores.len();
+                FrontEnd::Legacy { cores, stalled_on: vec![None; n], stall_debt: vec![0; n] }
+            }
+            FrontEndKind::Engine => {
+                FrontEnd::Engine(Box::new(CoreEngine::new(config, traces.to_vec(), target)))
+            }
+        }
+    }
+
+    fn finished(&self, core: usize) -> bool {
+        match self {
+            FrontEnd::Legacy { cores, .. } => cores[core].finished(),
+            FrontEnd::Engine(engine) => engine.finished(core),
+        }
+    }
+
+    /// Steps every core through the CPU cycles of one epoch, in core-index
+    /// order within each cycle (see `CoreEngine::tick_epoch` for the batch
+    /// contract; the legacy arm is the shared `bh_cpu::tick_epoch_legacy`
+    /// driver that contract mirrors — the same driver the engine's
+    /// differential tests run against).
+    fn tick_epoch(&mut self, cycles: Range<Cycle>, llc: &mut LastLevelCache) {
+        match self {
+            FrontEnd::Legacy { cores, stalled_on, stall_debt } => {
+                bh_cpu::tick_epoch_legacy(cores, stalled_on, stall_debt, cycles, llc);
+            }
+            FrontEnd::Engine(engine) => engine.tick_epoch(cycles, llc),
+        }
+    }
+
+    fn progress(&self, core: usize, llc: &LastLevelCache, next_cycle: Cycle) -> CoreProgress {
+        match self {
+            FrontEnd::Legacy { cores, .. } => cores[core].progress(llc, next_cycle),
+            FrontEnd::Engine(engine) => engine.progress(core, llc, next_cycle),
+        }
+    }
+
+    fn absorb_stall_ticks(&mut self, core: usize, ticks: u64, stall: &StallInfo) {
+        match self {
+            FrontEnd::Legacy { cores, .. } => cores[core].absorb_stall_ticks(ticks, stall),
+            FrontEnd::Engine(engine) => engine.absorb_stall_ticks(core, ticks, stall),
+        }
+    }
+
+    /// Folds outstanding hard-stall debt into the counters (end of run).
+    fn settle(&mut self) {
+        match self {
+            FrontEnd::Legacy { cores, stall_debt, .. } => {
+                bh_cpu::settle_legacy(cores, stall_debt);
+            }
+            FrontEnd::Engine(engine) => engine.settle(),
+        }
+    }
+
+    fn stats(&self, core: usize) -> CoreStats {
+        match self {
+            FrontEnd::Legacy { cores, .. } => cores[core].stats().clone(),
+            FrontEnd::Engine(engine) => engine.stats(core),
+        }
+    }
+
+    fn perf(&self, core: usize) -> CorePerformance {
+        let stats = self.stats(core);
+        CorePerformance {
+            thread: ThreadId(core),
+            instructions: stats.retired_instructions,
+            cycles: stats.cycles,
+            ipc: stats.ipc(),
+            finished: self.finished(core),
+        }
+    }
+}
+
 /// A fully-wired simulated system.
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
-    cores: Vec<Core>,
+    front: FrontEnd,
     llc: LastLevelCache,
     /// The sharded memory system: one controller + mitigation instance per
     /// channel, one shared BreakHammer observer.
@@ -105,15 +208,6 @@ pub struct System {
     /// both skip the deque entirely while nothing is due.
     pending_fills_min: Cycle,
     next_writeback_id: u64,
-    /// Per-core hard-stall token: while `Some`, the core's instruction
-    /// window is full with this incomplete miss at its head, so its ticks
-    /// are deferred into `core_stall_debt` instead of being executed (fills
-    /// complete strictly before the core phase of a step, so the token's
-    /// completion is the only event that can wake the core).
-    core_stalled_on: Vec<Option<bh_cpu::MissToken>>,
-    /// Deferred stalled cycles per core, replayed on wake-up (or at the end
-    /// of the run) via `Core::absorb_hard_stall`.
-    core_stall_debt: Vec<u64>,
     /// The BreakHammer [`quota_version`](BreakHammer::quota_version) whose
     /// quotas were last propagated into the LLC (`None` before the first
     /// propagation). While the version is unchanged the per-step propagation
@@ -131,14 +225,32 @@ pub struct System {
 }
 
 impl System {
-    /// Builds a system running `traces` (one per core). `required` lists the
-    /// cores whose instruction budget must complete before the run ends; pass
-    /// every benign core there.
+    /// Builds a system running `traces` (one per core), compiling each trace
+    /// first. Callers that run the same workload under many configurations
+    /// should compile once and use [`System::with_compiled`] so every run
+    /// shares the compiled records instead of deep-copying them.
     ///
     /// # Panics
     /// Panics if the configuration is invalid, the trace count does not match
     /// the core count, or `required` references an unknown core.
     pub fn new(config: SystemConfig, traces: &[Trace], required: Vec<usize>) -> Self {
+        let compiled: Vec<CompiledTrace> = traces.iter().map(Trace::compile).collect();
+        System::with_compiled(config, &compiled, required)
+    }
+
+    /// Builds a system replaying pre-compiled traces (one per core), sharing
+    /// their record storage with the caller. `required` lists the cores whose
+    /// instruction budget must complete before the run ends; pass every
+    /// benign core there.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid, the trace count does not match
+    /// the core count, or `required` references an unknown core.
+    pub fn with_compiled(
+        config: SystemConfig,
+        traces: &[CompiledTrace],
+        required: Vec<usize>,
+    ) -> Self {
         config.validate().expect("invalid system configuration");
         assert_eq!(
             traces.len(),
@@ -196,26 +308,18 @@ impl System {
         let memory = MemorySystem::new(config.memctrl.clone(), instances, breakhammer);
 
         let llc = LastLevelCache::new(config.cache.clone(), config.cores);
-        let cores = traces
-            .iter()
-            .enumerate()
-            .map(|(i, trace)| {
-                Core::new(ThreadId(i), config.core, trace.clone(), config.instructions_per_core)
-            })
-            .collect();
+        let front =
+            FrontEnd::new(config.front_end, config.core, traces, config.instructions_per_core);
 
-        let cores_count = config.cores;
         System {
             config,
-            cores,
+            front,
             llc,
             memory,
             required,
             pending_fills: VecDeque::new(),
             pending_fills_min: Cycle::MAX,
             next_writeback_id: 1 << 60,
-            core_stalled_on: vec![None; cores_count],
-            core_stall_debt: vec![0; cores_count],
             synced_quota_version: None,
             response_buf: Vec::new(),
             progress_buf: Vec::new(),
@@ -234,7 +338,7 @@ impl System {
     }
 
     fn required_finished(&self) -> bool {
-        self.required.iter().all(|i| self.cores[*i].finished())
+        self.required.iter().all(|i| self.front.finished(*i))
     }
 
     /// Runs the simulation to completion and returns the measured results.
@@ -316,8 +420,14 @@ impl System {
     }
 
     fn step_inner_fill(&mut self, dram_cycle: Cycle) {
-        // 3. Collect responses and complete LLC misses whose data arrived.
-        self.memory.drain_responses_into(&mut self.response_buf);
+        // 3. Collect responses and complete LLC misses whose data arrived
+        // (skipping the drain outright on response-free steps, the common
+        // case — the controller serves at most one column command per tick).
+        if self.memory.has_responses() {
+            self.memory.drain_responses_into(&mut self.response_buf);
+        } else {
+            self.response_buf.clear();
+        }
         for response in &self.response_buf {
             if response.kind.is_read() && response.id < (1 << 60) {
                 self.pending_fills.push_back((response.completed_at, response.id));
@@ -345,32 +455,23 @@ impl System {
     }
 
     fn step_inner_core(&mut self, clock: &mut CpuClock) {
-        // 4. Tick the cores in the CPU clock domain. Hard-stalled cores
-        // (window full behind an incomplete miss) are not ticked: their
-        // cycles accumulate as debt and are replayed in bulk when their miss
-        // completes, which is the only event that can change their state —
-        // completions happen in the fill phase, strictly before this one.
-        for cpu_cycle in clock.tick_range() {
-            for (i, core) in self.cores.iter_mut().enumerate() {
-                if core.finished() {
-                    continue;
-                }
-                if let Some(token) = self.core_stalled_on[i] {
-                    if !self.llc.is_completed(token) {
-                        self.core_stall_debt[i] += 1;
-                        continue;
-                    }
-                    core.absorb_hard_stall(std::mem::take(&mut self.core_stall_debt[i]));
-                    self.core_stalled_on[i] = None;
-                }
-                core.tick(cpu_cycle, &mut self.llc);
-                self.core_stalled_on[i] = core.window_full_on();
-            }
-        }
+        // 4. Tick the cores in the CPU clock domain, one front-end epoch per
+        // step: cores are stepped in core-index order within each CPU cycle,
+        // so their LLC accesses drain as a deterministically ordered batch.
+        // Hard-stalled cores (window full behind an incomplete miss) are not
+        // ticked: their cycles accumulate as debt (inside the front-end) and
+        // are replayed in bulk when their miss completes, which is the only
+        // event that can change their state — completions happen in the fill
+        // phase, strictly before this one.
+        self.front.tick_epoch(clock.tick_range(), &mut self.llc);
     }
 
     fn step_inner_out(&mut self, dram_cycle: Cycle) {
-        // 5. Forward new LLC fills and writebacks to their memory channel.
+        // 5. Forward new LLC fills and writebacks to their memory channel
+        // (skipped outright when the epoch produced none, the common case).
+        if !self.llc.has_outgoing() {
+            return;
+        }
         self.llc.take_outgoing_into(&mut self.outgoing_buf);
         for i in 0..self.outgoing_buf.len() {
             let outgoing = self.outgoing_buf[i];
@@ -436,8 +537,8 @@ impl System {
         }
 
         let next_cpu = clock.next_cpu_cycle();
-        for core in &self.cores {
-            let p = core.progress(&self.llc, next_cpu);
+        for core in 0..self.config.cores {
+            let p = self.front.progress(core, &self.llc, next_cpu);
             if matches!(p, CoreProgress::Active) {
                 self.progress_buf.clear();
                 return dram_cycle + 1;
@@ -466,9 +567,9 @@ impl System {
     fn skip_dead_cycles(&mut self, dead_cycles: u64, clock: &mut CpuClock) {
         let cpu_ticks = clock.advance(dead_cycles);
         if cpu_ticks > 0 {
-            for (core, p) in self.cores.iter_mut().zip(self.progress_buf.iter()) {
+            for (core, p) in self.progress_buf.iter().enumerate() {
                 if let CoreProgress::Stalled(stall) = p {
-                    core.absorb_stall_ticks(cpu_ticks, stall);
+                    self.front.absorb_stall_ticks(core, cpu_ticks, stall);
                     if let Some(reason) = stall.reject {
                         self.llc.absorb_rejected_probes(cpu_ticks, reason);
                     }
@@ -482,23 +583,9 @@ impl System {
 
     fn finish(mut self, dram_cycles: Cycle) -> SimulationResult {
         // Settle any deferred hard-stall cycles before reading core stats.
-        for (i, core) in self.cores.iter_mut().enumerate() {
-            let debt = std::mem::take(&mut self.core_stall_debt[i]);
-            if debt > 0 {
-                core.absorb_hard_stall(debt);
-            }
-        }
-        let cores: Vec<CorePerformance> = self
-            .cores
-            .iter()
-            .map(|core| CorePerformance {
-                thread: core.thread(),
-                instructions: core.retired_instructions(),
-                cycles: core.stats().cycles,
-                ipc: core.ipc(),
-                finished: core.finished(),
-            })
-            .collect();
+        self.front.settle();
+        let cores: Vec<CorePerformance> =
+            (0..self.config.cores).map(|i| self.front.perf(i)).collect();
 
         let ever_suspect: Vec<bool> = (0..self.config.cores)
             .map(|t| {

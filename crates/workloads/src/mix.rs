@@ -9,7 +9,7 @@
 use crate::attacker::AttackerProfile;
 use crate::generator::TraceGenerator;
 use crate::profile::{BenignProfile, IntensityClass};
-use bh_cpu::Trace;
+use bh_cpu::CompiledTrace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -91,7 +91,12 @@ impl MixClass {
     }
 }
 
-/// A concrete four-core workload: one trace per hardware thread.
+/// A concrete four-core workload: one compiled trace per hardware thread.
+///
+/// Traces are compiled once at build time (per mix, seed and geometry) and
+/// shared by reference from then on: cloning a `WorkloadMix` — e.g. to hand
+/// it to every worker of a campaign matrix — bumps reference counts instead
+/// of deep-copying tens of thousands of trace records per configuration.
 #[derive(Debug, Clone)]
 pub struct WorkloadMix {
     /// Mix name, e.g. `"HHMA-03"`.
@@ -100,8 +105,8 @@ pub struct WorkloadMix {
     pub class: MixClass,
     /// Names of the applications on each core.
     pub app_names: Vec<String>,
-    /// One trace per core.
-    pub traces: Vec<Trace>,
+    /// One compiled (shareable) trace per core.
+    pub traces: Vec<CompiledTrace>,
     /// Index of the attacker core, if any.
     pub attacker_thread: Option<usize>,
 }
@@ -168,18 +173,24 @@ impl MixBuilder {
                         .expect("profile library covers every class")
                         .clone();
                     let trace_seed = seed ^ ((index as u64) << 16) ^ ((slot as u64) << 32);
-                    traces.push(self.generator.benign(&profile, self.benign_entries, trace_seed));
+                    traces.push(
+                        self.generator.benign(&profile, self.benign_entries, trace_seed).compile(),
+                    );
                     app_names.push(profile.name.to_string());
                 }
                 SlotClass::Attacker => {
                     attacker_thread = Some(slot);
                     let trace_seed = seed ^ ((index as u64) << 16) ^ 0xdead;
-                    traces.push(self.attacker.trace(
-                        self.generator.geometry(),
-                        self.generator.mapping(),
-                        self.attacker_entries,
-                        trace_seed,
-                    ));
+                    traces.push(
+                        self.attacker
+                            .trace(
+                                self.generator.geometry(),
+                                self.generator.mapping(),
+                                self.attacker_entries,
+                                trace_seed,
+                            )
+                            .compile(),
+                    );
                     app_names.push("attacker".to_string());
                 }
             }

@@ -12,24 +12,58 @@
 //!
 //! This file contains exactly one `#[test]` on purpose: Rust runs tests in a
 //! binary concurrently, and a second test's allocations would race the
-//! counter.
+//! counter. The counter is additionally **thread-local armed**: only
+//! allocations made by the test thread, between `arm()` and `disarm()`, are
+//! counted. Host/runtime background threads (the test harness's timeout
+//! machinery, platform TLS teardown, an unrelated signal handler) allocate
+//! at unpredictable moments, and with a process-global counter those
+//! allocations registered as flaky "stray hot-path allocations" — the
+//! historical `allocation_free` flake.
 
 use breakhammer_suite::dram::{
     BankAddr, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams,
 };
 use breakhammer_suite::mitigation::{ActionSink, ActivationEvent, MechanismKind};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counts allocations (not deallocations: frees are harmless on a hot path,
-/// and a steady-state path that frees must have allocated first anyway).
+/// and a steady-state path that frees must have allocated first anyway) —
+/// but only on the thread that armed it.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Whether allocations on *this* thread are counted. `const`-initialised
+    /// so reading it inside the allocator never itself allocates (a lazy TLS
+    /// initialiser could recurse into `alloc`).
+    static ARMED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Starts counting allocations made by the calling thread.
+fn arm() {
+    ARMED.with(|armed| armed.set(true));
+}
+
+/// Stops counting allocations made by the calling thread.
+fn disarm() {
+    ARMED.with(|armed| armed.set(false));
+}
+
+/// True if the calling thread is currently armed. `try_with` covers the TLS
+/// teardown window at thread exit, where the slot is already destroyed but
+/// the runtime may still allocate.
+fn armed() -> bool {
+    ARMED.try_with(Cell::get).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if armed() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         System.alloc(layout)
     }
 
@@ -38,7 +72,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if armed() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -112,6 +148,7 @@ fn activation_hot_path_is_allocation_free_after_warmup() {
             total_actions += sink.len();
         }
 
+        arm();
         let before = allocations();
         for step in WARMUP_STEPS..WARMUP_STEPS + MEASURED_STEPS {
             sink.clear();
@@ -119,6 +156,7 @@ fn activation_hot_path_is_allocation_free_after_warmup() {
             total_actions += sink.len();
         }
         let allocated = allocations() - before;
+        disarm();
         assert_eq!(
             allocated, 0,
             "{kind}: {allocated} heap allocation(s) in {MEASURED_STEPS} steady-state activations"
@@ -148,9 +186,11 @@ fn activation_hot_path_is_allocation_free_after_warmup() {
         }
     };
     drive(&mut tracker, 0, WARMUP_STEPS);
+    arm();
     let before = allocations();
     drive(&mut tracker, WARMUP_STEPS, WARMUP_STEPS + MEASURED_STEPS);
     let allocated = allocations() - before;
+    disarm();
     assert_eq!(
         allocated, 0,
         "RowHammerTracker: {allocated} heap allocation(s) in {MEASURED_STEPS} steady-state \

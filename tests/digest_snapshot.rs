@@ -1,9 +1,9 @@
 //! Golden-digest harness for [`SimulationResult`]s.
 //!
 //! Runs the canonical 40-configuration matrix (10 mechanisms × ±BreakHammer ×
-//! both kernels) on the standard attack workload and folds every field that
-//! existed in the result as of the digest capture into a stable FNV-1a
-//! fingerprint. The digests are compared against `tests/digests.golden.txt`,
+//! both kernels, through the default data-oriented `CoreEngine` front-end)
+//! on the standard attack workload and folds every field that existed in the
+//! result as of the digest capture into a stable FNV-1a fingerprint. The digests are compared against `tests/digests.golden.txt`,
 //! which pins the simulator's observable behaviour across refactors: any
 //! change to scheduling, mitigation, throttling or accounting shows up as a
 //! digest mismatch even if both kernels still agree with each other.
@@ -18,7 +18,7 @@
 //! explanation of why the behaviour moved.
 
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig};
 
 mod common;
 use common::attack_traces;
@@ -206,6 +206,36 @@ fn multichannel_digests_agree_across_kernels() {
             assert_eq!(
                 digests[0], digests[1],
                 "kernel digests diverged for {mechanism} bh={breakhammer} x{channels}ch"
+            );
+        }
+    }
+}
+
+/// The front-end axis of the digest harness: per config and scheduler
+/// kernel, the data-oriented `CoreEngine` and the per-object legacy cores
+/// must produce the same digest. (The golden file itself is produced with
+/// the default front-end — the engine — so the golden test *is* the "goldens
+/// run through `CoreEngine` unchanged" check; this test pins the legacy
+/// reference model to the same behaviour.)
+#[test]
+fn front_end_digests_agree() {
+    for (mechanism, breakhammer) in
+        [(MechanismKind::Graphene, true), (MechanismKind::BlockHammer, false)]
+    {
+        for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+            let mut digests = Vec::new();
+            for front_end in [FrontEndKind::Legacy, FrontEndKind::Engine] {
+                let mut config = config_for(mechanism, breakhammer, kernel);
+                config.front_end = front_end;
+                let traces = attack_traces(&config, 2_000, 100);
+                let result = System::new(config, &traces, vec![0, 1, 2]).run();
+                digests.push(digest(&result));
+            }
+            assert_eq!(
+                digests[0],
+                digests[1],
+                "front-end digests diverged for {mechanism} bh={breakhammer} {}",
+                kernel_name(kernel)
             );
         }
     }

@@ -28,7 +28,7 @@ fn run(
     let mut config = SystemConfig::fast_test(mechanism, nrh, breakhammer);
     config.instructions_per_core = 8_000;
     let mix = attacked_traces(&config);
-    System::new(config, &mix.traces, mix.benign_threads()).run()
+    System::with_compiled(config, &mix.traces, mix.benign_threads()).run()
 }
 
 #[test]
