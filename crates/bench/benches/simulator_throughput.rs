@@ -44,7 +44,9 @@ fn bench_system(c: &mut Criterion) {
         let mut builder = MixBuilder::new(generator);
         builder.benign_entries = 2_000;
         builder.attacker_entries = 2_000;
-        let mix = builder.build_channel_interleaved(MixClass::attack_classes()[0], 0, 42);
+        builder = builder
+            .with_attacker(bh_workloads::AttackerProfile::paper_default().interleaved_channels());
+        let mix = builder.build(MixClass::attack_classes()[0], 0, 42);
         group.bench_function(&format!("four_core_attack_8k_instructions_{channels}ch"), |b| {
             b.iter_batched(
                 || (config.clone(), mix.traces.clone()),

@@ -245,11 +245,12 @@ fn simulator_bench(results: &mut Vec<BenchResult>) {
         let mut builder = MixBuilder::new(generator);
         builder.benign_entries = 2_000;
         builder.attacker_entries = 2_000;
-        let mix = if channels == 1 {
-            builder.build(MixClass::attack_classes()[0], 0, 42)
-        } else {
-            builder.build_channel_interleaved(MixClass::attack_classes()[0], 0, 42)
-        };
+        if channels > 1 {
+            builder = builder.with_attacker(
+                bh_workloads::AttackerProfile::paper_default().interleaved_channels(),
+            );
+        }
+        let mix = builder.build(MixClass::attack_classes()[0], 0, 42);
         let name = if channels == 1 {
             "simulator_throughput/four_core_attack_8k_instructions".to_string()
         } else {

@@ -1,0 +1,64 @@
+//! Composable-attacker scenario matrix: every catalog scenario (pattern ×
+//! placement) swept under Graphene with and without BreakHammer, reporting
+//! the benign weighted speedup, the mitigation's preventive-action count,
+//! whether the attacker thread was throttled, and the worst per-victim
+//! disturbance the scenario achieved.
+//!
+//! `BH_SCENARIOS` selects a subset (comma-separated names); when unset this
+//! binary defaults to the full catalog.
+
+use bh_bench::{maybe_print_config, mean_of, print_results, select, Campaign, Scale};
+use bh_mitigation::MechanismKind;
+use bh_stats::{fmt3, Table};
+use bh_workloads::scenario_catalog;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if scale.scenarios.is_empty() {
+        scale.scenarios = scenario_catalog().iter().map(|s| s.name.to_string()).collect();
+    }
+    maybe_print_config(&scale);
+    let scenarios = scale.scenarios.clone();
+    let nrh = *scale.nrh_values.iter().min().expect("non-empty N_RH sweep");
+    let mut campaign = Campaign::new(scale);
+
+    let mechanism = MechanismKind::Graphene;
+    let records = campaign.run_matrix(&[mechanism], &[nrh], &[false, true], /*attack=*/ true);
+
+    let mut table = Table::new([
+        "scenario",
+        "config",
+        "weighted_speedup",
+        "preventive_actions",
+        "attacker_throttled",
+        "max_victim_disturbance",
+    ]);
+    for scenario in &scenarios {
+        for bh in [false, true] {
+            let sel: Vec<_> = select(&records, mechanism, nrh, bh)
+                .into_iter()
+                .filter(|r| r.scenario.as_deref() == Some(scenario.as_str()))
+                .collect();
+            if sel.is_empty() {
+                continue;
+            }
+            let speedup = mean_of(&sel, |r| r.weighted_speedup);
+            let actions = mean_of(&sel, |r| r.preventive_actions as f64);
+            let identified = sel.iter().filter(|r| r.attacker_identified).count();
+            let disturbance = sel.iter().map(|r| r.max_victim_disturbance).max().unwrap_or(0);
+            let label = if bh { format!("{mechanism}+BH") } else { mechanism.to_string() };
+            table.push_row([
+                scenario.clone(),
+                label,
+                fmt3(speedup),
+                format!("{actions:.0}"),
+                format!("{identified}/{}", sel.len()),
+                disturbance.to_string(),
+            ]);
+        }
+    }
+    print_results(
+        &format!("Composable-attacker scenarios under {mechanism} at N_RH = {nrh} (pattern × placement catalog)"),
+        &table,
+    );
+}

@@ -18,11 +18,14 @@
 //! | `BH_SEED` | workload-generation seed | 42 |
 //! | `BH_THREADS` | worker threads for parallel runs | all cores |
 //! | `BH_CHANNELS` | memory channels (sharded memory system) | 1 |
+//! | `BH_SCENARIOS` | comma-separated attack scenarios (`all` = catalog) | none |
 
 use bh_mitigation::MechanismKind;
 use bh_sim::{Evaluator, MixEvaluation, SystemConfig};
 use bh_stats::Table;
-use bh_workloads::{MixBuilder, MixClass, TraceGenerator, WorkloadMix};
+use bh_workloads::{
+    scenario_by_name, scenario_catalog, MixBuilder, MixClass, TraceGenerator, WorkloadMix,
+};
 use std::collections::HashMap;
 
 /// Experiment scale knobs (see the module documentation for the environment
@@ -47,6 +50,10 @@ pub struct Scale {
     /// system; more shard the memory system into per-channel controllers and
     /// mitigation instances with one shared BreakHammer).
     pub channels: usize,
+    /// Attack-scenario names from the composable-attacker catalog swept in
+    /// addition to the classic attack mixes (empty = classic attacker only;
+    /// `BH_SCENARIOS=all` selects the whole catalog).
+    pub scenarios: Vec<String>,
 }
 
 impl Scale {
@@ -61,6 +68,7 @@ impl Scale {
             seed: 42,
             worker_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             channels: 1,
+            scenarios: Vec::new(),
         }
     }
 
@@ -104,6 +112,17 @@ impl Scale {
                 scale.nrh_values = parsed;
             }
         }
+        if let Some(list) = lookup("BH_SCENARIOS") {
+            if list.trim() == "all" {
+                scale.scenarios = scenario_catalog().iter().map(|s| s.name.to_string()).collect();
+            } else {
+                scale.scenarios = list
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+        }
         scale
     }
 
@@ -143,6 +162,12 @@ pub struct RunRecord {
     pub benign_misidentified: bool,
     /// Would-be RowHammer bitflips (must be 0 for deterministic mechanisms).
     pub bitflips: usize,
+    /// Attack-scenario tag of the mix (`None` for the classic attacker and
+    /// for benign mixes).
+    pub scenario: Option<String>,
+    /// Largest end-of-run disturbance of any watched victim row (0 when the
+    /// mix declared no victims).
+    pub max_victim_disturbance: u64,
 }
 
 impl RunRecord {
@@ -171,6 +196,8 @@ impl RunRecord {
             attacker_identified,
             benign_misidentified,
             bitflips: eval.result.bitflips,
+            scenario: mix.scenario.clone(),
+            max_victim_disturbance: eval.result.max_victim_disturbance(),
         }
     }
 
@@ -210,11 +237,18 @@ pub struct Campaign {
     scale: Scale,
     attack_mixes: Vec<WorkloadMix>,
     benign_mixes: Vec<WorkloadMix>,
+    /// Mixes carrying the composable-attacker scenarios of
+    /// [`Scale::scenarios`] (appended to `attack_mixes` in attack sweeps).
+    scenario_mixes: Vec<WorkloadMix>,
     alone_cache: HashMap<String, f64>,
 }
 
 impl Campaign {
-    /// Generates the attack and benign mix suites for `scale`.
+    /// Generates the attack, benign and scenario mix suites for `scale`.
+    ///
+    /// # Panics
+    /// Panics (listing the catalog) if `scale.scenarios` names an unknown
+    /// attack scenario.
     pub fn new(scale: Scale) -> Self {
         let generator = TraceGenerator::new(
             bh_dram::DramGeometry::paper_ddr5().with_channels(scale.channels),
@@ -227,7 +261,18 @@ impl Campaign {
             builder.build_suite(&MixClass::attack_classes(), scale.mixes_per_class, scale.seed);
         let benign_mixes =
             builder.build_suite(&MixClass::benign_classes(), scale.mixes_per_class, scale.seed);
-        Campaign { scale, attack_mixes, benign_mixes, alone_cache: HashMap::new() }
+        // Scenario sweeps hold the benign company fixed (the HHHA class) so
+        // differences between scenarios isolate the attacker's shape.
+        let scenario_class = MixClass::attack_classes()[0];
+        let mut scenario_mixes = Vec::new();
+        for name in &scale.scenarios {
+            let scenario = scenario_by_name(name).unwrap_or_else(|e| panic!("{e}"));
+            let scenario_builder = builder.clone().with_scenario(&scenario);
+            for index in 0..scale.mixes_per_class {
+                scenario_mixes.push(scenario_builder.build(scenario_class, index, scale.seed));
+            }
+        }
+        Campaign { scale, attack_mixes, benign_mixes, scenario_mixes, alone_cache: HashMap::new() }
     }
 
     /// The experiment scale in use.
@@ -245,11 +290,20 @@ impl Campaign {
         &self.benign_mixes
     }
 
-    fn mixes(&self, attack: bool) -> &[WorkloadMix] {
+    /// The composable-attacker scenario mixes (one suite per entry of
+    /// [`Scale::scenarios`]).
+    pub fn scenario_mixes(&self) -> &[WorkloadMix] {
+        &self.scenario_mixes
+    }
+
+    /// The mixes an attack (or benign) sweep evaluates: attack sweeps cover
+    /// the classic attack suite plus every requested scenario suite. Cloning
+    /// a mix bumps trace reference counts, it does not copy records.
+    fn mixes(&self, attack: bool) -> Vec<WorkloadMix> {
         if attack {
-            &self.attack_mixes
+            self.attack_mixes.iter().chain(self.scenario_mixes.iter()).cloned().collect()
         } else {
-            &self.benign_mixes
+            self.benign_mixes.to_vec()
         }
     }
 
@@ -260,7 +314,12 @@ impl Campaign {
         }
         let config = paper_config(MechanismKind::None, 4096, false, &self.scale);
         let mut evaluator = Evaluator::new(config);
-        for mix in self.attack_mixes.iter().chain(self.benign_mixes.iter()) {
+        for mix in self
+            .attack_mixes
+            .iter()
+            .chain(self.benign_mixes.iter())
+            .chain(self.scenario_mixes.iter())
+        {
             evaluator.warm_alone_cache(mix);
         }
         self.alone_cache = evaluator.alone_cache().clone();
@@ -304,7 +363,7 @@ impl Campaign {
     /// mix order — the same order the former config-serial loop produced.
     fn run_configs(&mut self, configs: &[SystemConfig], attack: bool) -> Vec<RunRecord> {
         self.warm_alone_cache();
-        let mixes = self.mixes(attack).to_vec();
+        let mixes = self.mixes(attack);
         let cache = self.alone_cache.clone();
         let jobs: Vec<(usize, usize)> =
             (0..configs.len()).flat_map(|c| (0..mixes.len()).map(move |m| (c, m))).collect();
@@ -442,6 +501,21 @@ mod tests {
         assert_eq!(scale.attacker_entries, 1234);
         // Unset variables keep their quick defaults.
         assert_eq!(scale.benign_entries, Scale::quick().benign_entries);
+        assert!(scale.scenarios.is_empty(), "scenarios default to none");
+    }
+
+    #[test]
+    fn scenario_lookup_accepts_names_and_the_all_keyword() {
+        let named = Scale::from_lookup(|name| {
+            (name == "BH_SCENARIOS").then(|| "fuzz-nbr, press-nbr".to_string())
+        });
+        assert_eq!(named.scenarios, vec!["fuzz-nbr", "press-nbr"]);
+        let all = Scale::from_lookup(|name| (name == "BH_SCENARIOS").then(|| "all".to_string()));
+        assert_eq!(
+            all.scenarios,
+            scenario_catalog().iter().map(|s| s.name.to_string()).collect::<Vec<_>>()
+        );
+        assert!(all.scenarios.len() >= 4);
     }
 
     #[test]
@@ -468,6 +542,64 @@ mod tests {
         assert_eq!(campaign.benign_mixes().len(), 12);
         assert!(campaign.attack_mixes().iter().all(|m| m.attacker_thread.is_some()));
         assert!(campaign.benign_mixes().iter().all(|m| m.attacker_thread.is_none()));
+        assert!(campaign.scenario_mixes().is_empty(), "no scenarios requested");
+    }
+
+    #[test]
+    fn scenario_suites_join_the_attack_sweep() {
+        let mut scale = Scale::quick();
+        scale.benign_entries = 500;
+        scale.attacker_entries = 500;
+        scale.scenarios = scenario_catalog().iter().map(|s| s.name.to_string()).collect();
+        let campaign = Campaign::new(scale);
+        assert_eq!(campaign.scenario_mixes().len(), scenario_catalog().len());
+        for (mix, scenario) in campaign.scenario_mixes().iter().zip(scenario_catalog()) {
+            assert_eq!(mix.scenario.as_deref(), Some(scenario.name));
+            assert!(mix.name.contains(scenario.name), "{}", mix.name);
+            assert!(mix.attacker_thread.is_some());
+            assert!(!mix.victim_rows.is_empty(), "{}", mix.name);
+        }
+        let sweep = campaign.mixes(true);
+        assert_eq!(sweep.len(), campaign.attack_mixes().len() + campaign.scenario_mixes().len());
+        assert_eq!(campaign.mixes(false).len(), campaign.benign_mixes().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown attack scenario")]
+    fn unknown_scenario_names_are_rejected_with_the_catalog() {
+        let mut scale = Scale::quick();
+        scale.scenarios = vec!["not-a-scenario".to_string()];
+        let _ = Campaign::new(scale);
+    }
+
+    #[test]
+    fn run_matrix_sweeps_scenarios_with_breakhammer_on_and_off() {
+        // Tiny scale: this exercises the full scenario path (composed
+        // attacker → mix → simulator → per-victim stats) end to end.
+        let mut scale = Scale::quick();
+        scale.instructions_per_core = 4_000;
+        scale.benign_entries = 600;
+        scale.attacker_entries = 600;
+        scale.scenarios = scenario_catalog().iter().map(|s| s.name.to_string()).collect();
+        let mut campaign = Campaign::new(scale);
+        let records = campaign.run_matrix(&[MechanismKind::Graphene], &[64], &[false, true], true);
+        for bh in [false, true] {
+            let scenarios: std::collections::HashSet<&str> = records
+                .iter()
+                .filter(|r| r.breakhammer == bh)
+                .filter_map(|r| r.scenario.as_deref())
+                .collect();
+            assert!(
+                scenarios.len() >= 4,
+                "need >= 4 scenarios with breakhammer={bh}, got {scenarios:?}"
+            );
+        }
+        // Scenario records carry per-victim stats; classic records have no
+        // scenario tag but still watch the compat attacker's victims.
+        assert!(records
+            .iter()
+            .filter(|r| r.scenario.is_some())
+            .any(|r| r.max_victim_disturbance > 0));
     }
 
     #[test]
@@ -486,6 +618,8 @@ mod tests {
             attacker_identified: true,
             benign_misidentified: false,
             bitflips: 0,
+            scenario: None,
+            max_victim_disturbance: 0,
         };
         let records = vec![
             make(MechanismKind::Para, 1024, true, 2.0),

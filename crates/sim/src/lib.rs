@@ -42,6 +42,6 @@ pub mod runner;
 pub mod system;
 
 pub use config::{FrontEndKind, SchedulerKind, SystemConfig};
-pub use result::{ChannelBreakdown, CorePerformance, SimulationResult};
+pub use result::{ChannelBreakdown, CorePerformance, SimulationResult, VictimReport};
 pub use runner::{evaluate_under_configs, Evaluator, MixEvaluation};
 pub use system::System;

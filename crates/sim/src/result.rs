@@ -2,7 +2,7 @@
 
 use bh_core::BreakHammerStats;
 use bh_cpu::CacheStats;
-use bh_dram::{Cycle, DramStats, ThreadId};
+use bh_dram::{Cycle, DramStats, RowAddr, ThreadId};
 use bh_mem::{ControllerStats, LatencyHistogram};
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,22 @@ pub struct ChannelBreakdown {
     /// This channel's DRAM energy in nanojoules.
     pub energy_nj: f64,
     /// Would-be bitflips recorded by this channel's victim model.
+    pub bitflips: usize,
+}
+
+/// Disturbance accumulated by one watched victim row over the run (declared
+/// by the workload's `VictimLayout` and registered via
+/// [`System::watch_victims`](crate::System::watch_victims)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VictimReport {
+    /// The channel whose tracker watched the row.
+    pub channel: usize,
+    /// The watched victim row.
+    pub row: RowAddr,
+    /// Activations its aggressor neighbors accumulated against it (the
+    /// victim-model disturbance counter at end of run).
+    pub disturbance: u64,
+    /// Would-be bitflips recorded on this row.
     pub bitflips: usize,
 }
 
@@ -68,6 +84,10 @@ pub struct SimulationResult {
     /// Per-memory-channel statistics breakdown (one entry per channel).
     #[serde(default)]
     pub per_channel: Vec<ChannelBreakdown>,
+    /// End-of-run disturbance of every watched victim row (empty when the
+    /// workload declared no victims). Not part of the digest-pinned surface.
+    #[serde(default)]
+    pub victims: Vec<VictimReport>,
 }
 
 impl SimulationResult {
@@ -94,6 +114,13 @@ impl SimulationResult {
     /// True if every listed core finished its instruction budget.
     pub fn all_finished(&self, threads: &[usize]) -> bool {
         threads.iter().all(|t| self.cores[*t].finished)
+    }
+
+    /// The largest disturbance any watched victim row accumulated (0 when no
+    /// victims were watched) — the headline "did the victim data survive"
+    /// number for scenario tables.
+    pub fn max_victim_disturbance(&self) -> u64 {
+        self.victims.iter().map(|v| v.disturbance).max().unwrap_or(0)
     }
 }
 
@@ -124,6 +151,7 @@ mod tests {
             breakhammer: None,
             latency: (0..4).map(|_| LatencyHistogram::new()).collect(),
             per_channel: Vec::new(),
+            victims: Vec::new(),
         }
     }
 
@@ -135,5 +163,17 @@ mod tests {
         assert!(r.all_finished(&[0, 1, 2]));
         assert!(!r.all_finished(&[0, 3]));
         assert_eq!(r.merged_latency(&[0, 1]).count(), 0);
+    }
+
+    #[test]
+    fn max_victim_disturbance_scans_the_reports() {
+        let mut r = result();
+        assert_eq!(r.max_victim_disturbance(), 0);
+        let bank = bh_dram::BankAddr { rank: 0, bank_group: 0, bank: 0 };
+        r.victims = vec![
+            VictimReport { channel: 0, row: RowAddr { bank, row: 5 }, disturbance: 3, bitflips: 0 },
+            VictimReport { channel: 1, row: RowAddr { bank, row: 7 }, disturbance: 9, bitflips: 1 },
+        ];
+        assert_eq!(r.max_victim_disturbance(), 9);
     }
 }

@@ -133,7 +133,9 @@ impl Evaluator {
         // per core): every configuration of a campaign matrix replays the
         // same compiled records instead of regenerating or deep-copying them.
         let result =
-            System::with_compiled(self.config.clone(), &mix.traces, benign_threads.clone()).run();
+            System::with_compiled(self.config.clone(), &mix.traces, benign_threads.clone())
+                .watch_victims(mix.victim_rows.iter().map(|v| (v.channel, v.row)))
+                .run();
 
         let benign_perfs: Vec<AppPerf> = benign_threads
             .iter()

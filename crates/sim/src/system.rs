@@ -17,13 +17,13 @@
 //! enforces this differentially.
 
 use crate::config::{FrontEndKind, SchedulerKind, SystemConfig};
-use crate::result::{ChannelBreakdown, CorePerformance, SimulationResult};
+use crate::result::{ChannelBreakdown, CorePerformance, SimulationResult, VictimReport};
 use bh_core::BreakHammer;
 use bh_cpu::{
     CompiledTrace, Core, CoreConfig, CoreEngine, CoreProgress, CoreStats, LastLevelCache,
     MissToken, StallInfo, Trace,
 };
-use bh_dram::{Cycle, DramChannel, RowHammerTracker, ThreadId};
+use bh_dram::{Cycle, DramChannel, RowAddr, RowHammerTracker, ThreadId};
 use bh_mem::{MemRequest, MemorySystem};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -222,6 +222,9 @@ pub struct System {
     progress_buf: Vec<CoreProgress>,
     /// Recycled buffer for draining LLC outgoing requests each step.
     outgoing_buf: Vec<bh_cpu::OutgoingRequest>,
+    /// Victim rows to report end-of-run disturbance for, as
+    /// `(channel, row)` pairs (registered via [`System::watch_victims`]).
+    watched_victims: Vec<(usize, RowAddr)>,
 }
 
 impl System {
@@ -324,7 +327,27 @@ impl System {
             response_buf: Vec::new(),
             progress_buf: Vec::new(),
             outgoing_buf: Vec::new(),
+            watched_victims: Vec::new(),
         }
+    }
+
+    /// Registers victim rows (as `(channel, row)` pairs, e.g. a
+    /// `WorkloadMix`'s `victim_rows`) whose end-of-run disturbance the
+    /// result should report in `SimulationResult::victims`. Channels and row
+    /// indices are reduced to the configured geometry, so layouts computed
+    /// for a larger geometry degrade gracefully on test-scale systems.
+    pub fn watch_victims(mut self, victims: impl IntoIterator<Item = (usize, RowAddr)>) -> Self {
+        let channels = self.config.geometry.channels.max(1);
+        let rows = self.config.geometry.rows_per_bank;
+        self.watched_victims = victims
+            .into_iter()
+            .map(|(channel, row)| {
+                (channel % channels, RowAddr { bank: row.bank, row: row.row % rows })
+            })
+            .collect();
+        self.watched_victims.sort_unstable();
+        self.watched_victims.dedup();
+        self
     }
 
     /// The memory system (for inspection in tests).
@@ -623,6 +646,23 @@ impl System {
         let controller = self.memory.aggregate_stats();
         let preventive_actions = controller.preventive_actions_total();
 
+        let controllers = self.memory.controllers();
+        let victims: Vec<VictimReport> = self
+            .watched_victims
+            .iter()
+            .map(|(channel, row)| {
+                let tracker = controllers[*channel].channel().rowhammer();
+                VictimReport {
+                    channel: *channel,
+                    row: *row,
+                    disturbance: tracker.map(|t| t.disturbance_of(*row)).unwrap_or(0),
+                    bitflips: tracker
+                        .map(|t| t.bitflips().iter().filter(|b| b.victim == *row).count())
+                        .unwrap_or(0),
+                }
+            })
+            .collect();
+
         SimulationResult {
             cores,
             dram_cycles,
@@ -636,6 +676,7 @@ impl System {
             breakhammer: self.memory.breakhammer().map(|bh| bh.stats().clone()),
             latency,
             per_channel,
+            victims,
         }
     }
 }
@@ -753,6 +794,34 @@ mod tests {
             ratio > 0.9,
             "BreakHammer must not noticeably slow down all-benign workloads (ratio {ratio:.3})"
         );
+    }
+
+    #[test]
+    fn watched_victims_report_disturbance_under_attack() {
+        let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 128, false);
+        config.instructions_per_core = 15_000;
+        let attacker = AttackerProfile::paper_default().compose();
+        let mut traces = benign_traces(&config, 4_000);
+        traces[3] = attacker.trace(&config.geometry, AddressMapping::paper_default(), 4_000, 999);
+        let victims = attacker.victim_rows(&config.geometry);
+        assert!(!victims.is_empty());
+        let result = System::new(config.clone(), &traces, vec![0, 1, 2])
+            .watch_victims(victims.iter().map(|v| (v.channel, v.row)))
+            .run();
+        assert_eq!(result.victims.len(), victims.len());
+        assert!(
+            result.max_victim_disturbance() > 0,
+            "hammered victims must accumulate disturbance"
+        );
+        // Every reported row is in-range for the tiny geometry.
+        for v in &result.victims {
+            assert!(v.row.row < config.geometry.rows_per_bank);
+            assert_eq!(v.bitflips, 0, "Graphene must prevent bitflips");
+        }
+
+        // A system with no watch list reports no victims.
+        let bare = System::new(config, &traces, vec![0, 1, 2]).run();
+        assert!(bare.victims.is_empty());
     }
 
     #[test]

@@ -1,27 +1,35 @@
-//! RowHammer / memory-performance-attack trace generators.
+//! RowHammer / memory-performance-attack trace generators — the legacy
+//! profile API, kept as a thin compat facade over the composable framework.
 //!
 //! The paper's attacker is "a malicious application that mounts a memory
 //! performance attack by triggering many RowHammer-preventive actions"
-//! (§8.1). The generators here produce the canonical attack loops: uncached
-//! (`clflush`-style) reads that repeatedly activate a small set of aggressor
-//! rows, either double-sided in one bank, many-sided in one bank, or spread
-//! over several banks. Multi-threaded attack strategies (§5.2) are built by
-//! giving several threads attacker traces.
+//! (§8.1). [`AttackerProfile`] describes the canonical attack loops —
+//! uncached (`clflush`-style) reads that repeatedly activate a small set of
+//! aggressor rows, double-sided or many-sided in one bank, or spread over
+//! several banks — and lowers onto the pattern × placement traits via
+//! [`AttackerProfile::compose`]: the profile's [`AttackerKind`] becomes a
+//! [`ClassicPattern`] and its
+//! [`ChannelTarget`] a
+//! [`NeighborPlacement`]. Trace
+//! generation through the facade is bit-identical to the pre-framework
+//! generator (pinned by the golden digests and a byte-identity proptest).
 
-use bh_cpu::{Trace, TraceEntry};
-use bh_dram::{BankAddr, DramGeometry, DramLocation};
+use crate::compose::ComposedAttacker;
+use crate::pattern::ClassicPattern;
+use crate::placement::{AggressorPlacement, NeighborPlacement};
+use bh_cpu::Trace;
+use bh_dram::{BankAddr, DramGeometry};
 use bh_mem::AddressMapping;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// First row index used for aggressor rows (kept away from the benign
-/// generators' hot rows and footprints so the attacker does not accidentally
-/// share rows with victims' data).
-const AGGRESSOR_BASE: usize = 20_000;
-
 /// The shape of the hammering pattern.
+///
+/// Marked `#[non_exhaustive]`: new kinds may appear without a semver break,
+/// so match with a wildcard arm and construct through the ctor fns
+/// ([`AttackerKind::double_sided`], [`AttackerKind::many_sided`],
+/// [`AttackerKind::multi_bank`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum AttackerKind {
     /// Classic double-sided hammering: alternate between the two aggressor
     /// rows sandwiching a victim, in a single bank.
@@ -42,9 +50,30 @@ pub enum AttackerKind {
     },
 }
 
+impl AttackerKind {
+    /// Classic double-sided hammering.
+    pub fn double_sided() -> Self {
+        AttackerKind::DoubleSided
+    }
+
+    /// Many-sided hammering over `aggressors` rows of one bank.
+    pub fn many_sided(aggressors: usize) -> Self {
+        AttackerKind::ManySided { aggressors }
+    }
+
+    /// Hammering `aggressors` rows in each of `banks` banks.
+    pub fn multi_bank(banks: usize, aggressors: usize) -> Self {
+        AttackerKind::MultiBank { banks, aggressors }
+    }
+}
+
 /// Which memory channels an attacker hammers (irrelevant on single-channel
 /// systems, where every variant degenerates to channel 0).
+///
+/// Marked `#[non_exhaustive]`: construct through [`ChannelTarget::pinned`] /
+/// [`ChannelTarget::interleave`] and match with a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum ChannelTarget {
     /// All hammering traffic concentrates on one channel — the adversarial
     /// placement against per-channel trackers (one channel's mitigation does
@@ -58,13 +87,30 @@ pub enum ChannelTarget {
     Interleave,
 }
 
+impl ChannelTarget {
+    /// All traffic pinned to one channel (taken modulo the channel count).
+    pub fn pinned(channel: usize) -> Self {
+        ChannelTarget::Pinned(channel)
+    }
+
+    /// The pattern replicated over every channel in turn.
+    pub fn interleave() -> Self {
+        ChannelTarget::Interleave
+    }
+}
+
 impl Default for ChannelTarget {
     fn default() -> Self {
         ChannelTarget::Pinned(0)
     }
 }
 
-/// An attacker configuration.
+/// An attacker configuration (legacy API).
+///
+/// New code should compose an
+/// [`AccessPattern`](crate::pattern::AccessPattern) with an
+/// [`AggressorPlacement`] directly; this profile covers the classic shapes
+/// and lowers onto those traits via [`AttackerProfile::compose`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AttackerProfile {
     /// The hammering pattern.
@@ -103,14 +149,26 @@ impl AttackerProfile {
 
     /// The same attacker with all hammering pinned to one memory channel.
     pub fn pinned_to_channel(mut self, channel: usize) -> Self {
-        self.channels = ChannelTarget::Pinned(channel);
+        self.channels = ChannelTarget::pinned(channel);
         self
     }
 
     /// The same attacker replicating its pattern over every memory channel.
     pub fn interleaved_channels(mut self) -> Self {
-        self.channels = ChannelTarget::Interleave;
+        self.channels = ChannelTarget::interleave();
         self
+    }
+
+    /// Lowers the profile onto the composable framework: a
+    /// [`ClassicPattern`] over a [`NeighborPlacement`] honouring the
+    /// profile's [`ChannelTarget`]. The result is untagged so mixes built
+    /// from it keep their pre-framework names (and golden digests).
+    pub fn compose(&self) -> ComposedAttacker {
+        ComposedAttacker::new(
+            ClassicPattern::new(self.kind).with_bubbles(self.bubbles),
+            NeighborPlacement::with_channels(self.channels),
+        )
+        .untagged()
     }
 
     /// Generates the attack trace.
@@ -125,70 +183,15 @@ impl AttackerProfile {
         entries: usize,
         seed: u64,
     ) -> Trace {
-        assert!(entries > 0, "a trace needs at least one record");
-        let (banks, aggressors_per_bank) = match self.kind {
-            AttackerKind::DoubleSided => (1usize, 2usize),
-            AttackerKind::ManySided { aggressors } => {
-                assert!(aggressors >= 2, "many-sided attack needs at least two aggressors");
-                (1, aggressors)
-            }
-            AttackerKind::MultiBank { banks, aggressors } => {
-                assert!(banks >= 1 && aggressors >= 2, "degenerate multi-bank attack");
-                (banks.min(geometry.banks_per_channel()), aggressors)
-            }
-        };
-
-        let channel_count = geometry.channels.max(1);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e5);
-        let mut records = Vec::with_capacity(entries);
-        let mut column = 0usize;
-        for i in 0..entries {
-            let bank_idx = i % banks;
-            // The channel progression nests between the bank and aggressor
-            // strides: the pattern sweeps every bank of one channel, moves to
-            // the next channel, and only then advances the aggressor index —
-            // so an interleaved attacker keeps every channel's tracker warm.
-            let (channel, agg_step) = match self.channels {
-                ChannelTarget::Pinned(channel) => (channel % channel_count, i / banks),
-                ChannelTarget::Interleave => {
-                    ((i / banks) % channel_count, i / banks / channel_count)
-                }
-            };
-            let agg_idx = agg_step % aggressors_per_bank;
-            let bank: BankAddr = geometry.bank_from_flat(bank_idx);
-            // Aggressor rows are spaced two apart so that every consecutive
-            // pair sandwiches a victim row (double/many-sided hammering).
-            let row = AGGRESSOR_BASE + 2 * agg_idx;
-            column = (column + 1 + rng.gen_range(0..3usize)) % geometry.columns_per_row;
-            let loc = DramLocation { channel, bank, row: row % geometry.rows_per_bank, column };
-            let addr = mapping.encode(&loc, geometry);
-            records.push(TraceEntry {
-                bubbles: self.bubbles,
-                addr,
-                is_write: false,
-                uncached: true,
-            });
-        }
-        Trace::new(records)
+        self.compose().trace(geometry, mapping, entries, seed)
     }
 
     /// The aggressor rows this profile hammers (useful for analyses/tests).
     pub fn aggressor_rows(&self, geometry: &DramGeometry) -> Vec<(BankAddr, usize)> {
-        let (banks, aggressors_per_bank) = match self.kind {
-            AttackerKind::DoubleSided => (1usize, 2usize),
-            AttackerKind::ManySided { aggressors } => (1, aggressors),
-            AttackerKind::MultiBank { banks, aggressors } => {
-                (banks.min(geometry.banks_per_channel()), aggressors)
-            }
-        };
-        let mut rows = Vec::new();
-        for b in 0..banks {
-            let bank = geometry.bank_from_flat(b);
-            for a in 0..aggressors_per_bank {
-                rows.push((bank, AGGRESSOR_BASE + 2 * a));
-            }
-        }
-        rows
+        // The legacy method never asserted on degenerate parameters, so
+        // bypass the pattern's checked request.
+        let request = ClassicPattern::request_unchecked(self.kind);
+        NeighborPlacement::with_channels(self.channels).place(&request, geometry).aggressor_rows()
     }
 }
 
@@ -238,7 +241,7 @@ mod tests {
     #[test]
     fn many_sided_attack_cycles_the_requested_number_of_aggressors() {
         let p = AttackerProfile {
-            kind: AttackerKind::ManySided { aggressors: 16 },
+            kind: AttackerKind::many_sided(16),
             bubbles: 0,
             channels: ChannelTarget::default(),
         };
@@ -254,7 +257,7 @@ mod tests {
     #[test]
     fn multi_bank_attack_spreads_over_banks() {
         let p = AttackerProfile {
-            kind: AttackerKind::MultiBank { banks: 8, aggressors: 4 },
+            kind: AttackerKind::multi_bank(8, 4),
             bubbles: 0,
             channels: ChannelTarget::default(),
         };
@@ -338,5 +341,106 @@ mod tests {
             channels: ChannelTarget::default(),
         };
         let _ = p.trace(&geometry(), AddressMapping::paper_default(), 10, 0);
+    }
+}
+
+#[cfg(test)]
+mod byte_identity {
+    //! The compat facade's contract: `AttackerProfile::trace` through the
+    //! composable framework is *byte-identical* to the pre-redesign
+    //! generator, for every kind × channel target × seed. The reference
+    //! implementation below is the old generator loop, kept verbatim.
+
+    use super::*;
+    use bh_cpu::TraceEntry;
+    use bh_dram::DramLocation;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const AGGRESSOR_BASE: usize = 20_000;
+
+    /// The pre-redesign `AttackerProfile::trace`, verbatim.
+    fn reference_trace(
+        profile: &AttackerProfile,
+        geometry: &DramGeometry,
+        mapping: AddressMapping,
+        entries: usize,
+        seed: u64,
+    ) -> Trace {
+        assert!(entries > 0, "a trace needs at least one record");
+        let (banks, aggressors_per_bank) = match profile.kind {
+            AttackerKind::DoubleSided => (1usize, 2usize),
+            AttackerKind::ManySided { aggressors } => (1, aggressors),
+            AttackerKind::MultiBank { banks, aggressors } => {
+                (banks.min(geometry.banks_per_channel()), aggressors)
+            }
+        };
+
+        let channel_count = geometry.channels.max(1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4e5);
+        let mut records = Vec::with_capacity(entries);
+        let mut column = 0usize;
+        for i in 0..entries {
+            let bank_idx = i % banks;
+            let (channel, agg_step) = match profile.channels {
+                ChannelTarget::Pinned(channel) => (channel % channel_count, i / banks),
+                ChannelTarget::Interleave => {
+                    ((i / banks) % channel_count, i / banks / channel_count)
+                }
+            };
+            let agg_idx = agg_step % aggressors_per_bank;
+            let bank: BankAddr = geometry.bank_from_flat(bank_idx);
+            let row = AGGRESSOR_BASE + 2 * agg_idx;
+            column = (column + 1 + rng.gen_range(0..3usize)) % geometry.columns_per_row;
+            let loc = DramLocation { channel, bank, row: row % geometry.rows_per_bank, column };
+            let addr = mapping.encode(&loc, geometry);
+            records.push(TraceEntry {
+                bubbles: profile.bubbles,
+                addr,
+                is_write: false,
+                uncached: true,
+            });
+        }
+        Trace::new(records)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// The facade lowers onto ClassicPattern × NeighborPlacement with no
+        /// byte of trace difference, for every kind × channel target, on both
+        /// geometries and any channel count.
+        #[test]
+        fn facade_traces_are_byte_identical_to_the_legacy_generator(
+            kind_sel in 0usize..3,
+            aggressors in 2usize..12,
+            banks in 1usize..40,
+            pinned_channel in 0usize..8,
+            interleave in any::<bool>(),
+            bubbles in 0u32..5,
+            channels in 1usize..5,
+            entries in 1usize..1_500,
+            seed in any::<u64>(),
+            tiny in any::<bool>(),
+        ) {
+            let kind = match kind_sel {
+                0 => AttackerKind::double_sided(),
+                1 => AttackerKind::many_sided(aggressors),
+                _ => AttackerKind::multi_bank(banks, aggressors),
+            };
+            let target = if interleave {
+                ChannelTarget::interleave()
+            } else {
+                ChannelTarget::pinned(pinned_channel)
+            };
+            let base = if tiny { DramGeometry::tiny() } else { DramGeometry::paper_ddr5() };
+            let geometry = base.with_channels(channels);
+            let mapping = AddressMapping::paper_default();
+            let profile = AttackerProfile { kind, bubbles, channels: target };
+            let new = profile.trace(&geometry, mapping, entries, seed);
+            let old = reference_trace(&profile, &geometry, mapping, entries, seed);
+            prop_assert_eq!(new.to_bytes(), old.to_bytes());
+        }
     }
 }

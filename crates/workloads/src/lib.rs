@@ -9,8 +9,16 @@
 //! * [`BenignProfile`] / [`TraceGenerator`] — benign applications grouped into
 //!   the paper's High / Medium / Low memory-intensity classes, with organic
 //!   hot rows matching Table 3;
-//! * [`AttackerProfile`] — `clflush`-style hammering loops (double-sided,
-//!   many-sided, multi-bank) that trigger many RowHammer-preventive actions;
+//! * the composable attacker framework — an [`AccessPattern`] (the
+//!   hammerer: [`ClassicPattern`], Blacksmith-style [`FuzzedPattern`],
+//!   RowPress-style [`RowPressPattern`], benign-mimicry [`DecoyPattern`])
+//!   × an [`AggressorPlacement`] (the allocator: [`NeighborPlacement`],
+//!   [`SpreadPlacement`]) × a [`VictimLayout`] (the data at risk:
+//!   [`SandwichedVictims`], [`KeyTableVictims`]), glued by
+//!   [`ComposedAttacker`] and named by the [`scenario_catalog()`];
+//! * [`AttackerProfile`] — the legacy `clflush`-style hammering loops
+//!   (double-sided, many-sided, multi-bank), kept as a bit-identical compat
+//!   facade that lowers onto the framework;
 //! * [`MixClass`] / [`MixBuilder`] — the four-core workload mixes of §7 and
 //!   §8.1 (HHHH…LLLL and HHHA…LLLA);
 //! * [`characterize()`] — the Table 3 characterisation (RBMPKI and rows with
@@ -33,12 +41,24 @@
 
 pub mod attacker;
 pub mod characterize;
+pub mod compose;
 pub mod generator;
 pub mod mix;
+pub mod pattern;
+pub mod placement;
 pub mod profile;
+pub mod scenario;
+pub mod victim;
 
 pub use attacker::{AttackerKind, AttackerProfile, ChannelTarget};
 pub use characterize::{characterize, WorkloadCharacteristics};
+pub use compose::ComposedAttacker;
 pub use generator::TraceGenerator;
 pub use mix::{MixBuilder, MixClass, SlotClass, WorkloadMix};
+pub use pattern::{AccessPattern, ClassicPattern, DecoyPattern, FuzzedPattern, RowPressPattern};
+pub use placement::{
+    AggressorGrid, AggressorPlacement, NeighborPlacement, PlacementRequest, SpreadPlacement,
+};
 pub use profile::{BenignProfile, IntensityClass, UnknownProfileError};
+pub use scenario::{scenario_by_name, scenario_catalog, AttackScenario, UnknownScenarioError};
+pub use victim::{KeyTableVictims, SandwichedVictims, VictimLayout, VictimRow};

@@ -7,8 +7,11 @@
 //! the synthetic profile library, deterministically from a seed.
 
 use crate::attacker::AttackerProfile;
+use crate::compose::ComposedAttacker;
 use crate::generator::TraceGenerator;
 use crate::profile::{BenignProfile, IntensityClass};
+use crate::scenario::AttackScenario;
+use crate::victim::VictimRow;
 use bh_cpu::CompiledTrace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -16,7 +19,11 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 /// One slot of a four-core mix.
+///
+/// Marked `#[non_exhaustive]`: construct through [`SlotClass::benign`] /
+/// [`SlotClass::attacker`] and match with a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub enum SlotClass {
     /// A benign application of the given intensity class.
     Benign(IntensityClass),
@@ -25,6 +32,16 @@ pub enum SlotClass {
 }
 
 impl SlotClass {
+    /// A benign slot of the given intensity class.
+    pub fn benign(class: IntensityClass) -> Self {
+        SlotClass::Benign(class)
+    }
+
+    /// The attacker slot.
+    pub fn attacker() -> Self {
+        SlotClass::Attacker
+    }
+
     /// Single-letter label (H/M/L/A).
     pub fn letter(self) -> char {
         match self {
@@ -109,6 +126,13 @@ pub struct WorkloadMix {
     pub traces: Vec<CompiledTrace>,
     /// Index of the attacker core, if any.
     pub attacker_thread: Option<usize>,
+    /// The rows holding victim data (declared by the attacker's
+    /// [`VictimLayout`](crate::victim::VictimLayout)); empty for all-benign
+    /// mixes. The simulator watches these and reports per-victim disturbance.
+    pub victim_rows: Vec<VictimRow>,
+    /// The attack-scenario tag this mix was built under, if any (matches the
+    /// suffix in [`WorkloadMix::name`]).
+    pub scenario: Option<String>,
 }
 
 impl WorkloadMix {
@@ -127,33 +151,56 @@ impl WorkloadMix {
 #[derive(Debug, Clone)]
 pub struct MixBuilder {
     generator: TraceGenerator,
-    attacker: AttackerProfile,
+    attacker: ComposedAttacker,
+    /// The legacy profile the attacker was lowered from, if any — kept so the
+    /// deprecated channel-scenario builders can retarget it.
+    compat: Option<AttackerProfile>,
     /// Trace records generated per benign core.
     pub benign_entries: usize,
     /// Trace records generated for the attacker core.
     pub attacker_entries: usize,
     /// Optional scenario tag appended to mix names (e.g. `"chp0"` for a
     /// channel-pinned attacker), so scenario variants of the same class and
-    /// index stay distinguishable in result tables.
+    /// index stay distinguishable in result tables. Defaults to the composed
+    /// attacker's tag (`None` for compat-lowered attackers).
     scenario_suffix: Option<String>,
 }
 
 impl MixBuilder {
     /// Creates a builder for the paper's system configuration.
     pub fn new(generator: TraceGenerator) -> Self {
+        let profile = AttackerProfile::paper_default();
         MixBuilder {
             generator,
-            attacker: AttackerProfile::paper_default(),
+            attacker: profile.compose(),
+            compat: Some(profile),
             benign_entries: 20_000,
             attacker_entries: 8_000,
             scenario_suffix: None,
         }
     }
 
-    /// Overrides the attacker profile.
+    /// Overrides the attacker with a legacy profile (lowered onto the
+    /// composable framework; mix names stay untagged).
     pub fn with_attacker(mut self, attacker: AttackerProfile) -> Self {
-        self.attacker = attacker;
+        self.attacker = attacker.compose();
+        self.compat = Some(attacker);
         self
+    }
+
+    /// Overrides the attacker with a composed pattern × placement × victims.
+    /// The attacker's tag (if any) becomes the mix-name suffix.
+    pub fn with_composed_attacker(mut self, attacker: ComposedAttacker) -> Self {
+        self.attacker = attacker;
+        self.compat = None;
+        self
+    }
+
+    /// Configures the builder for a catalog scenario: its composed attacker,
+    /// with the scenario name as the mix-name suffix.
+    pub fn with_scenario(mut self, scenario: &AttackScenario) -> Self {
+        self.scenario_suffix = Some(scenario.name.to_string());
+        self.with_composed_attacker(scenario.attacker.clone())
     }
 
     /// Builds the `index`-th workload of `class`, deterministically from
@@ -195,22 +242,36 @@ impl MixBuilder {
                 }
             }
         }
-        let name = match &self.scenario_suffix {
+        let scenario =
+            self.scenario_suffix.clone().or_else(|| self.attacker.tag().map(String::from));
+        let name = match &scenario {
             Some(suffix) => format!("{}-{suffix}-{index:02}", class.label()),
             None => format!("{}-{index:02}", class.label()),
         };
-        WorkloadMix { name, class, app_names, traces, attacker_thread }
+        let victim_rows = if attacker_thread.is_some() {
+            self.attacker.victim_rows(self.generator.geometry())
+        } else {
+            Vec::new()
+        };
+        WorkloadMix { name, class, app_names, traces, attacker_thread, victim_rows, scenario }
     }
 
     /// Builds the channel-pinned attack scenario: the attacker concentrates
-    /// its whole hammering pattern on memory channel `channel`, so one
-    /// channel's mitigation tracker absorbs every preventive action while
-    /// the benign applications spread over all channels. This is the
-    /// adversarial placement for per-channel trackers — only a
-    /// memory-system-wide observer (BreakHammer) sees the full picture.
+    /// its whole hammering pattern on memory channel `channel`.
     ///
-    /// On single-channel systems this is identical to
-    /// [`MixBuilder::build`].
+    /// Deprecated: channel targeting is the placement trait's job — pin the
+    /// placement instead, e.g.
+    /// `builder.with_composed_attacker(ComposedAttacker::new(pattern,
+    /// NeighborPlacement::pinned(channel)))`, or keep using an
+    /// [`AttackerProfile`] with
+    /// [`pinned_to_channel`](AttackerProfile::pinned_to_channel).
+    ///
+    /// # Panics
+    /// Panics if the builder's attacker was set through
+    /// [`MixBuilder::with_composed_attacker`] (there is no legacy profile to
+    /// retarget).
+    #[deprecated(note = "pin the placement instead (e.g. NeighborPlacement::pinned) and use \
+                         MixBuilder::build")]
     pub fn build_channel_pinned(
         &self,
         class: MixClass,
@@ -218,25 +279,36 @@ impl MixBuilder {
         seed: u64,
         channel: usize,
     ) -> WorkloadMix {
-        let mut builder = self.clone().with_attacker(self.attacker.pinned_to_channel(channel));
+        let profile =
+            self.compat.expect("channel-scenario builders need an AttackerProfile-based builder");
+        let mut builder = self.clone().with_attacker(profile.pinned_to_channel(channel));
         builder.scenario_suffix = Some(format!("chp{channel}"));
         builder.build(class, index, seed)
     }
 
     /// Builds the channel-interleaved attack scenario: the attacker
-    /// replicates its hammering pattern across every memory channel in turn,
-    /// keeping all per-channel trackers busy simultaneously (the maximum
-    /// total preventive-action rate the attacker can sustain).
+    /// replicates its hammering pattern across every memory channel in turn.
     ///
-    /// On single-channel systems this is identical to
-    /// [`MixBuilder::build`].
+    /// Deprecated: channel targeting is the placement trait's job — use an
+    /// interleaved placement (e.g.
+    /// [`NeighborPlacement::interleaved`](crate::placement::NeighborPlacement::interleaved))
+    /// with [`MixBuilder::build`].
+    ///
+    /// # Panics
+    /// Panics if the builder's attacker was set through
+    /// [`MixBuilder::with_composed_attacker`] (there is no legacy profile to
+    /// retarget).
+    #[deprecated(note = "use an interleaved placement (e.g. NeighborPlacement::interleaved) and \
+                         MixBuilder::build")]
     pub fn build_channel_interleaved(
         &self,
         class: MixClass,
         index: usize,
         seed: u64,
     ) -> WorkloadMix {
-        let mut builder = self.clone().with_attacker(self.attacker.interleaved_channels());
+        let profile =
+            self.compat.expect("channel-scenario builders need an AttackerProfile-based builder");
+        let mut builder = self.clone().with_attacker(profile.interleaved_channels());
         builder.scenario_suffix = Some("chi".to_string());
         builder.build(class, index, seed)
     }
@@ -314,6 +386,50 @@ mod tests {
     }
 
     #[test]
+    fn attack_mixes_declare_victim_rows_and_benign_mixes_do_not() {
+        let b = builder();
+        let attack = b.build(MixClass::attack_classes()[0], 0, 42);
+        assert!(!attack.victim_rows.is_empty());
+        assert_eq!(attack.scenario, None, "compat attacker keeps untagged names");
+        let benign = b.build(MixClass::benign_classes()[0], 0, 42);
+        assert!(benign.victim_rows.is_empty());
+    }
+
+    #[test]
+    fn scenario_builders_tag_names_and_keep_benign_cores_identical() {
+        use crate::scenario::scenario_catalog;
+
+        let b = builder();
+        let class = MixClass::attack_classes()[0];
+        let plain = b.build(class, 0, 42);
+        for scenario in scenario_catalog() {
+            let mix = b.clone().with_scenario(&scenario).build(class, 0, 42);
+            assert_eq!(mix.name, format!("HHHA-{}-00", scenario.name));
+            assert_eq!(mix.scenario.as_deref(), Some(scenario.name));
+            assert!(!mix.victim_rows.is_empty(), "{}", scenario.name);
+            // Only the attacker core differs from the plain build.
+            for t in plain.benign_threads() {
+                assert_eq!(plain.traces[t], mix.traces[t], "{}", scenario.name);
+            }
+        }
+    }
+
+    #[test]
+    fn composed_attackers_without_tags_keep_plain_names() {
+        use crate::compose::ComposedAttacker;
+        use crate::pattern::FuzzedPattern;
+        use crate::placement::NeighborPlacement;
+
+        let attacker =
+            ComposedAttacker::new(FuzzedPattern::new(1, 4), NeighborPlacement::new()).untagged();
+        let mix =
+            builder().with_composed_attacker(attacker).build(MixClass::attack_classes()[0], 1, 7);
+        assert_eq!(mix.name, "HHHA-01");
+        assert_eq!(mix.scenario, None);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn channel_scenarios_tag_names_and_retarget_the_attacker() {
         use crate::generator::TraceGenerator;
         use bh_dram::DramGeometry;

@@ -11,7 +11,9 @@
 
 use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::sim::SystemConfig;
-use breakhammer_suite::workloads::{AttackerProfile, BenignProfile, TraceGenerator};
+use breakhammer_suite::workloads::{
+    AttackerProfile, BenignProfile, ComposedAttacker, TraceGenerator,
+};
 
 /// The canonical benign quartet: streaming-dominated profiles that rarely
 /// trigger preventive actions at moderate N_RH (the paper's premise in
@@ -48,4 +50,19 @@ pub fn attack_traces_with(
 /// The benign quartet with the paper-default attacker on core 3.
 pub fn attack_traces(config: &SystemConfig, entries: usize, seed: u64) -> Vec<Trace> {
     attack_traces_with(config, AttackerProfile::paper_default(), entries, seed)
+}
+
+/// The benign quartet with a composable (pattern × placement) attacker
+/// replacing core 3 — same seeds as [`attack_traces_with`] so a composed
+/// attacker that lowers the classic pattern reproduces `attack_traces`
+/// byte for byte.
+pub fn attack_traces_composed(
+    config: &SystemConfig,
+    attacker: &ComposedAttacker,
+    entries: usize,
+    seed: u64,
+) -> Vec<Trace> {
+    let mut traces = benign_traces(config, entries, seed);
+    traces[3] = attacker.trace(&config.geometry, config.memctrl.mapping, entries, seed + 900);
+    traces
 }

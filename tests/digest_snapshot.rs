@@ -21,7 +21,7 @@ use breakhammer_suite::mitigation::MechanismKind;
 use breakhammer_suite::sim::{FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig};
 
 mod common;
-use common::attack_traces;
+use common::{attack_traces, attack_traces_composed};
 
 /// FNV-1a, the digest accumulator. Stable across platforms and releases.
 struct Digest(u64);
@@ -241,27 +241,86 @@ fn front_end_digests_agree() {
     }
 }
 
+/// Extends [`digest`] with the per-victim disturbance reports — the field the
+/// composable-attacker scenarios add to [`SimulationResult`]. Used only by
+/// the scenario goldens, which were captured *with* victim tracking; the
+/// classic 40-config goldens predate the field and keep the original fold.
+fn digest_with_victims(result: &SimulationResult) -> u64 {
+    let mut d = Digest::new();
+    d.u64(digest(result));
+    d.usize(result.victims.len());
+    for v in &result.victims {
+        d.usize(v.channel);
+        d.usize(v.row.bank.rank);
+        d.usize(v.row.bank.bank_group);
+        d.usize(v.row.bank.bank);
+        d.usize(v.row.row);
+        d.u64(v.disturbance);
+        d.usize(v.bitflips);
+    }
+    d.0
+}
+
+/// Runs every catalog scenario (pattern × placement) under Graphene ±BH on
+/// both scheduler kernels, asserting cross-kernel digest equality and
+/// returning the per-kernel digest rows for the scenario golden file.
+fn run_scenario_matrix() -> Vec<(String, u64)> {
+    use breakhammer_suite::workloads::scenario_catalog;
+    let mut out = Vec::new();
+    for scenario in scenario_catalog() {
+        for breakhammer in [false, true] {
+            let mut digests = Vec::new();
+            for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+                let config = config_for(MechanismKind::Graphene, breakhammer, kernel);
+                let traces = attack_traces_composed(&config, &scenario.attacker, 2_000, 100);
+                let victims = scenario.attacker.victim_rows(&config.geometry);
+                let result = System::new(config, &traces, vec![0, 1, 2])
+                    .watch_victims(victims.iter().map(|v| (v.channel, v.row)))
+                    .run();
+                let label = format!(
+                    "{} {} {}",
+                    scenario.name,
+                    if breakhammer { "bh" } else { "nobh" },
+                    kernel_name(kernel)
+                );
+                digests.push((label, digest_with_victims(&result)));
+            }
+            assert_eq!(
+                digests[0].1, digests[1].1,
+                "kernel digests diverged for scenario {} bh={breakhammer}",
+                scenario.name
+            );
+            out.extend(digests);
+        }
+    }
+    out
+}
+
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/digests.golden.txt")
 }
 
-/// The 40-config digest matrix must match the committed golden file exactly.
-#[test]
-fn simulation_digests_match_golden_file() {
-    let digests = run_matrix();
+fn scenario_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/scenario_digests.golden.txt")
+}
+
+/// Compares `digests` to the golden file at `path`, recording instead when
+/// `BH_DIGEST_RECORD` is set. Shared by the classic and scenario matrices.
+fn check_golden(path: &std::path::Path, digests: &[(String, u64)]) {
     if std::env::var_os("BH_DIGEST_RECORD").is_some() {
         let mut contents = String::new();
-        for (label, d) in &digests {
+        for (label, d) in digests {
             contents.push_str(&format!("{label} {d:016x}\n"));
         }
-        std::fs::write(golden_path(), contents).expect("write golden file");
+        std::fs::write(path, contents).expect("write golden file");
         return;
     }
-    let golden = std::fs::read_to_string(golden_path())
-        .expect("tests/digests.golden.txt missing — run with BH_DIGEST_RECORD=1 to create it");
+    let golden = std::fs::read_to_string(path).unwrap_or_else(|_| {
+        panic!("{} missing — run with BH_DIGEST_RECORD=1 to create it", path.display())
+    });
     let mut mismatches = Vec::new();
     let mut lines = golden.lines();
-    for (label, d) in &digests {
+    for (label, d) in digests {
         match lines.next() {
             None => mismatches.push(format!("{label}: missing from golden file")),
             Some(line) => {
@@ -277,8 +336,23 @@ fn simulation_digests_match_golden_file() {
     }
     assert!(
         mismatches.is_empty(),
-        "simulation digests diverged from tests/digests.golden.txt \
+        "simulation digests diverged from {} \
          (regenerate with BH_DIGEST_RECORD=1 if the change is intentional):\n{}",
+        path.display(),
         mismatches.join("\n")
     );
+}
+
+/// Every (pattern × placement) catalog scenario ±BreakHammer must match the
+/// committed scenario golden file on both kernels — and the kernels must
+/// agree with each other (asserted inside [`run_scenario_matrix`]).
+#[test]
+fn scenario_digests_match_golden_file() {
+    check_golden(&scenario_golden_path(), &run_scenario_matrix());
+}
+
+/// The 40-config digest matrix must match the committed golden file exactly.
+#[test]
+fn simulation_digests_match_golden_file() {
+    check_golden(&golden_path(), &run_matrix());
 }

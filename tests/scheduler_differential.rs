@@ -15,7 +15,7 @@ use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConf
 use proptest::prelude::*;
 
 mod common;
-use common::{attack_traces, benign_traces};
+use common::{attack_traces, attack_traces_composed, benign_traces};
 
 /// Runs `config` under both kernels and returns (per_cycle, event_driven).
 fn run_both(
@@ -60,6 +60,38 @@ fn all_mechanisms_under_attack_are_identical_across_kernels() {
             config.instructions_per_core = 6_000;
             let traces = attack_traces(&config, 2_000, 100);
             assert_identical(config, &traces, vec![0, 1, 2]);
+        }
+    }
+}
+
+/// Every composable-attacker catalog scenario (pattern × placement), with
+/// victim tracking enabled so the per-victim disturbance reports are part of
+/// the compared result, must be bit-identical across the kernels.
+#[test]
+fn scenario_catalog_is_identical_across_kernels() {
+    use breakhammer_suite::workloads::scenario_catalog;
+    for scenario in scenario_catalog() {
+        for breakhammer in [false, true] {
+            let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 128, breakhammer);
+            config.instructions_per_core = 6_000;
+            let traces = attack_traces_composed(&config, &scenario.attacker, 2_000, 100);
+            let victims = scenario.attacker.victim_rows(&config.geometry);
+            let label = format!("scenario {} ({})", scenario.name, config.summary());
+            let run = |kernel| {
+                let mut config = config.clone();
+                config.scheduler = kernel;
+                System::new(config, &traces, vec![0, 1, 2])
+                    .watch_victims(victims.iter().map(|v| (v.channel, v.row)))
+                    .run()
+            };
+            let reference = run(SchedulerKind::PerCycle);
+            let event_driven = run(SchedulerKind::EventDriven);
+            assert_eq!(reference, event_driven, "kernels diverged for {label}");
+            assert_eq!(
+                reference.victims.len(),
+                victims.len(),
+                "victim reports missing for {label}"
+            );
         }
     }
 }
