@@ -1,0 +1,194 @@
+//! `bh-campaign` — checkpointed campaign sweeps over the (mechanism × N_RH ×
+//! ±BreakHammer × mix × seed) grid, with resume.
+//!
+//! ```text
+//! bh_campaign sweep  --store results.jsonl [options]   start a fresh sweep
+//! bh_campaign resume --store results.jsonl [options]   continue an interrupted sweep
+//! bh_campaign report --store results.jsonl             aggregate a store into a table
+//! ```
+//!
+//! Options (sweep/resume):
+//!
+//! ```text
+//! --mechanisms LIST   comma-separated mechanisms (default: graphene);
+//!                     `paper` selects the paper's eight-mechanism set
+//! --nrh LIST          comma-separated N_RH values (default: the scale's sweep)
+//! --seeds LIST        comma-separated workload seeds (default: the scale's seed)
+//! --breakhammer ARM   off | on | both (default: both)
+//! --benign            sweep the benign suite instead of the attack suite
+//! --max-cells N       evaluate at most N cells, then stop (deferred cells
+//!                     are picked up by a later `resume`)
+//! ```
+//!
+//! The experiment scale (instructions, mixes per class, channels, workers, …)
+//! comes from the usual `BH_*` environment variables; `resume` must be run
+//! with the same scale and options as the original sweep, otherwise the cell
+//! ids will not match and the grid is treated as new work.
+
+use bh_bench::campaign::{report_table, CampaignSpec, ResultStore};
+use bh_bench::{print_results, Scale};
+use bh_mitigation::MechanismKind;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bh_campaign <sweep|resume|report> --store PATH \
+[--mechanisms LIST] [--nrh LIST] [--seeds LIST] [--breakhammer off|on|both] \
+[--benign] [--max-cells N]";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bh_campaign: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    store: PathBuf,
+    mechanisms: Vec<MechanismKind>,
+    nrh_values: Option<Vec<u64>>,
+    seeds: Option<Vec<u64>>,
+    breakhammer_options: Vec<bool>,
+    attack: bool,
+    max_cells: Option<usize>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        store: PathBuf::new(),
+        mechanisms: vec![MechanismKind::Graphene],
+        nrh_values: None,
+        seeds: None,
+        breakhammer_options: vec![false, true],
+        attack: true,
+        max_cells: None,
+    };
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--store" => options.store = PathBuf::from(value()?),
+            "--mechanisms" => {
+                let list = value()?;
+                options.mechanisms = if list == "paper" {
+                    MechanismKind::paper_mechanisms().to_vec()
+                } else {
+                    list.split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(|name| {
+                            MechanismKind::parse(name)
+                                .ok_or_else(|| format!("unknown mechanism {name:?}"))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--nrh" => options.nrh_values = Some(parse_list(&value()?, "--nrh")?),
+            "--seeds" => options.seeds = Some(parse_list(&value()?, "--seeds")?),
+            "--breakhammer" => {
+                options.breakhammer_options = match value()?.as_str() {
+                    "off" => vec![false],
+                    "on" => vec![true],
+                    "both" => vec![false, true],
+                    other => {
+                        return Err(format!("--breakhammer must be off|on|both, got {other:?}"))
+                    }
+                };
+            }
+            "--benign" => options.attack = false,
+            "--max-cells" => {
+                options.max_cells =
+                    Some(value()?.parse().map_err(|_| "--max-cells needs a number".to_string())?)
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if options.store.as_os_str().is_empty() {
+        return Err("--store is required".to_string());
+    }
+    if options.mechanisms.is_empty() {
+        return Err("--mechanisms selected nothing".to_string());
+    }
+    Ok(options)
+}
+
+fn parse_list(list: &str, flag: &str) -> Result<Vec<u64>, String> {
+    let parsed: Vec<u64> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse::<u64>().map_err(|_| format!("{flag}: {s:?} is not a number")))
+        .collect::<Result<_, _>>()?;
+    if parsed.is_empty() {
+        return Err(format!("{flag} selected nothing"));
+    }
+    Ok(parsed)
+}
+
+fn build_spec(options: &Options) -> CampaignSpec {
+    let scale = Scale::from_env();
+    let mut spec = CampaignSpec::from_scale(scale, options.mechanisms.clone(), options.attack);
+    if let Some(nrh) = &options.nrh_values {
+        spec.nrh_values = nrh.clone();
+    }
+    if let Some(seeds) = &options.seeds {
+        spec.seeds = seeds.clone();
+    }
+    spec.breakhammer_options = options.breakhammer_options.clone();
+    spec
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("missing command".to_string());
+    };
+    match command.as_str() {
+        "sweep" | "resume" => {
+            let options = parse_options(rest)?;
+            let resume = command == "resume";
+            let completed: HashSet<String> = if resume {
+                ResultStore::completed_cells(&options.store).map_err(|e| e.to_string())?
+            } else {
+                HashSet::new()
+            };
+            let store = if resume {
+                ResultStore::append_to(&options.store)
+            } else {
+                ResultStore::create(&options.store)
+            }
+            .map_err(|e| e.to_string())?;
+            let spec = build_spec(&options);
+            let summary = spec.run(&store, &completed, options.max_cells);
+            println!(
+                "{} cells: {} evaluated, {} already in store, {} deferred ({})",
+                summary.total_cells,
+                summary.evaluated_cells,
+                summary.skipped_cells,
+                summary.deferred_cells,
+                if summary.complete() {
+                    "store complete".to_string()
+                } else {
+                    format!("resume with: bh_campaign resume --store {}", options.store.display())
+                },
+            );
+            Ok(())
+        }
+        "report" => {
+            let options = parse_options(rest)?;
+            let records = ResultStore::load(&options.store).map_err(|e| e.to_string())?;
+            if records.is_empty() {
+                return Err(format!("{} holds no completed cells", options.store.display()));
+            }
+            print_results(
+                &format!("Campaign report ({} cells)", records.len()),
+                &report_table(&records),
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

@@ -1,0 +1,753 @@
+//! Checkpoint/resume campaign engine.
+//!
+//! A campaign is a (configuration × mix × seed) grid of *cells*. The engine
+//! streams each completed cell to a JSONL *result store* — one self-contained
+//! JSON object per line, flushed as soon as the cell finishes — so a killed
+//! sweep loses at most the cells in flight. Resuming parses the store,
+//! collects the completed cell ids and skips them; an interrupted sweep
+//! followed by a resume produces the same result set as an uninterrupted
+//! sweep (cells are deterministic, only their order in the file differs).
+//!
+//! Cell identity is `"<config digest>/<mix name>/<seed>"`, where the digest
+//! is FNV-1a-64 over the configuration's `Debug` representation — any
+//! configuration change (mechanism, threshold, timing, scale) changes the
+//! digest, so a store can never silently mix results from different sweeps.
+//!
+//! The JSONL reader/writer is hand-rolled (the workspace vendors no JSON
+//! crate); it covers exactly the flat objects the engine emits.
+
+use crate::experiments::{evaluate_jobs, paper_config, RunRecord, Scale};
+use crate::Campaign;
+use bh_mitigation::MechanismKind;
+use bh_sim::SystemConfig;
+use bh_stats::{fmt3, Table};
+use std::collections::{HashMap, HashSet};
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Version tag written into every result line; bump on schema changes so
+/// readers can reject stores written by an incompatible engine.
+pub const SCHEMA_VERSION: u64 = 1;
+
+// --- cell identity ----------------------------------------------------------
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest identifying a system configuration inside cell ids: FNV-1a-64 over
+/// the `Debug` representation, which covers every field (timings, caches,
+/// mechanism parameters — not just the mechanism/N_RH headline).
+pub fn config_digest(config: &SystemConfig) -> String {
+    format!("{:016x}", fnv1a64(format!("{config:?}").as_bytes()))
+}
+
+/// The identity of one campaign cell: configuration digest, mix name and
+/// workload seed. This is what resume matches on.
+pub fn cell_id(config: &SystemConfig, mix_name: &str, seed: u64) -> String {
+    format!("{}/{mix_name}/{seed}", config_digest(config))
+}
+
+// --- minimal JSON -----------------------------------------------------------
+
+/// A JSON scalar as it appears in a result line (the schema is flat: no
+/// nested objects or arrays besides the latency triple, which is flattened
+/// into three keys on write).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Null,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Serialises one key/value pair into `out` (which must already hold the
+/// object opener or a previous pair).
+fn push_field(out: &mut String, key: &str, value: &Json) {
+    if !out.ends_with('{') {
+        out.push(',');
+    }
+    out.push('"');
+    escape_into(out, key);
+    out.push_str("\":");
+    match value {
+        Json::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        // `{}` on finite f64 round-trips exactly and never uses an exponent;
+        // non-finite values are not valid JSON, so they degrade to null (the
+        // line then fails record parsing and the cell reruns on resume).
+        Json::Num(v) if v.is_finite() => out.push_str(&v.to_string()),
+        Json::Num(_) | Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Option<()> {
+        (self.bump()? == want).then_some(())
+    }
+
+    /// Parses a `"…"` string (the opening quote not yet consumed).
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Some(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + (self.bump()? as char).to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-decode multi-byte UTF-8 sequences from the source.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        while self.peek().is_some_and(|n| n & 0xc0 == 0x80) {
+                            self.pos += 1;
+                        }
+                        out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).ok()?);
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'"' => Some(Json::Str(self.string()?)),
+            b't' => self.literal("true").map(|_| Json::Bool(true)),
+            b'f' => self.literal("false").map(|_| Json::Bool(false)),
+            b'n' => self.literal("null").map(|_| Json::Null),
+            _ => {
+                let start = self.pos;
+                while self.peek().is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()?
+                    .parse::<f64>()
+                    .ok()
+                    .map(Json::Num)
+            }
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Option<()> {
+        for &b in word.as_bytes() {
+            self.expect(b)?;
+        }
+        Some(())
+    }
+}
+
+/// Parses one result line into its key → value map. Returns `None` on any
+/// syntax error (resume treats such lines as incomplete cells).
+fn parse_object(line: &str) -> Option<HashMap<String, Json>> {
+    let mut s = Scanner::new(line);
+    s.skip_ws();
+    s.expect(b'{')?;
+    let mut map = HashMap::new();
+    s.skip_ws();
+    if s.peek() == Some(b'}') {
+        s.bump();
+    } else {
+        loop {
+            s.skip_ws();
+            let key = s.string()?;
+            s.skip_ws();
+            s.expect(b':')?;
+            s.skip_ws();
+            map.insert(key, s.value()?);
+            s.skip_ws();
+            match s.bump()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+    }
+    s.skip_ws();
+    s.peek().is_none().then_some(map)
+}
+
+// --- result lines -----------------------------------------------------------
+
+/// One completed cell parsed back from a result store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellRecord {
+    /// Cell id (`"<config digest>/<mix>/<seed>"`).
+    pub cell: String,
+    /// Mechanism label (round-trips through [`MechanismKind::parse`]).
+    pub mechanism: String,
+    /// RowHammer threshold.
+    pub nrh: u64,
+    /// Whether BreakHammer was attached.
+    pub breakhammer: bool,
+    /// Workload-generation seed of the cell.
+    pub seed: u64,
+    /// Mix instance name.
+    pub mix: String,
+    /// Mix class label.
+    pub mix_class: String,
+    /// Attack-scenario tag (`None` for classic/benign mixes).
+    pub scenario: Option<String>,
+    /// Whether the sweep used the attack suite.
+    pub attack: bool,
+    /// Weighted speedup over the benign applications.
+    pub weighted_speedup: f64,
+    /// Maximum slowdown of a benign application.
+    pub max_slowdown: f64,
+    /// DRAM energy in nanojoules.
+    pub energy_nj: f64,
+    /// RowHammer-preventive actions performed.
+    pub preventive_actions: u64,
+    /// Benign memory-latency percentiles in nanoseconds (p50, p90, p99).
+    pub latency_ns: [f64; 3],
+    /// True if the attacker thread was flagged as a suspect.
+    pub attacker_identified: bool,
+    /// True if a benign thread was flagged as a suspect.
+    pub benign_misidentified: bool,
+    /// Would-be RowHammer bitflips.
+    pub bitflips: u64,
+    /// Largest end-of-run disturbance of any watched victim row.
+    pub max_victim_disturbance: u64,
+}
+
+/// Serialises one completed cell as a single JSONL line (no trailing
+/// newline).
+pub fn record_line(cell: &str, seed: u64, attack: bool, r: &RunRecord) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    push_field(&mut out, "schema", &Json::Num(SCHEMA_VERSION as f64));
+    push_field(&mut out, "cell", &Json::Str(cell.to_string()));
+    push_field(&mut out, "mechanism", &Json::Str(r.mechanism.to_string()));
+    push_field(&mut out, "nrh", &Json::Num(r.nrh as f64));
+    push_field(&mut out, "breakhammer", &Json::Bool(r.breakhammer));
+    push_field(&mut out, "seed", &Json::Num(seed as f64));
+    push_field(&mut out, "mix", &Json::Str(r.mix_name.clone()));
+    push_field(&mut out, "mix_class", &Json::Str(r.mix_class.clone()));
+    let scenario = match &r.scenario {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    };
+    push_field(&mut out, "scenario", &scenario);
+    push_field(&mut out, "attack", &Json::Bool(attack));
+    push_field(&mut out, "weighted_speedup", &Json::Num(r.weighted_speedup));
+    push_field(&mut out, "max_slowdown", &Json::Num(r.max_slowdown));
+    push_field(&mut out, "energy_nj", &Json::Num(r.energy_nj));
+    push_field(&mut out, "preventive_actions", &Json::Num(r.preventive_actions as f64));
+    push_field(&mut out, "latency_p50_ns", &Json::Num(r.latency_ns[0]));
+    push_field(&mut out, "latency_p90_ns", &Json::Num(r.latency_ns[1]));
+    push_field(&mut out, "latency_p99_ns", &Json::Num(r.latency_ns[2]));
+    push_field(&mut out, "attacker_identified", &Json::Bool(r.attacker_identified));
+    push_field(&mut out, "benign_misidentified", &Json::Bool(r.benign_misidentified));
+    push_field(&mut out, "bitflips", &Json::Num(r.bitflips as f64));
+    push_field(&mut out, "max_victim_disturbance", &Json::Num(r.max_victim_disturbance as f64));
+    out.push('}');
+    out
+}
+
+impl CellRecord {
+    /// Parses one store line; `None` for malformed or schema-mismatched
+    /// lines (e.g. a line truncated by a kill mid-write).
+    pub fn parse(line: &str) -> Option<Self> {
+        let map = parse_object(line)?;
+        let num = |key: &str| match map.get(key) {
+            Some(Json::Num(v)) => Some(*v),
+            _ => None,
+        };
+        let int = |key: &str| num(key).filter(|v| *v >= 0.0).map(|v| v as u64);
+        let string = |key: &str| match map.get(key) {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        let boolean = |key: &str| match map.get(key) {
+            Some(Json::Bool(b)) => Some(*b),
+            _ => None,
+        };
+        if int("schema")? != SCHEMA_VERSION {
+            return None;
+        }
+        Some(CellRecord {
+            cell: string("cell")?,
+            mechanism: string("mechanism")?,
+            nrh: int("nrh")?,
+            breakhammer: boolean("breakhammer")?,
+            seed: int("seed")?,
+            mix: string("mix")?,
+            mix_class: string("mix_class")?,
+            scenario: match map.get("scenario")? {
+                Json::Str(s) => Some(s.clone()),
+                Json::Null => None,
+                _ => return None,
+            },
+            attack: boolean("attack")?,
+            weighted_speedup: num("weighted_speedup")?,
+            max_slowdown: num("max_slowdown")?,
+            energy_nj: num("energy_nj")?,
+            preventive_actions: int("preventive_actions")?,
+            latency_ns: [num("latency_p50_ns")?, num("latency_p90_ns")?, num("latency_p99_ns")?],
+            attacker_identified: boolean("attacker_identified")?,
+            benign_misidentified: boolean("benign_misidentified")?,
+            bitflips: int("bitflips")?,
+            max_victim_disturbance: int("max_victim_disturbance")?,
+        })
+    }
+}
+
+// --- result store -----------------------------------------------------------
+
+/// Append-only JSONL store of completed cells, flushed per line so an
+/// interrupted sweep checkpoints everything that finished.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl ResultStore {
+    /// Creates a fresh store. Refuses a path that already holds data — a
+    /// half-finished sweep must be continued with [`ResultStore::append_to`]
+    /// (the CLI's `resume`), not silently truncated.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if path.exists() && std::fs::metadata(path)?.len() > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "result store {} already holds data; use resume (or remove it) instead of overwriting",
+                    path.display()
+                ),
+            ));
+        }
+        let file = File::create(path)?;
+        Ok(ResultStore { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// Opens an existing store for appending. Refuses a missing path — there
+    /// is nothing to resume from.
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        if !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("result store {} does not exist; run a sweep first", path.display()),
+            ));
+        }
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(ResultStore { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(file)) })
+    }
+
+    /// The file backing the store.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one line and flushes it — the per-cell checkpoint.
+    ///
+    /// # Panics
+    /// Panics if the write fails: the store *is* the sweep's output, there
+    /// is nothing sensible to degrade to.
+    pub fn append(&self, line: &str) {
+        let mut writer = self.writer.lock().expect("result store lock poisoned");
+        writeln!(writer, "{line}")
+            .and_then(|_| writer.flush())
+            .expect("writing the campaign result store failed");
+    }
+
+    /// The set of completed cell ids recorded in a store. Malformed lines
+    /// (e.g. truncated by a kill) are skipped — their cells rerun on resume.
+    pub fn completed_cells(path: &Path) -> io::Result<HashSet<String>> {
+        let mut cells = HashSet::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            if let Some(record) = CellRecord::parse(&line?) {
+                cells.insert(record.cell);
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Every well-formed cell record of a store, in file order.
+    pub fn load(path: &Path) -> io::Result<Vec<CellRecord>> {
+        let mut records = Vec::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            if let Some(record) = CellRecord::parse(&line?) {
+                records.push(record);
+            }
+        }
+        Ok(records)
+    }
+}
+
+// --- the sweep engine -------------------------------------------------------
+
+/// The definition of a campaign sweep: the (mechanism × N_RH × ±BreakHammer)
+/// configuration matrix crossed with the mix suite and the workload seeds.
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Experiment scale; `scale.seed` is overridden per entry of `seeds`.
+    pub scale: Scale,
+    /// Mechanisms swept.
+    pub mechanisms: Vec<MechanismKind>,
+    /// RowHammer thresholds swept.
+    pub nrh_values: Vec<u64>,
+    /// BreakHammer off/on arms (the `None` mechanism never gets the `true`
+    /// arm: BreakHammer needs a mechanism to observe).
+    pub breakhammer_options: Vec<bool>,
+    /// `true` sweeps the attack suite (plus scenarios), `false` the benign
+    /// suite.
+    pub attack: bool,
+    /// Workload-generation seeds; each seed regenerates the full mix suite.
+    pub seeds: Vec<u64>,
+}
+
+impl CampaignSpec {
+    /// A spec covering `scale`'s N_RH sweep for the given mechanisms, both
+    /// BreakHammer arms, and `scale.seed` as the only seed.
+    pub fn from_scale(scale: Scale, mechanisms: Vec<MechanismKind>, attack: bool) -> Self {
+        CampaignSpec {
+            nrh_values: scale.nrh_values.clone(),
+            seeds: vec![scale.seed],
+            breakhammer_options: vec![false, true],
+            mechanisms,
+            attack,
+            scale,
+        }
+    }
+
+    /// The configuration matrix at a given scale (which carries the seed).
+    fn configs(&self, scale: &Scale) -> Vec<SystemConfig> {
+        let mut configs = Vec::new();
+        for &mechanism in &self.mechanisms {
+            for &nrh in &self.nrh_values {
+                for &bh in &self.breakhammer_options {
+                    if mechanism == MechanismKind::None && bh {
+                        continue;
+                    }
+                    configs.push(paper_config(mechanism, nrh, bh, scale));
+                }
+            }
+        }
+        configs
+    }
+
+    /// Runs the sweep, streaming each completed cell to `store` and skipping
+    /// the cells in `completed`. `cell_limit` caps how many cells this
+    /// invocation evaluates (used to exercise interruption deterministically
+    /// in tests and CI; a real interruption — SIGKILL, OOM — leaves the same
+    /// store state, minus any cell that was mid-evaluation).
+    pub fn run(
+        &self,
+        store: &ResultStore,
+        completed: &HashSet<String>,
+        cell_limit: Option<usize>,
+    ) -> SweepSummary {
+        let mut summary = SweepSummary::default();
+        let mut budget = cell_limit.unwrap_or(usize::MAX);
+        for &seed in &self.seeds {
+            let mut scale = self.scale.clone();
+            scale.seed = seed;
+            // Mixes and alone baselines depend on the seed, so each seed
+            // gets its own campaign (and its own alone-IPC cache: same app
+            // name, different trace).
+            let mut campaign = Campaign::new(scale.clone());
+            let mixes = campaign.sweep_mixes(self.attack);
+            let configs = self.configs(&scale);
+            let mut jobs: Vec<(usize, usize)> = Vec::new();
+            let mut cells: Vec<String> = Vec::new();
+            for (c, config) in configs.iter().enumerate() {
+                let digest = config_digest(config);
+                for (m, mix) in mixes.iter().enumerate() {
+                    summary.total_cells += 1;
+                    let id = format!("{digest}/{}/{seed}", mix.name);
+                    if completed.contains(&id) {
+                        summary.skipped_cells += 1;
+                    } else if budget == 0 {
+                        summary.deferred_cells += 1;
+                    } else {
+                        budget -= 1;
+                        jobs.push((c, m));
+                        cells.push(id);
+                    }
+                }
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+            let cache = campaign.warmed_alone_cache().clone();
+            let on_cell = |i: usize, record: &RunRecord| {
+                store.append(&record_line(&cells[i], seed, self.attack, record));
+            };
+            evaluate_jobs(&configs, &mixes, &jobs, &cache, scale.worker_threads, &on_cell);
+            summary.evaluated_cells += jobs.len();
+        }
+        summary
+    }
+}
+
+/// What a sweep invocation did with each cell of the grid.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Cells in the full (configuration × mix × seed) grid.
+    pub total_cells: usize,
+    /// Cells already present in the store (resume skipped them).
+    pub skipped_cells: usize,
+    /// Cells evaluated and appended by this invocation.
+    pub evaluated_cells: usize,
+    /// Cells left unevaluated because the `cell_limit` budget ran out.
+    pub deferred_cells: usize,
+}
+
+impl SweepSummary {
+    /// True when the store now covers the whole grid.
+    pub fn complete(&self) -> bool {
+        self.skipped_cells + self.evaluated_cells == self.total_cells
+    }
+}
+
+// --- reporting --------------------------------------------------------------
+
+/// Aggregates a result store into one row per (mechanism, N_RH, ±BreakHammer)
+/// configuration: cell count, geomean weighted speedup, mean max slowdown,
+/// mean energy, and the identification rates.
+pub fn report_table(records: &[CellRecord]) -> Table {
+    let mut groups: HashMap<(String, u64, bool), Vec<&CellRecord>> = HashMap::new();
+    for record in records {
+        groups
+            .entry((record.mechanism.clone(), record.nrh, record.breakhammer))
+            .or_default()
+            .push(record);
+    }
+    let mut keys: Vec<(String, u64, bool)> = groups.keys().cloned().collect();
+    keys.sort();
+    let mut table = Table::new([
+        "config",
+        "nrh",
+        "cells",
+        "geomean_weighted_speedup",
+        "mean_max_slowdown",
+        "mean_energy_nj",
+        "attacker_identified_rate",
+        "benign_misidentified_rate",
+        "bitflips",
+    ]);
+    for key in &keys {
+        let set = &groups[key];
+        let (mechanism, nrh, breakhammer) = key;
+        let label = if *breakhammer { format!("{mechanism}+BH") } else { mechanism.clone() };
+        let speedups: Vec<f64> = set.iter().map(|r| r.weighted_speedup).collect();
+        let mean = |f: &dyn Fn(&CellRecord) -> f64| {
+            set.iter().map(|r| f(r)).sum::<f64>() / set.len() as f64
+        };
+        table.push_row([
+            label,
+            nrh.to_string(),
+            set.len().to_string(),
+            fmt3(bh_stats::geometric_mean(&speedups)),
+            fmt3(mean(&|r| r.max_slowdown)),
+            format!("{:.0}", mean(&|r| r.energy_nj)),
+            fmt3(mean(&|r| r.attacker_identified as u64 as f64)),
+            fmt3(mean(&|r| r.benign_misidentified as u64 as f64)),
+            set.iter().map(|r| r.bitflips).sum::<u64>().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            mechanism: MechanismKind::Graphene,
+            nrh: 64,
+            breakhammer: true,
+            mix_class: "HHHA".to_string(),
+            mix_name: "HHHA-00".to_string(),
+            weighted_speedup: 3.25,
+            max_slowdown: 1.5,
+            energy_nj: 123456.75,
+            preventive_actions: 42,
+            latency_ns: [10.5, 20.25, 99.0],
+            attacker_identified: true,
+            benign_misidentified: false,
+            bitflips: 0,
+            scenario: Some("fuzz-nbr".to_string()),
+            max_victim_disturbance: 17,
+        }
+    }
+
+    #[test]
+    fn record_lines_round_trip() {
+        let record = sample_record();
+        let line = record_line("deadbeef/HHHA-00/42", 42, true, &record);
+        let parsed = CellRecord::parse(&line).expect("line parses");
+        assert_eq!(parsed.cell, "deadbeef/HHHA-00/42");
+        assert_eq!(parsed.mechanism, "Graphene");
+        assert_eq!(MechanismKind::parse(&parsed.mechanism), Some(MechanismKind::Graphene));
+        assert_eq!(parsed.nrh, 64);
+        assert!(parsed.breakhammer);
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.mix, "HHHA-00");
+        assert_eq!(parsed.scenario.as_deref(), Some("fuzz-nbr"));
+        assert!(parsed.attack);
+        assert_eq!(parsed.weighted_speedup, 3.25);
+        assert_eq!(parsed.latency_ns, [10.5, 20.25, 99.0]);
+        assert_eq!(parsed.preventive_actions, 42);
+        assert!(parsed.attacker_identified);
+        assert!(!parsed.benign_misidentified);
+        assert_eq!(parsed.max_victim_disturbance, 17);
+
+        let mut benign = record;
+        benign.scenario = None;
+        let line = record_line("deadbeef/HHHH-00/7", 7, false, &benign);
+        let parsed = CellRecord::parse(&line).expect("line parses");
+        assert_eq!(parsed.scenario, None);
+        assert!(!parsed.attack);
+    }
+
+    #[test]
+    fn malformed_and_foreign_lines_are_rejected() {
+        assert_eq!(CellRecord::parse(""), None);
+        assert_eq!(CellRecord::parse("{\"schema\":1,\"cell\":\"x"), None, "truncated line");
+        assert_eq!(CellRecord::parse("not json"), None);
+        // A well-formed line from a future schema is rejected, not misread.
+        let line = record_line("c/m/1", 1, true, &sample_record()).replacen(
+            "\"schema\":1",
+            "\"schema\":2",
+            1,
+        );
+        assert_eq!(CellRecord::parse(&line), None);
+    }
+
+    #[test]
+    fn string_escapes_survive_the_round_trip() {
+        let mut record = sample_record();
+        record.mix_name = "m\"x\\w — tab\there\n".to_string();
+        let line = record_line("c/m/1", 1, true, &record);
+        let parsed = CellRecord::parse(&line).expect("line parses");
+        assert_eq!(parsed.mix, record.mix_name);
+    }
+
+    #[test]
+    fn config_digest_separates_configurations() {
+        let scale = Scale::quick();
+        let a = paper_config(MechanismKind::Graphene, 64, true, &scale);
+        let b = paper_config(MechanismKind::Graphene, 128, true, &scale);
+        assert_eq!(config_digest(&a), config_digest(&a), "digest is stable");
+        assert_ne!(config_digest(&a), config_digest(&b));
+        assert_eq!(cell_id(&a, "HHHA-00", 42), format!("{}/HHHA-00/42", config_digest(&a)));
+    }
+
+    #[test]
+    fn store_create_refuses_data_and_append_requires_it() {
+        let path = test_path("store-semantics");
+        let _ = std::fs::remove_file(&path);
+        assert!(ResultStore::append_to(&path).is_err(), "nothing to resume from");
+        {
+            let store = ResultStore::create(&path).expect("fresh store");
+            store.append("{\"schema\":1}");
+        }
+        assert!(ResultStore::create(&path).is_err(), "refuses to overwrite data");
+        assert!(ResultStore::append_to(&path).is_ok());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn completed_cells_skips_malformed_lines() {
+        let path = test_path("completed-cells");
+        {
+            let store = ResultStore::create(&path).expect("fresh store");
+            store.append(&record_line("a/m/1", 1, true, &sample_record()));
+            store.append("{\"schema\":1,\"cell\":\"trunc");
+            store.append(&record_line("b/m/1", 1, true, &sample_record()));
+        }
+        let cells = ResultStore::completed_cells(&path).expect("store loads");
+        assert_eq!(cells, HashSet::from(["a/m/1".to_string(), "b/m/1".to_string()]));
+        assert_eq!(ResultStore::load(&path).expect("store loads").len(), 2);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn report_groups_by_configuration() {
+        let line_a = record_line("a/m/1", 1, true, &sample_record());
+        let mut other = sample_record();
+        other.breakhammer = false;
+        other.weighted_speedup = 1.0;
+        let line_b = record_line("b/m/1", 1, true, &other);
+        let records: Vec<CellRecord> =
+            [line_a, line_b].iter().map(|l| CellRecord::parse(l).expect("parses")).collect();
+        let table = report_table(&records);
+        let csv = table.to_csv();
+        assert!(csv.contains("Graphene+BH,64,1"), "{csv}");
+        assert!(csv.contains("Graphene,64,1"), "{csv}");
+    }
+
+    fn test_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bh-campaign-{tag}-{}.jsonl", std::process::id()))
+    }
+}

@@ -17,6 +17,7 @@
 //! | `BH_NRH_LIST` | comma-separated `N_RH` sweep | `4096,1024,256,64` |
 //! | `BH_SEED` | workload-generation seed | 42 |
 //! | `BH_THREADS` | worker threads for parallel runs | all cores |
+//! | `BH_WORKERS` | preferred alias for `BH_THREADS` (wins when both are set) | all cores |
 //! | `BH_CHANNELS` | memory channels (sharded memory system) | 1 |
 //! | `BH_SCENARIOS` | comma-separated attack scenarios (`all` = catalog) | none |
 
@@ -100,6 +101,11 @@ impl Scale {
             scale.seed = v;
         }
         if let Some(v) = parse_u64("BH_THREADS") {
+            scale.worker_threads = (v as usize).max(1);
+        }
+        // `BH_WORKERS` is the preferred spelling (it matches the campaign
+        // CLI's terminology); it wins over the legacy `BH_THREADS`.
+        if let Some(v) = parse_u64("BH_WORKERS") {
             scale.worker_threads = (v as usize).max(1);
         }
         if let Some(v) = parse_u64("BH_CHANNELS") {
@@ -299,12 +305,25 @@ impl Campaign {
     /// The mixes an attack (or benign) sweep evaluates: attack sweeps cover
     /// the classic attack suite plus every requested scenario suite. Cloning
     /// a mix bumps trace reference counts, it does not copy records.
+    pub fn sweep_mixes(&self, attack: bool) -> Vec<WorkloadMix> {
+        self.mixes(attack)
+    }
+
     fn mixes(&self, attack: bool) -> Vec<WorkloadMix> {
         if attack {
             self.attack_mixes.iter().chain(self.scenario_mixes.iter()).cloned().collect()
         } else {
             self.benign_mixes.to_vec()
         }
+    }
+
+    /// Warms (once) and returns the shared alone-IPC cache covering every
+    /// application of every mix suite. Alone baselines are measured on the
+    /// unprotected system, so one cache serves every configuration of a
+    /// sweep.
+    pub fn warmed_alone_cache(&mut self) -> &HashMap<String, f64> {
+        self.warm_alone_cache();
+        &self.alone_cache
     }
 
     /// Ensures the alone-IPC cache covers every application of every mix.
@@ -364,39 +383,89 @@ impl Campaign {
     fn run_configs(&mut self, configs: &[SystemConfig], attack: bool) -> Vec<RunRecord> {
         self.warm_alone_cache();
         let mixes = self.mixes(attack);
-        let cache = self.alone_cache.clone();
         let jobs: Vec<(usize, usize)> =
             (0..configs.len()).flat_map(|c| (0..mixes.len()).map(move |m| (c, m))).collect();
-        let workers = self.scale.worker_threads.clamp(1, jobs.len().max(1));
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results: std::sync::Mutex<Vec<Option<RunRecord>>> =
-            std::sync::Mutex::new(vec![None; jobs.len()]);
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (c, m) = jobs[i];
-                    let config = &configs[c];
-                    let mut evaluator =
-                        Evaluator::new(config.clone()).with_alone_cache(cache.clone());
-                    let eval = evaluator.evaluate(&mixes[m]);
-                    let record = RunRecord::from_eval(config, &mixes[m], &eval);
-                    results.lock().expect("result lock poisoned")[i] = Some(record);
-                });
-            }
-        });
-
-        results
-            .into_inner()
-            .expect("result lock poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every job was evaluated"))
-            .collect()
+        evaluate_jobs(
+            configs,
+            &mixes,
+            &jobs,
+            &self.alone_cache,
+            self.scale.worker_threads,
+            &|_, _| {},
+        )
     }
+}
+
+/// Evaluates a set of `(config index, mix index)` jobs with a pool of
+/// `workers` threads pulling from a shared work-stealing counter, and returns
+/// one [`RunRecord`] per job, in `jobs` order.
+///
+/// Each worker keeps its completed records in a thread-local vector (tagged
+/// with the job index) that is stitched into the result after the scope
+/// joins — there is no shared result lock on the hot path. Workers also reuse
+/// one [`Evaluator`] across consecutive jobs, switching its configuration
+/// only when the claimed job's config index changes (the alone-IPC cache is
+/// configuration-independent, see [`Evaluator::set_config`]); since jobs are
+/// flattened configuration-major, a worker claiming consecutive indices
+/// rarely pays the switch.
+///
+/// `on_record(job_index, record)` fires on the worker thread as soon as a
+/// cell completes — the campaign engine uses it to stream results to its
+/// checkpoint store; plain sweeps pass a no-op.
+pub fn evaluate_jobs(
+    configs: &[SystemConfig],
+    mixes: &[WorkloadMix],
+    jobs: &[(usize, usize)],
+    alone_cache: &HashMap<String, f64>,
+    workers: usize,
+    on_record: &(dyn Fn(usize, &RunRecord) + Sync),
+) -> Vec<RunRecord> {
+    let workers = workers.clamp(1, jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    let worker_outputs: Vec<Vec<(usize, RunRecord)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, RunRecord)> = Vec::new();
+                    let mut evaluator: Option<Evaluator> = None;
+                    let mut current_config = usize::MAX;
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (c, m) = jobs[i];
+                        if current_config != c {
+                            match &mut evaluator {
+                                Some(ev) => ev.set_config(configs[c].clone()),
+                                None => {
+                                    evaluator = Some(
+                                        Evaluator::new(configs[c].clone())
+                                            .with_alone_cache(alone_cache.clone()),
+                                    )
+                                }
+                            }
+                            current_config = c;
+                        }
+                        let ev = evaluator.as_mut().expect("evaluator initialised above");
+                        let eval = ev.evaluate(&mixes[m]);
+                        let record = RunRecord::from_eval(&configs[c], &mixes[m], &eval);
+                        on_record(i, &record);
+                        local.push((i, record));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
+    });
+
+    let mut slots: Vec<Option<RunRecord>> = vec![None; jobs.len()];
+    for (i, record) in worker_outputs.into_iter().flatten() {
+        slots[i] = Some(record);
+    }
+    slots.into_iter().map(|slot| slot.expect("every job was evaluated")).collect()
 }
 
 // --- aggregation helpers ----------------------------------------------------
@@ -502,6 +571,20 @@ mod tests {
         // Unset variables keep their quick defaults.
         assert_eq!(scale.benign_entries, Scale::quick().benign_entries);
         assert!(scale.scenarios.is_empty(), "scenarios default to none");
+    }
+
+    #[test]
+    fn bh_workers_wins_over_legacy_bh_threads() {
+        let both = Scale::from_lookup(|name| match name {
+            "BH_THREADS" => Some("3".to_string()),
+            "BH_WORKERS" => Some("7".to_string()),
+            _ => None,
+        });
+        assert_eq!(both.worker_threads, 7);
+        let legacy = Scale::from_lookup(|name| (name == "BH_THREADS").then(|| "3".to_string()));
+        assert_eq!(legacy.worker_threads, 3);
+        let preferred = Scale::from_lookup(|name| (name == "BH_WORKERS").then(|| "5".to_string()));
+        assert_eq!(preferred.worker_threads, 5);
     }
 
     #[test]

@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 
+pub use campaign::{CampaignSpec, CellRecord, ResultStore, SweepSummary};
 pub use experiments::{
-    figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of, paper_config,
-    print_results, select, Campaign, RunRecord, Scale,
+    evaluate_jobs, figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of,
+    paper_config, print_results, select, Campaign, RunRecord, Scale,
 };

@@ -1,0 +1,102 @@
+//! Resume equivalence: an interrupted sweep plus a resume must produce the
+//! same result set as one uninterrupted sweep.
+//!
+//! Interruption is simulated deterministically with the engine's
+//! `cell_limit` budget (a real SIGKILL leaves the same store state minus any
+//! line that was mid-write, which the resume parser already skips). Because
+//! the simulator is deterministic, equivalence is checked at full strength:
+//! the two stores hold byte-identical lines, modulo ordering.
+
+use bh_bench::campaign::{report_table, CampaignSpec, ResultStore};
+use bh_bench::Scale;
+use bh_mitigation::MechanismKind;
+use std::collections::HashSet;
+use std::path::PathBuf;
+
+fn tiny_spec() -> CampaignSpec {
+    let mut scale = Scale::quick();
+    scale.instructions_per_core = 4_000;
+    scale.benign_entries = 600;
+    scale.attacker_entries = 600;
+    scale.mixes_per_class = 1;
+    scale.worker_threads = 2;
+    let mut spec = CampaignSpec::from_scale(scale, vec![MechanismKind::Graphene], true);
+    spec.nrh_values = vec![64];
+    spec.breakhammer_options = vec![true];
+    spec.seeds = vec![42, 43];
+    spec
+}
+
+fn test_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bh-campaign-resume-{tag}-{}.jsonl", std::process::id()))
+}
+
+fn sorted_lines(path: &PathBuf) -> Vec<String> {
+    let mut lines: Vec<String> = std::fs::read_to_string(path)
+        .expect("store is readable")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_the_uninterrupted_result_set() {
+    let spec = tiny_spec();
+    let full_path = test_path("full");
+    let chunked_path = test_path("chunked");
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&chunked_path);
+
+    // One uninterrupted sweep over the whole grid.
+    let full_store = ResultStore::create(&full_path).expect("fresh store");
+    let full = spec.run(&full_store, &HashSet::new(), None);
+    assert!(full.complete(), "{full:?}");
+    assert_eq!(full.evaluated_cells, full.total_cells);
+    assert_eq!(full.skipped_cells + full.deferred_cells, 0);
+    // 1 config × 6 attack mixes × 2 seeds.
+    assert_eq!(full.total_cells, 12);
+
+    // The same sweep "interrupted" after 5 cells (mid-way through the first
+    // seed's grid)…
+    let chunked_store = ResultStore::create(&chunked_path).expect("fresh store");
+    let interrupted = spec.run(&chunked_store, &HashSet::new(), Some(5));
+    drop(chunked_store);
+    assert_eq!(interrupted.evaluated_cells, 5, "{interrupted:?}");
+    assert_eq!(interrupted.deferred_cells, 7);
+    assert!(!interrupted.complete());
+
+    // …then resumed: the completed cells are loaded from the store and
+    // skipped, the deferred ones run now.
+    let completed = ResultStore::completed_cells(&chunked_path).expect("store parses");
+    assert_eq!(completed.len(), 5);
+    let resumed_store = ResultStore::append_to(&chunked_path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &completed, None);
+    assert_eq!(resumed.skipped_cells, 5, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 7);
+    assert!(resumed.complete());
+
+    // The interrupted-then-resumed store equals the uninterrupted one,
+    // byte for byte, modulo line order.
+    assert_eq!(sorted_lines(&full_path), sorted_lines(&chunked_path));
+
+    // And a second resume finds nothing left to do.
+    let completed = ResultStore::completed_cells(&chunked_path).expect("store parses");
+    let noop_store = ResultStore::append_to(&chunked_path).expect("store reopens");
+    let noop = spec.run(&noop_store, &completed, None);
+    assert_eq!(noop.evaluated_cells, 0, "{noop:?}");
+    assert_eq!(noop.skipped_cells, noop.total_cells);
+
+    // The store feeds the report aggregation.
+    let records = ResultStore::load(&chunked_path).expect("store loads");
+    assert_eq!(records.len(), 12);
+    assert!(records.iter().all(|r| r.mechanism == "Graphene" && r.nrh == 64 && r.breakhammer));
+    let seeds: HashSet<u64> = records.iter().map(|r| r.seed).collect();
+    assert_eq!(seeds, HashSet::from([42, 43]));
+    let table = report_table(&records);
+    assert_eq!(table.len(), 1, "one configuration group");
+
+    std::fs::remove_file(&full_path).expect("cleanup");
+    std::fs::remove_file(&chunked_path).expect("cleanup");
+}

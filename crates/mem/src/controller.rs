@@ -105,6 +105,60 @@ impl ControllerStats {
     }
 }
 
+/// One BreakHammer-observable event of a controller tick, recorded by
+/// [`BhSink::Record`] for deferred replay. The channel is implicit: each
+/// channel records into its own buffer, and the multi-channel merge replays
+/// buffers in (cycle, channel-index) order — the order the serial schedule
+/// reports the same events in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BhEvent {
+    /// DRAM cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// What happened.
+    pub kind: BhEventKind,
+}
+
+/// The kind of a recorded [`BhEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BhEventKind {
+    /// A demand row activation by `ThreadId` (BreakHammer's per-thread
+    /// activation attribution, §5 of the paper).
+    Activation(ThreadId),
+    /// A preventive action requested by this channel's mitigation mechanism
+    /// (BreakHammer's score attribution input).
+    PreventiveAction,
+}
+
+/// Destination for the BreakHammer-observable events of one controller tick.
+///
+/// Serial stepping passes the live shared observer ([`BhSink::Live`]);
+/// epoch-parallel stepping runs each channel on its own thread where the
+/// shared observer cannot be borrowed, so events are recorded per channel
+/// ([`BhSink::Record`]) and replayed into the observer at the epoch merge.
+/// The recorded stream preserves the exact per-tick event order (the
+/// activation, then its preventive actions in sink order), so replay is
+/// bit-identical to live observation.
+#[derive(Debug)]
+pub enum BhSink<'a> {
+    /// BreakHammer is disabled; events are dropped.
+    None,
+    /// The live system-wide observer (serial stepping).
+    Live(&'a mut BreakHammer),
+    /// Record events for deferred replay (epoch-parallel stepping).
+    Record(&'a mut Vec<BhEvent>),
+}
+
+impl BhSink<'_> {
+    /// Reborrows the sink for a callee without consuming it.
+    fn reborrow(&mut self) -> BhSink<'_> {
+        match self {
+            BhSink::None => BhSink::None,
+            BhSink::Live(bh) => BhSink::Live(bh),
+            BhSink::Record(buf) => BhSink::Record(buf),
+        }
+    }
+}
+
 /// Maximum consecutive ticks the head of the preventive queue may be
 /// deferred in favour of pending demand row-hits — enough for several column
 /// accesses (tCCD apart) to drain, small enough that a sustained hit stream
@@ -555,8 +609,20 @@ impl MemoryController {
     /// `breakhammer` is the shared memory-system-wide observer (or `None`
     /// when BreakHammer is disabled): demand activations and preventive
     /// actions performed during this tick are reported to it.
-    pub fn tick(&mut self, cycle: Cycle, mut breakhammer: Option<&mut BreakHammer>) {
-        if let Some(bh) = breakhammer.as_deref_mut() {
+    pub fn tick(&mut self, cycle: Cycle, breakhammer: Option<&mut BreakHammer>) {
+        match breakhammer {
+            Some(bh) => self.tick_sink(cycle, BhSink::Live(bh)),
+            None => self.tick_sink(cycle, BhSink::None),
+        }
+    }
+
+    /// [`MemoryController::tick`] with an explicit BreakHammer event sink:
+    /// epoch-parallel stepping passes [`BhSink::Record`] so a channel can
+    /// advance without borrowing the shared observer (the recorded events
+    /// replay at the epoch merge, in the order serial stepping would have
+    /// reported them).
+    pub fn tick_sink(&mut self, cycle: Cycle, mut bh_sink: BhSink<'_>) {
+        if let BhSink::Live(bh) = &mut bh_sink {
             bh.advance_to(cycle);
         }
         // Fast path: a previous tick proved nothing can happen before
@@ -596,7 +662,7 @@ impl MemoryController {
             let (candidate, queue_horizon) =
                 self.scan_queue(use_writes, cycle, refresh_pending, preventive_bank);
             if let Some((idx, step)) = candidate {
-                self.service(use_writes, idx, step, cycle, breakhammer.as_deref_mut());
+                self.service(use_writes, idx, step, cycle, bh_sink.reborrow());
                 // A command was issued: timing and queue state changed, so
                 // the next tick must re-derive its decisions from scratch.
                 self.idle_until = 0;
@@ -946,7 +1012,7 @@ impl MemoryController {
         idx: usize,
         step: ServiceStep,
         cycle: Cycle,
-        breakhammer: Option<&mut BreakHammer>,
+        bh_sink: BhSink<'_>,
     ) {
         let entry = if use_writes { self.write_queue[idx] } else { self.read_queue[idx] };
         let flat = entry.flat;
@@ -999,7 +1065,7 @@ impl MemoryController {
                 if !self.mark_classified(use_writes, idx) {
                     self.stats.row_misses += 1;
                 }
-                self.on_demand_activation(entry.loc, entry.req.thread, cycle, breakhammer);
+                self.on_demand_activation(entry.loc, entry.req.thread, cycle, bh_sink);
             }
         }
     }
@@ -1024,11 +1090,15 @@ impl MemoryController {
         loc: DramLocation,
         thread: ThreadId,
         cycle: Cycle,
-        mut breakhammer: Option<&mut BreakHammer>,
+        mut bh_sink: BhSink<'_>,
     ) {
         self.stats.demand_activations += 1;
-        if let Some(bh) = breakhammer.as_deref_mut() {
-            bh.on_activation(thread, cycle);
+        match &mut bh_sink {
+            BhSink::Live(bh) => bh.on_activation(thread, cycle),
+            BhSink::Record(buf) => {
+                buf.push(BhEvent { cycle, kind: BhEventKind::Activation(thread) })
+            }
+            BhSink::None => {}
         }
         let event = ActivationEvent { row: loc.row_addr(), thread, cycle };
         // Move the sink out so its borrow does not alias `self` while the
@@ -1039,8 +1109,12 @@ impl MemoryController {
         self.mechanism.on_activation(&event, &mut sink);
         for action in sink.iter() {
             self.expand_action(action);
-            if let Some(bh) = breakhammer.as_deref_mut() {
-                bh.on_preventive_action_from(self.channel_index, cycle);
+            match &mut bh_sink {
+                BhSink::Live(bh) => bh.on_preventive_action_from(self.channel_index, cycle),
+                BhSink::Record(buf) => {
+                    buf.push(BhEvent { cycle, kind: BhEventKind::PreventiveAction });
+                }
+                BhSink::None => {}
             }
         }
         self.sink = sink;

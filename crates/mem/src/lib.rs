@@ -44,12 +44,14 @@ pub mod config;
 pub mod controller;
 pub mod latency;
 pub mod mapping;
+pub mod pool;
 pub mod request;
 pub mod system;
 
 pub use config::MemControllerConfig;
-pub use controller::{ControllerStats, MemoryController};
+pub use controller::{BhEvent, BhEventKind, BhSink, ControllerStats, MemoryController};
 pub use latency::LatencyHistogram;
 pub use mapping::{AddressMapping, ChannelInterleave, MappingScheme};
+pub use pool::ChannelPool;
 pub use request::{MemRequest, MemResponse};
-pub use system::MemorySystem;
+pub use system::{MemorySystem, SteppingStats};

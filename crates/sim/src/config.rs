@@ -46,6 +46,38 @@ pub enum FrontEndKind {
     Engine,
 }
 
+/// How the event-driven kernel steps the per-channel memory controllers in
+/// [`crate::System::run`].
+///
+/// Both variants produce bit-identical [`crate::SimulationResult`]s; serial
+/// stepping is retained as the executable reference model (the golden-digest
+/// matrices and `tests/parallel_differential.rs` at the workspace root pin
+/// the equivalence). The per-cycle kernel ignores this knob — it has no
+/// cross-channel dead time to batch.
+///
+/// Parallel stepping batches the controllers in *epochs*: after a step at
+/// cycle `a`, the kernel derives a horizon `h` before which no cross-channel
+/// interaction can occur (no core wakes, no LLC fill completes, no
+/// BreakHammer window rotates, no quota is pending, and no in-epoch read can
+/// complete — `h ≤ a + 1 + read latency`). Each channel then advances
+/// through its own event chain to `h` independently (on the worker pool when
+/// the epoch is wide enough, inline otherwise), recording its
+/// BreakHammer-observable events; a single-threaded merge replays those
+/// events into the shared observer in (cycle, channel-index) order — the
+/// exact order the serial schedule produces — before the next full step at
+/// `h`. Worker count and dispatch heuristics can therefore never change the
+/// simulated behaviour, only the wall-clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChannelStepping {
+    /// Reference: every channel controller is ticked at every stepped cycle.
+    #[default]
+    Serial,
+    /// Epoch-barrier stepping: channels advance to the merged next-event
+    /// horizon independently, then cross-channel effects are merged in
+    /// channel-index order.
+    Parallel,
+}
+
 /// Configuration of one simulated system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -91,6 +123,10 @@ pub struct SystemConfig {
     /// both; see [`FrontEndKind`]).
     #[serde(default)]
     pub front_end: FrontEndKind,
+    /// How the event-driven kernel steps the per-channel memory controllers
+    /// (results are identical for both; see [`ChannelStepping`]).
+    #[serde(default)]
+    pub stepping: ChannelStepping,
 }
 
 impl SystemConfig {
@@ -138,6 +174,7 @@ impl SystemConfig {
             seed: 0,
             scheduler: SchedulerKind::default(),
             front_end: FrontEndKind::default(),
+            stepping: ChannelStepping::default(),
         }
     }
 
@@ -173,6 +210,7 @@ impl SystemConfig {
             seed: 0,
             scheduler: SchedulerKind::default(),
             front_end: FrontEndKind::default(),
+            stepping: ChannelStepping::default(),
         }
     }
 

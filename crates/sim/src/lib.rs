@@ -41,7 +41,7 @@ pub mod result;
 pub mod runner;
 pub mod system;
 
-pub use config::{FrontEndKind, SchedulerKind, SystemConfig};
+pub use config::{ChannelStepping, FrontEndKind, SchedulerKind, SystemConfig};
 pub use result::{ChannelBreakdown, CorePerformance, SimulationResult, VictimReport};
 pub use runner::{evaluate_under_configs, Evaluator, MixEvaluation};
 pub use system::System;

@@ -3,7 +3,7 @@
 use bh_core::BreakHammerStats;
 use bh_cpu::CacheStats;
 use bh_dram::{Cycle, DramStats, RowAddr, ThreadId};
-use bh_mem::{ControllerStats, LatencyHistogram};
+use bh_mem::{ControllerStats, LatencyHistogram, SteppingStats};
 use serde::{Deserialize, Serialize};
 
 /// Performance of one core over the run.
@@ -88,6 +88,12 @@ pub struct SimulationResult {
     /// workload declared no victims). Not part of the digest-pinned surface.
     #[serde(default)]
     pub victims: Vec<VictimReport>,
+    /// Epoch-stepping counters (all zeros under serial stepping). *Not* part
+    /// of the behavioural surface: serial-vs-parallel differential tests
+    /// normalize this field to its default before comparing, since it
+    /// describes how the run was scheduled, not what it computed.
+    #[serde(default)]
+    pub stepping: SteppingStats,
 }
 
 impl SimulationResult {
@@ -152,6 +158,7 @@ mod tests {
             latency: (0..4).map(|_| LatencyHistogram::new()).collect(),
             per_channel: Vec::new(),
             victims: Vec::new(),
+            stepping: SteppingStats::default(),
         }
     }
 

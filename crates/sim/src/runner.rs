@@ -65,6 +65,16 @@ impl Evaluator {
         &self.config
     }
 
+    /// Switches the evaluator to a different configuration, keeping the
+    /// alone-IPC cache: alone baselines are measured on the unprotected
+    /// system (no mechanism, no BreakHammer), so every configuration of a
+    /// sweep shares them — the same invariant that lets campaigns seed many
+    /// evaluators from one warmed cache. Lets a sweep worker reuse one
+    /// evaluator across cells instead of rebuilding it per cell.
+    pub fn set_config(&mut self, config: SystemConfig) {
+        self.config = config;
+    }
+
     /// Pre-seeds the alone-IPC cache (useful to share a cache across
     /// evaluators for different mechanisms).
     pub fn with_alone_cache(mut self, cache: HashMap<String, f64>) -> Self {

@@ -18,7 +18,9 @@
 //! explanation of why the behaviour moved.
 
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{
+    ChannelStepping, FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig,
+};
 
 mod common;
 use common::{attack_traces, attack_traces_composed};
@@ -164,12 +166,13 @@ fn kernel_name(kernel: SchedulerKind) -> &'static str {
     }
 }
 
-fn run_matrix() -> Vec<(String, u64)> {
+fn run_matrix(stepping: ChannelStepping) -> Vec<(String, u64)> {
     let mut out = Vec::with_capacity(40);
     for mechanism in MECHANISMS {
         for breakhammer in [false, true] {
             for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
-                let config = config_for(mechanism, breakhammer, kernel);
+                let mut config = config_for(mechanism, breakhammer, kernel);
+                config.stepping = stepping;
                 let traces = attack_traces(&config, 2_000, 100);
                 let result = System::new(config, &traces, vec![0, 1, 2]).run();
                 let label = format!(
@@ -264,14 +267,15 @@ fn digest_with_victims(result: &SimulationResult) -> u64 {
 /// Runs every catalog scenario (pattern × placement) under Graphene ±BH on
 /// both scheduler kernels, asserting cross-kernel digest equality and
 /// returning the per-kernel digest rows for the scenario golden file.
-fn run_scenario_matrix() -> Vec<(String, u64)> {
+fn run_scenario_matrix(stepping: ChannelStepping) -> Vec<(String, u64)> {
     use breakhammer_suite::workloads::scenario_catalog;
     let mut out = Vec::new();
     for scenario in scenario_catalog() {
         for breakhammer in [false, true] {
             let mut digests = Vec::new();
             for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
-                let config = config_for(MechanismKind::Graphene, breakhammer, kernel);
+                let mut config = config_for(MechanismKind::Graphene, breakhammer, kernel);
+                config.stepping = stepping;
                 let traces = attack_traces_composed(&config, &scenario.attacker, 2_000, 100);
                 let victims = scenario.attacker.victim_rows(&config.geometry);
                 let result = System::new(config, &traces, vec![0, 1, 2])
@@ -348,11 +352,34 @@ fn check_golden(path: &std::path::Path, digests: &[(String, u64)]) {
 /// agree with each other (asserted inside [`run_scenario_matrix`]).
 #[test]
 fn scenario_digests_match_golden_file() {
-    check_golden(&scenario_golden_path(), &run_scenario_matrix());
+    check_golden(&scenario_golden_path(), &run_scenario_matrix(ChannelStepping::Serial));
 }
 
 /// The 40-config digest matrix must match the committed golden file exactly.
 #[test]
 fn simulation_digests_match_golden_file() {
-    check_golden(&golden_path(), &run_matrix());
+    check_golden(&golden_path(), &run_matrix(ChannelStepping::Serial));
+}
+
+/// The 40-config matrix with epoch-parallel stepping forced must match the
+/// *same* golden file: parallel stepping is a pure scheduling change, byte-
+/// identical on the digest-pinned behavioural surface. (Recording with
+/// `BH_DIGEST_RECORD=1` is driven by the serial tests above; this test only
+/// ever compares.)
+#[test]
+fn simulation_digests_match_golden_file_with_parallel_stepping() {
+    if std::env::var_os("BH_DIGEST_RECORD").is_some() {
+        return;
+    }
+    check_golden(&golden_path(), &run_matrix(ChannelStepping::Parallel));
+}
+
+/// The scenario matrix with epoch-parallel stepping forced must match the
+/// same scenario golden file too.
+#[test]
+fn scenario_digests_match_golden_file_with_parallel_stepping() {
+    if std::env::var_os("BH_DIGEST_RECORD").is_some() {
+        return;
+    }
+    check_golden(&scenario_golden_path(), &run_scenario_matrix(ChannelStepping::Parallel));
 }
