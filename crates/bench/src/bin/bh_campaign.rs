@@ -24,6 +24,11 @@
 //! comes from the usual `BH_*` environment variables; `resume` must be run
 //! with the same scale and options as the original sweep, otherwise the cell
 //! ids will not match and the grid is treated as new work.
+//!
+//! Cells whose evaluation panics are recorded as `"failed"` JSONL lines
+//! instead of aborting the sweep; `report` lists them and `resume` retries
+//! them. `BH_TEST_FORCE_PANIC_MIX=<substring>` is a test hook that forces
+//! matching cells to panic, exercising this isolation end to end.
 
 use bh_bench::campaign::{report_table, CampaignSpec, ResultStore};
 use bh_bench::{print_results, Scale};
@@ -139,6 +144,9 @@ fn build_spec(options: &Options) -> CampaignSpec {
         spec.seeds = seeds.clone();
     }
     spec.breakhammer_options = options.breakhammer_options.clone();
+    // Test hook: force cells whose mix name contains the given substring to
+    // panic, exercising the sweep's panic isolation end to end.
+    spec.force_panic_mix = std::env::var("BH_TEST_FORCE_PANIC_MIX").ok().filter(|s| !s.is_empty());
     spec
 }
 
@@ -164,10 +172,11 @@ fn run(args: Vec<String>) -> Result<(), String> {
             let spec = build_spec(&options);
             let summary = spec.run(&store, &completed, options.max_cells);
             println!(
-                "{} cells: {} evaluated, {} already in store, {} deferred ({})",
+                "{} cells: {} evaluated, {} already in store, {} failed, {} deferred ({})",
                 summary.total_cells,
                 summary.evaluated_cells,
                 summary.skipped_cells,
+                summary.failed_cells,
                 summary.deferred_cells,
                 if summary.complete() {
                     "store complete".to_string()
@@ -175,6 +184,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     format!("resume with: bh_campaign resume --store {}", options.store.display())
                 },
             );
+            if summary.failed_cells > 0 {
+                eprintln!(
+                    "bh_campaign: {} cell(s) panicked and were recorded as failed; \
+                     retry them with: bh_campaign resume --store {}",
+                    summary.failed_cells,
+                    options.store.display()
+                );
+            }
             Ok(())
         }
         "report" => {
@@ -187,6 +204,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
                 &format!("Campaign report ({} cells)", records.len()),
                 &report_table(&records),
             );
+            let pending = ResultStore::failed_cells(&options.store).map_err(|e| e.to_string())?;
+            if !pending.is_empty() {
+                println!();
+                println!("{} failed cell(s) pending retry (bh_campaign resume):", pending.len());
+                for cell in &pending {
+                    println!("  {}: {}", cell.cell, cell.error);
+                }
+            }
             Ok(())
         }
         other => Err(format!("unknown command {other:?}")),

@@ -29,7 +29,12 @@ use std::sync::Mutex;
 
 /// Version tag written into every result line; bump on schema changes so
 /// readers can reject stores written by an incompatible engine.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the `status` field (`"ok"` / `"failed"`), the attack-outcome
+/// fields (`flips_raw`, `flips_corrected`, `flips_detected`, `flips_silent`,
+/// `attack_success`) and failed-cell lines. v1 stores parse to nothing, so
+/// resuming one with a v2 engine reruns every cell.
+pub const SCHEMA_VERSION: u64 = 2;
 
 // --- cell identity ----------------------------------------------------------
 
@@ -276,6 +281,16 @@ pub struct CellRecord {
     pub bitflips: u64,
     /// Largest end-of-run disturbance of any watched victim row.
     pub max_victim_disturbance: u64,
+    /// Raw bit-flips before ECC (the fault model's output).
+    pub flips_raw: u64,
+    /// Flips corrected by ECC.
+    pub flips_corrected: u64,
+    /// Flips detected but not corrected (machine-check events).
+    pub flips_detected: u64,
+    /// Flips that escaped ECC silently.
+    pub flips_silent: u64,
+    /// Whether the cell satisfied its mix's attack-success criterion.
+    pub attack_success: bool,
 }
 
 /// Serialises one completed cell as a single JSONL line (no trailing
@@ -284,6 +299,7 @@ pub fn record_line(cell: &str, seed: u64, attack: bool, r: &RunRecord) -> String
     let mut out = String::with_capacity(512);
     out.push('{');
     push_field(&mut out, "schema", &Json::Num(SCHEMA_VERSION as f64));
+    push_field(&mut out, "status", &Json::Str("ok".to_string()));
     push_field(&mut out, "cell", &Json::Str(cell.to_string()));
     push_field(&mut out, "mechanism", &Json::Str(r.mechanism.to_string()));
     push_field(&mut out, "nrh", &Json::Num(r.nrh as f64));
@@ -308,6 +324,28 @@ pub fn record_line(cell: &str, seed: u64, attack: bool, r: &RunRecord) -> String
     push_field(&mut out, "benign_misidentified", &Json::Bool(r.benign_misidentified));
     push_field(&mut out, "bitflips", &Json::Num(r.bitflips as f64));
     push_field(&mut out, "max_victim_disturbance", &Json::Num(r.max_victim_disturbance as f64));
+    push_field(&mut out, "flips_raw", &Json::Num(r.flips_raw as f64));
+    push_field(&mut out, "flips_corrected", &Json::Num(r.flips_corrected as f64));
+    push_field(&mut out, "flips_detected", &Json::Num(r.flips_detected as f64));
+    push_field(&mut out, "flips_silent", &Json::Num(r.flips_silent as f64));
+    push_field(&mut out, "attack_success", &Json::Bool(r.attack_success));
+    out.push('}');
+    out
+}
+
+/// Serialises one *failed* cell (a cell whose evaluation panicked) as a
+/// single JSONL line. Failed lines keep the sweep's checkpoint stream
+/// append-only — the panic is recorded instead of killing the sweep — and
+/// are retried by `resume` (they never count as completed).
+pub fn failed_line(cell: &str, seed: u64, attack: bool, error: &str) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_field(&mut out, "schema", &Json::Num(SCHEMA_VERSION as f64));
+    push_field(&mut out, "status", &Json::Str("failed".to_string()));
+    push_field(&mut out, "cell", &Json::Str(cell.to_string()));
+    push_field(&mut out, "seed", &Json::Num(seed as f64));
+    push_field(&mut out, "attack", &Json::Bool(attack));
+    push_field(&mut out, "error", &Json::Str(error.to_string()));
     out.push('}');
     out
 }
@@ -333,6 +371,9 @@ impl CellRecord {
         if int("schema")? != SCHEMA_VERSION {
             return None;
         }
+        if string("status")? != "ok" {
+            return None;
+        }
         Some(CellRecord {
             cell: string("cell")?,
             mechanism: string("mechanism")?,
@@ -356,7 +397,63 @@ impl CellRecord {
             benign_misidentified: boolean("benign_misidentified")?,
             bitflips: int("bitflips")?,
             max_victim_disturbance: int("max_victim_disturbance")?,
+            flips_raw: int("flips_raw")?,
+            flips_corrected: int("flips_corrected")?,
+            flips_detected: int("flips_detected")?,
+            flips_silent: int("flips_silent")?,
+            attack_success: boolean("attack_success")?,
         })
+    }
+}
+
+/// One failed cell parsed back from a result store (a cell whose evaluation
+/// panicked; `resume` retries it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedCell {
+    /// Cell id (`"<config digest>/<mix>/<seed>"`).
+    pub cell: String,
+    /// The panic message recorded when the cell failed.
+    pub error: String,
+}
+
+impl FailedCell {
+    /// Parses one store line as a failed-cell record; `None` for anything
+    /// else (completed cells, malformed lines, foreign schemas).
+    pub fn parse(line: &str) -> Option<Self> {
+        let map = parse_object(line)?;
+        let string = |key: &str| match map.get(key) {
+            Some(Json::Str(s)) => Some(s.clone()),
+            _ => None,
+        };
+        match map.get("schema") {
+            Some(Json::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
+            _ => return None,
+        }
+        if string("status")? != "failed" {
+            return None;
+        }
+        Some(FailedCell { cell: string("cell")?, error: string("error")? })
+    }
+}
+
+/// One well-formed line of a result store: a completed cell or a recorded
+/// failure. Malformed lines (truncated, garbage, foreign schema) parse to
+/// neither and are skipped by every reader.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreEntry {
+    /// A completed cell with its measurements.
+    Completed(CellRecord),
+    /// A cell whose evaluation panicked.
+    Failed(FailedCell),
+}
+
+impl StoreEntry {
+    /// Parses one store line; `None` for malformed or foreign lines.
+    pub fn parse(line: &str) -> Option<Self> {
+        if let Some(record) = CellRecord::parse(line) {
+            return Some(StoreEntry::Completed(record));
+        }
+        FailedCell::parse(line).map(StoreEntry::Failed)
     }
 }
 
@@ -408,37 +505,98 @@ impl ResultStore {
 
     /// Appends one line and flushes it — the per-cell checkpoint.
     ///
+    /// Transient flush errors (an NFS hiccup, a momentary ENOSPC) are
+    /// retried a bounded number of times with exponential backoff before
+    /// giving up: an hours-long sweep should not die on one blip. Only the
+    /// flush is retried — the `BufWriter` tracks how much of its buffer a
+    /// partial flush consumed, so re-flushing never duplicates bytes,
+    /// whereas re-running the buffered write itself would.
+    ///
     /// # Panics
-    /// Panics if the write fails: the store *is* the sweep's output, there
-    /// is nothing sensible to degrade to.
+    /// Panics — naming the store path — if buffering the line fails or the
+    /// flush still fails after every retry: the store *is* the sweep's
+    /// output, there is nothing sensible to degrade to.
     pub fn append(&self, line: &str) {
+        const ATTEMPTS: u32 = 5;
         let mut writer = self.writer.lock().expect("result store lock poisoned");
-        writeln!(writer, "{line}")
-            .and_then(|_| writer.flush())
-            .expect("writing the campaign result store failed");
+        writeln!(writer, "{line}").unwrap_or_else(|e| {
+            panic!("buffering a result line for {} failed: {e}", self.path.display())
+        });
+        let mut backoff = std::time::Duration::from_millis(10);
+        for attempt in 1..=ATTEMPTS {
+            match writer.flush() {
+                Ok(()) => return,
+                Err(e) if attempt == ATTEMPTS => panic!(
+                    "flushing the campaign result store {} failed after {ATTEMPTS} attempts: {e}",
+                    self.path.display()
+                ),
+                Err(_) => {
+                    std::thread::sleep(backoff);
+                    backoff *= 2;
+                }
+            }
+        }
+    }
+
+    /// Every well-formed entry of a store (completed and failed cells), in
+    /// file order. Malformed lines — truncated tails, interior garbage,
+    /// half-overwritten records — are skipped; their cells rerun on resume.
+    pub fn entries(path: &Path) -> io::Result<Vec<StoreEntry>> {
+        let mut entries = Vec::new();
+        for line in BufReader::new(File::open(path)?).lines() {
+            if let Some(entry) = StoreEntry::parse(&line?) {
+                entries.push(entry);
+            }
+        }
+        Ok(entries)
     }
 
     /// The set of completed cell ids recorded in a store. Malformed lines
-    /// (e.g. truncated by a kill) are skipped — their cells rerun on resume.
+    /// (e.g. truncated by a kill) and failed cells are skipped — their cells
+    /// rerun on resume.
     pub fn completed_cells(path: &Path) -> io::Result<HashSet<String>> {
-        let mut cells = HashSet::new();
-        for line in BufReader::new(File::open(path)?).lines() {
-            if let Some(record) = CellRecord::parse(&line?) {
-                cells.insert(record.cell);
-            }
-        }
-        Ok(cells)
+        Ok(Self::entries(path)?
+            .into_iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Completed(record) => Some(record.cell),
+                StoreEntry::Failed(_) => None,
+            })
+            .collect())
     }
 
-    /// Every well-formed cell record of a store, in file order.
+    /// Every well-formed cell record of a store, in file order (failed cells
+    /// excluded).
     pub fn load(path: &Path) -> io::Result<Vec<CellRecord>> {
-        let mut records = Vec::new();
-        for line in BufReader::new(File::open(path)?).lines() {
-            if let Some(record) = CellRecord::parse(&line?) {
-                records.push(record);
-            }
-        }
-        Ok(records)
+        Ok(Self::entries(path)?
+            .into_iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Completed(record) => Some(record),
+                StoreEntry::Failed(_) => None,
+            })
+            .collect())
+    }
+
+    /// The failed cells still pending a retry: cells with a `"failed"` line
+    /// and no later completed line (a resume that succeeds leaves the old
+    /// failed line in place — the store is append-only).
+    pub fn failed_cells(path: &Path) -> io::Result<Vec<FailedCell>> {
+        let entries = Self::entries(path)?;
+        let completed: HashSet<&str> = entries
+            .iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Completed(record) => Some(record.cell.as_str()),
+                StoreEntry::Failed(_) => None,
+            })
+            .collect();
+        let mut seen = HashSet::new();
+        Ok(entries
+            .iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Failed(f) if !completed.contains(f.cell.as_str()) => Some(f.clone()),
+                _ => None,
+            })
+            .filter(|f| seen.insert(f.cell.clone()))
+            .collect())
     }
 }
 
@@ -462,6 +620,11 @@ pub struct CampaignSpec {
     pub attack: bool,
     /// Workload-generation seeds; each seed regenerates the full mix suite.
     pub seeds: Vec<u64>,
+    /// Test-only fault hook (the CLI reads `BH_TEST_FORCE_PANIC_MIX` into
+    /// it): cells whose mix name contains this pattern panic instead of
+    /// evaluating, exercising the panic-isolation path end to end. `None`
+    /// in production.
+    pub force_panic_mix: Option<String>,
 }
 
 impl CampaignSpec {
@@ -475,6 +638,7 @@ impl CampaignSpec {
             mechanisms,
             attack,
             scale,
+            force_panic_mix: None,
         }
     }
 
@@ -538,11 +702,22 @@ impl CampaignSpec {
                 continue;
             }
             let cache = campaign.warmed_alone_cache().clone();
-            let on_cell = |i: usize, record: &RunRecord| {
-                store.append(&record_line(&cells[i], seed, self.attack, record));
+            let on_cell = |i: usize, outcome: Result<&RunRecord, &str>| match outcome {
+                Ok(record) => store.append(&record_line(&cells[i], seed, self.attack, record)),
+                Err(error) => store.append(&failed_line(&cells[i], seed, self.attack, error)),
             };
-            evaluate_jobs(&configs, &mixes, &jobs, &cache, scale.worker_threads, &on_cell);
-            summary.evaluated_cells += jobs.len();
+            let results = evaluate_jobs(
+                &configs,
+                &mixes,
+                &jobs,
+                &cache,
+                scale.worker_threads,
+                self.force_panic_mix.as_deref(),
+                &on_cell,
+            );
+            let failed = results.iter().filter(|r| r.is_err()).count();
+            summary.evaluated_cells += jobs.len() - failed;
+            summary.failed_cells += failed;
         }
         summary
     }
@@ -559,6 +734,10 @@ pub struct SweepSummary {
     pub evaluated_cells: usize,
     /// Cells left unevaluated because the `cell_limit` budget ran out.
     pub deferred_cells: usize,
+    /// Cells whose evaluation panicked: recorded as `"failed"` lines in the
+    /// store (surfaced by `report`, retried by `resume`) instead of killing
+    /// the sweep.
+    pub failed_cells: usize,
 }
 
 impl SweepSummary {
@@ -572,7 +751,15 @@ impl SweepSummary {
 
 /// Aggregates a result store into one row per (mechanism, N_RH, ±BreakHammer)
 /// configuration: cell count, geomean weighted speedup, mean max slowdown,
-/// mean energy, and the identification rates.
+/// mean energy, the identification rates, the attack-outcome summary
+/// (raw/silent flips, attack-success rate) and the security-efficiency
+/// headline — flips prevented per unit slowdown, both measured against the
+/// no-defense (`NoDefense`, no BreakHammer) cells at the same N_RH.
+///
+/// Flips prevented is the drop in mean raw flips vs the baseline; unit
+/// slowdown is the fractional weighted-speedup loss vs the baseline geomean.
+/// The column reads `n/a` when the store has no baseline at that N_RH, and
+/// `inf` when a mechanism prevents flips at no measurable slowdown.
 pub fn report_table(records: &[CellRecord]) -> Table {
     let mut groups: HashMap<(String, u64, bool), Vec<&CellRecord>> = HashMap::new();
     for record in records {
@@ -581,6 +768,16 @@ pub fn report_table(records: &[CellRecord]) -> Table {
             .or_default()
             .push(record);
     }
+    let no_defense = MechanismKind::None.to_string();
+    let baselines: HashMap<u64, (f64, f64)> = groups
+        .iter()
+        .filter(|((mechanism, _, breakhammer), _)| mechanism == &no_defense && !breakhammer)
+        .map(|((_, nrh, _), set)| {
+            let speedups: Vec<f64> = set.iter().map(|r| r.weighted_speedup).collect();
+            let mean_flips = set.iter().map(|r| r.flips_raw as f64).sum::<f64>() / set.len() as f64;
+            (*nrh, (bh_stats::geometric_mean(&speedups), mean_flips))
+        })
+        .collect();
     let mut keys: Vec<(String, u64, bool)> = groups.keys().cloned().collect();
     keys.sort();
     let mut table = Table::new([
@@ -593,25 +790,50 @@ pub fn report_table(records: &[CellRecord]) -> Table {
         "attacker_identified_rate",
         "benign_misidentified_rate",
         "bitflips",
+        "flips_raw",
+        "flips_silent",
+        "attack_success_rate",
+        "flips_prevented_per_slowdown",
     ]);
     for key in &keys {
         let set = &groups[key];
         let (mechanism, nrh, breakhammer) = key;
         let label = if *breakhammer { format!("{mechanism}+BH") } else { mechanism.clone() };
         let speedups: Vec<f64> = set.iter().map(|r| r.weighted_speedup).collect();
+        let geomean_ws = bh_stats::geometric_mean(&speedups);
         let mean = |f: &dyn Fn(&CellRecord) -> f64| {
             set.iter().map(|r| f(r)).sum::<f64>() / set.len() as f64
+        };
+        let prevented_per_slowdown = match baselines.get(nrh) {
+            None => "n/a".to_string(),
+            Some((baseline_ws, baseline_flips)) => {
+                let prevented = baseline_flips - mean(&|r| r.flips_raw as f64);
+                let slowdown = (baseline_ws - geomean_ws) / baseline_ws.max(1e-12);
+                if slowdown <= 1e-9 {
+                    if prevented > 0.0 {
+                        "inf".to_string()
+                    } else {
+                        fmt3(0.0)
+                    }
+                } else {
+                    fmt3(prevented / slowdown)
+                }
+            }
         };
         table.push_row([
             label,
             nrh.to_string(),
             set.len().to_string(),
-            fmt3(bh_stats::geometric_mean(&speedups)),
+            fmt3(geomean_ws),
             fmt3(mean(&|r| r.max_slowdown)),
             format!("{:.0}", mean(&|r| r.energy_nj)),
             fmt3(mean(&|r| r.attacker_identified as u64 as f64)),
             fmt3(mean(&|r| r.benign_misidentified as u64 as f64)),
             set.iter().map(|r| r.bitflips).sum::<u64>().to_string(),
+            set.iter().map(|r| r.flips_raw).sum::<u64>().to_string(),
+            set.iter().map(|r| r.flips_silent).sum::<u64>().to_string(),
+            fmt3(mean(&|r| r.attack_success as u64 as f64)),
+            prevented_per_slowdown,
         ]);
     }
     table
@@ -638,6 +860,11 @@ mod tests {
             bitflips: 0,
             scenario: Some("fuzz-nbr".to_string()),
             max_victim_disturbance: 17,
+            flips_raw: 9,
+            flips_corrected: 4,
+            flips_detected: 2,
+            flips_silent: 3,
+            attack_success: true,
         }
     }
 
@@ -661,6 +888,11 @@ mod tests {
         assert!(parsed.attacker_identified);
         assert!(!parsed.benign_misidentified);
         assert_eq!(parsed.max_victim_disturbance, 17);
+        assert_eq!(parsed.flips_raw, 9);
+        assert_eq!(parsed.flips_corrected, 4);
+        assert_eq!(parsed.flips_detected, 2);
+        assert_eq!(parsed.flips_silent, 3);
+        assert!(parsed.attack_success);
 
         let mut benign = record;
         benign.scenario = None;
@@ -673,15 +905,52 @@ mod tests {
     #[test]
     fn malformed_and_foreign_lines_are_rejected() {
         assert_eq!(CellRecord::parse(""), None);
-        assert_eq!(CellRecord::parse("{\"schema\":1,\"cell\":\"x"), None, "truncated line");
+        assert_eq!(CellRecord::parse("{\"schema\":2,\"cell\":\"x"), None, "truncated line");
         assert_eq!(CellRecord::parse("not json"), None);
         // A well-formed line from a future schema is rejected, not misread.
         let line = record_line("c/m/1", 1, true, &sample_record()).replacen(
-            "\"schema\":1",
             "\"schema\":2",
+            "\"schema\":3",
             1,
         );
         assert_eq!(CellRecord::parse(&line), None);
+        // A v1 line (no status, no outcome fields) is rejected too: the
+        // engine reruns those cells rather than guessing at the old schema.
+        assert_eq!(CellRecord::parse("{\"schema\":1,\"cell\":\"a/m/1\"}"), None);
+    }
+
+    #[test]
+    fn failed_lines_round_trip_and_never_count_as_completed() {
+        let line = failed_line("a/m/1", 1, true, "panicked at 'boom'");
+        assert_eq!(CellRecord::parse(&line), None, "a failed line is not a completed cell");
+        let failed = FailedCell::parse(&line).expect("failed line parses");
+        assert_eq!(failed.cell, "a/m/1");
+        assert_eq!(failed.error, "panicked at 'boom'");
+        match StoreEntry::parse(&line) {
+            Some(StoreEntry::Failed(f)) => assert_eq!(f, failed),
+            other => panic!("expected a failed entry, got {other:?}"),
+        }
+        let ok = record_line("a/m/1", 1, true, &sample_record());
+        assert_eq!(FailedCell::parse(&ok), None, "a completed line is not a failure");
+    }
+
+    #[test]
+    fn failed_cells_are_pending_until_a_later_completion() {
+        let path = test_path("failed-cells");
+        {
+            let store = ResultStore::create(&path).expect("fresh store");
+            store.append(&failed_line("a/m/1", 1, true, "boom"));
+            store.append(&failed_line("b/m/1", 1, true, "crash"));
+            store.append(&failed_line("b/m/1", 1, true, "crash again"));
+            // A later resume completed cell a; b is still pending.
+            store.append(&record_line("a/m/1", 1, true, &sample_record()));
+        }
+        let pending = ResultStore::failed_cells(&path).expect("store loads");
+        assert_eq!(pending.len(), 1, "{pending:?}");
+        assert_eq!(pending[0].cell, "b/m/1");
+        let completed = ResultStore::completed_cells(&path).expect("store loads");
+        assert_eq!(completed, HashSet::from(["a/m/1".to_string()]));
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]
@@ -745,6 +1014,36 @@ mod tests {
         let csv = table.to_csv();
         assert!(csv.contains("Graphene+BH,64,1"), "{csv}");
         assert!(csv.contains("Graphene,64,1"), "{csv}");
+        // No NoDefense baseline in the store: the efficiency column is n/a.
+        assert!(csv.contains("n/a"), "{csv}");
+    }
+
+    #[test]
+    fn report_computes_flips_prevented_per_unit_slowdown() {
+        let make = |mechanism, breakhammer, ws: f64, flips_raw: u64| {
+            let mut r = sample_record();
+            r.mechanism = mechanism;
+            r.breakhammer = breakhammer;
+            r.weighted_speedup = ws;
+            r.flips_raw = flips_raw;
+            r.flips_silent = flips_raw;
+            r.attack_success = flips_raw > 0;
+            CellRecord::parse(&record_line("c/m/1", 1, true, &r)).expect("parses")
+        };
+        let records = vec![
+            make(MechanismKind::None, false, 4.0, 100),
+            make(MechanismKind::Graphene, false, 2.0, 10),
+            make(MechanismKind::Graphene, true, 4.0, 10),
+        ];
+        let table = report_table(&records);
+        let csv = table.to_csv();
+        // Graphene: 90 flips prevented at (4-2)/4 = 0.5 unit slowdown → 180.
+        assert!(csv.contains("180.000"), "{csv}");
+        // Graphene+BH: same flips prevented at zero slowdown → inf.
+        assert!(csv.lines().any(|l| l.starts_with("Graphene+BH") && l.ends_with("inf")), "{csv}");
+        // The outcome columns surface raw/silent sums and the success rate.
+        assert!(csv.contains("attack_success_rate"), "{csv}");
+        assert!(csv.lines().any(|l| l.starts_with("NoDefense") && l.contains(",100,")), "{csv}");
     }
 
     fn test_path(tag: &str) -> PathBuf {

@@ -20,7 +20,16 @@
 //! | `BH_WORKERS` | preferred alias for `BH_THREADS` (wins when both are set) | all cores |
 //! | `BH_CHANNELS` | memory channels (sharded memory system) | 1 |
 //! | `BH_SCENARIOS` | comma-separated attack scenarios (`all` = catalog) | none |
+//! | `BH_FAULT_MODEL` | `threshold` or `probabilistic` bit-flip model | `threshold` |
+//! | `BH_FLIP_PROBABILITY` | per-crossing flip probability (probabilistic model) | 0.5 |
+//! | `BH_NRH_VARIATION` | per-row `N_RH` variation half-width (probabilistic model) | 0.1 |
+//! | `BH_ECC` | ECC scheme classifying flips: `none` or `secded` | `none` |
+//!
+//! Set-but-unparseable variables (garbage, `0` where a positive count is
+//! required) fall back to their defaults with a one-time warning on stderr
+//! naming the variable and the fallback used.
 
+use bh_dram::{EccMode, FaultConfig, FaultModel};
 use bh_mitigation::MechanismKind;
 use bh_sim::{Evaluator, MixEvaluation, SystemConfig};
 use bh_stats::Table;
@@ -55,6 +64,11 @@ pub struct Scale {
     /// addition to the classic attack mixes (empty = classic attacker only;
     /// `BH_SCENARIOS=all` selects the whole catalog).
     pub scenarios: Vec<String>,
+    /// The fault-injection model and ECC scheme applied to every
+    /// configuration of the sweep (`BH_FAULT_MODEL`, `BH_FLIP_PROBABILITY`,
+    /// `BH_NRH_VARIATION`, `BH_ECC`); the default is the legacy hard
+    /// threshold with no ECC.
+    pub fault: FaultConfig,
 }
 
 impl Scale {
@@ -70,51 +84,98 @@ impl Scale {
             worker_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             channels: 1,
             scenarios: Vec::new(),
+            fault: FaultConfig::default(),
         }
     }
 
     /// Reads the scale from the environment, falling back to
-    /// [`Scale::quick`] for anything unspecified.
+    /// [`Scale::quick`] for anything unspecified. Set-but-unparseable
+    /// variables fall back too, with a one-time warning on stderr naming the
+    /// variable and the fallback used.
     pub fn from_env() -> Self {
-        Scale::from_lookup(|name| std::env::var(name).ok())
+        let (scale, warnings) = Scale::from_lookup_with_warnings(|name| std::env::var(name).ok());
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            for warning in &warnings {
+                eprintln!("warning: {warning}");
+            }
+        });
+        scale
     }
 
     /// Reads the scale from an arbitrary variable lookup (the injection point
     /// the tests use: mutating real process environment variables under a
-    /// parallel test runner races against every other test reading them).
+    /// parallel test runner races against every other test reading them),
+    /// discarding parse warnings.
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        Scale::from_lookup_with_warnings(lookup).0
+    }
+
+    /// Reads the scale from an arbitrary variable lookup, returning the scale
+    /// plus one warning per variable that was set but could not be used as
+    /// given (garbage, or `0` where a positive count is required). Each
+    /// warning names the variable and the fallback applied.
+    pub fn from_lookup_with_warnings(
+        lookup: impl Fn(&str) -> Option<String>,
+    ) -> (Self, Vec<String>) {
         let mut scale = Scale::quick();
-        let parse_u64 = |name: &str| lookup(name).and_then(|v| v.parse::<u64>().ok());
-        if let Some(v) = parse_u64("BH_INSTRUCTIONS") {
-            scale.instructions_per_core = v.max(1);
+        let mut warnings: Vec<String> = Vec::new();
+        // A positive count: garbage and 0 both fall back (with a warning).
+        let mut count = |name: &str, fallback: u64| -> Option<u64> {
+            let raw = lookup(name)?;
+            match raw.trim().parse::<u64>() {
+                Ok(0) => {
+                    warnings.push(format!("{name}=0 is not a positive count; using {fallback}"));
+                    None
+                }
+                Ok(v) => Some(v),
+                Err(_) => {
+                    warnings.push(format!("{name}={raw:?} is not a number; using {fallback}"));
+                    None
+                }
+            }
+        };
+        if let Some(v) = count("BH_INSTRUCTIONS", scale.instructions_per_core) {
+            scale.instructions_per_core = v;
         }
-        if let Some(v) = parse_u64("BH_MIXES_PER_CLASS") {
-            scale.mixes_per_class = (v as usize).max(1);
+        if let Some(v) = count("BH_MIXES_PER_CLASS", scale.mixes_per_class as u64) {
+            scale.mixes_per_class = v as usize;
         }
-        if let Some(v) = parse_u64("BH_TRACE_ENTRIES") {
+        if let Some(v) = count("BH_TRACE_ENTRIES", scale.benign_entries as u64) {
             scale.benign_entries = (v as usize).max(100);
         }
-        if let Some(v) = parse_u64("BH_ATTACKER_ENTRIES") {
+        if let Some(v) = count("BH_ATTACKER_ENTRIES", scale.attacker_entries as u64) {
             scale.attacker_entries = (v as usize).max(100);
         }
-        if let Some(v) = parse_u64("BH_SEED") {
-            scale.seed = v;
-        }
-        if let Some(v) = parse_u64("BH_THREADS") {
-            scale.worker_threads = (v as usize).max(1);
+        if let Some(v) = count("BH_THREADS", scale.worker_threads as u64) {
+            scale.worker_threads = v as usize;
         }
         // `BH_WORKERS` is the preferred spelling (it matches the campaign
         // CLI's terminology); it wins over the legacy `BH_THREADS`.
-        if let Some(v) = parse_u64("BH_WORKERS") {
-            scale.worker_threads = (v as usize).max(1);
+        if let Some(v) = count("BH_WORKERS", scale.worker_threads as u64) {
+            scale.worker_threads = v as usize;
         }
-        if let Some(v) = parse_u64("BH_CHANNELS") {
-            scale.channels = (v as usize).max(1);
+        if let Some(v) = count("BH_CHANNELS", scale.channels as u64) {
+            scale.channels = v as usize;
+        }
+        // The seed is any u64 (0 included); only garbage warns.
+        if let Some(raw) = lookup("BH_SEED") {
+            match raw.trim().parse::<u64>() {
+                Ok(v) => scale.seed = v,
+                Err(_) => {
+                    warnings.push(format!("BH_SEED={raw:?} is not a number; using {}", scale.seed))
+                }
+            }
         }
         if let Some(list) = lookup("BH_NRH_LIST") {
             let parsed: Vec<u64> =
                 list.split(',').filter_map(|s| s.trim().parse::<u64>().ok()).collect();
-            if !parsed.is_empty() {
+            if parsed.is_empty() {
+                warnings.push(format!(
+                    "BH_NRH_LIST={list:?} has no parseable thresholds; using {:?}",
+                    scale.nrh_values
+                ));
+            } else {
                 scale.nrh_values = parsed;
             }
         }
@@ -127,9 +188,54 @@ impl Scale {
                     .map(|s| s.trim().to_string())
                     .filter(|s| !s.is_empty())
                     .collect();
+                if scale.scenarios.is_empty() {
+                    warnings.push(format!(
+                        "BH_SCENARIOS={list:?} names no scenarios; sweeping the classic \
+                         attacker only"
+                    ));
+                }
             }
         }
-        scale
+        // The fault-model axis. Probabilities parse independently of the
+        // model selector so a later `BH_FAULT_MODEL=probabilistic` run can
+        // reuse the same environment.
+        let mut unit = |name: &str, fallback: f64| -> f64 {
+            let Some(raw) = lookup(name) else { return fallback };
+            match raw.trim().parse::<f64>() {
+                Ok(v) if (0.0..=1.0).contains(&v) => v,
+                _ => {
+                    warnings.push(format!(
+                        "{name}={raw:?} is not a probability in [0, 1]; using {fallback}"
+                    ));
+                    fallback
+                }
+            }
+        };
+        let flip_probability = unit("BH_FLIP_PROBABILITY", 0.5);
+        let nrh_variation = unit("BH_NRH_VARIATION", 0.1).min(0.999);
+        if let Some(raw) = lookup("BH_FAULT_MODEL") {
+            match raw.trim().to_ascii_lowercase().as_str() {
+                "threshold" => scale.fault.model = FaultModel::Threshold,
+                "probabilistic" => {
+                    scale.fault.model =
+                        FaultModel::Probabilistic { flip_probability, nrh_variation }
+                }
+                _ => warnings.push(format!(
+                    "BH_FAULT_MODEL={raw:?} is neither \"threshold\" nor \"probabilistic\"; \
+                     using the hard threshold"
+                )),
+            }
+        }
+        if let Some(raw) = lookup("BH_ECC") {
+            match raw.trim().to_ascii_lowercase().as_str() {
+                "none" => scale.fault.ecc = EccMode::None,
+                "secded" => scale.fault.ecc = EccMode::SecDed,
+                _ => warnings.push(format!(
+                    "BH_ECC={raw:?} is neither \"none\" nor \"secded\"; running without ECC"
+                )),
+            }
+        }
+        (scale, warnings)
     }
 
     /// The full seven-point `N_RH` sweep of the paper (4K → 64).
@@ -174,6 +280,17 @@ pub struct RunRecord {
     /// Largest end-of-run disturbance of any watched victim row (0 when the
     /// mix declared no victims).
     pub max_victim_disturbance: u64,
+    /// Raw bit-flips before ECC (the fault model's output; 0 under the
+    /// default hard-threshold model whenever `bitflips` is 0).
+    pub flips_raw: u64,
+    /// Flips corrected by ECC.
+    pub flips_corrected: u64,
+    /// Flips detected but not corrected (machine-check events).
+    pub flips_detected: u64,
+    /// Flips that escaped ECC silently.
+    pub flips_silent: u64,
+    /// Whether the run satisfied the mix's attack-success criterion.
+    pub attack_success: bool,
 }
 
 impl RunRecord {
@@ -204,6 +321,11 @@ impl RunRecord {
             bitflips: eval.result.bitflips,
             scenario: mix.scenario.clone(),
             max_victim_disturbance: eval.result.max_victim_disturbance(),
+            flips_raw: eval.result.outcome.flips_raw,
+            flips_corrected: eval.result.outcome.corrected,
+            flips_detected: eval.result.outcome.detected,
+            flips_silent: eval.result.outcome.silent,
+            attack_success: eval.result.outcome.attack_success,
         }
     }
 
@@ -229,6 +351,7 @@ pub fn paper_config(
         SystemConfig::paper_table1(mechanism, nrh, breakhammer).with_channels(scale.channels);
     config.instructions_per_core = scale.instructions_per_core;
     config.seed = scale.seed;
+    config.fault = scale.fault;
     // Bound the worst case (e.g. AQUA at N_RH=64 under attack, without
     // BreakHammer): runs that exceed ~400 DRAM cycles per target instruction
     // are cut off; IPCs measured up to the cut-off remain valid samples.
@@ -385,14 +508,36 @@ impl Campaign {
         let mixes = self.mixes(attack);
         let jobs: Vec<(usize, usize)> =
             (0..configs.len()).flat_map(|c| (0..mixes.len()).map(move |m| (c, m))).collect();
-        evaluate_jobs(
+        let results = evaluate_jobs(
             configs,
             &mixes,
             &jobs,
             &self.alone_cache,
             self.scale.worker_threads,
+            None,
             &|_, _| {},
-        )
+        );
+        // Figure binaries want every cell: a panicking cell no longer kills
+        // the other workers mid-sweep, but an incomplete matrix must still
+        // fail loudly once everything else has finished.
+        let mut records = Vec::with_capacity(results.len());
+        let mut failed = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let (c, m) = jobs[i];
+            match result {
+                Ok(record) => records.push(record),
+                Err(error) => {
+                    failed.push(format!("[{} × {}] {error}", configs[c].summary(), mixes[m].name))
+                }
+            }
+        }
+        assert!(
+            failed.is_empty(),
+            "{} campaign cell(s) panicked:\n{}",
+            failed.len(),
+            failed.join("\n")
+        );
+        records
     }
 }
 
@@ -409,61 +554,102 @@ impl Campaign {
 /// flattened configuration-major, a worker claiming consecutive indices
 /// rarely pays the switch.
 ///
-/// `on_record(job_index, record)` fires on the worker thread as soon as a
-/// cell completes — the campaign engine uses it to stream results to its
-/// checkpoint store; plain sweeps pass a no-op.
+/// `on_record(job_index, outcome)` fires on the worker thread as soon as a
+/// cell completes or panics — the campaign engine uses it to stream both
+/// results and failures to its checkpoint store; plain sweeps pass a no-op.
+///
+/// Every cell runs under [`std::panic::catch_unwind`], so one panicking
+/// (configuration, mix) pair costs exactly that cell: its slot comes back as
+/// `Err(panic message)`, the worker discards its (possibly inconsistent)
+/// evaluator and rebuilds on the next claimed job, and every other cell still
+/// completes. `force_panic_mix` is the test hook behind the campaign CLI's
+/// `BH_TEST_FORCE_PANIC_MIX`: cells whose mix name contains the pattern panic
+/// before evaluating.
 pub fn evaluate_jobs(
     configs: &[SystemConfig],
     mixes: &[WorkloadMix],
     jobs: &[(usize, usize)],
     alone_cache: &HashMap<String, f64>,
     workers: usize,
-    on_record: &(dyn Fn(usize, &RunRecord) + Sync),
-) -> Vec<RunRecord> {
+    force_panic_mix: Option<&str>,
+    on_record: &(dyn Fn(usize, Result<&RunRecord, &str>) + Sync),
+) -> Vec<Result<RunRecord, String>> {
     let workers = workers.clamp(1, jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    let worker_outputs: Vec<Vec<(usize, RunRecord)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, RunRecord)> = Vec::new();
-                    let mut evaluator: Option<Evaluator> = None;
-                    let mut current_config = usize::MAX;
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (c, m) = jobs[i];
-                        if current_config != c {
-                            match &mut evaluator {
-                                Some(ev) => ev.set_config(configs[c].clone()),
-                                None => {
-                                    evaluator = Some(
-                                        Evaluator::new(configs[c].clone())
-                                            .with_alone_cache(alone_cache.clone()),
-                                    )
+    let worker_outputs: Vec<Vec<(usize, Result<RunRecord, String>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Result<RunRecord, String>)> = Vec::new();
+                        let mut evaluator: Option<Evaluator> = None;
+                        let mut current_config = usize::MAX;
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let (c, m) = jobs[i];
+                            let cell =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    if let Some(pattern) = force_panic_mix {
+                                        assert!(
+                                            !mixes[m].name.contains(pattern),
+                                            "forced test panic for mix {}",
+                                            mixes[m].name
+                                        );
+                                    }
+                                    if current_config != c {
+                                        match &mut evaluator {
+                                            Some(ev) => ev.set_config(configs[c].clone()),
+                                            None => {
+                                                evaluator = Some(
+                                                    Evaluator::new(configs[c].clone())
+                                                        .with_alone_cache(alone_cache.clone()),
+                                                )
+                                            }
+                                        }
+                                        current_config = c;
+                                    }
+                                    let ev =
+                                        evaluator.as_mut().expect("evaluator initialised above");
+                                    let eval = ev.evaluate(&mixes[m]);
+                                    RunRecord::from_eval(&configs[c], &mixes[m], &eval)
+                                }));
+                            match cell {
+                                Ok(record) => {
+                                    on_record(i, Ok(&record));
+                                    local.push((i, Ok(record)));
+                                }
+                                Err(payload) => {
+                                    // The evaluator may hold a half-updated
+                                    // alone cache or configuration; rebuild it
+                                    // before the next cell.
+                                    evaluator = None;
+                                    current_config = usize::MAX;
+                                    let message = payload
+                                        .downcast_ref::<String>()
+                                        .cloned()
+                                        .or_else(|| {
+                                            payload.downcast_ref::<&str>().map(|s| s.to_string())
+                                        })
+                                        .unwrap_or_else(|| "unknown panic payload".to_string());
+                                    on_record(i, Err(&message));
+                                    local.push((i, Err(message)));
                                 }
                             }
-                            current_config = c;
                         }
-                        let ev = evaluator.as_mut().expect("evaluator initialised above");
-                        let eval = ev.evaluate(&mixes[m]);
-                        let record = RunRecord::from_eval(&configs[c], &mixes[m], &eval);
-                        on_record(i, &record);
-                        local.push((i, record));
-                    }
-                    local
+                        local
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
-    });
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("evaluation worker panicked")).collect()
+        });
 
-    let mut slots: Vec<Option<RunRecord>> = vec![None; jobs.len()];
-    for (i, record) in worker_outputs.into_iter().flatten() {
-        slots[i] = Some(record);
+    let mut slots: Vec<Option<Result<RunRecord, String>>> = vec![None; jobs.len()];
+    for (i, outcome) in worker_outputs.into_iter().flatten() {
+        slots[i] = Some(outcome);
     }
     slots.into_iter().map(|slot| slot.expect("every job was evaluated")).collect()
 }
@@ -610,6 +796,46 @@ mod tests {
     }
 
     #[test]
+    fn set_but_unusable_variables_warn_with_the_fallback() {
+        let (scale, warnings) = Scale::from_lookup_with_warnings(|name| match name {
+            "BH_WORKERS" => Some("banana".to_string()),
+            "BH_CHANNELS" => Some("0".to_string()),
+            "BH_SCENARIOS" => Some(" , ,".to_string()),
+            "BH_FAULT_MODEL" => Some("maybe".to_string()),
+            _ => None,
+        });
+        assert_eq!(scale, Scale::quick(), "every bad value falls back to the default");
+        assert_eq!(warnings.len(), 4, "{warnings:?}");
+        assert!(warnings.iter().any(|w| w.contains("BH_WORKERS") && w.contains("banana")));
+        assert!(warnings.iter().any(|w| w.contains("BH_CHANNELS=0")));
+        assert!(warnings.iter().any(|w| w.contains("BH_SCENARIOS")));
+        assert!(warnings.iter().any(|w| w.contains("BH_FAULT_MODEL")));
+        let (_, clean) = Scale::from_lookup_with_warnings(|_| None);
+        assert!(clean.is_empty(), "unset variables must not warn");
+    }
+
+    #[test]
+    fn fault_model_env_knobs_are_parsed() {
+        let (scale, warnings) = Scale::from_lookup_with_warnings(|name| match name {
+            "BH_FAULT_MODEL" => Some("probabilistic".to_string()),
+            "BH_FLIP_PROBABILITY" => Some("0.25".to_string()),
+            "BH_NRH_VARIATION" => Some("0.2".to_string()),
+            "BH_ECC" => Some("secded".to_string()),
+            _ => None,
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(
+            scale.fault.model,
+            FaultModel::Probabilistic { flip_probability: 0.25, nrh_variation: 0.2 }
+        );
+        assert_eq!(scale.fault.ecc, EccMode::SecDed);
+        // The fault axis reaches the system configuration.
+        let config = paper_config(MechanismKind::Graphene, 1024, true, &scale);
+        assert_eq!(config.fault, scale.fault);
+        assert_eq!(config.validate(), Ok(()));
+    }
+
+    #[test]
     fn paper_nrh_sweep_matches_the_figures() {
         assert_eq!(Scale::paper_nrh_sweep(), vec![4096, 2048, 1024, 512, 256, 128, 64]);
     }
@@ -703,6 +929,11 @@ mod tests {
             bitflips: 0,
             scenario: None,
             max_victim_disturbance: 0,
+            flips_raw: 0,
+            flips_corrected: 0,
+            flips_detected: 0,
+            flips_silent: 0,
+            attack_success: false,
         };
         let records = vec![
             make(MechanismKind::Para, 1024, true, 2.0),

@@ -16,7 +16,7 @@
 pub mod campaign;
 pub mod experiments;
 
-pub use campaign::{CampaignSpec, CellRecord, ResultStore, SweepSummary};
+pub use campaign::{CampaignSpec, CellRecord, FailedCell, ResultStore, StoreEntry, SweepSummary};
 pub use experiments::{
     evaluate_jobs, figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of,
     paper_config, print_results, select, Campaign, RunRecord, Scale,

@@ -100,3 +100,106 @@ fn interrupted_sweep_resumes_to_the_uninterrupted_result_set() {
     std::fs::remove_file(&full_path).expect("cleanup");
     std::fs::remove_file(&chunked_path).expect("cleanup");
 }
+
+/// A store corrupted mid-flight — interior garbage plus a half-overwritten
+/// record — must not poison resume: the parser skips the damaged lines and a
+/// resume reruns exactly the cells they belonged to.
+#[test]
+fn corrupted_store_lines_are_skipped_and_rerun_on_resume() {
+    let spec = tiny_spec();
+    let full_path = test_path("corrupt-full");
+    let corrupt_path = test_path("corrupt");
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&corrupt_path);
+
+    // Reference: one clean uninterrupted sweep.
+    let full_store = ResultStore::create(&full_path).expect("fresh store");
+    let full = spec.run(&full_store, &HashSet::new(), None);
+    assert!(full.complete());
+    drop(full_store);
+
+    // Corrupt a copy: replace one record with interior garbage and splice a
+    // half-overwritten hybrid (the head of one record glued to the tail of
+    // another — what a torn write plus a partial rewrite leaves behind).
+    let clean_lines: Vec<String> = std::fs::read_to_string(&full_path)
+        .expect("store is readable")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(clean_lines.len(), 12);
+    let mut damaged = clean_lines.clone();
+    damaged[3] = "x#!garbage not json at all".to_string();
+    // 40 bytes cuts mid-way through the `"cell"` value, so the hybrid both
+    // breaks the string structure and lacks the record's middle fields.
+    let head = &clean_lines[7][..40];
+    let tail = &clean_lines[8][clean_lines[8].len() / 2..];
+    damaged[7] = format!("{head}{tail}");
+    std::fs::write(&corrupt_path, format!("{}\n", damaged.join("\n"))).expect("write corrupt");
+
+    // Exactly the two damaged cells are missing from the completed set…
+    let completed = ResultStore::completed_cells(&corrupt_path).expect("parser skips damage");
+    assert_eq!(completed.len(), 10, "{completed:?}");
+    assert_eq!(ResultStore::load(&corrupt_path).expect("store loads").len(), 10);
+
+    // …and a resume reruns exactly those two.
+    let resumed_store = ResultStore::append_to(&corrupt_path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &completed, None);
+    assert_eq!(resumed.skipped_cells, 10, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 2);
+    assert!(resumed.complete());
+
+    // After the resume, the store's well-formed records are equivalent to the
+    // clean sweep's (the two corrupted lines stay in the file but parse to
+    // nothing; their cells were re-appended byte-identically).
+    assert_eq!(ResultStore::entries(&corrupt_path).expect("store parses").len(), 12);
+    let mut expected = clean_lines;
+    expected.sort();
+    let mut recovered: Vec<String> = sorted_lines(&corrupt_path)
+        .into_iter()
+        .filter(|line| bh_bench::StoreEntry::parse(line).is_some())
+        .collect();
+    recovered.sort();
+    assert_eq!(expected, recovered);
+
+    std::fs::remove_file(&full_path).expect("cleanup");
+    std::fs::remove_file(&corrupt_path).expect("cleanup");
+}
+
+/// A cell whose evaluation panics must not kill the sweep: it is recorded as
+/// a `"failed"` line, surfaced in the summary, and retried by a later resume.
+#[test]
+fn panicking_cell_is_isolated_and_retried_on_resume() {
+    let mut spec = tiny_spec();
+    // Force every cell of one mix class to panic (2 seeds × 1 matching mix).
+    spec.force_panic_mix = Some("HHHA".to_string());
+    let path = test_path("panic");
+    let _ = std::fs::remove_file(&path);
+
+    let store = ResultStore::create(&path).expect("fresh store");
+    let summary = spec.run(&store, &HashSet::new(), None);
+    drop(store);
+    assert_eq!(summary.failed_cells, 2, "{summary:?}");
+    assert_eq!(summary.evaluated_cells + summary.failed_cells, summary.total_cells);
+    assert!(!summary.complete(), "failed cells leave the grid incomplete");
+
+    // The failures are in the store as failed lines, pending retry.
+    let pending = ResultStore::failed_cells(&path).expect("store parses");
+    assert_eq!(pending.len(), 2, "{pending:?}");
+    assert!(pending.iter().all(|f| f.cell.contains("HHHA")), "{pending:?}");
+    assert!(pending.iter().all(|f| f.error.contains("forced test panic")), "{pending:?}");
+    let completed = ResultStore::completed_cells(&path).expect("store parses");
+    assert_eq!(completed.len(), 10);
+
+    // Resume without the fault injected: the failed cells rerun to success.
+    spec.force_panic_mix = None;
+    let resumed_store = ResultStore::append_to(&path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &completed, None);
+    assert_eq!(resumed.skipped_cells, 10, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 2);
+    assert_eq!(resumed.failed_cells, 0);
+    assert!(resumed.complete());
+    assert!(ResultStore::failed_cells(&path).expect("store parses").is_empty());
+    assert_eq!(ResultStore::load(&path).expect("store loads").len(), 12);
+
+    std::fs::remove_file(&path).expect("cleanup");
+}

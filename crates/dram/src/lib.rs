@@ -47,6 +47,7 @@ pub mod command;
 pub mod device;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod flat;
 pub mod geometry;
 pub mod rowhammer;
@@ -58,6 +59,9 @@ pub use command::{CommandKind, DramCommand};
 pub use device::{CommandOutcome, DeviceConfig, DramChannel, DramStats};
 pub use energy::{EnergyCounters, EnergyParams};
 pub use error::DramError;
+pub use fault::{
+    classify_flips, EccClassification, EccMode, FaultConfig, FaultModel, SuccessCriterion,
+};
 pub use flat::FlatMap;
 pub use geometry::{BankAddr, DramGeometry, DramLocation, NeighborRows, RowAddr};
 pub use rowhammer::{BitflipEvent, RowHammerTracker};

@@ -21,10 +21,14 @@
 //! RFM servicing ever iterates it. Steady-state activations perform no heap
 //! allocation.
 
+use crate::fault::{hash_coords, hash_unit, FaultModel};
 use crate::flat::FlatMap;
 use crate::geometry::{DramGeometry, RowAddr};
 use crate::types::Cycle;
 use serde::{Deserialize, Serialize};
+
+/// Hash-domain tag separating per-row threshold sampling from flip draws.
+const NRH_SAMPLE_TAG: u64 = 0x6e72_685f;
 
 /// A (potential) RowHammer bitflip event: a victim row accumulated `N_RH`
 /// disturbance before being refreshed.
@@ -55,6 +59,20 @@ pub struct RowHammerTracker {
     /// Per flat bank: aggressor row -> activations since its victims were last
     /// preventively refreshed (used to service RFM windows).
     aggressor_acts: Vec<FlatMap<u64>>,
+    /// The fault model turning threshold crossings into flip events.
+    model: FaultModel,
+    /// Seed for the probabilistic fault model's hash draws.
+    fault_seed: u64,
+    /// Channel index, a hash coordinate (per-channel trackers must draw
+    /// independent flips even at the same bank/row).
+    channel: u64,
+    /// Per-row thresholds sampled at init (probabilistic model only; `0`
+    /// marks a row whose sampled threshold exceeds the dense counter range
+    /// and can therefore never be crossed).
+    row_nrh: Option<Box<[u32]>>,
+    /// Cumulative threshold crossings per flat row since init (probabilistic
+    /// model only; sparse — only hammered rows ever cross).
+    crossings: FlatMap<u64>,
     /// Recorded would-be bitflips.
     bitflips: Vec<BitflipEvent>,
     /// Total activations observed.
@@ -77,10 +95,61 @@ impl RowHammerTracker {
     /// # Panics
     /// Panics if `nrh` is zero or `blast_radius` is zero.
     pub fn new(geometry: DramGeometry, nrh: u64, blast_radius: usize) -> Self {
+        Self::with_fault(geometry, nrh, blast_radius, FaultModel::Threshold, 0, 0)
+    }
+
+    /// Creates a tracker with an explicit [`FaultModel`]. `seed` and
+    /// `channel` are hash coordinates for the probabilistic model's draws
+    /// (ignored by [`FaultModel::Threshold`]); per-channel trackers must be
+    /// given their channel index so they draw independent flips.
+    ///
+    /// # Panics
+    /// Panics if `nrh` is zero or `blast_radius` is zero.
+    pub fn with_fault(
+        geometry: DramGeometry,
+        nrh: u64,
+        blast_radius: usize,
+        model: FaultModel,
+        seed: u64,
+        channel: usize,
+    ) -> Self {
         assert!(nrh > 0, "RowHammer threshold must be positive");
         assert!(blast_radius > 0, "blast radius must be positive");
         let banks = geometry.banks_per_channel();
         let rows = geometry.rows_per_channel();
+        let row_nrh = match model {
+            FaultModel::Threshold => None,
+            FaultModel::Probabilistic { nrh_variation, .. } => {
+                // Per-row thresholds, sampled once at init: a pure function
+                // of (seed, channel, flat row), so every rebuild of the same
+                // configuration sees the same per-row landscape.
+                let rows_per_bank = geometry.rows_per_bank;
+                Some(
+                    (0..rows)
+                        .map(|flat| {
+                            let (bank, row) = (flat / rows_per_bank, flat % rows_per_bank);
+                            let u = hash_unit(hash_coords(
+                                seed,
+                                channel as u64,
+                                bank as u64,
+                                row as u64,
+                                NRH_SAMPLE_TAG,
+                            ));
+                            let factor = 1.0 - nrh_variation + 2.0 * nrh_variation * u;
+                            let sampled = (nrh as f64 * factor).round().max(1.0);
+                            // 0 disables the row, mirroring `nrh_u32`: a
+                            // threshold past the dense counter range can
+                            // never be crossed.
+                            if sampled < u32::MAX as f64 {
+                                sampled as u32
+                            } else {
+                                0
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        };
         RowHammerTracker {
             geometry,
             nrh,
@@ -88,6 +157,11 @@ impl RowHammerTracker {
             blast_radius,
             disturbance: vec![0; rows].into_boxed_slice(),
             aggressor_acts: (0..banks).map(|_| FlatMap::with_capacity(64)).collect(),
+            model,
+            fault_seed: seed,
+            channel: channel as u64,
+            row_nrh,
+            crossings: FlatMap::with_capacity(64),
             bitflips: Vec::new(),
             total_activations: 0,
             rfm_scratch: Vec::new(),
@@ -133,14 +207,44 @@ impl RowHammerTracker {
         row: usize,
         cycle: Cycle,
     ) {
-        let entry = &mut self.disturbance[bank_base + row];
+        let flat = bank_base + row;
+        let entry = &mut self.disturbance[flat];
         *entry = entry.saturating_add(1);
-        if *entry == self.nrh_u32 {
-            self.bitflips.push(BitflipEvent {
-                victim: RowAddr { bank, row },
-                cycle,
-                disturbance: self.nrh,
-            });
+        let Some(row_nrh) = &self.row_nrh else {
+            // Hard-threshold cliff (the default): one event, exactly at N_RH.
+            if *entry == self.nrh_u32 {
+                self.bitflips.push(BitflipEvent {
+                    victim: RowAddr { bank, row },
+                    cycle,
+                    disturbance: self.nrh,
+                });
+            }
+            return;
+        };
+        // Probabilistic model: every multiple of the row's sampled threshold
+        // is a crossing (the saturated counter stops counting, so it can
+        // never re-trigger). Each crossing draws one Bernoulli flip from a
+        // hash of (seed, channel, bank, row, cumulative crossing count) —
+        // a pure function of coordinates, independent of simulation order.
+        let threshold = row_nrh[flat];
+        if threshold == 0 || *entry == u32::MAX || !entry.is_multiple_of(threshold) {
+            return;
+        }
+        let disturbance = u64::from(*entry);
+        let crossing = self.crossings.or_insert(flat as u64, 0);
+        *crossing += 1;
+        let FaultModel::Probabilistic { flip_probability, .. } = self.model else {
+            unreachable!("row_nrh is only sampled for the probabilistic model")
+        };
+        let draw = hash_unit(hash_coords(
+            self.fault_seed,
+            self.channel,
+            (flat / self.geometry.rows_per_bank) as u64,
+            row as u64,
+            *crossing,
+        ));
+        if draw < flip_probability {
+            self.bitflips.push(BitflipEvent { victim: RowAddr { bank, row }, cycle, disturbance });
         }
     }
 
@@ -249,6 +353,27 @@ impl RowHammerTracker {
     /// Geometry the tracker was built for.
     pub fn geometry(&self) -> &DramGeometry {
         &self.geometry
+    }
+
+    /// The fault model in use.
+    pub fn fault_model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// The sampled threshold of a specific row: `nrh` under the hard
+    /// threshold model, the per-row sample under the probabilistic one
+    /// (`None` for a row whose sample exceeds the countable range).
+    pub fn row_threshold(&self, row: RowAddr) -> Option<u64> {
+        match &self.row_nrh {
+            None => Some(self.nrh),
+            Some(samples) => {
+                let flat = self.geometry.flat_bank(row.bank);
+                match samples[flat * self.geometry.rows_per_bank + row.row] {
+                    0 => None,
+                    t => Some(u64::from(t)),
+                }
+            }
+        }
     }
 }
 
@@ -382,5 +507,80 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn zero_threshold_is_rejected() {
         let _ = RowHammerTracker::new(DramGeometry::tiny(), 0, 1);
+    }
+
+    fn probabilistic(
+        nrh: u64,
+        p: f64,
+        variation: f64,
+        seed: u64,
+        channel: usize,
+    ) -> RowHammerTracker {
+        RowHammerTracker::with_fault(
+            DramGeometry::tiny(),
+            nrh,
+            1,
+            FaultModel::Probabilistic { flip_probability: p, nrh_variation: variation },
+            seed,
+            channel,
+        )
+    }
+
+    #[test]
+    fn probability_one_flips_at_every_crossing() {
+        let mut t = probabilistic(8, 1.0, 0.0, 42, 0);
+        assert_eq!(t.row_threshold(row(0, 19)), Some(8));
+        for c in 0..16 {
+            t.on_activate(row(0, 20), c);
+        }
+        // Two crossings (at 8 and 16) of both neighbours, every draw flips.
+        assert_eq!(t.bitflip_count(), 4);
+        assert!(t.bitflips().iter().any(|b| b.disturbance == 8));
+        assert!(t.bitflips().iter().any(|b| b.disturbance == 16));
+    }
+
+    #[test]
+    fn probability_zero_never_flips() {
+        let mut t = probabilistic(4, 0.0, 0.0, 42, 0);
+        for c in 0..64 {
+            t.on_activate(row(0, 20), c);
+        }
+        assert_eq!(t.bitflip_count(), 0);
+        assert!(t.max_disturbance() >= 16, "crossings did occur");
+    }
+
+    #[test]
+    fn probabilistic_flips_are_deterministic_per_seed_and_channel() {
+        let run = |seed, channel| {
+            let mut t = probabilistic(4, 0.5, 0.2, seed, channel);
+            for c in 0..200 {
+                t.on_activate(row(0, 20), c);
+                t.on_activate(row(1, 50), c);
+            }
+            t.bitflips().to_vec()
+        };
+        assert_eq!(run(7, 0), run(7, 0), "same coordinates, same flips");
+        assert_ne!(run(7, 0), run(8, 0), "the seed matters");
+        assert_ne!(run(7, 0), run(7, 1), "the channel matters");
+        assert!(!run(7, 0).is_empty(), "p=0.5 over 100 crossings must flip");
+    }
+
+    #[test]
+    fn nrh_variation_spreads_per_row_thresholds() {
+        let t = probabilistic(100, 1.0, 0.3, 42, 0);
+        let thresholds: std::collections::BTreeSet<u64> =
+            (0..64).map(|r| t.row_threshold(row(0, r)).expect("in range")).collect();
+        assert!(thresholds.len() > 4, "variation must spread the samples: {thresholds:?}");
+        assert!(thresholds.iter().all(|&v| (70..=130).contains(&v)), "{thresholds:?}");
+        // Without variation every row sits exactly at N_RH.
+        let flat = probabilistic(100, 1.0, 0.0, 42, 0);
+        assert!((0..64).all(|r| flat.row_threshold(row(0, r)) == Some(100)));
+    }
+
+    #[test]
+    fn default_constructor_keeps_the_hard_threshold_model() {
+        let t = tracker(8);
+        assert_eq!(*t.fault_model(), FaultModel::Threshold);
+        assert_eq!(t.row_threshold(row(0, 5)), Some(8));
     }
 }

@@ -310,15 +310,29 @@ impl MemorySystem {
                 // `BH_EPOCH_WORKERS` pins the participant count (the main
                 // thread included); otherwise one participant per channel,
                 // capped by the machine. A pure throughput knob — epoch
-                // results are bit-identical at any worker count.
-                let participants = std::env::var("BH_EPOCH_WORKERS")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| {
-                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-                    })
-                    .min(channels);
+                // results are bit-identical at any worker count. A value that
+                // is not a positive integer falls back to auto-detection with
+                // a one-time warning rather than failing silently.
+                let participants = match std::env::var("BH_EPOCH_WORKERS") {
+                    Ok(raw) => match raw.parse::<usize>() {
+                        Ok(n) if n > 0 => Some(n),
+                        _ => {
+                            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                            WARN_ONCE.call_once(|| {
+                                eprintln!(
+                                    "warning: BH_EPOCH_WORKERS={raw:?} is not a positive \
+                                     integer; falling back to one worker per channel"
+                                );
+                            });
+                            None
+                        }
+                    },
+                    Err(_) => None,
+                }
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                })
+                .min(channels);
                 ChannelPool::new(participants.saturating_sub(1))
             });
             let mut tasks = std::mem::take(&mut self.task_buf);

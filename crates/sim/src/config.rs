@@ -2,7 +2,7 @@
 
 use bh_core::BreakHammerConfig;
 use bh_cpu::{CacheConfig, CoreConfig};
-use bh_dram::{DeviceConfig, DramGeometry, EnergyParams, TimingParams};
+use bh_dram::{DeviceConfig, DramGeometry, EnergyParams, FaultConfig, TimingParams};
 use bh_mem::MemControllerConfig;
 use bh_mitigation::MechanismKind;
 use serde::{Deserialize, Serialize};
@@ -127,6 +127,11 @@ pub struct SystemConfig {
     /// (results are identical for both; see [`ChannelStepping`]).
     #[serde(default)]
     pub stepping: ChannelStepping,
+    /// Fault-injection model: how disturbance-threshold crossings turn into
+    /// bit-flips, and the ECC scheme classifying them. The default (hard
+    /// threshold, no ECC) is bit-identical to the pre-fault-model simulator.
+    #[serde(default)]
+    pub fault: FaultConfig,
 }
 
 impl SystemConfig {
@@ -175,6 +180,7 @@ impl SystemConfig {
             scheduler: SchedulerKind::default(),
             front_end: FrontEndKind::default(),
             stepping: ChannelStepping::default(),
+            fault: FaultConfig::default(),
         }
     }
 
@@ -211,6 +217,7 @@ impl SystemConfig {
             scheduler: SchedulerKind::default(),
             front_end: FrontEndKind::default(),
             stepping: ChannelStepping::default(),
+            fault: FaultConfig::default(),
         }
     }
 
@@ -263,6 +270,7 @@ impl SystemConfig {
         self.cache.validate()?;
         self.memctrl.validate()?;
         self.timing.validate()?;
+        self.fault.validate()?;
         self.effective_breakhammer_config().validate()?;
         Ok(())
     }

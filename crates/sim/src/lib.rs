@@ -42,6 +42,8 @@ pub mod runner;
 pub mod system;
 
 pub use config::{ChannelStepping, FrontEndKind, SchedulerKind, SystemConfig};
-pub use result::{ChannelBreakdown, CorePerformance, SimulationResult, VictimReport};
+pub use result::{
+    AttackOutcome, ChannelBreakdown, CorePerformance, SimulationResult, VictimReport,
+};
 pub use runner::{evaluate_under_configs, Evaluator, MixEvaluation};
 pub use system::System;

@@ -34,6 +34,33 @@ pub struct ChannelBreakdown {
     pub energy_nj: f64,
     /// Would-be bitflips recorded by this channel's victim model.
     pub bitflips: usize,
+    /// Machine-check events raised on this channel by the ECC model (one per
+    /// detected-but-uncorrectable row under SEC-DED; always 0 without ECC).
+    #[serde(default)]
+    pub machine_checks: u64,
+}
+
+/// The security outcome of a run under the configured fault model and ECC
+/// scheme ([`bh_dram::FaultConfig`]): the raw flip count broken down by what
+/// ECC did with each flip, plus the verdict against the workload's victim
+/// layout. All zeros (with `attack_success: false`) when no flip occurred.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// Raw bit-flips before ECC, summed over all channels.
+    pub flips_raw: u64,
+    /// Flips corrected by ECC (single-flip rows under SEC-DED).
+    pub corrected: u64,
+    /// Flips detected but not corrected (double-flip rows under SEC-DED;
+    /// each such row also raises a machine check, see
+    /// [`ChannelBreakdown::machine_checks`]).
+    pub detected: u64,
+    /// Flips that escaped ECC silently (3+ flips per row under SEC-DED;
+    /// every flip when no ECC is configured).
+    pub silent: u64,
+    /// Whether the run satisfies the workload's
+    /// [`bh_dram::SuccessCriterion`] — by default, at least one *silent*
+    /// flip landed in a watched victim row.
+    pub attack_success: bool,
 }
 
 /// Disturbance accumulated by one watched victim row over the run (declared
@@ -88,6 +115,10 @@ pub struct SimulationResult {
     /// workload declared no victims). Not part of the digest-pinned surface.
     #[serde(default)]
     pub victims: Vec<VictimReport>,
+    /// The security outcome under the configured fault model and ECC scheme
+    /// (all zeros under the default hard-threshold model with no flips).
+    #[serde(default)]
+    pub outcome: AttackOutcome,
     /// Epoch-stepping counters (all zeros under serial stepping). *Not* part
     /// of the behavioural surface: serial-vs-parallel differential tests
     /// normalize this field to its default before comparing, since it
@@ -158,6 +189,7 @@ mod tests {
             latency: (0..4).map(|_| LatencyHistogram::new()).collect(),
             per_channel: Vec::new(),
             victims: Vec::new(),
+            outcome: AttackOutcome::default(),
             stepping: SteppingStats::default(),
         }
     }

@@ -145,6 +145,7 @@ impl Evaluator {
         let result =
             System::with_compiled(self.config.clone(), &mix.traces, benign_threads.clone())
                 .watch_victims(mix.victim_rows.iter().map(|v| (v.channel, v.row)))
+                .with_success_criterion(mix.success_criterion)
                 .run();
 
         let benign_perfs: Vec<AppPerf> = benign_threads

@@ -17,13 +17,17 @@
 //! enforces this differentially.
 
 use crate::config::{ChannelStepping, FrontEndKind, SchedulerKind, SystemConfig};
-use crate::result::{ChannelBreakdown, CorePerformance, SimulationResult, VictimReport};
+use crate::result::{
+    AttackOutcome, ChannelBreakdown, CorePerformance, SimulationResult, VictimReport,
+};
 use bh_core::BreakHammer;
 use bh_cpu::{
     CompiledTrace, Core, CoreConfig, CoreEngine, CoreProgress, CoreStats, LastLevelCache,
     MissToken, StallInfo, Trace,
 };
-use bh_dram::{Cycle, DramChannel, RowAddr, RowHammerTracker, ThreadId};
+use bh_dram::{
+    classify_flips, Cycle, DramChannel, RowAddr, RowHammerTracker, SuccessCriterion, ThreadId,
+};
 use bh_mem::{MemRequest, MemorySystem};
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -259,6 +263,10 @@ pub struct System {
     /// Victim rows to report end-of-run disturbance for, as
     /// `(channel, row)` pairs (registered via [`System::watch_victims`]).
     watched_victims: Vec<(usize, RowAddr)>,
+    /// What counts as a successful attack against the watched victim rows
+    /// (set via [`System::with_success_criterion`], usually from the
+    /// workload's victim layout).
+    success_criterion: SuccessCriterion,
 }
 
 impl System {
@@ -326,11 +334,15 @@ impl System {
         };
         let instances = mechanisms
             .into_iter()
-            .map(|mechanism| {
-                let tracker = RowHammerTracker::new(
+            .enumerate()
+            .map(|(ch, mechanism)| {
+                let tracker = RowHammerTracker::with_fault(
                     config.geometry.clone(),
                     config.nrh,
                     config.device.blast_radius,
+                    config.fault.model,
+                    config.seed,
+                    ch,
                 );
                 let channel = DramChannel::with_config(
                     config.geometry.clone(),
@@ -362,6 +374,7 @@ impl System {
             progress_buf: Vec::new(),
             outgoing_buf: Vec::new(),
             watched_victims: Vec::new(),
+            success_criterion: SuccessCriterion::default(),
         }
     }
 
@@ -381,6 +394,13 @@ impl System {
             .collect();
         self.watched_victims.sort_unstable();
         self.watched_victims.dedup();
+        self
+    }
+
+    /// Sets what counts as a successful attack against the watched victim
+    /// rows (usually the workload's `VictimLayout::success_criterion`).
+    pub fn with_success_criterion(mut self, criterion: SuccessCriterion) -> Self {
+        self.success_criterion = criterion;
         self
     }
 
@@ -784,6 +804,18 @@ impl System {
             })
             .collect();
         let latency = (0..self.config.cores).map(|t| self.memory.latency_of(ThreadId(t))).collect();
+        // Classify every channel's raw flip set under the configured ECC
+        // scheme; the classification feeds both the per-channel machine-check
+        // counters and the aggregate attack outcome below.
+        let classifications: Vec<_> = self
+            .memory
+            .controllers()
+            .iter()
+            .map(|ctrl| {
+                let flips = ctrl.channel().rowhammer().map(|t| t.bitflips()).unwrap_or(&[]);
+                classify_flips(flips, self.config.fault.ecc)
+            })
+            .collect();
         // The per-channel breakdown is the single source for energy and
         // bitflips: the aggregates below are sums over it, so the two views
         // can never drift apart.
@@ -791,7 +823,8 @@ impl System {
             .memory
             .controllers()
             .iter()
-            .map(|ctrl| {
+            .zip(&classifications)
+            .map(|(ctrl, ecc)| {
                 let channel = ctrl.channel();
                 ChannelBreakdown {
                     controller: ctrl.stats().clone(),
@@ -803,6 +836,7 @@ impl System {
                         channel.geometry().ranks,
                     ),
                     bitflips: channel.rowhammer().map(|t| t.bitflip_count()).unwrap_or(0),
+                    machine_checks: ecc.machine_checks,
                 }
             })
             .collect();
@@ -828,6 +862,27 @@ impl System {
             })
             .collect();
 
+        // Aggregate the ECC classification into the attack outcome and judge
+        // it against the watched victim rows. `watched_victims` is sorted, so
+        // silent-row membership is a binary search.
+        let mut outcome = AttackOutcome::default();
+        for ecc in &classifications {
+            outcome.flips_raw += ecc.flips_raw;
+            outcome.corrected += ecc.corrected;
+            outcome.detected += ecc.detected;
+            outcome.silent += ecc.silent;
+        }
+        outcome.attack_success = match self.success_criterion {
+            SuccessCriterion::AnySilentFlip => {
+                classifications.iter().enumerate().any(|(ch, ecc)| {
+                    ecc.silent_rows
+                        .iter()
+                        .any(|(row, _)| self.watched_victims.binary_search(&(ch, *row)).is_ok())
+                })
+            }
+            SuccessCriterion::AnyFlip => victims.iter().any(|v| v.bitflips > 0),
+        };
+
         SimulationResult {
             cores,
             dram_cycles,
@@ -842,6 +897,7 @@ impl System {
             latency,
             per_channel,
             victims,
+            outcome,
             stepping: *self.memory.stepping_stats(),
         }
     }

@@ -112,6 +112,11 @@ impl ComposedAttacker {
         self.victims.victim_rows(&grid, geometry)
     }
 
+    /// What counts as a successful attack on this attacker's victim layout.
+    pub fn success_criterion(&self) -> bh_dram::SuccessCriterion {
+        self.victims.success_criterion()
+    }
+
     /// The aggressor rows this attacker hammers, bank-major.
     pub fn aggressor_rows(&self, geometry: &DramGeometry) -> Vec<(BankAddr, usize)> {
         self.grid(geometry).aggressor_rows()

@@ -133,6 +133,9 @@ pub struct WorkloadMix {
     /// The attack-scenario tag this mix was built under, if any (matches the
     /// suffix in [`WorkloadMix::name`]).
     pub scenario: Option<String>,
+    /// What counts as a successful attack on the victim rows (declared by the
+    /// attacker's victim layout; the default for all-benign mixes).
+    pub success_criterion: bh_dram::SuccessCriterion,
 }
 
 impl WorkloadMix {
@@ -253,7 +256,21 @@ impl MixBuilder {
         } else {
             Vec::new()
         };
-        WorkloadMix { name, class, app_names, traces, attacker_thread, victim_rows, scenario }
+        let success_criterion = if attacker_thread.is_some() {
+            self.attacker.success_criterion()
+        } else {
+            bh_dram::SuccessCriterion::default()
+        };
+        WorkloadMix {
+            name,
+            class,
+            app_names,
+            traces,
+            attacker_thread,
+            victim_rows,
+            scenario,
+            success_criterion,
+        }
     }
 
     /// Builds the channel-pinned attack scenario: the attacker concentrates

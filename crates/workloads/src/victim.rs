@@ -8,7 +8,7 @@
 //! survived*" — the end-to-end property BreakHammer actually promises.
 
 use crate::placement::{AggressorGrid, AGGRESSOR_BASE};
-use bh_dram::{DramGeometry, RowAddr};
+use bh_dram::{DramGeometry, RowAddr, SuccessCriterion};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -51,6 +51,14 @@ pub trait VictimLayout: fmt::Debug + Send + Sync {
     /// The rows holding victim data, given the placed aggressor grid. Row
     /// indices must already be reduced modulo `geometry.rows_per_bank`.
     fn victim_rows(&self, grid: &AggressorGrid, geometry: &DramGeometry) -> Vec<VictimRow>;
+
+    /// What counts as a successful attack on this layout's rows. The default
+    /// — at least one flip that escaped ECC silently — matches the
+    /// key-table/page-table threat model, where corrected or detected flips
+    /// hand the attacker nothing.
+    fn success_criterion(&self) -> SuccessCriterion {
+        SuccessCriterion::AnySilentFlip
+    }
 }
 
 /// The physically-adjacent victims of every aggressor: rows `r ± 1` for each

@@ -300,8 +300,82 @@ fn run_scenario_matrix(stepping: ChannelStepping) -> Vec<(String, u64)> {
     out
 }
 
+/// Extends [`digest_with_victims`] with the fault-injection surface — the
+/// [`AttackOutcome`](breakhammer_suite::sim::AttackOutcome) counters and the
+/// per-channel machine-check counts. Used only by the fault-model goldens,
+/// which pin the probabilistic flip model and the SEC-DED classification;
+/// the classic and scenario goldens predate those fields and keep their
+/// original folds.
+fn digest_with_outcome(result: &SimulationResult) -> u64 {
+    let mut d = Digest::new();
+    d.u64(digest_with_victims(result));
+    d.u64(result.outcome.flips_raw);
+    d.u64(result.outcome.corrected);
+    d.u64(result.outcome.detected);
+    d.u64(result.outcome.silent);
+    d.bool(result.outcome.attack_success);
+    d.usize(result.per_channel.len());
+    for ch in &result.per_channel {
+        d.u64(ch.machine_checks);
+    }
+    d.0
+}
+
+/// Runs a mechanism subset ±BreakHammer on both kernels under the
+/// probabilistic fault model with SEC-DED ECC, asserting cross-kernel digest
+/// equality and returning the rows for the fault golden file. The fold
+/// includes the raw/corrected/detected/silent flip counters, so this matrix
+/// pins the *probabilistic* behaviour bit-exactly — across kernels, stepping
+/// modes, and sessions.
+fn run_fault_matrix(stepping: ChannelStepping) -> Vec<(String, u64)> {
+    use breakhammer_suite::dram::{EccMode, FaultConfig, FaultModel};
+    let mut out = Vec::new();
+    for mechanism in [MechanismKind::None, MechanismKind::Para, MechanismKind::Graphene] {
+        for breakhammer in [false, true] {
+            if mechanism == MechanismKind::None && breakhammer {
+                continue;
+            }
+            let mut digests = Vec::new();
+            for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+                let mut config = SystemConfig::fast_test(mechanism, 64, breakhammer);
+                config.instructions_per_core = 6_000;
+                config.scheduler = kernel;
+                config.stepping = stepping;
+                config.fault = FaultConfig {
+                    model: FaultModel::Probabilistic { flip_probability: 0.7, nrh_variation: 0.2 },
+                    ecc: EccMode::SecDed,
+                };
+                let traces = attack_traces(&config, 2_000, 100);
+                let result = System::new(config, &traces, vec![0, 1, 2]).run();
+                if mechanism == MechanismKind::None {
+                    assert!(
+                        result.outcome.flips_raw > 0,
+                        "undefended fault-matrix run produced no flips — coverage lost"
+                    );
+                }
+                let label = format!(
+                    "fault {mechanism} {} {}",
+                    if breakhammer { "bh" } else { "nobh" },
+                    kernel_name(kernel)
+                );
+                digests.push((label, digest_with_outcome(&result)));
+            }
+            assert_eq!(
+                digests[0].1, digests[1].1,
+                "kernel digests diverged for fault matrix {mechanism} bh={breakhammer}"
+            );
+            out.extend(digests);
+        }
+    }
+    out
+}
+
 fn golden_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/digests.golden.txt")
+}
+
+fn fault_golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fault_digests.golden.txt")
 }
 
 fn scenario_golden_path() -> std::path::PathBuf {
@@ -382,4 +456,23 @@ fn scenario_digests_match_golden_file_with_parallel_stepping() {
         return;
     }
     check_golden(&scenario_golden_path(), &run_scenario_matrix(ChannelStepping::Parallel));
+}
+
+/// The probabilistic fault-model matrix must match its committed golden file
+/// on both kernels — pinning the flip draws and the SEC-DED classification
+/// bit-exactly across sessions.
+#[test]
+fn fault_digests_match_golden_file() {
+    check_golden(&fault_golden_path(), &run_fault_matrix(ChannelStepping::Serial));
+}
+
+/// The fault matrix with epoch-parallel stepping forced must match the same
+/// golden file: the flip draws key on cumulative per-row crossing counts, not
+/// on event order, so stepping cannot move them.
+#[test]
+fn fault_digests_match_golden_file_with_parallel_stepping() {
+    if std::env::var_os("BH_DIGEST_RECORD").is_some() {
+        return;
+    }
+    check_golden(&fault_golden_path(), &run_fault_matrix(ChannelStepping::Parallel));
 }

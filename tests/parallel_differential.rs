@@ -221,6 +221,64 @@ fn front_ends_are_identical_across_stepping() {
     }
 }
 
+/// The probabilistic fault model draws every bit-flip from a pure hash of
+/// `(seed, channel, bank, row, crossing index)`, so its output must be
+/// bit-identical across stepping modes and kernels too — and the run must
+/// actually produce flips, or the assertion is vacuous.
+#[test]
+fn probabilistic_fault_model_is_identical_across_stepping() {
+    use breakhammer_suite::dram::{EccMode, FaultConfig, FaultModel};
+    for nrh in [64u64, 128] {
+        let mut config = SystemConfig::fast_test(MechanismKind::None, nrh, false).with_channels(2);
+        config.instructions_per_core = 6_000;
+        config.fault = FaultConfig {
+            model: FaultModel::Probabilistic { flip_probability: 0.7, nrh_variation: 0.2 },
+            ecc: EccMode::SecDed,
+        };
+        let traces = attack_traces(&config, 2_000, 100);
+        let parallel = run_with(
+            config.clone(),
+            SchedulerKind::EventDriven,
+            ChannelStepping::Parallel,
+            &traces,
+            vec![0, 1, 2],
+        );
+        assert!(
+            parallel.outcome.flips_raw > 0,
+            "no probabilistic flips at nrh {nrh} — the differential lost its coverage"
+        );
+        assert_parallel_identical(config, &traces, vec![0, 1, 2]);
+    }
+}
+
+/// Both front-end kernels agree on the probabilistic fault model's outcome.
+#[test]
+fn probabilistic_fault_model_is_identical_across_front_ends() {
+    use breakhammer_suite::dram::{EccMode, FaultConfig, FaultModel};
+    use breakhammer_suite::sim::FrontEndKind;
+    let mut config = SystemConfig::fast_test(MechanismKind::None, 64, false).with_channels(2);
+    config.instructions_per_core = 6_000;
+    config.fault = FaultConfig {
+        model: FaultModel::Probabilistic { flip_probability: 0.7, nrh_variation: 0.2 },
+        ecc: EccMode::SecDed,
+    };
+    let traces = attack_traces(&config, 2_000, 100);
+    let mut results = Vec::new();
+    for front_end in [FrontEndKind::Legacy, FrontEndKind::Engine] {
+        let mut cfg = config.clone();
+        cfg.front_end = front_end;
+        results.push(normalized(run_with(
+            cfg,
+            SchedulerKind::EventDriven,
+            ChannelStepping::Parallel,
+            &traces,
+            vec![0, 1, 2],
+        )));
+    }
+    assert!(results[0].outcome.flips_raw > 0, "no flips — coverage lost");
+    assert_eq!(results[0], results[1], "front ends diverged on the fault model");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
