@@ -1,0 +1,404 @@
+//! A hand-rolled, token-level Rust lexer.
+//!
+//! `bh_analyze` deliberately avoids `syn` (the build environment has no
+//! registry access, and none of the workspace invariants need a full parse):
+//! every rule operates on this lexer's token stream. The lexer understands
+//! exactly as much Rust as the rules need to be *sound at the token level*:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments are
+//!   tokenized as [`TokenKind::Comment`] — so rule patterns never match
+//!   inside prose;
+//! * string literals (plain, raw `r#"…"#`, byte, byte-raw) and character
+//!   literals are tokenized as [`TokenKind::Str`] / [`TokenKind::Char`] — so
+//!   rule patterns never match inside string contents, while rules that
+//!   *want* string contents (knob names for rule E1) still get them;
+//! * lifetimes are distinguished from character literals;
+//! * the multi-character punctuation the rules care about (`::`, `..`,
+//!   `..=`, `->`) is fused into single tokens.
+//!
+//! Everything else — identifiers, keywords, numbers, remaining punctuation —
+//! comes out as one token per lexeme with its 1-based line number.
+
+/// The class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `env`, …).
+    Ident,
+    /// String literal; [`Token::text`] holds the *inner* contents, without
+    /// quotes, prefixes or hash guards (escapes are left as written).
+    Str,
+    /// Character or byte literal (contents, without quotes).
+    Char,
+    /// Numeric literal (digits, including prefixes/suffixes, as written).
+    Num,
+    /// Lifetime (`'a`), without the leading quote.
+    Lifetime,
+    /// Punctuation; multi-character for `::`, `..`, `..=` and `->`.
+    Punct,
+    /// Comment; [`Token::text`] holds the contents after `//` (trimmed) or
+    /// between `/*` and `*/`.
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is stored per class).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: unterminated literals
+/// simply run to end-of-file (the compiler proper rejects such files long
+/// before this tool sees them in CI).
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer { chars: source.char_indices().collect(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<(usize, char)>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(line),
+                _ => self.punct(line),
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        // Doc slashes (`/// x` lexes as `// / x`) and leading space stripped.
+        let trimmed = text.trim_start_matches(['/', '!']).trim();
+        self.push(TokenKind::Comment, trimmed.to_string(), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::Comment, text.trim().to_string(), line);
+    }
+
+    /// Plain (escaped) string body, after the opening quote.
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw string body: `pos` is at the first `#` or the opening quote.
+    fn raw_string(&mut self, line: u32) {
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for ahead in 0..guards {
+                    if self.peek(ahead) != Some('#') {
+                        text.push(c);
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..guards {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+                     // `'a` / `'static` (no closing quote right after the identifier) is a
+                     // lifetime; `'a'` / `'\n'` is a character literal.
+        let is_lifetime = match (self.peek(0), self.peek(1)) {
+            (Some(c), Some('\'')) if c != '\\' => false, // 'x'
+            (Some(c), _) if c.is_alphabetic() || c == '_' => true,
+            _ => false,
+        };
+        if is_lifetime {
+            let mut text = String::new();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+            return;
+        }
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => text.push(c),
+            }
+        }
+        self.push(TokenKind::Char, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String/char prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        let next = self.peek(0);
+        match (text.as_str(), next) {
+            ("r" | "br" | "b" | "rb", Some('"')) => return self.string_after_prefix(&text, line),
+            ("r" | "br" | "rb", Some('#')) if self.raw_guard_opens_string() => {
+                return self.raw_string(line)
+            }
+            ("b", Some('\'')) => {
+                self.bump();
+                let mut body = String::new();
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            body.push(c);
+                            if let Some(escaped) = self.bump() {
+                                body.push(escaped);
+                            }
+                        }
+                        '\'' => break,
+                        _ => body.push(c),
+                    }
+                }
+                self.push(TokenKind::Char, body, line);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// After an `r`/`br` prefix followed by `#`: true when the `#` run ends
+    /// in a quote (raw string), false for raw identifiers (`r#ident`).
+    fn raw_guard_opens_string(&self) -> bool {
+        let mut ahead = 0;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+
+    fn string_after_prefix(&mut self, prefix: &str, line: u32) {
+        if prefix.contains('r') {
+            self.raw_string(line);
+        } else {
+            self.string(line);
+        }
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.bump().expect("punct called at end of input");
+        let text = match (c, self.peek(0)) {
+            (':', Some(':')) => {
+                self.bump();
+                "::".to_string()
+            }
+            ('.', Some('.')) => {
+                self.bump();
+                if self.peek(0) == Some('=') {
+                    self.bump();
+                    "..=".to_string()
+                } else {
+                    "..".to_string()
+                }
+            }
+            ('-', Some('>')) => {
+                self.bump();
+                "->".to_string()
+            }
+            _ => c.to_string(),
+        };
+        self.push(TokenKind::Punct, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_code_tokens() {
+        let toks = kinds("// unsafe HashMap\nlet s = \"Instant::now()\";");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Comment && t.contains("unsafe")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unsafe"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "Instant"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("Instant")));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* a /* b */ c */ fn x() {}");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn raw_strings_and_guards() {
+        let toks = kinds(r####"let x = r#"quote " inside"#; let y = 1;"####);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Str && t.contains("quote \" inside")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn multi_char_puncts_are_fused() {
+        let toks = kinds("env::var(0..=5); a..b; f() -> T");
+        let puncts: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"..="));
+        assert!(puncts.contains(&".."));
+        assert!(puncts.contains(&"->"));
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let toks = lex("a\nb\n\nc");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let toks = lex("/// # Safety\n//! inner\nfn f() {}");
+        assert_eq!(toks[0].text, "# Safety");
+        assert_eq!(toks[1].text, "inner");
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI entry point: `cargo run -p bh_analyze -- [--root PATH] [--deny]`.
+//!
+//! Prints every finding as `path:line: [RULE] message`. With `--deny` the
+//! process exits nonzero when any finding exists — this is how CI gates on
+//! the lint pass. Without `--deny` the findings are informational and the
+//! exit code stays 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => {
+                    eprintln!("bh_analyze: --root requires a path argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: bh_analyze [--root PATH] [--deny]");
+                println!("  --root PATH  workspace root to analyze (default: .)");
+                println!("  --deny       exit nonzero when any finding exists");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bh_analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When invoked via `cargo run` the working directory is already the
+    // workspace root; fall back to the manifest's grandparent so the tool
+    // also works from inside the crate directory.
+    if root.as_os_str() == "." && !root.join("Cargo.toml").exists() {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let manifest = PathBuf::from(manifest);
+            if let Some(ws) = manifest.ancestors().nth(2) {
+                root = ws.to_path_buf();
+            }
+        }
+    }
+
+    let diagnostics = match bh_analyze::analyze_root(&root) {
+        Ok(diagnostics) => diagnostics,
+        Err(err) => {
+            eprintln!("bh_analyze: failed to read workspace at {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diagnostic in &diagnostics {
+        println!("{diagnostic}");
+    }
+    if diagnostics.is_empty() {
+        eprintln!("bh_analyze: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bh_analyze: {} finding(s)", diagnostics.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

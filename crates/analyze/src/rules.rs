@@ -1,0 +1,596 @@
+//! The rule implementations behind `bh_analyze`.
+//!
+//! Every rule operates on the token stream of [`crate::lexer`] plus a small
+//! amount of per-file context (crate classification, `#[cfg(test)]` regions,
+//! the inline allowlist). Rules are deliberately *heuristic at the token
+//! level* — they aim to make determinism and safety hazards loud and
+//! greppable, not to re-implement the borrow checker; the inline allowlist
+//! (`// bh-analyze: allow(<rule>) -- <reason>`) is the escape hatch for the
+//! rare justified exception, and the mandatory reason keeps every escape
+//! self-documenting.
+
+use crate::lexer::{Token, TokenKind};
+use crate::{Diagnostic, SourceFile};
+use std::collections::BTreeMap;
+
+/// The rule identifiers `bh_analyze` knows (plus the internal `A0` meta rule
+/// diagnosing malformed allowlist comments, which cannot itself be allowed).
+pub const RULE_IDS: &[&str] = &["D1", "D2", "S1", "E1", "X1"];
+
+/// Crates whose simulation results are pinned by golden digests: hash-order
+/// nondeterminism is banned outright in their non-test code (rule D1).
+pub const DIGEST_PINNED_CRATES: &[&str] = &["dram", "mem", "mitigation", "sim", "cpu", "workloads"];
+
+/// The crate exempt from rule D2 (its whole purpose is wall-clock timing).
+pub const D2_EXEMPT_CRATE: &str = "bench";
+
+/// Ambient-nondeterminism identifiers rejected by rule D2.
+const D2_BANNED_IDENTS: &[(&str, &str)] = &[
+    ("Instant", "std::time::Instant reads the wall clock"),
+    ("SystemTime", "std::time::SystemTime reads the wall clock"),
+    ("thread_rng", "thread_rng draws from an ambient, unseeded RNG"),
+];
+
+/// Workspace-level facts shared by every per-file rule pass: the knob
+/// registry parsed from `bh_core::knobs` (rule E1) and the set of structs
+/// marked `bh-exhaustive` (rule X1).
+#[derive(Debug, Default)]
+pub struct WorkspaceContext {
+    /// Registered knob names mapped to the registry line declaring them.
+    pub knob_registry: BTreeMap<String, u32>,
+    /// Relative path of the registry file (diagnostic anchor for E1).
+    pub registry_path: String,
+    /// `bh-exhaustive`-marked struct names, mapped to `file:line` of the
+    /// marker (for diagnostics).
+    pub exhaustive_structs: BTreeMap<String, String>,
+}
+
+impl WorkspaceContext {
+    /// Builds the workspace context from the lexed files (first pass).
+    pub fn gather(files: &[SourceFile]) -> Self {
+        let mut ctx = WorkspaceContext::default();
+        for file in files {
+            if file.rel_path.ends_with("crates/core/src/knobs.rs") {
+                ctx.registry_path = file.rel_path.clone();
+                collect_knob_registry(&file.tokens, &mut ctx.knob_registry);
+            }
+            collect_exhaustive_markers(file, &mut ctx.exhaustive_structs);
+        }
+        ctx
+    }
+}
+
+/// Extracts the `BH_*` string literals inside the `KNOBS` table. Scoped to
+/// the bracketed initializer so test fixtures elsewhere in the file (e.g.
+/// `"BH_NOT_A_KNOB"`) are not mistaken for registrations.
+fn collect_knob_registry(tokens: &[Token], registry: &mut BTreeMap<String, u32>) {
+    let Some(start) =
+        tokens.windows(2).position(|w| w[0].is_ident("const") && w[1].is_ident("KNOBS"))
+    else {
+        return;
+    };
+    // Skip past the `=` so the bracket of the *initializer* is matched, not
+    // the `[` inside the `&[Knob]` type annotation.
+    let Some(eq) = tokens[start..].iter().position(|t| t.is_punct("=")).map(|i| i + start) else {
+        return;
+    };
+    let Some(open) = tokens[eq..].iter().position(|t| t.is_punct("[")).map(|i| i + eq) else {
+        return;
+    };
+    let mut depth = 0i32;
+    for token in &tokens[open..] {
+        if token.kind == TokenKind::Punct {
+            match token.text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if token.kind == TokenKind::Str && token.text.starts_with("BH_") {
+            registry.entry(token.text.clone()).or_insert(token.line);
+        }
+    }
+}
+
+/// Records `// bh-exhaustive`-marked struct names: the marker comment must
+/// precede the struct item (attributes and further comments may sit between).
+fn collect_exhaustive_markers(file: &SourceFile, out: &mut BTreeMap<String, String>) {
+    for (i, token) in file.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Comment || !token.text.starts_with("bh-exhaustive") {
+            continue;
+        }
+        // The next `struct` keyword names the marked struct; the scan gives
+        // up after a bounded window so a stray marker cannot capture an
+        // unrelated item much further down the file.
+        for next in &file.tokens[i + 1..(i + 40).min(file.tokens.len())] {
+            if next.is_ident("struct") {
+                let index = file.tokens.iter().position(|t| std::ptr::eq(t, next));
+                if let Some(pos) = index {
+                    if let Some(name) = file.tokens.get(pos + 1) {
+                        if name.kind == TokenKind::Ident {
+                            out.insert(
+                                name.text.clone(),
+                                format!("{}:{}", file.rel_path, token.line),
+                            );
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// One parsed `// bh-analyze: allow(<rules>) -- <reason>` comment.
+#[derive(Debug)]
+struct Allow {
+    rules: Vec<String>,
+    line: u32,
+}
+
+/// Per-file analysis state: lexed tokens, line classification, `#[cfg(test)]`
+/// regions and the parsed allowlist.
+pub struct FileAnalysis<'a> {
+    file: &'a SourceFile,
+    /// Raw source lines (1-based access via `line(n)`).
+    lines: Vec<&'a str>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]`/`#[test]` items.
+    test_regions: Vec<(u32, u32)>,
+    allows: Vec<Allow>,
+}
+
+impl std::fmt::Debug for FileAnalysis<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileAnalysis").field("path", &self.file.rel_path).finish_non_exhaustive()
+    }
+}
+
+impl<'a> FileAnalysis<'a> {
+    /// Prepares the per-file context, emitting `A0` diagnostics for
+    /// malformed allowlist comments.
+    pub fn new(file: &'a SourceFile, diagnostics: &mut Vec<Diagnostic>) -> Self {
+        let lines = file.source.lines().collect();
+        let test_regions = find_test_regions(&file.tokens);
+        let mut allows = Vec::new();
+        for token in &file.tokens {
+            if token.kind != TokenKind::Comment {
+                continue;
+            }
+            let Some(rest) = token.text.strip_prefix("bh-analyze:") else { continue };
+            match parse_allow(rest.trim()) {
+                Ok(rules) => allows.push(Allow { rules, line: token.line }),
+                Err(problem) => diagnostics.push(Diagnostic {
+                    path: file.rel_path.clone(),
+                    line: token.line,
+                    rule: "A0",
+                    message: format!("malformed bh-analyze comment: {problem}"),
+                }),
+            }
+        }
+        FileAnalysis { file, lines, test_regions, allows }
+    }
+
+    fn line(&self, n: u32) -> &str {
+        self.lines.get(n.saturating_sub(1) as usize).copied().unwrap_or("")
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test_region(&self, line: u32) -> bool {
+        self.test_regions.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// True when a violation of `rule` at `line` is covered by an allowlist
+    /// comment on the same line or the line directly above.
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// Pushes a diagnostic unless an allowlist comment covers it.
+    fn report(
+        &self,
+        diagnostics: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: u32,
+        message: String,
+    ) {
+        if self.allowed(rule, line) {
+            return;
+        }
+        diagnostics.push(Diagnostic { path: self.file.rel_path.clone(), line, rule, message });
+    }
+}
+
+/// Parses the tail of a `bh-analyze:` comment: `allow(<R>[, <R>…]) -- reason`.
+fn parse_allow(rest: &str) -> Result<Vec<String>, String> {
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>) -- <reason>`".to_string());
+    };
+    let Some((list, tail)) = inner.split_once(')') else {
+        return Err("unclosed allow(...) list".to_string());
+    };
+    let rules: Vec<String> =
+        list.split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return Err("allow() names no rules".to_string());
+    }
+    for rule in &rules {
+        if !RULE_IDS.contains(&rule.as_str()) {
+            return Err(format!("unknown rule `{rule}` (known: {})", RULE_IDS.join(", ")));
+        }
+    }
+    let tail = tail.trim();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return Err("missing mandatory `-- <reason>` after allow(...)".to_string());
+    };
+    if reason.trim().is_empty() {
+        return Err("the `--` reason must not be empty".to_string());
+    }
+    Ok(rules)
+}
+
+/// Finds `#[cfg(test)] mod … { … }` / `#[test] fn … { … }` line spans.
+fn find_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !tokens[i].is_punct("#") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens between [ and its matching ].
+        let Some(open) = tokens.get(i + 1).filter(|t| t.is_punct("[")) else {
+            i += 1;
+            continue;
+        };
+        let _ = open;
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if t.kind == TokenKind::Ident {
+                attr_idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_test_attr = match attr_idents.first() {
+            Some(&"cfg") => attr_idents.contains(&"test"),
+            Some(&"test") => true,
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // The attribute covers the next item: its region runs to the matching
+        // close of the item's first `{` (or ends at a `;` for extern items).
+        let mut k = j + 1;
+        let mut brace_depth = 0i32;
+        let start_line = tokens[i].line;
+        let mut end_line = start_line;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" => brace_depth += 1,
+                    "}" => {
+                        brace_depth -= 1;
+                        if brace_depth == 0 {
+                            end_line = t.line;
+                            break;
+                        }
+                    }
+                    ";" if brace_depth == 0 => {
+                        end_line = t.line;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Rule D1: no `HashMap`/`HashSet` in the non-test code of digest-pinned
+/// crates. Mere presence is banned — iteration order is the hazard, and a
+/// lookup-only use must carry an explicit allow with its justification.
+pub fn rule_d1(analysis: &FileAnalysis<'_>, diagnostics: &mut Vec<Diagnostic>) {
+    let Some(krate) = analysis.file.crate_name.as_deref() else { return };
+    if !DIGEST_PINNED_CRATES.contains(&krate) || analysis.file.is_test_path {
+        return;
+    }
+    for token in &analysis.file.tokens {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        if token.text != "HashMap" && token.text != "HashSet" {
+            continue;
+        }
+        if analysis.in_test_region(token.line) {
+            continue;
+        }
+        analysis.report(
+            diagnostics,
+            "D1",
+            token.line,
+            format!(
+                "{} in digest-pinned crate bh_{krate}: hash iteration order is \
+                 nondeterministic; use FlatMap/BTreeMap or a sorted drain",
+                token.text
+            ),
+        );
+    }
+}
+
+/// Rule D2: no wall-clock or ambient-nondeterminism sources outside
+/// `bh_bench` and test code.
+pub fn rule_d2(analysis: &FileAnalysis<'_>, diagnostics: &mut Vec<Diagnostic>) {
+    if analysis.file.crate_name.as_deref() == Some(D2_EXEMPT_CRATE) || analysis.file.is_test_path {
+        return;
+    }
+    let tokens = &analysis.file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if analysis.in_test_region(token.line) {
+            continue;
+        }
+        match token.kind {
+            TokenKind::Ident => {
+                for &(ident, why) in D2_BANNED_IDENTS {
+                    if token.text == ident {
+                        analysis.report(
+                            diagnostics,
+                            "D2",
+                            token.line,
+                            format!("{why}; simulation code must stay deterministic"),
+                        );
+                    }
+                }
+                // `thread::current()` (thread-id-dependent behavior).
+                if token.text == "thread"
+                    && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_ident("current"))
+                {
+                    analysis.report(
+                        diagnostics,
+                        "D2",
+                        token.line,
+                        "thread::current() makes behavior depend on scheduling identity"
+                            .to_string(),
+                    );
+                }
+            }
+            // Pointer-value formatting: addresses vary run to run (ASLR).
+            // The needle is assembled from chars so this rule's own source
+            // does not contain the banned byte sequence.
+            TokenKind::Str if token.text.contains(&[':', 'p', '}'].iter().collect::<String>()) => {
+                analysis.report(
+                    diagnostics,
+                    "D2",
+                    token.line,
+                    "pointer-value formatting leaks ASLR-randomized addresses into output"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule S1: every `unsafe` keyword (block, fn, impl) must be immediately
+/// preceded by a `// SAFETY:` comment (or a `# Safety` doc section reachable
+/// through the contiguous comment/attribute block above it).
+pub fn rule_s1(analysis: &FileAnalysis<'_>, diagnostics: &mut Vec<Diagnostic>) {
+    for token in &analysis.file.tokens {
+        if !token.is_ident("unsafe") {
+            continue;
+        }
+        if !safety_comment_precedes(analysis, token.line) {
+            analysis.report(
+                diagnostics,
+                "S1",
+                token.line,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment (or \
+                 `# Safety` doc section)"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Walks upward from the line holding `unsafe` through the contiguous run of
+/// comment / attribute / blank lines, accepting the first comment that
+/// carries a `SAFETY:` or `# Safety` marker. A same-line trailing comment
+/// also counts.
+fn safety_comment_precedes(analysis: &FileAnalysis<'_>, line: u32) -> bool {
+    let has_marker = |s: &str| s.contains("SAFETY:") || s.contains("# Safety");
+    if has_marker(analysis.line(line)) {
+        return true;
+    }
+    let mut n = line.saturating_sub(1);
+    while n >= 1 {
+        let trimmed = analysis.line(n).trim();
+        if trimmed.is_empty() || trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+            n -= 1;
+            continue;
+        }
+        let is_comment =
+            trimmed.starts_with("//") || trimmed.starts_with("/*") || trimmed.starts_with('*');
+        if is_comment {
+            if has_marker(trimmed) {
+                return true;
+            }
+            n -= 1;
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Rule E1 (per-file half): every literal `env::var("BH_…")` /
+/// `env::var_os("BH_…")` read must name a knob registered in
+/// `bh_core::knobs::KNOBS`.
+pub fn rule_e1_sites(
+    analysis: &FileAnalysis<'_>,
+    ctx: &WorkspaceContext,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let tokens = &analysis.file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("env") {
+            continue;
+        }
+        let reads_var = tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("var") || t.is_ident("var_os"));
+        if !reads_var {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 4) else { continue };
+        if !(tokens[i + 3].is_punct("(") && name.kind == TokenKind::Str) {
+            continue;
+        }
+        if !name.text.starts_with("BH_") {
+            continue;
+        }
+        if !ctx.knob_registry.contains_key(&name.text) {
+            analysis.report(
+                diagnostics,
+                "E1",
+                name.line,
+                format!(
+                    "`{}` is read from the environment but not registered in \
+                     bh_core::knobs::KNOBS",
+                    name.text
+                ),
+            );
+        }
+    }
+}
+
+/// Rule E1 (workspace half): every registered knob must appear in the README
+/// knob table.
+pub fn rule_e1_readme(
+    ctx: &WorkspaceContext,
+    readme: Option<&str>,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    if ctx.knob_registry.is_empty() {
+        return;
+    }
+    let Some(readme) = readme else {
+        diagnostics.push(Diagnostic {
+            path: ctx.registry_path.clone(),
+            line: 1,
+            rule: "E1",
+            message: "knobs are registered but the workspace has no README.md to document \
+                      them"
+                .to_string(),
+        });
+        return;
+    };
+    for (name, &line) in &ctx.knob_registry {
+        if !readme.contains(name.as_str()) {
+            diagnostics.push(Diagnostic {
+                path: ctx.registry_path.clone(),
+                line,
+                rule: "E1",
+                message: format!("registered knob `{name}` is missing from the README knob table"),
+            });
+        }
+    }
+}
+
+/// Keywords that, when directly preceding `Name {`, mean the brace opens an
+/// item or type body rather than a struct literal/pattern.
+const X1_EXCLUDED_PREV: &[&str] =
+    &["impl", "struct", "enum", "trait", "union", "mod", "fn", "dyn", "as", "in"];
+
+/// Rule X1: a struct marked `// bh-exhaustive` must be used exhaustively —
+/// no `..` rest pattern or functional-update tail at any `Name { … }` site.
+pub fn rule_x1(
+    analysis: &FileAnalysis<'_>,
+    ctx: &WorkspaceContext,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let tokens = &analysis.file.tokens;
+    for (i, token) in tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || !ctx.exhaustive_structs.contains_key(&token.text) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct("{")) {
+            continue;
+        }
+        // Walk back over a `path::to::Name` chain, then check what precedes:
+        // `impl Name {`, `-> Name {`, `struct Name {` … open item bodies, not
+        // struct-literal/pattern braces.
+        let mut head = i;
+        while head >= 2
+            && tokens[head - 1].is_punct("::")
+            && tokens[head - 2].kind == TokenKind::Ident
+        {
+            head -= 2;
+        }
+        if head > 0 {
+            let prev = &tokens[head - 1];
+            let excludes_by_ident =
+                prev.kind == TokenKind::Ident && X1_EXCLUDED_PREV.contains(&prev.text.as_str());
+            let excludes_by_punct = prev.kind == TokenKind::Punct
+                && matches!(prev.text.as_str(), "->" | ":" | "<" | "&" | "#");
+            if excludes_by_ident || excludes_by_punct {
+                continue;
+            }
+        }
+        // Scan the braced region (depth-balanced over all bracket kinds) for
+        // a top-level `..` / `..=`.
+        let mut depth = 0i32;
+        for t in &tokens[i + 1..] {
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "{" | "(" | "[" => depth += 1,
+                    "}" | ")" | "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ".." | "..=" if depth == 1 => {
+                        analysis.report(
+                            diagnostics,
+                            "X1",
+                            t.line,
+                            format!(
+                                "`..` in a `{} {{ … }}` site: the struct is marked \
+                                 bh-exhaustive ({}) — name every field so new fields \
+                                 cannot silently drop out of accumulate/merge paths",
+                                token.text, ctx.exhaustive_structs[&token.text]
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Fixture-based self-tests of the `bh_analyze` rule engine.
+//!
+//! Each fixture under `tests/fixtures/` is a miniature workspace root (so
+//! crate classification and test-path detection run for real). `*_fire`
+//! fixtures must produce exactly the expected findings; `*_clean` fixtures
+//! must produce none; the allowlist fixture must suppress its findings.
+//! On top of the in-process checks, the compiled binary is exercised end to
+//! end: `--deny` must exit nonzero on a firing fixture, zero on a clean one,
+//! and zero on the real workspace (the same invocation CI gates on).
+
+use bh_analyze::{analyze_root, Diagnostic};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap().to_path_buf()
+}
+
+fn run(name: &str) -> Vec<Diagnostic> {
+    analyze_root(&fixture(name)).expect("fixture analyzes")
+}
+
+/// The `(rule, path)` pairs of the findings, for order-stable assertions.
+fn rule_sites(diagnostics: &[Diagnostic]) -> Vec<(&str, &str)> {
+    diagnostics.iter().map(|d| (d.rule, d.path.as_str())).collect()
+}
+
+#[test]
+fn d1_fires_on_hash_collections_in_pinned_crates() {
+    let diagnostics = run("d1_fire");
+    assert!(!diagnostics.is_empty());
+    assert!(diagnostics.iter().all(|d| d.rule == "D1"), "{diagnostics:?}");
+    // One finding per HashMap/HashSet mention: the use line and the two
+    // body mentions each count.
+    assert!(diagnostics.len() >= 2, "{diagnostics:?}");
+    assert!(diagnostics.iter().all(|d| d.path == "crates/mem/src/lib.rs"));
+}
+
+#[test]
+fn d1_ignores_btreemap_tests_and_unpinned_crates() {
+    assert_eq!(run("d1_clean"), vec![]);
+}
+
+#[test]
+fn d1_allowlist_suppresses_with_reason() {
+    assert_eq!(run("d1_allow"), vec![]);
+}
+
+#[test]
+fn d2_fires_on_ambient_nondeterminism() {
+    let diagnostics = run("d2_fire");
+    assert!(diagnostics.iter().all(|d| d.rule == "D2"), "{diagnostics:?}");
+    let messages: Vec<&str> = diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("Instant")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("thread_rng")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("scheduling identity")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("ASLR")), "{messages:?}");
+}
+
+#[test]
+fn d2_exempts_bench_and_test_modules() {
+    assert_eq!(run("d2_clean"), vec![]);
+}
+
+#[test]
+fn s1_fires_on_bare_unsafe() {
+    let diagnostics = run("s1_fire");
+    assert_eq!(rule_sites(&diagnostics), vec![("S1", "crates/cpu/src/lib.rs")]);
+}
+
+#[test]
+fn s1_accepts_safety_comments_doc_sections_and_trailing_markers() {
+    assert_eq!(run("s1_clean"), vec![]);
+}
+
+#[test]
+fn e1_fires_on_unregistered_reads_and_undocumented_knobs() {
+    let diagnostics = run("e1_fire");
+    let sites = rule_sites(&diagnostics);
+    // The unregistered env::var("BH_BAR") read…
+    assert!(sites.contains(&("E1", "crates/bench/src/lib.rs")), "{diagnostics:?}");
+    // …and the registered-but-undocumented BH_FOO, anchored to the registry.
+    assert!(sites.contains(&("E1", "crates/core/src/knobs.rs")), "{diagnostics:?}");
+    assert_eq!(diagnostics.len(), 2, "{diagnostics:?}");
+    assert!(diagnostics.iter().any(|d| d.message.contains("BH_BAR")));
+    assert!(diagnostics.iter().any(|d| d.message.contains("BH_FOO")));
+}
+
+#[test]
+fn e1_passes_registered_documented_knobs() {
+    assert_eq!(run("e1_clean"), vec![]);
+}
+
+#[test]
+fn x1_fires_on_rest_patterns_of_marked_structs() {
+    let diagnostics = run("x1_fire");
+    // Both the `..` pattern in `merge` and the functional-update `..base`.
+    assert_eq!(
+        rule_sites(&diagnostics),
+        vec![("X1", "crates/dram/src/lib.rs"), ("X1", "crates/dram/src/lib.rs")]
+    );
+    assert!(diagnostics.iter().all(|d| d.message.contains("bh-exhaustive")));
+}
+
+#[test]
+fn x1_ignores_exhaustive_sites_unmarked_structs_and_item_braces() {
+    assert_eq!(run("x1_clean"), vec![]);
+}
+
+#[test]
+fn a0_fires_on_malformed_allow_comments() {
+    let diagnostics = run("a0_fire");
+    assert_eq!(diagnostics.len(), 3, "{diagnostics:?}");
+    assert!(diagnostics.iter().all(|d| d.rule == "A0"));
+    let messages: Vec<&str> = diagnostics.iter().map(|d| d.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("reason")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("unknown rule")), "{messages:?}");
+    assert!(messages.iter().any(|m| m.contains("names no rules")), "{messages:?}");
+}
+
+fn bh_analyze_status(root: &Path, deny: bool) -> std::process::ExitStatus {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bh_analyze"));
+    cmd.arg("--root").arg(root);
+    if deny {
+        cmd.arg("--deny");
+    }
+    cmd.output().expect("bh_analyze runs").status
+}
+
+#[test]
+fn deny_exits_nonzero_on_each_positive_fixture() {
+    for name in ["d1_fire", "d2_fire", "s1_fire", "e1_fire", "x1_fire", "a0_fire"] {
+        let status = bh_analyze_status(&fixture(name), true);
+        assert!(!status.success(), "{name} should fail under --deny");
+        // Findings without --deny are informational: exit 0.
+        let status = bh_analyze_status(&fixture(name), false);
+        assert!(status.success(), "{name} should pass without --deny");
+    }
+}
+
+#[test]
+fn deny_exits_zero_on_clean_fixtures() {
+    for name in ["d1_clean", "d2_clean", "s1_clean", "e1_clean", "x1_clean", "d1_allow"] {
+        let status = bh_analyze_status(&fixture(name), true);
+        assert!(status.success(), "{name} should pass under --deny");
+    }
+}
+
+/// The invariant CI gates on: the real workspace is clean under `--deny`.
+#[test]
+fn real_workspace_passes_deny() {
+    let root = workspace_root();
+    assert!(root.join("Cargo.toml").exists(), "workspace root not found at {root:?}");
+    let diagnostics = analyze_root(&root).expect("workspace analyzes");
+    assert_eq!(diagnostics, vec![], "workspace must be bh_analyze-clean");
+    assert!(bh_analyze_status(&root, true).success());
+}

@@ -1,0 +1,17 @@
+//! A0 positive: malformed bh-analyze comments are findings themselves.
+use std::collections::BTreeMap;
+
+// bh-analyze: allow(D1)
+pub fn missing_reason() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+// bh-analyze: allow(Z9) -- no such rule
+pub fn unknown_rule() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+// bh-analyze: allow() -- empty list
+pub fn empty_list() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}

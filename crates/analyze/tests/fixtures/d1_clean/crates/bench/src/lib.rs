@@ -1,0 +1,10 @@
+//! D1 negative: bh_bench is not digest-pinned, HashMap is allowed here.
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u32]) -> HashMap<u32, usize> {
+    let mut out = HashMap::new();
+    for &v in values {
+        *out.entry(v).or_insert(0) += 1;
+    }
+    out
+}

@@ -1,0 +1,18 @@
+//! D1 negative: BTreeMap in pinned code; HashMap only inside #[cfg(test)].
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_map_is_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

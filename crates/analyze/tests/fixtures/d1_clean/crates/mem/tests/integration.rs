@@ -1,0 +1,8 @@
+//! D1 negative: integration-test paths are exempt even in pinned crates.
+use std::collections::HashMap;
+
+#[test]
+fn integration_tests_may_hash() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    assert!(m.is_empty());
+}

@@ -1,0 +1,6 @@
+//! D1 positive: HashMap/HashSet in a digest-pinned crate's non-test code.
+use std::collections::{HashMap, HashSet};
+
+pub fn build() -> (HashMap<u32, u32>, HashSet<u32>) {
+    (HashMap::new(), HashSet::new())
+}

@@ -1,0 +1,16 @@
+//! D2 negative: deterministic simulation code plus a timing test module.
+
+pub fn step(cycle: u64) -> u64 {
+    cycle + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_time_themselves() {
+        let start = Instant::now();
+        assert!(start.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,11 @@
+//! D2 positive: wall-clock and ambient nondeterminism in simulation code.
+use std::time::Instant;
+
+pub fn timestamped() -> u64 {
+    let start = Instant::now();
+    let tid = std::thread::current().id();
+    let seed = rand::thread_rng();
+    let _ = (tid, seed);
+    let label = format!("{:p}", &start);
+    label.len() as u64
+}

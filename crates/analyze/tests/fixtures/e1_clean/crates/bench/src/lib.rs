@@ -1,0 +1,15 @@
+//! E1 negative: the read names a registered knob; a non-BH variable and a
+//! non-literal read are out of scope for the rule.
+use std::env;
+
+pub fn registered_read() -> Option<String> {
+    env::var("BH_FOO").ok()
+}
+
+pub fn other_namespace() -> Option<String> {
+    env::var("CARGO_TERM_COLOR").ok()
+}
+
+pub fn dynamic_read(name: &str) -> Option<String> {
+    env::var(name).ok()
+}

@@ -1,0 +1,13 @@
+//! E1 fixture registry: registers BH_FOO, which the README documents.
+
+pub struct Knob {
+    pub name: &'static str,
+    pub summary: &'static str,
+    pub default: &'static str,
+}
+
+pub const KNOBS: &[Knob] = &[Knob {
+    name: "BH_FOO",
+    summary: "a registered fixture knob",
+    default: "unset",
+}];

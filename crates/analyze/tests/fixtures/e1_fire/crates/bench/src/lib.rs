@@ -1,0 +1,6 @@
+//! E1 positive: reads a BH_* variable that the registry does not know.
+use std::env;
+
+pub fn unregistered_read() -> Option<String> {
+    env::var("BH_BAR").ok()
+}

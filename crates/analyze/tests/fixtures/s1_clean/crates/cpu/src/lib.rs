@@ -1,0 +1,24 @@
+//! S1 negative: every `unsafe` carries its justification.
+
+pub fn peek(values: &[u64]) -> u64 {
+    // SAFETY: the caller-visible contract of this fixture guarantees the
+    // slice is non-empty, so index 0 is in bounds.
+    unsafe { *values.get_unchecked(0) }
+}
+
+/// Doc-commented unsafe fn: the `# Safety` section satisfies S1 even with
+/// attributes stacked between the docs and the keyword.
+///
+/// # Safety
+///
+/// `ptr` must be valid for reads of one `u64`.
+#[inline]
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn read_raw(ptr: *const u64) -> u64 {
+    // SAFETY: validity is the caller's obligation per the `# Safety` section.
+    unsafe { *ptr }
+}
+
+pub fn trailing(values: &[u64]) -> u64 {
+    unsafe { *values.get_unchecked(0) } // SAFETY: fixture slice is non-empty.
+}

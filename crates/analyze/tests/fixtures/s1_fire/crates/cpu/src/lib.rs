@@ -1,0 +1,5 @@
+//! S1 positive: `unsafe` without a SAFETY comment.
+
+pub fn peek(values: &[u64]) -> u64 {
+    unsafe { *values.get_unchecked(0) }
+}

@@ -1,0 +1,34 @@
+//! X1 negative: exhaustive destructures, unmarked structs with `..`, and
+//! non-literal brace contexts (impl blocks, ranges) that must not fire.
+
+// bh-exhaustive: `merge` must see every field.
+pub struct Stats {
+    pub activations: u64,
+    pub refreshes: u64,
+}
+
+/// An unmarked struct: `..` stays legal at its use sites.
+pub struct Loose {
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Stats {
+    pub fn total(&self) -> u64 {
+        self.activations + self.refreshes
+    }
+}
+
+pub fn merge(stats: &Stats) -> u64 {
+    let Stats { activations, refreshes } = stats;
+    let mut sum = 0;
+    for i in 0..*activations {
+        sum += i % 2;
+    }
+    sum + *refreshes
+}
+
+pub fn loose(l: &Loose) -> u64 {
+    let Loose { a, .. } = l;
+    *a
+}

@@ -1,0 +1,17 @@
+//! X1 positive: a `..` rest pattern at a bh-exhaustive struct's use site.
+
+// bh-exhaustive: `merge` must see every field; new fields must not
+// silently drop out of the accumulation.
+pub struct Stats {
+    pub activations: u64,
+    pub refreshes: u64,
+}
+
+pub fn merge(stats: &Stats) -> u64 {
+    let Stats { activations, .. } = stats;
+    *activations
+}
+
+pub fn update(base: Stats) -> Stats {
+    Stats { activations: 1, ..base }
+}

@@ -21,6 +21,10 @@
 //! Environment knobs (shared with the criterion shim): `BH_BENCH_SAMPLES`
 //! (default 10) and `BH_BENCH_TARGET_MS` (per-sample budget, default 50).
 
+// Wall-clock reads are this binary's whole job (bh_bench is the one crate
+// exempt from determinism rule D2).
+#![allow(clippy::disallowed_methods)]
+
 use bh_dram::{
     BankAddr, DramChannel, DramGeometry, RowAddr, RowHammerTracker, ThreadId, TimingParams,
 };
@@ -49,7 +53,7 @@ struct BenchResult {
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&n| n > 0).unwrap_or(default)
+    bh_core::knobs::positive_usize(name, "the built-in default").unwrap_or(default)
 }
 
 /// Calibrates an iteration count filling the per-sample budget, then reports

@@ -30,6 +30,10 @@
 //! them. `BH_TEST_FORCE_PANIC_MIX=<substring>` is a test hook that forces
 //! matching cells to panic, exercising this isolation end to end.
 
+// The completed-cell set is membership-only (never iterated for output);
+// bh-bench is outside the digest-pinned set.
+#![allow(clippy::disallowed_types)]
+
 use bh_bench::campaign::{report_table, CampaignSpec, ResultStore};
 use bh_bench::{print_results, Scale};
 use bh_mitigation::MechanismKind;
@@ -146,7 +150,7 @@ fn build_spec(options: &Options) -> CampaignSpec {
     spec.breakhammer_options = options.breakhammer_options.clone();
     // Test hook: force cells whose mix name contains the given substring to
     // panic, exercising the sweep's panic isolation end to end.
-    spec.force_panic_mix = std::env::var("BH_TEST_FORCE_PANIC_MIX").ok().filter(|s| !s.is_empty());
+    spec.force_panic_mix = bh_core::knobs::raw("BH_TEST_FORCE_PANIC_MIX").filter(|s| !s.is_empty());
     spec
 }
 

@@ -10,10 +10,15 @@ use bh_stats::{fmt3, Table};
 use bh_workloads::{characterize, BenignProfile, TraceGenerator};
 
 fn main() {
-    let window: u64 =
-        std::env::var("BH_TABLE3_WINDOW").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
-    let entries: usize =
-        std::env::var("BH_TRACE_ENTRIES").ok().and_then(|v| v.parse().ok()).unwrap_or(50_000);
+    let window: u64 = bh_core::knobs::u64_value("BH_TABLE3_WINDOW", "the 2 M instruction window")
+        .unwrap_or(2_000_000);
+    let entries: usize = bh_core::knobs::parse_or_warn(
+        "BH_TRACE_ENTRIES",
+        |raw| raw.parse::<usize>().ok(),
+        "is not a number",
+        "50000 records",
+    )
+    .unwrap_or(50_000);
 
     let generator = TraceGenerator::paper_default();
     let mut table = Table::new(["workload", "rbmpki", "act_512+", "act_128+", "act_64+"]);

@@ -16,6 +16,11 @@
 //! The JSONL reader/writer is hand-rolled (the workspace vendors no JSON
 //! crate); it covers exactly the flat objects the engine emits.
 
+// Hash collections are deliberate here: completed-cell ids and report
+// groups are membership/grouping state whose output is explicitly sorted
+// before display, and bh-bench is outside the digest-pinned set.
+#![allow(clippy::disallowed_types)]
+
 use crate::experiments::{evaluate_jobs, paper_config, RunRecord, Scale};
 use crate::Campaign;
 use bh_mitigation::MechanismKind;

@@ -36,7 +36,7 @@ use bh_stats::Table;
 use bh_workloads::{
     scenario_by_name, scenario_catalog, MixBuilder, MixClass, TraceGenerator, WorkloadMix,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Experiment scale knobs (see the module documentation for the environment
 /// variables that override them).
@@ -93,7 +93,10 @@ impl Scale {
     /// variables fall back too, with a one-time warning on stderr naming the
     /// variable and the fallback used.
     pub fn from_env() -> Self {
-        let (scale, warnings) = Scale::from_lookup_with_warnings(|name| std::env::var(name).ok());
+        // Every name `from_lookup_with_warnings` asks for is a registered
+        // knob; routing the lookup through `bh_core::knobs::raw` keeps the
+        // registry honest (debug builds assert registration).
+        let (scale, warnings) = Scale::from_lookup_with_warnings(bh_core::knobs::raw);
         static WARN_ONCE: std::sync::Once = std::sync::Once::new();
         WARN_ONCE.call_once(|| {
             for warning in &warnings {
@@ -369,7 +372,7 @@ pub struct Campaign {
     /// Mixes carrying the composable-attacker scenarios of
     /// [`Scale::scenarios`] (appended to `attack_mixes` in attack sweeps).
     scenario_mixes: Vec<WorkloadMix>,
-    alone_cache: HashMap<String, f64>,
+    alone_cache: BTreeMap<String, f64>,
 }
 
 impl Campaign {
@@ -401,7 +404,7 @@ impl Campaign {
                 scenario_mixes.push(scenario_builder.build(scenario_class, index, scale.seed));
             }
         }
-        Campaign { scale, attack_mixes, benign_mixes, scenario_mixes, alone_cache: HashMap::new() }
+        Campaign { scale, attack_mixes, benign_mixes, scenario_mixes, alone_cache: BTreeMap::new() }
     }
 
     /// The experiment scale in use.
@@ -444,7 +447,7 @@ impl Campaign {
     /// application of every mix suite. Alone baselines are measured on the
     /// unprotected system, so one cache serves every configuration of a
     /// sweep.
-    pub fn warmed_alone_cache(&mut self) -> &HashMap<String, f64> {
+    pub fn warmed_alone_cache(&mut self) -> &BTreeMap<String, f64> {
         self.warm_alone_cache();
         &self.alone_cache
     }
@@ -569,7 +572,7 @@ pub fn evaluate_jobs(
     configs: &[SystemConfig],
     mixes: &[WorkloadMix],
     jobs: &[(usize, usize)],
-    alone_cache: &HashMap<String, f64>,
+    alone_cache: &BTreeMap<String, f64>,
     workers: usize,
     force_panic_mix: Option<&str>,
     on_record: &(dyn Fn(usize, Result<&RunRecord, &str>) + Sync),
@@ -714,7 +717,7 @@ pub fn print_results(title: &str, table: &Table) -> String {
 /// running at a reduced scale, where the per-row thresholds of N_RH = 1K are
 /// not reachable within the shortened simulations.
 pub fn figure_nrh(default: u64) -> u64 {
-    std::env::var("BH_FIG_NRH").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    bh_core::knobs::u64_value("BH_FIG_NRH", "the figure's threshold").unwrap_or(default)
 }
 
 /// Prints the Table 1 / Table 2 configuration summary when `--print-config`
@@ -733,6 +736,7 @@ pub fn maybe_print_config(scale: &Scale) {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
 

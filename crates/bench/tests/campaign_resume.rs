@@ -7,6 +7,9 @@
 //! the simulator is deterministic, equivalence is checked at full strength:
 //! the two stores hold byte-identical lines, modulo ordering.
 
+// Test-only HashSets: completed-cell fixtures and assertion sets.
+#![allow(clippy::disallowed_types)]
+
 use bh_bench::campaign::{report_table, CampaignSpec, ResultStore};
 use bh_bench::Scale;
 use bh_mitigation::MechanismKind;

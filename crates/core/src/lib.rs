@@ -47,6 +47,7 @@
 pub mod breakhammer;
 pub mod config;
 pub mod hw_cost;
+pub mod knobs;
 pub mod scores;
 pub mod security;
 

@@ -612,6 +612,14 @@ fn head_retire_ready_mask_scalar(heads: &[u64; HEAD_CHUNK], next_cycle: Cycle) -
 /// AVX2 arm of [`head_retire_ready_mask`]: tag extraction, both tag
 /// compares and the payload-vs-clock compare run on all four packed heads at
 /// once; the per-lane verdicts come back through the four `f64` sign bits.
+///
+/// # Safety
+///
+/// The caller must verify AVX2 support at runtime
+/// (`is_x86_feature_detected!("avx2")`) before calling, and must pass
+/// `next_cycle <= i64::MAX >> 2` so the signed 64-bit lane compare cannot
+/// misread the payload-vs-clock ordering — both are checked by the sole
+/// caller, [`head_retire_ready_mask`].
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn head_retire_ready_mask_avx2(heads: &[u64; HEAD_CHUNK], next_cycle: Cycle) -> u32 {

@@ -32,6 +32,8 @@ pub struct CommandOutcome {
 }
 
 /// Per-command-kind issue counters.
+// bh-exhaustive: `accumulate` destructures every field; bh_analyze rule X1
+// rejects any `..` at a `DramStats { .. }` use site.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DramStats {
     /// ACT commands issued.

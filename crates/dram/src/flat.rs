@@ -224,6 +224,7 @@ impl<V: Copy + Default> Default for FlatMap<V> {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
     use std::collections::HashMap;

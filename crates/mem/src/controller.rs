@@ -31,6 +31,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Counters describing the controller's activity.
+// bh-exhaustive: `accumulate` destructures every field; bh_analyze rule X1
+// rejects any `..` at a `ControllerStats { .. }` use site.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ControllerStats {
     /// Demand reads completed.

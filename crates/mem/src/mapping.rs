@@ -239,6 +239,7 @@ impl Default for AddressMapping {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
 

@@ -146,10 +146,18 @@ impl ChannelTask {
     /// The referents of the task's pointers must still be live and must not
     /// be accessed by anyone else for the duration of the call.
     unsafe fn run(&self) {
+        // SAFETY: the caller guarantees the controller is live and unshared
+        // for the duration of the call (see the function contract).
         let ctrl = unsafe { &mut *self.ctrl };
+        // SAFETY: same contract — the retry deque belongs to this channel
+        // alone while the task runs.
         let pending = unsafe { &mut *self.pending };
+        // SAFETY: same contract — the event buffer is only dereferenced by
+        // this task, and only when recording was requested at construction.
         let events = if self.record { Some(unsafe { &mut *self.events }) } else { None };
         let ticks = advance_channel(ctrl, pending, events, self.from, self.to);
+        // SAFETY: same contract — the tick out-slot is exclusively ours
+        // until the dispatch barrier releases the borrowing caller.
         unsafe { *self.ticks += ticks };
     }
 }

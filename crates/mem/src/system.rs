@@ -40,6 +40,8 @@ use std::collections::VecDeque;
 
 /// Counters describing epoch-parallel channel stepping (see
 /// [`MemorySystem::advance_epoch`]). All zeros under serial stepping.
+// bh-exhaustive: `accumulate` destructures every field; bh_analyze rule X1
+// rejects any `..` at a `SteppingStats { .. }` use site.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SteppingStats {
     /// Epochs executed (inline or pooled).
@@ -312,27 +314,14 @@ impl MemorySystem {
                 // capped by the machine. A pure throughput knob — epoch
                 // results are bit-identical at any worker count. A value that
                 // is not a positive integer falls back to auto-detection with
-                // a one-time warning rather than failing silently.
-                let participants = match std::env::var("BH_EPOCH_WORKERS") {
-                    Ok(raw) => match raw.parse::<usize>() {
-                        Ok(n) if n > 0 => Some(n),
-                        _ => {
-                            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-                            WARN_ONCE.call_once(|| {
-                                eprintln!(
-                                    "warning: BH_EPOCH_WORKERS={raw:?} is not a positive \
-                                     integer; falling back to one worker per channel"
-                                );
-                            });
-                            None
-                        }
-                    },
-                    Err(_) => None,
-                }
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-                })
-                .min(channels);
+                // a one-time warning rather than failing silently (the shared
+                // parse/warn-once helper in `bh_core::knobs`).
+                let participants =
+                    bh_core::knobs::positive_usize("BH_EPOCH_WORKERS", "one worker per channel")
+                        .unwrap_or_else(|| {
+                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                        })
+                        .min(channels);
                 ChannelPool::new(participants.saturating_sub(1))
             });
             let mut tasks = std::mem::take(&mut self.task_buf);

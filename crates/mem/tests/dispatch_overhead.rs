@@ -22,6 +22,10 @@
 //! The absolute numbers are tracked over time by the `memory_dispatch/*`
 //! entries `bench_hotpath` records in `BENCH_hotpath.json`.
 
+// Wall-clock reads are the point of this regression pin: it times the
+// facade dispatch overhead.
+#![allow(clippy::disallowed_methods)]
+
 use bh_dram::{DramChannel, DramGeometry, ThreadId, TimingParams};
 use bh_mem::{AddressMapping, MemControllerConfig, MemRequest, MemoryController, MemorySystem};
 use bh_mitigation::MechanismKind;

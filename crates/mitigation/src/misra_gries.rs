@@ -284,6 +284,7 @@ impl MisraGries {
 /// lockstep with the flat table and asserts identical observable behaviour,
 /// including the deterministic lowest-row-index eviction rule.
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 pub(crate) mod reference {
     use std::collections::HashMap;
 
@@ -359,6 +360,7 @@ pub(crate) mod reference {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::reference::HashMisraGries;
     use super::*;

@@ -10,7 +10,7 @@ use bh_mitigation::MechanismKind;
 use bh_stats::AppPerf;
 use bh_workloads::WorkloadMix;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The evaluation of one workload mix under one system configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,13 +51,13 @@ impl MixEvaluation {
 #[derive(Debug)]
 pub struct Evaluator {
     config: SystemConfig,
-    alone_cache: HashMap<String, f64>,
+    alone_cache: BTreeMap<String, f64>,
 }
 
 impl Evaluator {
     /// Creates an evaluator for the given configuration.
     pub fn new(config: SystemConfig) -> Self {
-        Evaluator { config, alone_cache: HashMap::new() }
+        Evaluator { config, alone_cache: BTreeMap::new() }
     }
 
     /// The configuration being evaluated.
@@ -77,13 +77,13 @@ impl Evaluator {
 
     /// Pre-seeds the alone-IPC cache (useful to share a cache across
     /// evaluators for different mechanisms).
-    pub fn with_alone_cache(mut self, cache: HashMap<String, f64>) -> Self {
+    pub fn with_alone_cache(mut self, cache: BTreeMap<String, f64>) -> Self {
         self.alone_cache = cache;
         self
     }
 
     /// Returns the current alone-IPC cache.
-    pub fn alone_cache(&self) -> &HashMap<String, f64> {
+    pub fn alone_cache(&self) -> &BTreeMap<String, f64> {
         &self.alone_cache
     }
 
@@ -170,7 +170,7 @@ impl Evaluator {
 /// configurations, sharing the alone-IPC cache between them. Returns one
 /// evaluation per configuration, in order.
 pub fn evaluate_under_configs(mix: &WorkloadMix, configs: &[SystemConfig]) -> Vec<MixEvaluation> {
-    let mut shared_cache: HashMap<String, f64> = HashMap::new();
+    let mut shared_cache: BTreeMap<String, f64> = BTreeMap::new();
     let mut out = Vec::with_capacity(configs.len());
     for cfg in configs {
         let mut evaluator = Evaluator::new(cfg.clone()).with_alone_cache(shared_cache.clone());

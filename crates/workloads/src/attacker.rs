@@ -196,6 +196,7 @@ impl AttackerProfile {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
     use std::collections::HashSet;

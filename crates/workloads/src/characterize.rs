@@ -11,7 +11,7 @@ use bh_cpu::Trace;
 use bh_dram::DramGeometry;
 use bh_mem::AddressMapping;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Characterisation of one workload over one observation window.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,8 +45,10 @@ pub fn characterize(
     window_instructions: u64,
 ) -> WorkloadCharacteristics {
     assert!(window_instructions > 0, "the observation window must be non-empty");
-    let mut open_rows: HashMap<usize, usize> = HashMap::new();
-    let mut row_activations: HashMap<(usize, usize), u64> = HashMap::new();
+    // BTreeMaps, not HashMaps: characterisation feeds table output, and the
+    // digest-pinned crates ban hash iteration order outright (bh_analyze D1).
+    let mut open_rows: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut row_activations: BTreeMap<(usize, usize), u64> = BTreeMap::new();
     let mut instructions = 0u64;
     let mut activations = 0u64;
     let mut index = 0usize;

@@ -160,6 +160,7 @@ impl TraceGenerator {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
     use crate::profile::IntensityClass;

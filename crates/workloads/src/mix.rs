@@ -349,6 +349,7 @@ impl MixBuilder {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
 

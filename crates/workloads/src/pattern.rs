@@ -498,6 +498,7 @@ impl AccessPattern for DecoyPattern {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // test-only hash collections: assertion sets and reference models, never digest-bearing
 mod tests {
     use super::*;
     use crate::placement::{AggressorPlacement, NeighborPlacement};

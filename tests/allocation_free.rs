@@ -59,7 +59,11 @@ fn armed() -> bool {
     ARMED.try_with(Cell::get).unwrap_or(false)
 }
 
+// SAFETY: pure pass-through to the `System` allocator — every pointer and
+// layout obligation of `GlobalAlloc` is delegated unchanged; the counter
+// update touches an atomic only and never allocates.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards to `System.alloc` with the caller's layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if armed() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
@@ -67,10 +71,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.alloc(layout)
     }
 
+    // SAFETY: forwards to `System.dealloc` with the caller's pointer and
+    // layout unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: forwards to `System.realloc` with the caller's arguments
+    // unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if armed() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);

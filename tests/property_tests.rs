@@ -2,6 +2,10 @@
 //! invariants: address-mapping bijectivity, trace serialisation, metric
 //! bounds, Misra–Gries guarantees and BreakHammer score conservation.
 
+// The proptest reference models use HashMap as ground truth on purpose:
+// they must be an independent implementation of the flat tables.
+#![allow(clippy::disallowed_types)]
+
 use breakhammer_suite::breakhammer::{BreakHammer, BreakHammerConfig};
 use breakhammer_suite::cpu::{Trace, TraceEntry};
 use breakhammer_suite::dram::{BankAddr, DramGeometry, DramLocation, PhysAddr, ThreadId};

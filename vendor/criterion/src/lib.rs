@@ -12,6 +12,8 @@
 //! Environment knobs: `BH_BENCH_SAMPLES` (default 10) and
 //! `BH_BENCH_TARGET_MS` (per-sample time budget, default 50).
 
+// Vendored benchmark harness: timing is its purpose.
+#![allow(clippy::disallowed_methods)]
 #![warn(missing_docs)]
 
 pub use std::hint::black_box;
