@@ -58,6 +58,22 @@ fn bench_system(c: &mut Criterion) {
             );
         });
     }
+
+    // The same single-channel workload with the forward-progress watchdog
+    // disabled: the pair bounds the watchdog's epoch-boundary overhead on
+    // the default (enabled) configuration above.
+    let mut no_watchdog = config.clone();
+    no_watchdog.watchdog.enabled = false;
+    group.bench_function("four_core_attack_8k_instructions_no_watchdog", |b| {
+        b.iter_batched(
+            || (no_watchdog.clone(), mix.traces.clone()),
+            |(cfg, traces)| {
+                let system = System::with_compiled(cfg, &traces, vec![0, 1, 2]);
+                system.run()
+            },
+            BatchSize::LargeInput,
+        );
+    });
     group.finish();
 }
 

@@ -4,7 +4,7 @@
 //! ```text
 //! bh_campaign sweep  --store results.jsonl [options]   start a fresh sweep
 //! bh_campaign resume --store results.jsonl [options]   continue an interrupted sweep
-//! bh_campaign report --store results.jsonl             aggregate a store into a table
+//! bh_campaign report --store results.jsonl [--strict]  aggregate a store into a table
 //! ```
 //!
 //! Options (sweep/resume):
@@ -18,6 +18,8 @@
 //! --benign            sweep the benign suite instead of the attack suite
 //! --max-cells N       evaluate at most N cells, then stop (deferred cells
 //!                     are picked up by a later `resume`)
+//! --strict            (report) exit nonzero while any cell is non-ok —
+//!                     failed, livelocked or budget-cut
 //! ```
 //!
 //! The experiment scale (instructions, mixes per class, channels, workers, …)
@@ -25,10 +27,18 @@
 //! with the same scale and options as the original sweep, otherwise the cell
 //! ids will not match and the grid is treated as new work.
 //!
-//! Cells whose evaluation panics are recorded as `"failed"` JSONL lines
-//! instead of aborting the sweep; `report` lists them and `resume` retries
-//! them. `BH_TEST_FORCE_PANIC_MIX=<substring>` is a test hook that forces
-//! matching cells to panic, exercising this isolation end to end.
+//! Every cell records a typed run outcome. Cells whose evaluation panics are
+//! recorded as `"failed"` JSONL lines instead of aborting the sweep; `report`
+//! lists them and `resume` retries them. Cells the simulator's deterministic
+//! forward-progress watchdog classifies as livelocked (or over a
+//! `BH_WATCHDOG_MAX_*` budget) are recorded as `"livelock"` / `"budget"`
+//! lines with their diagnostic snapshot; they are *settled* — a deterministic
+//! verdict reruns to itself — so `resume` skips and reports them instead of
+//! retrying. `BH_CELL_TIMEOUT_SECS=<secs>` arms a last-resort wall-clock
+//! overseer that warns about cells running past the budget (never affecting
+//! results). `BH_TEST_FORCE_PANIC_MIX=<substring>` and
+//! `BH_TEST_FORCE_SPIN_MIX=<substring>` are test hooks forcing matching cells
+//! to panic or livelock, exercising both fault paths end to end.
 
 // The completed-cell set is membership-only (never iterated for output);
 // bh-bench is outside the digest-pinned set.
@@ -43,11 +53,11 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: bh_campaign <sweep|resume|report> --store PATH \
 [--mechanisms LIST] [--nrh LIST] [--seeds LIST] [--breakhammer off|on|both] \
-[--benign] [--max-cells N]";
+[--benign] [--max-cells N] [--strict]";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("bh_campaign: {message}");
             eprintln!("{USAGE}");
@@ -64,6 +74,7 @@ struct Options {
     breakhammer_options: Vec<bool>,
     attack: bool,
     max_cells: Option<usize>,
+    strict: bool,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -75,6 +86,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         breakhammer_options: vec![false, true],
         attack: true,
         max_cells: None,
+        strict: false,
     };
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -109,6 +121,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--benign" => options.attack = false,
+            "--strict" => options.strict = true,
             "--max-cells" => {
                 options.max_cells =
                     Some(value()?.parse().map_err(|_| "--max-cells needs a number".to_string())?)
@@ -148,13 +161,15 @@ fn build_spec(options: &Options) -> CampaignSpec {
         spec.seeds = seeds.clone();
     }
     spec.breakhammer_options = options.breakhammer_options.clone();
-    // Test hook: force cells whose mix name contains the given substring to
-    // panic, exercising the sweep's panic isolation end to end.
+    // Test hooks: force cells whose mix name contains the given substring to
+    // panic (isolation path) or to livelock under an injected chaos
+    // configuration (watchdog path), end to end.
     spec.force_panic_mix = bh_core::knobs::raw("BH_TEST_FORCE_PANIC_MIX").filter(|s| !s.is_empty());
+    spec.force_spin_mix = bh_core::knobs::raw("BH_TEST_FORCE_SPIN_MIX").filter(|s| !s.is_empty());
     spec
 }
 
-fn run(args: Vec<String>) -> Result<(), String> {
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("missing command".to_string());
     };
@@ -162,8 +177,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         "sweep" | "resume" => {
             let options = parse_options(rest)?;
             let resume = command == "resume";
-            let completed: HashSet<String> = if resume {
-                ResultStore::completed_cells(&options.store).map_err(|e| e.to_string())?
+            // Settled = ok + livelock + budget: a deterministic verdict reruns
+            // to itself, so resume skips it; only panicked cells are retried.
+            let settled: HashSet<String> = if resume {
+                ResultStore::settled_cells(&options.store).map_err(|e| e.to_string())?
             } else {
                 HashSet::new()
             };
@@ -174,11 +191,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
             }
             .map_err(|e| e.to_string())?;
             let spec = build_spec(&options);
-            let summary = spec.run(&store, &completed, options.max_cells);
+            let summary = spec.run(&store, &settled, options.max_cells);
             println!(
-                "{} cells: {} evaluated, {} already in store, {} failed, {} deferred ({})",
+                "{} cells: {} evaluated ({} livelock, {} budget), {} already in store, \
+                 {} failed, {} deferred ({})",
                 summary.total_cells,
                 summary.evaluated_cells,
+                summary.livelock_cells,
+                summary.budget_cells,
                 summary.skipped_cells,
                 summary.failed_cells,
                 summary.deferred_cells,
@@ -196,18 +216,39 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     options.store.display()
                 );
             }
-            Ok(())
+            if summary.livelock_cells + summary.budget_cells > 0 {
+                eprintln!(
+                    "bh_campaign: {} cell(s) ended with a watchdog verdict (livelock/budget); \
+                     the verdict is deterministic, so resume will skip them — \
+                     inspect them with: bh_campaign report --store {}",
+                    summary.livelock_cells + summary.budget_cells,
+                    options.store.display()
+                );
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "report" => {
             let options = parse_options(rest)?;
             let records = ResultStore::load(&options.store).map_err(|e| e.to_string())?;
+            let ok_count = records.iter().filter(|r| r.is_ok()).count();
             if records.is_empty() {
                 return Err(format!("{} holds no completed cells", options.store.display()));
             }
             print_results(
-                &format!("Campaign report ({} cells)", records.len()),
+                &format!("Campaign report ({ok_count} ok cells)"),
                 &report_table(&records),
             );
+            let verdicts = ResultStore::verdict_cells(&options.store).map_err(|e| e.to_string())?;
+            if !verdicts.is_empty() {
+                println!();
+                println!("{} cell(s) settled with a watchdog verdict:", verdicts.len());
+                for cell in &verdicts {
+                    println!("  {} [{}]", cell.cell, cell.termination);
+                    if let Some(report) = &cell.livelock_report {
+                        println!("    {report}");
+                    }
+                }
+            }
             let pending = ResultStore::failed_cells(&options.store).map_err(|e| e.to_string())?;
             if !pending.is_empty() {
                 println!();
@@ -216,7 +257,18 @@ fn run(args: Vec<String>) -> Result<(), String> {
                     println!("  {}: {}", cell.cell, cell.error);
                 }
             }
-            Ok(())
+            if options.strict && (!verdicts.is_empty() || !pending.is_empty()) {
+                // Not a usage error: the arguments were fine, the store is
+                // dirty. Report and exit nonzero without the usage banner.
+                eprintln!(
+                    "bh_campaign: --strict: {} watchdog verdict(s) and {} pending failure(s) in {}",
+                    verdicts.len(),
+                    pending.len(),
+                    options.store.display()
+                );
+                return Ok(ExitCode::FAILURE);
+            }
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}")),
     }

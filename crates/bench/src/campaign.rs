@@ -21,25 +21,30 @@
 // before display, and bh-bench is outside the digest-pinned set.
 #![allow(clippy::disallowed_types)]
 
-use crate::experiments::{evaluate_jobs, paper_config, RunRecord, Scale};
+use crate::experiments::{evaluate_jobs, paper_config, EvalHooks, RunRecord, Scale};
 use crate::Campaign;
 use bh_mitigation::MechanismKind;
-use bh_sim::SystemConfig;
+use bh_sim::{SystemConfig, TerminationReason};
 use bh_stats::{fmt3, Table};
 use std::collections::{HashMap, HashSet};
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Version tag written into every result line; bump on schema changes so
 /// readers can reject stores written by an incompatible engine.
 ///
+/// v3 widened the per-cell `status` taxonomy to
+/// `"ok" | "failed" | "livelock" | "budget"` (a typed run outcome instead of
+/// ok-or-panic), added the `termination` field plus the rendered
+/// `livelock_report` snapshot, and sealed every line with a trailing FNV-1a
+/// `crc` field so torn or spliced lines are rejected instead of misread.
 /// v2 added the `status` field (`"ok"` / `"failed"`), the attack-outcome
-/// fields (`flips_raw`, `flips_corrected`, `flips_detected`, `flips_silent`,
-/// `attack_success`) and failed-cell lines. v1 stores parse to nothing, so
-/// resuming one with a v2 engine reruns every cell.
-pub const SCHEMA_VERSION: u64 = 2;
+/// fields and failed-cell lines. Older stores parse to nothing, so resuming
+/// one with a v3 engine reruns every cell.
+pub const SCHEMA_VERSION: u64 = 3;
 
 // --- cell identity ----------------------------------------------------------
 
@@ -63,6 +68,34 @@ pub fn config_digest(config: &SystemConfig) -> String {
 /// workload seed. This is what resume matches on.
 pub fn cell_id(config: &SystemConfig, mix_name: &str, seed: u64) -> String {
     format!("{}/{mix_name}/{seed}", config_digest(config))
+}
+
+// --- line seal --------------------------------------------------------------
+
+/// Seals a serialised line (which must be a complete `{…}` object) by
+/// appending a final `"crc"` field: FNV-1a-64 over the line *without* the crc
+/// field. A torn write, a spliced hybrid of two records, or any in-place edit
+/// breaks the seal, and every reader drops the line instead of misreading it.
+fn seal_line(mut line: String) -> String {
+    debug_assert!(line.ends_with('}'), "seal_line wants a complete object");
+    let crc = fnv1a64(line.as_bytes());
+    line.pop();
+    line.push_str(&format!(",\"crc\":\"{crc:016x}\"}}"));
+    line
+}
+
+/// True if `line` ends with a `"crc"` seal that matches its own content.
+fn seal_intact(line: &str) -> bool {
+    let line = line.trim_end();
+    let Some(idx) = line.rfind(",\"crc\":\"") else { return false };
+    let Some(hex) = line[idx..].strip_prefix(",\"crc\":\"").and_then(|t| t.strip_suffix("\"}"))
+    else {
+        return false;
+    };
+    let Ok(crc) = u64::from_str_radix(hex, 16) else { return false };
+    let mut body = line[..idx].to_string();
+    body.push('}');
+    fnv1a64(body.as_bytes()) == crc
 }
 
 // --- minimal JSON -----------------------------------------------------------
@@ -296,15 +329,46 @@ pub struct CellRecord {
     pub flips_silent: u64,
     /// Whether the cell satisfied its mix's attack-success criterion.
     pub attack_success: bool,
+    /// Run-outcome status of the cell: `"ok"` (completed or hit the cycle
+    /// cutoff), `"livelock"` (the forward-progress watchdog fired) or
+    /// `"budget"` (a deterministic per-run budget was exceeded). Panicked
+    /// cells are [`FailedCell`]s, not `CellRecord`s.
+    pub status: String,
+    /// The simulator's termination label (`"completed"`, `"cutoff"`,
+    /// `"livelock"`, `"budget"`) — finer than `status`, which folds the two
+    /// healthy outcomes into `"ok"`.
+    pub termination: String,
+    /// Rendered [`bh_sim::LivelockReport`] snapshot (`None` unless `status`
+    /// is `"livelock"`).
+    pub livelock_report: Option<String>,
 }
 
-/// Serialises one completed cell as a single JSONL line (no trailing
-/// newline).
+impl CellRecord {
+    /// True for cells whose run ended healthily (completed or cycle cutoff).
+    pub fn is_ok(&self) -> bool {
+        self.status == "ok"
+    }
+}
+
+/// The store status a run outcome maps to: both healthy endings are `"ok"`;
+/// the watchdog verdicts get their own statuses so `resume` can settle them
+/// and `report --strict` can flag them.
+pub fn termination_status(termination: TerminationReason) -> &'static str {
+    match termination {
+        TerminationReason::Completed | TerminationReason::CycleCutoff => "ok",
+        TerminationReason::Livelock => "livelock",
+        TerminationReason::BudgetExceeded => "budget",
+    }
+}
+
+/// Serialises one evaluated cell as a single sealed JSONL line (no trailing
+/// newline). The line's `status` reflects the run's termination: `"ok"`,
+/// `"livelock"` or `"budget"`.
 pub fn record_line(cell: &str, seed: u64, attack: bool, r: &RunRecord) -> String {
     let mut out = String::with_capacity(512);
     out.push('{');
     push_field(&mut out, "schema", &Json::Num(SCHEMA_VERSION as f64));
-    push_field(&mut out, "status", &Json::Str("ok".to_string()));
+    push_field(&mut out, "status", &Json::Str(termination_status(r.termination).to_string()));
     push_field(&mut out, "cell", &Json::Str(cell.to_string()));
     push_field(&mut out, "mechanism", &Json::Str(r.mechanism.to_string()));
     push_field(&mut out, "nrh", &Json::Num(r.nrh as f64));
@@ -334,8 +398,14 @@ pub fn record_line(cell: &str, seed: u64, attack: bool, r: &RunRecord) -> String
     push_field(&mut out, "flips_detected", &Json::Num(r.flips_detected as f64));
     push_field(&mut out, "flips_silent", &Json::Num(r.flips_silent as f64));
     push_field(&mut out, "attack_success", &Json::Bool(r.attack_success));
+    push_field(&mut out, "termination", &Json::Str(r.termination.label().to_string()));
+    let report = match &r.livelock {
+        Some(report) => Json::Str(report.clone()),
+        None => Json::Null,
+    };
+    push_field(&mut out, "livelock_report", &report);
     out.push('}');
-    out
+    seal_line(out)
 }
 
 /// Serialises one *failed* cell (a cell whose evaluation panicked) as a
@@ -352,13 +422,17 @@ pub fn failed_line(cell: &str, seed: u64, attack: bool, error: &str) -> String {
     push_field(&mut out, "attack", &Json::Bool(attack));
     push_field(&mut out, "error", &Json::Str(error.to_string()));
     out.push('}');
-    out
+    seal_line(out)
 }
 
 impl CellRecord {
-    /// Parses one store line; `None` for malformed or schema-mismatched
-    /// lines (e.g. a line truncated by a kill mid-write).
+    /// Parses one store line; `None` for malformed, schema-mismatched or
+    /// seal-broken lines (e.g. a line truncated by a kill mid-write, or a
+    /// torn write splicing two records together).
     pub fn parse(line: &str) -> Option<Self> {
+        if !seal_intact(line) {
+            return None;
+        }
         let map = parse_object(line)?;
         let num = |key: &str| match map.get(key) {
             Some(Json::Num(v)) => Some(*v),
@@ -376,10 +450,18 @@ impl CellRecord {
         if int("schema")? != SCHEMA_VERSION {
             return None;
         }
-        if string("status")? != "ok" {
+        let status = string("status")?;
+        if !matches!(status.as_str(), "ok" | "livelock" | "budget") {
             return None;
         }
         Some(CellRecord {
+            status,
+            termination: string("termination")?,
+            livelock_report: match map.get("livelock_report")? {
+                Json::Str(s) => Some(s.clone()),
+                Json::Null => None,
+                _ => return None,
+            },
             cell: string("cell")?,
             mechanism: string("mechanism")?,
             nrh: int("nrh")?,
@@ -423,8 +505,12 @@ pub struct FailedCell {
 
 impl FailedCell {
     /// Parses one store line as a failed-cell record; `None` for anything
-    /// else (completed cells, malformed lines, foreign schemas).
+    /// else (evaluated cells, malformed or seal-broken lines, foreign
+    /// schemas).
     pub fn parse(line: &str) -> Option<Self> {
+        if !seal_intact(line) {
+            return None;
+        }
         let map = parse_object(line)?;
         let string = |key: &str| match map.get(key) {
             Some(Json::Str(s)) => Some(s.clone()),
@@ -441,13 +527,15 @@ impl FailedCell {
     }
 }
 
-/// One well-formed line of a result store: a completed cell or a recorded
-/// failure. Malformed lines (truncated, garbage, foreign schema) parse to
-/// neither and are skipped by every reader.
+/// One well-formed line of a result store: an evaluated cell (status `"ok"`,
+/// `"livelock"` or `"budget"`) or a recorded failure. Malformed lines
+/// (truncated, garbage, seal-broken, foreign schema) parse to neither and
+/// are skipped by every reader.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StoreEntry {
-    /// A completed cell with its measurements.
-    Completed(CellRecord),
+    /// An evaluated cell with its measurements and run outcome (boxed: a
+    /// record is an order of magnitude larger than a failure note).
+    Completed(Box<CellRecord>),
     /// A cell whose evaluation panicked.
     Failed(FailedCell),
 }
@@ -456,7 +544,7 @@ impl StoreEntry {
     /// Parses one store line; `None` for malformed or foreign lines.
     pub fn parse(line: &str) -> Option<Self> {
         if let Some(record) = CellRecord::parse(line) {
-            return Some(StoreEntry::Completed(record));
+            return Some(StoreEntry::Completed(Box::new(record)));
         }
         FailedCell::parse(line).map(StoreEntry::Failed)
     }
@@ -464,12 +552,17 @@ impl StoreEntry {
 
 // --- result store -----------------------------------------------------------
 
-/// Append-only JSONL store of completed cells, flushed per line so an
+/// Append-only JSONL store of evaluated cells, flushed per line so an
 /// interrupted sweep checkpoints everything that finished.
-#[derive(Debug)]
 pub struct ResultStore {
     path: PathBuf,
-    writer: Mutex<BufWriter<File>>,
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore").field("path", &self.path).finish_non_exhaustive()
+    }
 }
 
 impl ResultStore {
@@ -487,7 +580,7 @@ impl ResultStore {
             ));
         }
         let file = File::create(path)?;
-        Ok(ResultStore { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(file)) })
+        Ok(Self::with_writer(path, Box::new(file)))
     }
 
     /// Opens an existing store for appending. Refuses a missing path — there
@@ -499,8 +592,37 @@ impl ResultStore {
                 format!("result store {} does not exist; run a sweep first", path.display()),
             ));
         }
-        let file = OpenOptions::new().append(true).open(path)?;
-        Ok(ResultStore { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(file)) })
+        // A store killed mid-append can end with a torn line and no trailing
+        // newline. Appending straight after it would glue the next record
+        // onto the torn tail, corrupting that record too — terminate the
+        // tail first so every new line starts at column zero. (The torn line
+        // itself stays in the file; its broken crc seal makes every reader
+        // drop it, and its cell reruns.)
+        let needs_newline = {
+            let mut file = File::open(path)?;
+            if file.metadata()?.len() == 0 {
+                false
+            } else {
+                file.seek(SeekFrom::End(-1))?;
+                let mut last = [0u8; 1];
+                file.read_exact(&mut last)?;
+                last[0] != b'\n'
+            }
+        };
+        let mut file = OpenOptions::new().append(true).open(path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        Ok(Self::with_writer(path, Box::new(file)))
+    }
+
+    /// Builds a store around an arbitrary writer. `path` is only used in
+    /// error messages and by [`ResultStore::path`]. This is the injection
+    /// point the chaos tests use to drive I/O faults (transient and
+    /// persistent write failures) through [`ResultStore::append`]; production
+    /// stores come from [`ResultStore::create`] / [`ResultStore::append_to`].
+    pub fn with_writer(path: &Path, writer: Box<dyn Write + Send>) -> Self {
+        ResultStore { path: path.to_path_buf(), writer: Mutex::new(BufWriter::new(writer)) }
     }
 
     /// The file backing the store.
@@ -523,7 +645,11 @@ impl ResultStore {
     /// output, there is nothing sensible to degrade to.
     pub fn append(&self, line: &str) {
         const ATTEMPTS: u32 = 5;
-        let mut writer = self.writer.lock().expect("result store lock poisoned");
+        // A worker that panicked while holding the lock leaves at most one
+        // torn line behind, and the per-line crc seal rejects torn lines on
+        // read — so a poisoned lock is safe to recover instead of cascading
+        // the panic into every other worker's checkpoint.
+        let mut writer = self.writer.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
         writeln!(writer, "{line}").unwrap_or_else(|e| {
             panic!("buffering a result line for {} failed: {e}", self.path.display())
         });
@@ -556,10 +682,13 @@ impl ResultStore {
         Ok(entries)
     }
 
-    /// The set of completed cell ids recorded in a store. Malformed lines
-    /// (e.g. truncated by a kill) and failed cells are skipped — their cells
-    /// rerun on resume.
-    pub fn completed_cells(path: &Path) -> io::Result<HashSet<String>> {
+    /// The set of *settled* cell ids recorded in a store: every evaluated
+    /// cell, whatever its outcome (`"ok"`, `"livelock"`, `"budget"`). This is
+    /// the skip set `resume` uses — a livelock or budget verdict is
+    /// deterministic, so rerunning the cell would reproduce it, not fix it.
+    /// Malformed lines and failed (panicked) cells are not settled; their
+    /// cells rerun on resume.
+    pub fn settled_cells(path: &Path) -> io::Result<HashSet<String>> {
         Ok(Self::entries(path)?
             .into_iter()
             .filter_map(|entry| match entry {
@@ -569,13 +698,40 @@ impl ResultStore {
             .collect())
     }
 
+    /// The set of cell ids with a healthy (`"ok"`) record in a store.
+    /// Livelock/budget verdicts and failed cells are excluded.
+    pub fn completed_cells(path: &Path) -> io::Result<HashSet<String>> {
+        Ok(Self::entries(path)?
+            .into_iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Completed(record) if record.is_ok() => Some(record.cell),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Every evaluated cell whose run ended with a watchdog verdict
+    /// (`"livelock"` or `"budget"`), in file order, first verdict per cell.
+    pub fn verdict_cells(path: &Path) -> io::Result<Vec<CellRecord>> {
+        let mut seen = HashSet::new();
+        Ok(Self::entries(path)?
+            .into_iter()
+            .filter_map(|entry| match entry {
+                StoreEntry::Completed(record) if !record.is_ok() => Some(*record),
+                _ => None,
+            })
+            .filter(|record| seen.insert(record.cell.clone()))
+            .collect())
+    }
+
     /// Every well-formed cell record of a store, in file order (failed cells
-    /// excluded).
+    /// excluded; livelock/budget verdicts included — filter on
+    /// [`CellRecord::is_ok`] before aggregating performance numbers).
     pub fn load(path: &Path) -> io::Result<Vec<CellRecord>> {
         Ok(Self::entries(path)?
             .into_iter()
             .filter_map(|entry| match entry {
-                StoreEntry::Completed(record) => Some(record),
+                StoreEntry::Completed(record) => Some(*record),
                 StoreEntry::Failed(_) => None,
             })
             .collect())
@@ -605,6 +761,139 @@ impl ResultStore {
     }
 }
 
+// --- wall-clock overseer ----------------------------------------------------
+
+/// Last-resort wall-clock watchdog over in-flight campaign cells.
+///
+/// The simulator's own forward-progress watchdog is deterministic and lives
+/// inside the sim crates; this overseer is the safety net *around* it — if a
+/// cell somehow runs past a wall-clock budget (a sim bug the deterministic
+/// watchdog misses, a pathological configuration with the watchdog disabled),
+/// it warns on stderr, once per cell, and keeps the sweep running. It never
+/// influences results, so keeping it (and the only wall-clock reads of the
+/// workspace outside benches) confined to the campaign layer preserves the
+/// sim crates' determinism lint.
+#[derive(Debug)]
+pub struct CellOverseer {
+    shared: Arc<OverseerShared>,
+    watcher: Option<std::thread::JoinHandle<()>>,
+}
+
+#[derive(Debug)]
+struct OverseerShared {
+    timeout: Duration,
+    state: Mutex<OverseerState>,
+    wakeup: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct OverseerState {
+    running: HashMap<String, Instant>,
+    overdue: Vec<String>,
+    stop: bool,
+}
+
+impl CellOverseer {
+    /// Builds an overseer from `BH_CELL_TIMEOUT_SECS`; `None` when the knob
+    /// is unset (the default — no wall clock is read at all).
+    pub fn from_env() -> Option<Self> {
+        let secs = bh_core::knobs::positive_usize("BH_CELL_TIMEOUT_SECS", "no overseer")?;
+        Some(Self::new(Duration::from_secs(secs as u64)))
+    }
+
+    /// Starts an overseer with an explicit per-cell wall-clock budget.
+    pub fn new(timeout: Duration) -> Self {
+        let shared = Arc::new(OverseerShared {
+            timeout,
+            state: Mutex::new(OverseerState::default()),
+            wakeup: Condvar::new(),
+        });
+        let watcher_shared = Arc::clone(&shared);
+        let watcher = std::thread::spawn(move || watcher_shared.watch());
+        CellOverseer { shared, watcher: Some(watcher) }
+    }
+
+    /// Marks a cell as in flight (called when a worker claims it).
+    // The overseer is the one deliberate wall-clock consumer outside the
+    // benches: it only warns, never feeds results (bh_analyze D2 exempts
+    // bh-bench for exactly this kind of harness machinery).
+    #[allow(clippy::disallowed_methods)]
+    pub fn begin(&self, cell: &str) {
+        let mut state = self.shared.lock_state();
+        state.running.insert(cell.to_string(), Instant::now());
+    }
+
+    /// Marks a cell as finished (completed or panicked) — it is no longer
+    /// watched.
+    pub fn finish(&self, cell: &str) {
+        let mut state = self.shared.lock_state();
+        state.running.remove(cell);
+    }
+
+    /// The cells that exceeded the wall-clock budget so far, in detection
+    /// order (each warned once on stderr).
+    pub fn overdue_cells(&self) -> Vec<String> {
+        self.shared.lock_state().overdue.clone()
+    }
+}
+
+impl Drop for CellOverseer {
+    fn drop(&mut self) {
+        self.shared.lock_state().stop = true;
+        self.shared.wakeup.notify_all();
+        if let Some(watcher) = self.watcher.take() {
+            // The watcher only sleeps and prints; a panic there must not
+            // cascade into the sweep's teardown.
+            let _ = watcher.join();
+        }
+    }
+}
+
+impl OverseerShared {
+    /// Locks the state, recovering from poison: the state is a plain map of
+    /// start times, valid after any panic.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, OverseerState> {
+        self.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    // Wall clock is this thread's whole job: measuring how long cells have
+    // been in flight. Warn-only — results never depend on it.
+    #[allow(clippy::disallowed_methods)]
+    fn watch(&self) {
+        let mut state = self.lock_state();
+        loop {
+            if state.stop {
+                return;
+            }
+            let now = Instant::now();
+            let over: Vec<String> = state
+                .running
+                .iter()
+                .filter(|(_, started)| now.duration_since(**started) >= self.timeout)
+                .map(|(cell, _)| cell.clone())
+                .collect();
+            for cell in over {
+                state.running.remove(&cell);
+                state.overdue.push(cell.clone());
+                eprintln!(
+                    "warning: campaign cell {cell} has been running for over {:?} of wall \
+                     clock; the sweep continues — check the deterministic watchdog \
+                     configuration (BH_WATCHDOG_*) if this cell never settles",
+                    self.timeout
+                );
+            }
+            // Poll at a fraction of the budget so detection latency stays
+            // proportionate, bounded for very small test budgets.
+            let poll = (self.timeout / 4).clamp(Duration::from_millis(5), Duration::from_secs(1));
+            let (next, _) = self
+                .wakeup
+                .wait_timeout(state, poll)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = next;
+        }
+    }
+}
+
 // --- the sweep engine -------------------------------------------------------
 
 /// The definition of a campaign sweep: the (mechanism × N_RH × ±BreakHammer)
@@ -630,6 +919,12 @@ pub struct CampaignSpec {
     /// evaluating, exercising the panic-isolation path end to end. `None`
     /// in production.
     pub force_panic_mix: Option<String>,
+    /// Test-only fault hook (the CLI reads `BH_TEST_FORCE_SPIN_MIX` into
+    /// it): cells whose mix name contains this pattern evaluate under an
+    /// injected livelock, so the watchdog classifies them `"livelock"`
+    /// deterministically. Cell identity stays that of the base
+    /// configuration. `None` in production.
+    pub force_spin_mix: Option<String>,
 }
 
 impl CampaignSpec {
@@ -644,6 +939,7 @@ impl CampaignSpec {
             attack,
             scale,
             force_panic_mix: None,
+            force_spin_mix: None,
         }
     }
 
@@ -663,17 +959,24 @@ impl CampaignSpec {
         configs
     }
 
-    /// Runs the sweep, streaming each completed cell to `store` and skipping
-    /// the cells in `completed`. `cell_limit` caps how many cells this
-    /// invocation evaluates (used to exercise interruption deterministically
-    /// in tests and CI; a real interruption — SIGKILL, OOM — leaves the same
-    /// store state, minus any cell that was mid-evaluation).
+    /// Runs the sweep, streaming each evaluated cell to `store` and skipping
+    /// the cells in `completed` (the settled set on resume). `cell_limit`
+    /// caps how many cells this invocation evaluates (used to exercise
+    /// interruption deterministically in tests and CI; a real interruption —
+    /// SIGKILL, OOM — leaves the same store state, minus any cell that was
+    /// mid-evaluation).
+    ///
+    /// When `BH_CELL_TIMEOUT_SECS` is set, a wall-clock [`CellOverseer`]
+    /// watches the in-flight cells and warns about any that exceed the
+    /// budget — a last resort confined to this campaign layer; the
+    /// deterministic in-simulator watchdog is the real defense.
     pub fn run(
         &self,
         store: &ResultStore,
         completed: &HashSet<String>,
         cell_limit: Option<usize>,
     ) -> SweepSummary {
+        let overseer = CellOverseer::from_env();
         let mut summary = SweepSummary::default();
         let mut budget = cell_limit.unwrap_or(usize::MAX);
         for &seed in &self.seeds {
@@ -707,22 +1010,41 @@ impl CampaignSpec {
                 continue;
             }
             let cache = campaign.warmed_alone_cache().clone();
-            let on_cell = |i: usize, outcome: Result<&RunRecord, &str>| match outcome {
-                Ok(record) => store.append(&record_line(&cells[i], seed, self.attack, record)),
-                Err(error) => store.append(&failed_line(&cells[i], seed, self.attack, error)),
+            let on_claim = |i: usize| {
+                if let Some(overseer) = &overseer {
+                    overseer.begin(&cells[i]);
+                }
             };
-            let results = evaluate_jobs(
-                &configs,
-                &mixes,
-                &jobs,
-                &cache,
-                scale.worker_threads,
-                self.force_panic_mix.as_deref(),
-                &on_cell,
-            );
-            let failed = results.iter().filter(|r| r.is_err()).count();
-            summary.evaluated_cells += jobs.len() - failed;
-            summary.failed_cells += failed;
+            let on_cell = |i: usize, outcome: Result<&RunRecord, &str>| {
+                if let Some(overseer) = &overseer {
+                    overseer.finish(&cells[i]);
+                }
+                match outcome {
+                    Ok(record) => store.append(&record_line(&cells[i], seed, self.attack, record)),
+                    Err(error) => store.append(&failed_line(&cells[i], seed, self.attack, error)),
+                }
+            };
+            let hooks = EvalHooks {
+                force_panic_mix: self.force_panic_mix.as_deref(),
+                force_spin_mix: self.force_spin_mix.as_deref(),
+                on_claim: &on_claim,
+                on_record: &on_cell,
+            };
+            let results =
+                evaluate_jobs(&configs, &mixes, &jobs, &cache, scale.worker_threads, &hooks);
+            for result in &results {
+                match result {
+                    Ok(record) => {
+                        summary.evaluated_cells += 1;
+                        match record.termination {
+                            TerminationReason::Livelock => summary.livelock_cells += 1,
+                            TerminationReason::BudgetExceeded => summary.budget_cells += 1,
+                            TerminationReason::Completed | TerminationReason::CycleCutoff => {}
+                        }
+                    }
+                    Err(_) => summary.failed_cells += 1,
+                }
+            }
         }
         summary
     }
@@ -743,6 +1065,12 @@ pub struct SweepSummary {
     /// store (surfaced by `report`, retried by `resume`) instead of killing
     /// the sweep.
     pub failed_cells: usize,
+    /// Evaluated cells (a subset of `evaluated_cells`) whose run the
+    /// forward-progress watchdog classified as livelocked.
+    pub livelock_cells: usize,
+    /// Evaluated cells (a subset of `evaluated_cells`) whose run exceeded a
+    /// deterministic per-run budget.
+    pub budget_cells: usize,
 }
 
 impl SweepSummary {
@@ -765,9 +1093,13 @@ impl SweepSummary {
 /// slowdown is the fractional weighted-speedup loss vs the baseline geomean.
 /// The column reads `n/a` when the store has no baseline at that N_RH, and
 /// `inf` when a mechanism prevents flips at no measurable slowdown.
+///
+/// Only healthy (`"ok"`) cells enter the aggregation: a livelocked or
+/// budget-cut run's performance numbers describe a truncated run, not the
+/// configuration — the CLI's `report` lists those cells separately.
 pub fn report_table(records: &[CellRecord]) -> Table {
     let mut groups: HashMap<(String, u64, bool), Vec<&CellRecord>> = HashMap::new();
-    for record in records {
+    for record in records.iter().filter(|r| r.is_ok()) {
         groups
             .entry((record.mechanism.clone(), record.nrh, record.breakhammer))
             .or_default()
@@ -870,7 +1202,18 @@ mod tests {
             flips_detected: 2,
             flips_silent: 3,
             attack_success: true,
+            termination: TerminationReason::Completed,
+            livelock: None,
         }
+    }
+
+    /// Tampers with a sealed line and re-seals it, so assertions about the
+    /// *schema* checks are not masked by the crc check.
+    fn tamper_resealed(line: &str, from: &str, to: &str) -> String {
+        let idx = line.rfind(",\"crc\":\"").expect("line is sealed");
+        let mut body = line[..idx].to_string();
+        body.push('}');
+        seal_line(body.replacen(from, to, 1))
     }
 
     #[test]
@@ -898,6 +1241,10 @@ mod tests {
         assert_eq!(parsed.flips_detected, 2);
         assert_eq!(parsed.flips_silent, 3);
         assert!(parsed.attack_success);
+        assert_eq!(parsed.status, "ok");
+        assert!(parsed.is_ok());
+        assert_eq!(parsed.termination, "completed");
+        assert_eq!(parsed.livelock_report, None);
 
         let mut benign = record;
         benign.scenario = None;
@@ -908,20 +1255,77 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_verdicts_round_trip_with_their_status() {
+        let mut record = sample_record();
+        record.termination = TerminationReason::Livelock;
+        record.livelock = Some("livelock at cycle 25000 (4 zero-progress epochs): …".to_string());
+        let line = record_line("c/m/1", 1, true, &record);
+        let parsed = CellRecord::parse(&line).expect("line parses");
+        assert_eq!(parsed.status, "livelock");
+        assert!(!parsed.is_ok());
+        assert_eq!(parsed.termination, "livelock");
+        assert_eq!(parsed.livelock_report.as_deref(), record.livelock.as_deref());
+
+        record.termination = TerminationReason::BudgetExceeded;
+        record.livelock = None;
+        let parsed = CellRecord::parse(&record_line("c/m/1", 1, true, &record)).expect("parses");
+        assert_eq!(parsed.status, "budget");
+        assert_eq!(parsed.termination, "budget");
+        assert_eq!(parsed.livelock_report, None);
+
+        record.termination = TerminationReason::CycleCutoff;
+        let parsed = CellRecord::parse(&record_line("c/m/1", 1, true, &record)).expect("parses");
+        assert_eq!(parsed.status, "ok", "a cycle cutoff is a healthy outcome");
+        assert_eq!(parsed.termination, "cutoff");
+    }
+
+    #[test]
+    fn termination_statuses_cover_the_taxonomy() {
+        assert_eq!(termination_status(TerminationReason::Completed), "ok");
+        assert_eq!(termination_status(TerminationReason::CycleCutoff), "ok");
+        assert_eq!(termination_status(TerminationReason::Livelock), "livelock");
+        assert_eq!(termination_status(TerminationReason::BudgetExceeded), "budget");
+    }
+
+    #[test]
+    fn the_seal_rejects_torn_and_tampered_lines() {
+        let line = record_line("a/m/1", 1, true, &sample_record());
+        assert!(seal_intact(&line));
+        // Any truncation breaks the seal (the crc tail is damaged or gone).
+        for cut in [line.len() - 1, line.len() - 10, line.len() / 2, 10] {
+            assert!(!seal_intact(&line[..cut]), "cut at {cut}");
+        }
+        // An in-place edit breaks it too, even though the JSON stays valid.
+        let tampered = line.replacen("\"nrh\":64", "\"nrh\":65", 1);
+        assert_ne!(tampered, line);
+        assert!(!seal_intact(&tampered));
+        assert_eq!(CellRecord::parse(&tampered), None);
+        // A spliced hybrid of two sealed lines carries the tail's crc but
+        // the head's content.
+        let other = record_line("b/m/2", 2, true, &sample_record());
+        let spliced = format!("{}{}", &line[..line.len() / 2], &other[other.len() / 2..]);
+        assert!(!seal_intact(&spliced));
+        assert_eq!(StoreEntry::parse(&spliced), None);
+    }
+
+    #[test]
     fn malformed_and_foreign_lines_are_rejected() {
         assert_eq!(CellRecord::parse(""), None);
-        assert_eq!(CellRecord::parse("{\"schema\":2,\"cell\":\"x"), None, "truncated line");
+        assert_eq!(CellRecord::parse("{\"schema\":3,\"cell\":\"x"), None, "truncated line");
         assert_eq!(CellRecord::parse("not json"), None);
-        // A well-formed line from a future schema is rejected, not misread.
-        let line = record_line("c/m/1", 1, true, &sample_record()).replacen(
-            "\"schema\":2",
+        // A well-formed, correctly *sealed* line from a future schema is
+        // rejected by the schema check itself, not just the crc.
+        let line = tamper_resealed(
+            &record_line("c/m/1", 1, true, &sample_record()),
             "\"schema\":3",
-            1,
+            "\"schema\":4",
         );
+        assert!(seal_intact(&line), "the tampered line must pass the seal to reach the check");
         assert_eq!(CellRecord::parse(&line), None);
-        // A v1 line (no status, no outcome fields) is rejected too: the
-        // engine reruns those cells rather than guessing at the old schema.
+        // Pre-v3 lines (no seal) are rejected too: the engine reruns those
+        // cells rather than guessing at the old schema.
         assert_eq!(CellRecord::parse("{\"schema\":1,\"cell\":\"a/m/1\"}"), None);
+        assert_eq!(CellRecord::parse("{\"schema\":2,\"status\":\"ok\",\"cell\":\"a/m/1\"}"), None);
     }
 
     #[test]
@@ -1049,6 +1453,124 @@ mod tests {
         // The outcome columns surface raw/silent sums and the success rate.
         assert!(csv.contains("attack_success_rate"), "{csv}");
         assert!(csv.lines().any(|l| l.starts_with("NoDefense") && l.contains(",100,")), "{csv}");
+    }
+
+    #[test]
+    fn settled_completed_and_verdict_sets_partition_by_status() {
+        let path = test_path("settled-sets");
+        let _ = std::fs::remove_file(&path);
+        {
+            let store = ResultStore::create(&path).expect("fresh store");
+            store.append(&record_line("ok/m/1", 1, true, &sample_record()));
+            let mut spun = sample_record();
+            spun.termination = TerminationReason::Livelock;
+            spun.livelock = Some("livelock at cycle 25000: …".to_string());
+            store.append(&record_line("spin/m/1", 1, true, &spun));
+            let mut cut = sample_record();
+            cut.termination = TerminationReason::BudgetExceeded;
+            store.append(&record_line("cut/m/1", 1, true, &cut));
+            store.append(&failed_line("boom/m/1", 1, true, "panicked"));
+        }
+        let settled = ResultStore::settled_cells(&path).expect("store loads");
+        assert_eq!(
+            settled,
+            HashSet::from(["ok/m/1".to_string(), "spin/m/1".to_string(), "cut/m/1".to_string()]),
+            "every evaluated cell settles, whatever the verdict"
+        );
+        let completed = ResultStore::completed_cells(&path).expect("store loads");
+        assert_eq!(completed, HashSet::from(["ok/m/1".to_string()]));
+        let verdicts = ResultStore::verdict_cells(&path).expect("store loads");
+        assert_eq!(verdicts.len(), 2);
+        assert_eq!(verdicts[0].cell, "spin/m/1");
+        assert_eq!(verdicts[0].status, "livelock");
+        assert!(verdicts[0].livelock_report.is_some());
+        assert_eq!(verdicts[1].cell, "cut/m/1");
+        assert_eq!(verdicts[1].status, "budget");
+        let pending = ResultStore::failed_cells(&path).expect("store loads");
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].cell, "boom/m/1");
+        // Verdict cells carry truncated-run numbers; the report skips them.
+        let records = ResultStore::load(&path).expect("store loads");
+        assert_eq!(records.len(), 3);
+        let table = report_table(&records);
+        let csv = table.to_csv();
+        assert!(csv.contains(",64,1,"), "only the ok cell is aggregated: {csv}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    // Wall clock is what the overseer measures; the test must read it too.
+    #[allow(clippy::disallowed_methods)]
+    fn overseer_flags_overdue_cells_once_and_forgets_finished_ones() {
+        let overseer = CellOverseer::new(Duration::from_millis(20));
+        overseer.begin("fast/m/1");
+        overseer.finish("fast/m/1");
+        overseer.begin("slow/m/1");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while overseer.overdue_cells().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(overseer.overdue_cells(), vec!["slow/m/1".to_string()]);
+        // Finished before its budget ran out: never flagged, even later.
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(overseer.overdue_cells(), vec!["slow/m/1".to_string()]);
+    }
+
+    /// A writer whose underlying device fails a configurable number of
+    /// writes before recovering — the I/O-fault half of the chaos harness.
+    struct ChaosWriter {
+        sink: std::sync::Arc<Mutex<Vec<u8>>>,
+        failures: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+    }
+
+    impl Write for ChaosWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let failures = &self.failures;
+            if failures.load(std::sync::atomic::Ordering::Relaxed) > 0 {
+                failures.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                return Err(io::Error::other("injected device fault"));
+            }
+            self.sink.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn append_rides_out_transient_io_faults() {
+        let sink = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let failures = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(2));
+        let writer = ChaosWriter { sink: sink.clone(), failures: failures.clone() };
+        let path = test_path("flaky-io");
+        let store = ResultStore::with_writer(&path, Box::new(writer));
+        let line = record_line("a/m/1", 1, true, &sample_record());
+        store.append(&line);
+        drop(store);
+        assert_eq!(failures.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let written = String::from_utf8(sink.lock().unwrap().clone()).expect("utf8");
+        assert_eq!(written, format!("{line}\n"), "the retried flush duplicated no bytes");
+        assert!(CellRecord::parse(written.trim_end()).is_some());
+    }
+
+    #[test]
+    fn append_panics_with_the_path_when_the_device_stays_dead() {
+        let sink = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let failures = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX));
+        let writer = ChaosWriter { sink, failures };
+        let path = test_path("dead-io");
+        let store = ResultStore::with_writer(&path, Box::new(writer));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.append(&record_line("a/m/1", 1, true, &sample_record()));
+        }));
+        let payload = result.expect_err("a dead device must not be silently swallowed");
+        let message = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            message.contains(path.to_str().expect("utf8 path")),
+            "the error names the store path: {message}"
+        );
     }
 
     fn test_path(tag: &str) -> PathBuf {

@@ -24,6 +24,10 @@
 //! | `BH_FLIP_PROBABILITY` | per-crossing flip probability (probabilistic model) | 0.5 |
 //! | `BH_NRH_VARIATION` | per-row `N_RH` variation half-width (probabilistic model) | 0.1 |
 //! | `BH_ECC` | ECC scheme classifying flips: `none` or `secded` | `none` |
+//! | `BH_WATCHDOG_EPOCH_CYCLES` | watchdog epoch length (0 = auto-derive) | 0 |
+//! | `BH_WATCHDOG_STALL_EPOCHS` | zero-progress epochs before a livelock verdict | 8 |
+//! | `BH_WATCHDOG_MAX_EPOCHS` | per-run epoch budget (0 = unlimited) | 0 |
+//! | `BH_WATCHDOG_MAX_PREVENTIVE` | per-run preventive-action budget (0 = unlimited) | 0 |
 //!
 //! Set-but-unparseable variables (garbage, `0` where a positive count is
 //! required) fall back to their defaults with a one-time warning on stderr
@@ -31,7 +35,7 @@
 
 use bh_dram::{EccMode, FaultConfig, FaultModel};
 use bh_mitigation::MechanismKind;
-use bh_sim::{Evaluator, MixEvaluation, SystemConfig};
+use bh_sim::{Evaluator, MixEvaluation, SystemConfig, TerminationReason, WatchdogConfig};
 use bh_stats::Table;
 use bh_workloads::{
     scenario_by_name, scenario_catalog, MixBuilder, MixClass, TraceGenerator, WorkloadMix,
@@ -69,6 +73,12 @@ pub struct Scale {
     /// `BH_NRH_VARIATION`, `BH_ECC`); the default is the legacy hard
     /// threshold with no ECC.
     pub fault: FaultConfig,
+    /// Forward-progress watchdog and per-run budgets applied to every
+    /// configuration of the sweep (`BH_WATCHDOG_EPOCH_CYCLES`,
+    /// `BH_WATCHDOG_STALL_EPOCHS`, `BH_WATCHDOG_MAX_EPOCHS`,
+    /// `BH_WATCHDOG_MAX_PREVENTIVE`); the default keeps the watchdog on with
+    /// auto-derived epochs and no budgets.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Scale {
@@ -85,6 +95,7 @@ impl Scale {
             channels: 1,
             scenarios: Vec::new(),
             fault: FaultConfig::default(),
+            watchdog: WatchdogConfig::default(),
         }
     }
 
@@ -161,12 +172,35 @@ impl Scale {
         if let Some(v) = count("BH_CHANNELS", scale.channels as u64) {
             scale.channels = v as usize;
         }
+        // Zero stall epochs would disable the livelock detectors outright;
+        // turning the watchdog off has an explicit switch instead.
+        if let Some(v) = count("BH_WATCHDOG_STALL_EPOCHS", u64::from(scale.watchdog.stall_epochs)) {
+            scale.watchdog.stall_epochs = v.min(u64::from(u32::MAX)) as u32;
+        }
         // The seed is any u64 (0 included); only garbage warns.
         if let Some(raw) = lookup("BH_SEED") {
             match raw.trim().parse::<u64>() {
                 Ok(v) => scale.seed = v,
                 Err(_) => {
                     warnings.push(format!("BH_SEED={raw:?} is not a number; using {}", scale.seed))
+                }
+            }
+        }
+        // The watchdog cycle knobs accept 0 (auto epoch length / unlimited
+        // budget), so only garbage warns.
+        {
+            let targets: [(&str, &mut u64); 3] = [
+                ("BH_WATCHDOG_EPOCH_CYCLES", &mut scale.watchdog.epoch_cycles),
+                ("BH_WATCHDOG_MAX_EPOCHS", &mut scale.watchdog.max_epochs),
+                ("BH_WATCHDOG_MAX_PREVENTIVE", &mut scale.watchdog.max_preventive_actions),
+            ];
+            for (name, slot) in targets {
+                let Some(raw) = lookup(name) else { continue };
+                match raw.trim().parse::<u64>() {
+                    Ok(v) => *slot = v,
+                    Err(_) => {
+                        warnings.push(format!("{name}={raw:?} is not a number; using {}", *slot))
+                    }
                 }
             }
         }
@@ -294,6 +328,11 @@ pub struct RunRecord {
     pub flips_silent: u64,
     /// Whether the run satisfied the mix's attack-success criterion.
     pub attack_success: bool,
+    /// How the run ended: completed, cut off, livelocked, or out of budget.
+    pub termination: TerminationReason,
+    /// Rendered livelock diagnostic snapshot (`None` unless `termination`
+    /// is [`TerminationReason::Livelock`]).
+    pub livelock: Option<String>,
 }
 
 impl RunRecord {
@@ -329,6 +368,8 @@ impl RunRecord {
             flips_detected: eval.result.outcome.detected,
             flips_silent: eval.result.outcome.silent,
             attack_success: eval.result.outcome.attack_success,
+            termination: eval.result.termination,
+            livelock: eval.result.livelock.as_ref().map(|report| report.to_string()),
         }
     }
 
@@ -355,6 +396,7 @@ pub fn paper_config(
     config.instructions_per_core = scale.instructions_per_core;
     config.seed = scale.seed;
     config.fault = scale.fault;
+    config.watchdog = scale.watchdog;
     // Bound the worst case (e.g. AQUA at N_RH=64 under attack, without
     // BreakHammer): runs that exceed ~400 DRAM cycles per target instruction
     // are cut off; IPCs measured up to the cut-off remain valid samples.
@@ -517,8 +559,7 @@ impl Campaign {
             &jobs,
             &self.alone_cache,
             self.scale.worker_threads,
-            None,
-            &|_, _| {},
+            &EvalHooks::none(),
         );
         // Figure binaries want every cell: a panicking cell no longer kills
         // the other workers mid-sweep, but an incomplete matrix must still
@@ -544,6 +585,50 @@ impl Campaign {
     }
 }
 
+/// Fault-injection and observation hooks threaded through [`evaluate_jobs`].
+///
+/// The two `force_*` patterns are the test hooks behind the campaign CLI's
+/// `BH_TEST_FORCE_PANIC_MIX` / `BH_TEST_FORCE_SPIN_MIX` environment knobs;
+/// the two callbacks fire on the worker threads (claiming a job, finishing a
+/// cell) and are how the campaign engine streams checkpoints and feeds its
+/// wall-clock overseer. Plain sweeps use [`EvalHooks::none`].
+pub struct EvalHooks<'a> {
+    /// Cells whose mix name contains this pattern panic before evaluating,
+    /// exercising the sweep's panic-isolation path end to end.
+    pub force_panic_mix: Option<&'a str>,
+    /// Cells whose mix name contains this pattern evaluate under an injected
+    /// livelock (`ChaosConfig::drop_fills_after` plus a tight watchdog), so
+    /// the run ends with a deterministic `Livelock` verdict. Only the
+    /// evaluated configuration is mutated — cell identity stays that of the
+    /// base configuration.
+    pub force_spin_mix: Option<&'a str>,
+    /// Fires on the worker thread when it claims job `i`, before evaluation.
+    pub on_claim: &'a (dyn Fn(usize) + Sync),
+    /// Fires on the worker thread as soon as cell `i` completes or panics.
+    pub on_record: &'a (dyn Fn(usize, Result<&RunRecord, &str>) + Sync),
+}
+
+impl EvalHooks<'_> {
+    /// No fault injection, no observers — the plain-sweep default.
+    pub fn none() -> EvalHooks<'static> {
+        EvalHooks {
+            force_panic_mix: None,
+            force_spin_mix: None,
+            on_claim: &|_| {},
+            on_record: &|_, _| {},
+        }
+    }
+}
+
+impl std::fmt::Debug for EvalHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalHooks")
+            .field("force_panic_mix", &self.force_panic_mix)
+            .field("force_spin_mix", &self.force_spin_mix)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Evaluates a set of `(config index, mix index)` jobs with a pool of
 /// `workers` threads pulling from a shared work-stealing counter, and returns
 /// one [`RunRecord`] per job, in `jobs` order.
@@ -557,25 +642,21 @@ impl Campaign {
 /// flattened configuration-major, a worker claiming consecutive indices
 /// rarely pays the switch.
 ///
-/// `on_record(job_index, outcome)` fires on the worker thread as soon as a
-/// cell completes or panics — the campaign engine uses it to stream both
-/// results and failures to its checkpoint store; plain sweeps pass a no-op.
+/// `hooks` carries the fault-injection patterns and the per-cell callbacks
+/// (see [`EvalHooks`]).
 ///
 /// Every cell runs under [`std::panic::catch_unwind`], so one panicking
 /// (configuration, mix) pair costs exactly that cell: its slot comes back as
 /// `Err(panic message)`, the worker discards its (possibly inconsistent)
 /// evaluator and rebuilds on the next claimed job, and every other cell still
-/// completes. `force_panic_mix` is the test hook behind the campaign CLI's
-/// `BH_TEST_FORCE_PANIC_MIX`: cells whose mix name contains the pattern panic
-/// before evaluating.
+/// completes.
 pub fn evaluate_jobs(
     configs: &[SystemConfig],
     mixes: &[WorkloadMix],
     jobs: &[(usize, usize)],
     alone_cache: &BTreeMap<String, f64>,
     workers: usize,
-    force_panic_mix: Option<&str>,
-    on_record: &(dyn Fn(usize, Result<&RunRecord, &str>) + Sync),
+    hooks: &EvalHooks<'_>,
 ) -> Vec<Result<RunRecord, String>> {
     let workers = workers.clamp(1, jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -594,26 +675,44 @@ pub fn evaluate_jobs(
                                 break;
                             }
                             let (c, m) = jobs[i];
+                            (hooks.on_claim)(i);
                             let cell =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    if let Some(pattern) = force_panic_mix {
+                                    if let Some(pattern) = hooks.force_panic_mix {
                                         assert!(
                                             !mixes[m].name.contains(pattern),
                                             "forced test panic for mix {}",
                                             mixes[m].name
                                         );
                                     }
-                                    if current_config != c {
+                                    let spin = hooks
+                                        .force_spin_mix
+                                        .is_some_and(|p| mixes[m].name.contains(p));
+                                    if current_config != c || spin {
+                                        let mut config = configs[c].clone();
+                                        if spin {
+                                            // Injected livelock: fills stop
+                                            // completing shortly into the run
+                                            // and a tight watchdog classifies
+                                            // the cell within a few epochs.
+                                            config.chaos.drop_fills_after = Some(1_000);
+                                            config.watchdog.enabled = true;
+                                            config.watchdog.epoch_cycles = 5_000;
+                                            config.watchdog.stall_epochs = 4;
+                                        }
                                         match &mut evaluator {
-                                            Some(ev) => ev.set_config(configs[c].clone()),
+                                            Some(ev) => ev.set_config(config),
                                             None => {
                                                 evaluator = Some(
-                                                    Evaluator::new(configs[c].clone())
+                                                    Evaluator::new(config)
                                                         .with_alone_cache(alone_cache.clone()),
                                                 )
                                             }
                                         }
-                                        current_config = c;
+                                        // A spin cell leaves the evaluator on
+                                        // the mutated configuration; force the
+                                        // next claim to reset it.
+                                        current_config = if spin { usize::MAX } else { c };
                                     }
                                     let ev =
                                         evaluator.as_mut().expect("evaluator initialised above");
@@ -622,7 +721,7 @@ pub fn evaluate_jobs(
                                 }));
                             match cell {
                                 Ok(record) => {
-                                    on_record(i, Ok(&record));
+                                    (hooks.on_record)(i, Ok(&record));
                                     local.push((i, Ok(record)));
                                 }
                                 Err(payload) => {
@@ -638,7 +737,7 @@ pub fn evaluate_jobs(
                                             payload.downcast_ref::<&str>().map(|s| s.to_string())
                                         })
                                         .unwrap_or_else(|| "unknown panic payload".to_string());
-                                    on_record(i, Err(&message));
+                                    (hooks.on_record)(i, Err(&message));
                                     local.push((i, Err(message)));
                                 }
                             }
@@ -819,6 +918,41 @@ mod tests {
     }
 
     #[test]
+    fn watchdog_env_knobs_are_parsed() {
+        let (scale, warnings) = Scale::from_lookup_with_warnings(|name| match name {
+            "BH_WATCHDOG_EPOCH_CYCLES" => Some("25000".to_string()),
+            "BH_WATCHDOG_STALL_EPOCHS" => Some("3".to_string()),
+            "BH_WATCHDOG_MAX_EPOCHS" => Some("900".to_string()),
+            "BH_WATCHDOG_MAX_PREVENTIVE" => Some("50".to_string()),
+            _ => None,
+        });
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(scale.watchdog.epoch_cycles, 25_000);
+        assert_eq!(scale.watchdog.stall_epochs, 3);
+        assert_eq!(scale.watchdog.max_epochs, 900);
+        assert_eq!(scale.watchdog.max_preventive_actions, 50);
+
+        // 0 is a meaningful value, not garbage: auto epoch sizing and
+        // unlimited budgets.
+        let (zeros, zero_warnings) = Scale::from_lookup_with_warnings(|name| {
+            name.starts_with("BH_WATCHDOG_").then(|| "0".to_string())
+        });
+        assert!(zero_warnings.iter().all(|w| !w.contains("BH_WATCHDOG_MAX")), "{zero_warnings:?}");
+        assert_eq!(zeros.watchdog.epoch_cycles, 0, "0 = derive from the BreakHammer window");
+        assert_eq!(zeros.watchdog.max_epochs, 0, "0 = unlimited");
+        assert_eq!(zeros.watchdog.max_preventive_actions, 0, "0 = unlimited");
+
+        let (garbage, garbage_warnings) = Scale::from_lookup_with_warnings(|name| {
+            (name == "BH_WATCHDOG_MAX_EPOCHS").then(|| "soon".to_string())
+        });
+        assert_eq!(garbage.watchdog, Scale::quick().watchdog);
+        assert!(
+            garbage_warnings.iter().any(|w| w.contains("BH_WATCHDOG_MAX_EPOCHS")),
+            "{garbage_warnings:?}"
+        );
+    }
+
+    #[test]
     fn fault_model_env_knobs_are_parsed() {
         let (scale, warnings) = Scale::from_lookup_with_warnings(|name| match name {
             "BH_FAULT_MODEL" => Some("probabilistic".to_string()),
@@ -938,6 +1072,8 @@ mod tests {
             flips_detected: 0,
             flips_silent: 0,
             attack_success: false,
+            termination: TerminationReason::Completed,
+            livelock: None,
         };
         let records = vec![
             make(MechanismKind::Para, 1024, true, 2.0),

@@ -16,8 +16,11 @@
 pub mod campaign;
 pub mod experiments;
 
-pub use campaign::{CampaignSpec, CellRecord, FailedCell, ResultStore, StoreEntry, SweepSummary};
+pub use campaign::{
+    termination_status, CampaignSpec, CellOverseer, CellRecord, FailedCell, ResultStore,
+    StoreEntry, SweepSummary,
+};
 pub use experiments::{
     evaluate_jobs, figure_nrh, filter_class, geomean_speedup, maybe_print_config, mean_of,
-    paper_config, print_results, select, Campaign, RunRecord, Scale,
+    paper_config, print_results, select, Campaign, EvalHooks, RunRecord, Scale,
 };

@@ -70,12 +70,12 @@ fn interrupted_sweep_resumes_to_the_uninterrupted_result_set() {
     assert_eq!(interrupted.deferred_cells, 7);
     assert!(!interrupted.complete());
 
-    // …then resumed: the completed cells are loaded from the store and
+    // …then resumed: the settled cells are loaded from the store and
     // skipped, the deferred ones run now.
-    let completed = ResultStore::completed_cells(&chunked_path).expect("store parses");
-    assert_eq!(completed.len(), 5);
+    let settled = ResultStore::settled_cells(&chunked_path).expect("store parses");
+    assert_eq!(settled.len(), 5);
     let resumed_store = ResultStore::append_to(&chunked_path).expect("store reopens");
-    let resumed = spec.run(&resumed_store, &completed, None);
+    let resumed = spec.run(&resumed_store, &settled, None);
     assert_eq!(resumed.skipped_cells, 5, "{resumed:?}");
     assert_eq!(resumed.evaluated_cells, 7);
     assert!(resumed.complete());
@@ -85,9 +85,9 @@ fn interrupted_sweep_resumes_to_the_uninterrupted_result_set() {
     assert_eq!(sorted_lines(&full_path), sorted_lines(&chunked_path));
 
     // And a second resume finds nothing left to do.
-    let completed = ResultStore::completed_cells(&chunked_path).expect("store parses");
+    let settled = ResultStore::settled_cells(&chunked_path).expect("store parses");
     let noop_store = ResultStore::append_to(&chunked_path).expect("store reopens");
-    let noop = spec.run(&noop_store, &completed, None);
+    let noop = spec.run(&noop_store, &settled, None);
     assert_eq!(noop.evaluated_cells, 0, "{noop:?}");
     assert_eq!(noop.skipped_cells, noop.total_cells);
 
@@ -139,14 +139,14 @@ fn corrupted_store_lines_are_skipped_and_rerun_on_resume() {
     damaged[7] = format!("{head}{tail}");
     std::fs::write(&corrupt_path, format!("{}\n", damaged.join("\n"))).expect("write corrupt");
 
-    // Exactly the two damaged cells are missing from the completed set…
-    let completed = ResultStore::completed_cells(&corrupt_path).expect("parser skips damage");
-    assert_eq!(completed.len(), 10, "{completed:?}");
+    // Exactly the two damaged cells are missing from the settled set…
+    let settled = ResultStore::settled_cells(&corrupt_path).expect("parser skips damage");
+    assert_eq!(settled.len(), 10, "{settled:?}");
     assert_eq!(ResultStore::load(&corrupt_path).expect("store loads").len(), 10);
 
     // …and a resume reruns exactly those two.
     let resumed_store = ResultStore::append_to(&corrupt_path).expect("store reopens");
-    let resumed = spec.run(&resumed_store, &completed, None);
+    let resumed = spec.run(&resumed_store, &settled, None);
     assert_eq!(resumed.skipped_cells, 10, "{resumed:?}");
     assert_eq!(resumed.evaluated_cells, 2);
     assert!(resumed.complete());
@@ -190,19 +190,162 @@ fn panicking_cell_is_isolated_and_retried_on_resume() {
     assert_eq!(pending.len(), 2, "{pending:?}");
     assert!(pending.iter().all(|f| f.cell.contains("HHHA")), "{pending:?}");
     assert!(pending.iter().all(|f| f.error.contains("forced test panic")), "{pending:?}");
-    let completed = ResultStore::completed_cells(&path).expect("store parses");
-    assert_eq!(completed.len(), 10);
+    // A panic is not a verdict: failed cells are pending, not settled.
+    let settled = ResultStore::settled_cells(&path).expect("store parses");
+    assert_eq!(settled.len(), 10);
 
     // Resume without the fault injected: the failed cells rerun to success.
     spec.force_panic_mix = None;
     let resumed_store = ResultStore::append_to(&path).expect("store reopens");
-    let resumed = spec.run(&resumed_store, &completed, None);
+    let resumed = spec.run(&resumed_store, &settled, None);
     assert_eq!(resumed.skipped_cells, 10, "{resumed:?}");
     assert_eq!(resumed.evaluated_cells, 2);
     assert_eq!(resumed.failed_cells, 0);
     assert!(resumed.complete());
     assert!(ResultStore::failed_cells(&path).expect("store parses").is_empty());
     assert_eq!(ResultStore::load(&path).expect("store loads").len(), 12);
+
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// A cell the watchdog classifies as livelocked is *settled*: recorded with
+/// its diagnostic report, counted in the summary, and skipped — not retried —
+/// by resume, because a deterministic verdict reruns to itself.
+#[test]
+fn livelocked_cells_are_settled_and_skipped_on_resume() {
+    let mut spec = tiny_spec();
+    // Starve every cell of one mix class into a livelock (2 seeds × 1 mix).
+    spec.force_spin_mix = Some("HHHA".to_string());
+    let path = test_path("spin");
+    let _ = std::fs::remove_file(&path);
+
+    let store = ResultStore::create(&path).expect("fresh store");
+    let summary = spec.run(&store, &HashSet::new(), None);
+    drop(store);
+    assert_eq!(summary.livelock_cells, 2, "{summary:?}");
+    assert_eq!(summary.budget_cells, 0);
+    assert_eq!(summary.failed_cells, 0, "a livelock verdict is not a panic");
+    assert_eq!(summary.evaluated_cells, summary.total_cells);
+    assert!(summary.complete(), "verdict cells settle the grid");
+
+    // The verdicts are in the store with their diagnostic snapshots…
+    let verdicts = ResultStore::verdict_cells(&path).expect("store parses");
+    assert_eq!(verdicts.len(), 2, "{verdicts:?}");
+    assert!(verdicts.iter().all(|v| v.cell.contains("HHHA")), "{verdicts:?}");
+    assert!(verdicts.iter().all(|v| v.status == "livelock" && v.termination == "livelock"));
+    assert!(
+        verdicts
+            .iter()
+            .all(|v| v.livelock_report.as_deref().is_some_and(|r| r.contains("livelock at cycle"))),
+        "{verdicts:?}"
+    );
+    // …and count as settled but not ok.
+    let settled = ResultStore::settled_cells(&path).expect("store parses");
+    assert_eq!(settled.len(), 12);
+    assert_eq!(ResultStore::completed_cells(&path).expect("store parses").len(), 10);
+
+    // Resume — with the chaos hook cleared — finds nothing to do: the
+    // verdict cells are skipped, not rerun.
+    spec.force_spin_mix = None;
+    let resumed_store = ResultStore::append_to(&path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &settled, None);
+    assert_eq!(resumed.skipped_cells, 12, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 0);
+    assert!(resumed.complete());
+
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// A SIGKILL mid-append leaves a truncated final line with no trailing
+/// newline. The broken crc seal must make every reader drop exactly that
+/// line, and a resume must rerun its cell without gluing the new record onto
+/// the torn tail — restoring the clean result set.
+#[test]
+fn truncated_final_line_is_dropped_and_rerun_on_resume() {
+    let spec = tiny_spec();
+    let path = test_path("torn");
+    let _ = std::fs::remove_file(&path);
+
+    let store = ResultStore::create(&path).expect("fresh store");
+    assert!(spec.run(&store, &HashSet::new(), None).complete());
+    drop(store);
+    let clean = sorted_lines(&path);
+    assert_eq!(clean.len(), 12);
+
+    // Tear the file mid-way through the last line, exactly as an interrupted
+    // write leaves it: partial record, no trailing newline.
+    let bytes = std::fs::read(&path).expect("store is readable");
+    let last_start = bytes[..bytes.len() - 1].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+    let cut = last_start + (bytes.len() - last_start) / 2;
+    std::fs::write(&path, &bytes[..cut]).expect("write torn store");
+
+    // The torn line fails its seal and drops out of the settled set…
+    let settled = ResultStore::settled_cells(&path).expect("parser drops the torn line");
+    assert_eq!(settled.len(), 11, "{settled:?}");
+
+    // …and a resume reruns exactly that one cell.
+    let resumed_store = ResultStore::append_to(&path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &settled, None);
+    assert_eq!(resumed.skipped_cells, 11, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 1);
+    assert!(resumed.complete());
+
+    // The recovered store's parseable lines equal the clean sweep's, byte
+    // for byte — the torn tail parses to nothing and its cell was
+    // re-appended deterministically.
+    let recovered: Vec<String> = sorted_lines(&path)
+        .into_iter()
+        .filter(|line| bh_bench::StoreEntry::parse(line).is_some())
+        .collect();
+    assert_eq!(clean, recovered);
+
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// Both chaos hooks at once — forced panics in one mix class, injected
+/// livelocks in another — must leave a store with honest per-cell statuses
+/// that resumes idempotently: failures retried, verdicts skipped.
+#[test]
+fn mixed_chaos_sweep_records_honest_statuses_and_resumes_idempotently() {
+    let mut spec = tiny_spec();
+    spec.force_spin_mix = Some("HHHA".to_string());
+    spec.force_panic_mix = Some("LLLA".to_string());
+    let path = test_path("mixed");
+    let _ = std::fs::remove_file(&path);
+
+    let store = ResultStore::create(&path).expect("fresh store");
+    let summary = spec.run(&store, &HashSet::new(), None);
+    drop(store);
+    assert_eq!(summary.livelock_cells, 2, "{summary:?}");
+    assert_eq!(summary.failed_cells, 2);
+    assert_eq!(summary.evaluated_cells, 10, "8 ok + 2 livelock");
+    assert!(!summary.complete(), "failed cells leave the grid incomplete");
+
+    // Honest statuses: 8 ok, 2 livelock (settled), 2 failed (pending).
+    assert_eq!(ResultStore::completed_cells(&path).expect("store parses").len(), 8);
+    let settled = ResultStore::settled_cells(&path).expect("store parses");
+    assert_eq!(settled.len(), 10);
+    assert_eq!(ResultStore::failed_cells(&path).expect("store parses").len(), 2);
+
+    // Resume with the panic fault healed: only the failed cells rerun; the
+    // livelock verdicts stay settled.
+    spec.force_panic_mix = None;
+    let resumed_store = ResultStore::append_to(&path).expect("store reopens");
+    let resumed = spec.run(&resumed_store, &settled, None);
+    assert_eq!(resumed.skipped_cells, 10, "{resumed:?}");
+    assert_eq!(resumed.evaluated_cells, 2);
+    assert_eq!(resumed.failed_cells, 0);
+    assert_eq!(resumed.livelock_cells, 0, "verdict cells were skipped, not rerun");
+    assert!(resumed.complete());
+
+    // A second resume is a no-op: the store is fully settled.
+    let settled = ResultStore::settled_cells(&path).expect("store parses");
+    assert_eq!(settled.len(), 12);
+    let noop_store = ResultStore::append_to(&path).expect("store reopens");
+    let noop = spec.run(&noop_store, &settled, None);
+    assert_eq!(noop.evaluated_cells, 0, "{noop:?}");
+    assert_eq!(noop.skipped_cells, 12);
+    assert_eq!(ResultStore::verdict_cells(&path).expect("store parses").len(), 2);
 
     std::fs::remove_file(&path).expect("cleanup");
 }

@@ -47,6 +47,11 @@ pub const KNOBS: &[Knob] = &[
         summary: "per-sample time budget of bench_hotpath (ms)",
         default: "50",
     },
+    Knob {
+        name: "BH_CELL_TIMEOUT_SECS",
+        summary: "campaign overseer: warn when a cell runs longer (wall clock)",
+        default: "unset (off)",
+    },
     Knob { name: "BH_CHANNELS", summary: "memory channels (sharded memory system)", default: "1" },
     Knob {
         name: "BH_DIGEST_RECORD",
@@ -115,6 +120,11 @@ pub const KNOBS: &[Knob] = &[
         default: "unset",
     },
     Knob {
+        name: "BH_TEST_FORCE_SPIN_MIX",
+        summary: "test hook: inject a livelock into campaign cells whose mix name matches",
+        default: "unset",
+    },
+    Knob {
         name: "BH_THREADS",
         summary: "legacy spelling of BH_WORKERS (BH_WORKERS wins)",
         default: "all cores",
@@ -123,6 +133,26 @@ pub const KNOBS: &[Knob] = &[
         name: "BH_TRACE_ENTRIES",
         summary: "trace records per benign application",
         default: "20000",
+    },
+    Knob {
+        name: "BH_WATCHDOG_EPOCH_CYCLES",
+        summary: "watchdog epoch length (DRAM cycles; 0 = derive from BreakHammer window)",
+        default: "0",
+    },
+    Knob {
+        name: "BH_WATCHDOG_MAX_EPOCHS",
+        summary: "per-run epoch budget (0 = unlimited)",
+        default: "0",
+    },
+    Knob {
+        name: "BH_WATCHDOG_MAX_PREVENTIVE",
+        summary: "per-run preventive-action budget (0 = unlimited)",
+        default: "0",
+    },
+    Knob {
+        name: "BH_WATCHDOG_STALL_EPOCHS",
+        summary: "consecutive zero-progress epochs before a livelock verdict",
+        default: "8",
     },
     Knob {
         name: "BH_WORKERS",

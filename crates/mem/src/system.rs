@@ -265,6 +265,12 @@ impl MemorySystem {
         self.pending_total > 0
     }
 
+    /// Number of rejected requests parked in `channel`'s enqueue-retry deque
+    /// (diagnostic: feeds the forward-progress watchdog's livelock snapshot).
+    pub fn pending_enqueue_depth(&self, channel: usize) -> usize {
+        self.pending_enqueue[channel].len()
+    }
+
     /// Records `n` skipped retry attempts per channel with a still-blocked
     /// deferred request (the event-driven kernel's bulk replay of the
     /// per-cycle kernel's one failed front retry per channel per cycle).

@@ -154,6 +154,10 @@ impl TriggerMechanism for BlockHammer {
         true
     }
 
+    fn blocked_rows(&self) -> usize {
+        self.blacklisted_now()
+    }
+
     fn blocked_until(&self, row: RowAddr, cycle: Cycle) -> Cycle {
         let bank = self.geometry.flat_bank(row.bank);
         match self.next_allowed.get(self.key(bank, row.row)) {

@@ -70,6 +70,15 @@ pub trait TriggerMechanism: fmt::Debug + Send {
         cycle
     }
 
+    /// Number of rows the mechanism is currently blocking (BlockHammer's
+    /// live blacklist size). Diagnostic only: feeds the forward-progress
+    /// watchdog's livelock snapshot, where "how many rows does the mechanism
+    /// hold blocked right now" is exactly the state a throttling livelock
+    /// hides in. The default (mechanisms that never block) is 0.
+    fn blocked_rows(&self) -> usize {
+        0
+    }
+
     /// DRAM timing adjustment the mechanism requires (REGA). The default is no
     /// adjustment.
     fn timing_adjustment(&self) -> TimingAdjustment {

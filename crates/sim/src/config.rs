@@ -78,6 +78,82 @@ pub enum ChannelStepping {
     Parallel,
 }
 
+/// Forward-progress watchdog: detects livelocked runs deterministically, in
+/// simulated time only (no wall clock anywhere in the sim crates).
+///
+/// The watchdog samples global progress — instructions retired plus DRAM
+/// demand requests served — at fixed DRAM-cycle epoch boundaries. Every
+/// kernel (per-cycle, event-driven serial, event-driven parallel) steps at
+/// each boundary (event horizons are clamped there; undershooting a horizon
+/// is always behaviour-neutral), so the samples, the verdict and the
+/// [`LivelockReport`](crate::LivelockReport) are bit-identical across
+/// kernels, stepping modes and front-ends.
+///
+/// [`WatchdogConfig::stall_epochs`] consecutive epochs with zero progress —
+/// or the same number of consecutive identical state digests (queue depths,
+/// lane states, suspect sets) — classifies the run as
+/// [`TerminationReason::Livelock`](crate::TerminationReason::Livelock).
+/// Optional deterministic budgets (max epochs, max preventive actions) yield
+/// [`TerminationReason::BudgetExceeded`](crate::TerminationReason::BudgetExceeded)
+/// instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WatchdogConfig {
+    /// Master switch. When off, runs keep the historical behaviour (burn to
+    /// `max_dram_cycles` on no progress).
+    pub enabled: bool,
+    /// Epoch length in DRAM cycles between progress samples. `0` (the
+    /// default) derives a length from the system: large enough that a
+    /// quota-starved thread waiting out a full BreakHammer window is never
+    /// misclassified, small enough to fire well before the cycle cutoff.
+    pub epoch_cycles: u64,
+    /// Consecutive zero-progress (or state-fixpoint) epochs that classify
+    /// the run as livelocked.
+    pub stall_epochs: u32,
+    /// Deterministic budget: maximum watchdog epochs before the run is cut
+    /// with `BudgetExceeded`. `0` = unlimited.
+    pub max_epochs: u64,
+    /// Deterministic budget: maximum preventive actions before the run is
+    /// cut with `BudgetExceeded` (checked at epoch boundaries). `0` =
+    /// unlimited.
+    pub max_preventive_actions: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            enabled: true,
+            epoch_cycles: 0,
+            stall_epochs: 8,
+            max_epochs: 0,
+            max_preventive_actions: 0,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// Validates the watchdog configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.stall_epochs == 0 {
+            return Err("the watchdog needs at least one stall epoch (stall_epochs > 0)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic chaos injection for robustness tests: simulated faults that
+/// force pathological behaviour without touching any non-deterministic
+/// machinery. All fields default to "off", leaving behaviour (and the golden
+/// digests) bit-for-bit unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// From this DRAM cycle on, completed memory responses are dropped
+    /// instead of filling the LLC: every core eventually hard-stalls behind
+    /// a miss that never returns, and the system stops making progress —
+    /// a deterministic, kernel-invariant livelock used to exercise the
+    /// forward-progress watchdog end to end.
+    pub drop_fills_after: Option<u64>,
+}
+
 /// Configuration of one simulated system.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -132,6 +208,15 @@ pub struct SystemConfig {
     /// threshold, no ECC) is bit-identical to the pre-fault-model simulator.
     #[serde(default)]
     pub fault: FaultConfig,
+    /// Forward-progress watchdog: livelock detection and deterministic run
+    /// budgets (see [`WatchdogConfig`]). Never fires on healthy runs, so the
+    /// default-enabled watchdog leaves all results bit-identical.
+    #[serde(default)]
+    pub watchdog: WatchdogConfig,
+    /// Deterministic chaos injection for robustness tests (all off by
+    /// default; see [`ChaosConfig`]).
+    #[serde(default)]
+    pub chaos: ChaosConfig,
 }
 
 impl SystemConfig {
@@ -181,6 +266,8 @@ impl SystemConfig {
             front_end: FrontEndKind::default(),
             stepping: ChannelStepping::default(),
             fault: FaultConfig::default(),
+            watchdog: WatchdogConfig::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -218,6 +305,8 @@ impl SystemConfig {
             front_end: FrontEndKind::default(),
             stepping: ChannelStepping::default(),
             fault: FaultConfig::default(),
+            watchdog: WatchdogConfig::default(),
+            chaos: ChaosConfig::default(),
         }
     }
 
@@ -271,6 +360,7 @@ impl SystemConfig {
         self.memctrl.validate()?;
         self.timing.validate()?;
         self.fault.validate()?;
+        self.watchdog.validate()?;
         self.effective_breakhammer_config().validate()?;
         Ok(())
     }

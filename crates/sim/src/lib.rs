@@ -40,10 +40,14 @@ pub mod config;
 pub mod result;
 pub mod runner;
 pub mod system;
+pub mod watchdog;
 
-pub use config::{ChannelStepping, FrontEndKind, SchedulerKind, SystemConfig};
+pub use config::{
+    ChannelStepping, ChaosConfig, FrontEndKind, SchedulerKind, SystemConfig, WatchdogConfig,
+};
 pub use result::{
-    AttackOutcome, ChannelBreakdown, CorePerformance, SimulationResult, VictimReport,
+    AttackOutcome, ChannelBreakdown, ChannelLaneState, CoreLaneState, CorePerformance,
+    LivelockReport, SimulationResult, TerminationReason, VictimReport,
 };
 pub use runner::{evaluate_under_configs, Evaluator, MixEvaluation};
 pub use system::System;

@@ -63,6 +63,161 @@ pub struct AttackOutcome {
     pub attack_success: bool,
 }
 
+/// Why a simulation run stopped.
+///
+/// `Completed` and `CycleCutoff` are the two historical outcomes (every run
+/// used to be one or the other, implicitly); `Livelock` and `BudgetExceeded`
+/// are produced by the forward-progress watchdog
+/// ([`WatchdogConfig`](crate::WatchdogConfig)). The verdict is computed at
+/// deterministic DRAM-cycle epoch boundaries from step-invariant state only,
+/// so it is bit-identical across both scheduler kernels, both stepping modes
+/// and both front-ends.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TerminationReason {
+    /// Every required core retired its instruction budget.
+    #[default]
+    Completed,
+    /// The run reached `max_dram_cycles` before all required cores finished.
+    /// Still a legitimate datapoint: IPCs measured up to the cutoff are valid
+    /// samples of a heavily-throttled configuration.
+    CycleCutoff,
+    /// The watchdog observed K consecutive epochs with zero global progress
+    /// (or a recurring state-digest fixpoint): the run would never have
+    /// completed. A [`LivelockReport`] snapshot accompanies this verdict.
+    Livelock,
+    /// A configured deterministic budget (max watchdog epochs or max
+    /// preventive actions) was exhausted at an epoch boundary.
+    BudgetExceeded,
+}
+
+impl TerminationReason {
+    /// Stable lowercase label used in campaign stores and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TerminationReason::Completed => "completed",
+            TerminationReason::CycleCutoff => "cutoff",
+            TerminationReason::Livelock => "livelock",
+            TerminationReason::BudgetExceeded => "budget",
+        }
+    }
+}
+
+/// One core's lane state at the moment a livelock was diagnosed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreLaneState {
+    /// The hardware thread.
+    pub thread: ThreadId,
+    /// Instructions retired so far.
+    pub retired: u64,
+    /// Whether the core had already finished its budget.
+    pub finished: bool,
+    /// Whether the core was hard-stalled (instruction window full behind an
+    /// outstanding miss) when the snapshot was taken.
+    pub hard_stalled: bool,
+}
+
+/// One memory channel's queue state at the moment a livelock was diagnosed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelLaneState {
+    /// The channel index.
+    pub channel: usize,
+    /// Demand requests sitting in the controller's queue.
+    pub queued: usize,
+    /// Requests parked in the channel's enqueue-retry deque (rejected by
+    /// quota or MSHR pressure, waiting to re-enter the queue).
+    pub retry_deque: usize,
+    /// Preventive commands the mitigation has scheduled but not yet issued.
+    pub pending_preventive: usize,
+    /// Rows the mechanism is currently blocking/blacklisting (0 for
+    /// mechanisms that never block).
+    pub blocked_rows: usize,
+}
+
+/// Diagnostic snapshot produced when the forward-progress watchdog classifies
+/// a run as livelocked: what every core lane, every channel queue, and the
+/// throttling machinery looked like at the detection boundary.
+///
+/// Built exclusively from step-invariant state at a deterministic epoch
+/// boundary, so the report — like the verdict — is bit-identical across
+/// kernels, stepping modes and front-ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LivelockReport {
+    /// DRAM cycle of the epoch boundary where the verdict fired.
+    pub detected_at: Cycle,
+    /// Consecutive zero-progress epochs observed (0 when the state-digest
+    /// fixpoint detector fired first).
+    pub zero_progress_epochs: u32,
+    /// True when the recurring (state-digest, stall-set) fixpoint detector
+    /// fired rather than the zero-progress counter.
+    pub fixpoint: bool,
+    /// Total instructions retired across all cores at detection.
+    pub instructions_retired: u64,
+    /// Demand reads served across all channels at detection.
+    pub reads_served: u64,
+    /// Writebacks served across all channels at detection.
+    pub writes_served: u64,
+    /// Preventive actions taken across all channels at detection.
+    pub preventive_actions: u64,
+    /// Per-core lane state.
+    pub cores: Vec<CoreLaneState>,
+    /// Per-channel queue depths, retry-deque lengths and mechanism block
+    /// state.
+    pub channels: Vec<ChannelLaneState>,
+    /// Per-thread suspect flags at detection (empty without BreakHammer).
+    pub suspects: Vec<bool>,
+}
+
+impl std::fmt::Display for LivelockReport {
+    /// Compact single-line form, embedded verbatim in campaign-store
+    /// `livelock` records (the flat JSONL schema holds it as one string
+    /// field).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "livelock at cycle {} ({}): {} instructions retired, {} reads / {} writes served, \
+             {} preventive actions",
+            self.detected_at,
+            if self.fixpoint {
+                "state-digest fixpoint".to_string()
+            } else {
+                format!("{} zero-progress epochs", self.zero_progress_epochs)
+            },
+            self.instructions_retired,
+            self.reads_served,
+            self.writes_served,
+            self.preventive_actions,
+        )?;
+        for core in &self.cores {
+            write!(
+                f,
+                "; core{}[retired={}{}{}]",
+                core.thread.index(),
+                core.retired,
+                if core.finished { " finished" } else { "" },
+                if core.hard_stalled { " hard-stalled" } else { "" },
+            )?;
+        }
+        for ch in &self.channels {
+            write!(
+                f,
+                "; ch{}[queued={} retry={} preventive={} blocked={}]",
+                ch.channel, ch.queued, ch.retry_deque, ch.pending_preventive, ch.blocked_rows,
+            )?;
+        }
+        if self.suspects.iter().any(|&s| s) {
+            let list: Vec<String> = self
+                .suspects
+                .iter()
+                .enumerate()
+                .filter(|(_, &s)| s)
+                .map(|(i, _)| i.to_string())
+                .collect();
+            write!(f, "; suspects=[{}]", list.join(","))?;
+        }
+        Ok(())
+    }
+}
+
 /// Disturbance accumulated by one watched victim row over the run (declared
 /// by the workload's `VictimLayout` and registered via
 /// [`System::watch_victims`](crate::System::watch_victims)).
@@ -125,6 +280,16 @@ pub struct SimulationResult {
     /// describes how the run was scheduled, not what it computed.
     #[serde(default)]
     pub stepping: SteppingStats,
+    /// Why the run stopped. Part of the behavioural surface (bit-identical
+    /// across kernels/stepping/front-ends) but *not* of the digest-pinned
+    /// field list: the watchdog never fires on healthy runs, so pinned
+    /// goldens stay byte-identical.
+    #[serde(default)]
+    pub termination: TerminationReason,
+    /// Diagnostic snapshot accompanying a [`TerminationReason::Livelock`]
+    /// verdict (`None` otherwise).
+    #[serde(default)]
+    pub livelock: Option<LivelockReport>,
 }
 
 impl SimulationResult {
@@ -191,6 +356,8 @@ mod tests {
             victims: Vec::new(),
             outcome: AttackOutcome::default(),
             stepping: SteppingStats::default(),
+            termination: TerminationReason::default(),
+            livelock: None,
         }
     }
 

@@ -18,8 +18,10 @@
 
 use crate::config::{ChannelStepping, FrontEndKind, SchedulerKind, SystemConfig};
 use crate::result::{
-    AttackOutcome, ChannelBreakdown, CorePerformance, SimulationResult, VictimReport,
+    AttackOutcome, ChannelBreakdown, ChannelLaneState, CoreLaneState, CorePerformance,
+    LivelockReport, SimulationResult, TerminationReason, VictimReport,
 };
+use crate::watchdog::{ProgressSample, StateDigest, Watchdog};
 use bh_core::BreakHammer;
 use bh_cpu::{
     CompiledTrace, Core, CoreConfig, CoreEngine, CoreProgress, CoreStats, LastLevelCache,
@@ -133,6 +135,24 @@ impl FrontEnd {
         match self {
             FrontEnd::Legacy { cores, .. } => cores[core].finished(),
             FrontEnd::Engine(engine) => engine.finished(core),
+        }
+    }
+
+    fn retired_instructions(&self, core: usize) -> u64 {
+        match self {
+            FrontEnd::Legacy { cores, .. } => cores[core].retired_instructions(),
+            FrontEnd::Engine(engine) => engine.retired_instructions(core),
+        }
+    }
+
+    /// True while `core` is hard-stalled on an incomplete miss. The two arms
+    /// are pinned equal by the engine's differential proptest
+    /// (`legacy.stalled_on[i].is_some() == engine.is_hard_stalled(i)`), so
+    /// the watchdog state digest built from this flag is front-end-invariant.
+    fn is_hard_stalled(&self, core: usize) -> bool {
+        match self {
+            FrontEnd::Legacy { stalled_on, .. } => stalled_on[core].is_some(),
+            FrontEnd::Engine(engine) => engine.is_hard_stalled(core),
         }
     }
 
@@ -267,6 +287,13 @@ pub struct System {
     /// (set via [`System::with_success_criterion`], usually from the
     /// workload's victim layout).
     success_criterion: SuccessCriterion,
+    /// Forward-progress watchdog, observed at fixed DRAM-cycle epoch
+    /// boundaries by every kernel (see [`crate::WatchdogConfig`]).
+    watchdog: Watchdog,
+    /// The watchdog's verdict when it fired (`None` on healthy runs).
+    verdict: Option<TerminationReason>,
+    /// Livelock snapshot captured at the verdict boundary.
+    livelock: Option<LivelockReport>,
 }
 
 impl System {
@@ -360,6 +387,13 @@ impl System {
         let front =
             FrontEnd::new(config.front_end, config.core, traces, config.instructions_per_core);
 
+        // The auto-derived watchdog epoch must span BreakHammer's window (a
+        // quota-starved thread legitimately waits out a rotation for its
+        // refill), so the effective window length feeds the derivation.
+        let bh_window =
+            config.breakhammer.then(|| config.effective_breakhammer_config().window_cycles);
+        let watchdog = Watchdog::new(&config.watchdog, bh_window);
+
         System {
             config,
             front,
@@ -375,6 +409,9 @@ impl System {
             outgoing_buf: Vec::new(),
             watched_victims: Vec::new(),
             success_criterion: SuccessCriterion::default(),
+            watchdog,
+            verdict: None,
+            livelock: None,
         }
     }
 
@@ -418,6 +455,128 @@ impl System {
         self.required.iter().all(|i| self.front.finished(*i))
     }
 
+    /// Watchdog observation at the top of every kernel iteration. Returns
+    /// `true` — after recording the verdict and, for livelocks, the
+    /// diagnostic snapshot — when the run must stop now. A no-op (one integer
+    /// compare) away from epoch boundaries, so the per-cycle kernel can
+    /// afford to call it every cycle.
+    ///
+    /// Every kernel reaches each boundary cycle as a step cycle (event
+    /// horizons are clamped to [`Watchdog::horizon_cap`]; undershooting a
+    /// horizon is behaviour-neutral by the kernels' equivalence contract),
+    /// and the sample reads step-invariant state only, so the verdict and
+    /// snapshot are bit-identical across kernels, stepping modes and
+    /// front-ends.
+    fn watchdog_fires(&mut self, dram_cycle: Cycle) -> bool {
+        if !self.watchdog.due(dram_cycle) {
+            return false;
+        }
+        let sample = self.progress_sample();
+        let Some(verdict) = self.watchdog.observe(dram_cycle, &sample) else {
+            return false;
+        };
+        if verdict.reason == TerminationReason::Livelock {
+            self.livelock = Some(self.livelock_report(
+                dram_cycle,
+                verdict.zero_progress_epochs,
+                verdict.fixpoint,
+                &sample,
+            ));
+        }
+        self.verdict = Some(verdict.reason);
+        true
+    }
+
+    /// Assembles one epoch boundary's progress sample: the global progress
+    /// tuple plus the structural state digest (which deliberately excludes
+    /// the served-request counters — see the `watchdog` module docs).
+    fn progress_sample(&self) -> ProgressSample {
+        let mut digest = StateDigest::new();
+        let mut instructions_retired = 0u64;
+        for core in 0..self.config.cores {
+            let retired = self.front.retired_instructions(core);
+            instructions_retired += retired;
+            digest.write_u64(retired);
+            digest.write_bool(self.front.finished(core));
+            digest.write_bool(self.front.is_hard_stalled(core));
+        }
+        let mut reads_served = 0u64;
+        let mut writes_served = 0u64;
+        let mut preventive_actions = 0u64;
+        for (channel, ctrl) in self.memory.controllers().iter().enumerate() {
+            let stats = ctrl.stats();
+            reads_served += stats.reads_served;
+            writes_served += stats.writes_served;
+            preventive_actions += stats.preventive_actions_total();
+            digest.write_usize(ctrl.queued_requests());
+            digest.write_usize(self.memory.pending_enqueue_depth(channel));
+            digest.write_usize(ctrl.pending_preventive_commands());
+            digest.write_usize(ctrl.mechanism().blocked_rows());
+        }
+        if let Some(bh) = self.memory.breakhammer() {
+            for t in 0..self.config.cores {
+                digest.write_bool(bh.is_suspect(ThreadId(t)));
+                digest.write_usize(bh.quota(ThreadId(t)));
+            }
+        }
+        ProgressSample {
+            instructions_retired,
+            reads_served,
+            writes_served,
+            preventive_actions,
+            state_digest: digest.finish(),
+        }
+    }
+
+    /// Builds the diagnostic snapshot accompanying a livelock verdict, from
+    /// the same step-invariant state the sample was drawn from.
+    fn livelock_report(
+        &self,
+        detected_at: Cycle,
+        zero_progress_epochs: u32,
+        fixpoint: bool,
+        sample: &ProgressSample,
+    ) -> LivelockReport {
+        let cores = (0..self.config.cores)
+            .map(|core| CoreLaneState {
+                thread: ThreadId(core),
+                retired: self.front.retired_instructions(core),
+                finished: self.front.finished(core),
+                hard_stalled: self.front.is_hard_stalled(core),
+            })
+            .collect();
+        let channels = self
+            .memory
+            .controllers()
+            .iter()
+            .enumerate()
+            .map(|(channel, ctrl)| ChannelLaneState {
+                channel,
+                queued: ctrl.queued_requests(),
+                retry_deque: self.memory.pending_enqueue_depth(channel),
+                pending_preventive: ctrl.pending_preventive_commands(),
+                blocked_rows: ctrl.mechanism().blocked_rows(),
+            })
+            .collect();
+        let suspects = self
+            .memory
+            .breakhammer()
+            .map(|bh| (0..self.config.cores).map(|t| bh.is_suspect(ThreadId(t))).collect())
+            .unwrap_or_default();
+        LivelockReport {
+            detected_at,
+            zero_progress_epochs,
+            fixpoint,
+            instructions_retired: sample.instructions_retired,
+            reads_served: sample.reads_served,
+            writes_served: sample.writes_served,
+            preventive_actions: sample.preventive_actions,
+            cores,
+            channels,
+            suspects,
+        }
+    }
+
     /// Runs the simulation to completion and returns the measured results.
     ///
     /// Dispatches to the kernel selected by
@@ -438,6 +597,9 @@ impl System {
         let mut clock = CpuClock::new(self.config.cpu_cycles_per_dram_cycle());
         let mut dram_cycle: Cycle = 0;
         while !self.required_finished() && dram_cycle < self.config.max_dram_cycles {
+            if self.watchdog_fires(dram_cycle) {
+                break;
+            }
             self.step(dram_cycle, &mut clock);
             dram_cycle += 1;
         }
@@ -453,13 +615,19 @@ impl System {
         let max = self.config.max_dram_cycles;
         let mut dram_cycle: Cycle = 0;
         while !self.required_finished() && dram_cycle < max {
+            if self.watchdog_fires(dram_cycle) {
+                break;
+            }
             self.step(dram_cycle, &mut clock);
             if self.required_finished() {
                 dram_cycle += 1;
                 break;
             }
             let next = self.next_event(dram_cycle, &clock);
-            let next = next.clamp(dram_cycle + 1, max);
+            // Clamp to the next watchdog epoch boundary so this kernel steps
+            // there too (undershooting a horizon is only wasted work, never a
+            // behaviour change — the per-cycle kernel steps every cycle).
+            let next = next.clamp(dram_cycle + 1, max).min(self.watchdog.horizon_cap());
             if next > dram_cycle + 1 {
                 self.skip_dead_cycles(next - dram_cycle - 1, &mut clock);
             }
@@ -492,13 +660,21 @@ impl System {
         let read_latency = self.memory.controllers()[0].channel().timing().read_latency();
         let mut dram_cycle: Cycle = 0;
         while !self.required_finished() && dram_cycle < max {
+            if self.watchdog_fires(dram_cycle) {
+                break;
+            }
             self.step(dram_cycle, &mut clock);
             if self.required_finished() {
                 dram_cycle += 1;
                 break;
             }
             match self.plan_next(dram_cycle, &clock, read_latency, max) {
-                Plan::Epoch(h) => {
+                // Epochs, like serial skips, never cross a watchdog epoch
+                // boundary: the step at the boundary is where the sample is
+                // taken, and a shortened channel epoch is always sound (the
+                // horizon contract permits undershooting).
+                Plan::Epoch(h) if h.min(self.watchdog.horizon_cap()) > dram_cycle + 1 => {
+                    let h = h.min(self.watchdog.horizon_cap());
                     self.memory.advance_epoch(dram_cycle, h);
                     // The interior cycles' core-side replay: identical to
                     // the serial skip except that the channel workers have
@@ -506,8 +682,14 @@ impl System {
                     self.skip_core_cycles(h - dram_cycle - 1, &mut clock);
                     dram_cycle = h;
                 }
+                Plan::Epoch(_) => {
+                    // The boundary clamp collapsed the epoch to a single
+                    // cycle: advance serially, exactly like `Plan::Skip` to
+                    // the very next cycle.
+                    dram_cycle += 1;
+                }
                 Plan::Skip(next) => {
-                    let next = next.clamp(dram_cycle + 1, max);
+                    let next = next.clamp(dram_cycle + 1, max).min(self.watchdog.horizon_cap());
                     if next > dram_cycle + 1 {
                         self.skip_dead_cycles(next - dram_cycle - 1, &mut clock);
                     }
@@ -560,6 +742,16 @@ impl System {
         }
         for response in &self.response_buf {
             if response.kind.is_read() && response.id < (1 << 60) {
+                // Chaos injection: drop fills completing at/after the
+                // configured cycle. The MSHR stays occupied forever, so every
+                // core eventually hard-stalls — the deterministic livelock
+                // the watchdog tests inject. `completed_at` is identical
+                // across kernels, so the drop set is too.
+                if let Some(cut) = self.config.chaos.drop_fills_after {
+                    if response.completed_at >= cut {
+                        continue;
+                    }
+                }
                 self.pending_fills.push_back((response.completed_at, response.id));
                 self.pending_fills_min = self.pending_fills_min.min(response.completed_at);
             }
@@ -790,6 +982,15 @@ impl System {
     }
 
     fn finish(mut self, dram_cycles: Cycle) -> SimulationResult {
+        // Resolve the termination taxonomy before anything is settled: the
+        // watchdog verdict (recorded at its boundary) wins; otherwise the run
+        // either completed or hit the cycle cutoff.
+        let termination = self.verdict.unwrap_or(if self.required_finished() {
+            TerminationReason::Completed
+        } else {
+            TerminationReason::CycleCutoff
+        });
+        let livelock = self.livelock.take();
         // Settle any deferred hard-stall cycles before reading core stats.
         self.front.settle();
         let cores: Vec<CorePerformance> =
@@ -899,6 +1100,8 @@ impl System {
             victims,
             outcome,
             stepping: *self.memory.stepping_stats(),
+            termination,
+            livelock,
         }
     }
 }

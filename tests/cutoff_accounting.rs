@@ -11,7 +11,9 @@
 
 use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{
+    SchedulerKind, SimulationResult, System, SystemConfig, TerminationReason,
+};
 use breakhammer_suite::workloads::AttackerProfile;
 
 /// CPU ticks the simulator's clock-domain crossing performs over
@@ -61,6 +63,9 @@ fn cutoff_mid_stall_flushes_all_stall_debt_into_the_cores() {
     for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
         let (result, ratio) = run(kernel);
         assert_eq!(result.dram_cycles, 25_000, "{kernel:?}: the run must hit the cutoff");
+        // The default-on watchdog must see the reads trickling through and
+        // leave the cutoff classified as a cutoff, not a livelock.
+        assert_eq!(result.termination, TerminationReason::CycleCutoff, "{kernel:?}");
         let expected = cpu_ticks(result.dram_cycles, ratio);
         for core in &result.cores {
             assert!(!core.finished, "{kernel:?}: the cutoff must land before completion");

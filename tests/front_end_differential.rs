@@ -15,7 +15,9 @@
 
 use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{
+    FrontEndKind, SchedulerKind, SimulationResult, System, SystemConfig, TerminationReason,
+};
 
 mod common;
 use common::{attack_traces, benign_traces};
@@ -135,4 +137,28 @@ fn quota_starved_attacker_is_identical_across_front_ends() {
     let (legacy, engine) = run_both(config, &traces, vec![0, 1, 2]);
     assert_eq!(legacy, engine, "front-ends diverged under quota starvation");
     assert!(engine.cache.quota_rejections > 0, "the scenario must actually quota-starve");
+}
+
+/// The watchdog samples progress through the front-end trait (retired
+/// instructions, hard-stall bits); on a chaos-injected livelock both
+/// front-ends must produce the identical verdict and report, under both
+/// kernels.
+#[test]
+fn watchdog_livelock_verdict_is_identical_across_front_ends() {
+    for kernel in [SchedulerKind::PerCycle, SchedulerKind::EventDriven] {
+        let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 128, false);
+        config.instructions_per_core = 50_000;
+        config.chaos.drop_fills_after = Some(1_000);
+        config.watchdog.epoch_cycles = 5_000;
+        config.watchdog.stall_epochs = 4;
+        config.scheduler = kernel;
+        let traces = benign_traces(&config, 2_000, 7);
+        let (legacy, engine) = run_both(config, &traces, vec![0, 1, 2, 3]);
+        assert_eq!(
+            legacy.termination,
+            TerminationReason::Livelock,
+            "the injected livelock must be classified [{kernel:?}]"
+        );
+        assert_eq!(legacy, engine, "watchdog verdict diverged across front-ends [{kernel:?}]");
+    }
 }

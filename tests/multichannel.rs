@@ -7,11 +7,13 @@
 use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::mem::{AddressMapping, ChannelInterleave};
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{
+    SchedulerKind, SimulationResult, System, SystemConfig, TerminationReason,
+};
 use breakhammer_suite::workloads::AttackerProfile;
 
 mod common;
-use common::attack_traces_with as attack_traces;
+use common::{attack_traces_with as attack_traces, benign_traces};
 
 fn run_both(
     mut config: SystemConfig,
@@ -166,4 +168,25 @@ fn breakhammer_still_reduces_actions_on_two_channels() {
         without.preventive_actions
     );
     assert_eq!(with.bitflips, 0);
+}
+
+/// The forward-progress watchdog's verdict is part of the kernel contract:
+/// a starvation livelock (chaos fault dropping every LLC fill) must yield
+/// the same `Livelock` verdict and report at every channel count, on both
+/// kernels.
+#[test]
+fn watchdog_livelock_verdict_is_identical_across_channel_counts() {
+    for channels in [1usize, 2, 4] {
+        let mut config =
+            SystemConfig::fast_test(MechanismKind::Graphene, 128, false).with_channels(channels);
+        config.instructions_per_core = 50_000;
+        config.chaos.drop_fills_after = Some(1_000);
+        config.watchdog.epoch_cycles = 5_000;
+        config.watchdog.stall_epochs = 4;
+        let traces = benign_traces(&config, 2_000, 7);
+        let (reference, event_driven) = run_both(config, &traces, vec![0, 1, 2, 3]);
+        assert_eq!(reference.termination, TerminationReason::Livelock, "x{channels}ch");
+        assert!(reference.livelock.is_some(), "x{channels}ch verdict carries a report");
+        assert_eq!(reference, event_driven, "watchdog verdict diverged at x{channels}ch");
+    }
 }

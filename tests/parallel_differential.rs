@@ -18,7 +18,7 @@ use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::mem::SteppingStats;
 use breakhammer_suite::mitigation::MechanismKind;
 use breakhammer_suite::sim::{
-    ChannelStepping, SchedulerKind, SimulationResult, System, SystemConfig,
+    ChannelStepping, SchedulerKind, SimulationResult, System, SystemConfig, TerminationReason,
 };
 use proptest::prelude::*;
 
@@ -334,4 +334,42 @@ proptest! {
             label
         );
     }
+}
+
+/// Epoch-parallel stepping clamps its barrier epochs at watchdog boundaries;
+/// the chaos-injected livelock verdict must match both serial kernels bit
+/// for bit, and the parallel run must still have exercised real epochs.
+#[test]
+fn watchdog_livelock_verdict_is_identical_under_parallel_stepping() {
+    let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 128, false);
+    config.instructions_per_core = 50_000;
+    config.chaos.drop_fills_after = Some(1_000);
+    config.watchdog.epoch_cycles = 5_000;
+    config.watchdog.stall_epochs = 4;
+    let traces = benign_traces(&config, 2_000, 7);
+    let parallel = run_with(
+        config.clone(),
+        SchedulerKind::EventDriven,
+        ChannelStepping::Parallel,
+        &traces,
+        vec![0, 1, 2, 3],
+    );
+    assert_eq!(parallel.termination, TerminationReason::Livelock);
+    assert!(parallel.stepping.epochs > 0, "the dead tail must still run real epochs");
+    let serial = run_with(
+        config.clone(),
+        SchedulerKind::EventDriven,
+        ChannelStepping::Serial,
+        &traces,
+        vec![0, 1, 2, 3],
+    );
+    assert_eq!(normalized(parallel.clone()), normalized(serial), "parallel vs serial diverged");
+    let per_cycle = run_with(
+        config,
+        SchedulerKind::PerCycle,
+        ChannelStepping::Serial,
+        &traces,
+        vec![0, 1, 2, 3],
+    );
+    assert_eq!(normalized(parallel), normalized(per_cycle), "parallel vs per-cycle diverged");
 }

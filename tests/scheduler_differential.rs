@@ -11,7 +11,9 @@
 
 use breakhammer_suite::cpu::Trace;
 use breakhammer_suite::mitigation::MechanismKind;
-use breakhammer_suite::sim::{SchedulerKind, SimulationResult, System, SystemConfig};
+use breakhammer_suite::sim::{
+    SchedulerKind, SimulationResult, System, SystemConfig, TerminationReason,
+};
 use proptest::prelude::*;
 
 mod common;
@@ -228,4 +230,23 @@ proptest! {
         let (reference, event_driven) = run_both(config, &traces, required);
         prop_assert_eq!(reference, event_driven, "kernels diverged for {}", label);
     }
+}
+
+/// A chaos-injected livelock under a tight watchdog: the event-driven kernel
+/// fast-forwards through the dead tail in horizon-clamped jumps, the
+/// per-cycle kernel grinds through it cycle by cycle — the `Livelock`
+/// verdict, the [`LivelockReport`] snapshot and the whole result must still
+/// be bit-identical.
+#[test]
+fn watchdog_livelock_verdict_is_identical_across_kernels() {
+    let mut config = SystemConfig::fast_test(MechanismKind::Graphene, 128, false);
+    config.instructions_per_core = 50_000;
+    config.chaos.drop_fills_after = Some(1_000);
+    config.watchdog.epoch_cycles = 5_000;
+    config.watchdog.stall_epochs = 4;
+    let traces = benign_traces(&config, 2_000, 7);
+    let (reference, event_driven) = run_both(config, &traces, vec![0, 1, 2, 3]);
+    assert_eq!(reference.termination, TerminationReason::Livelock);
+    assert!(reference.livelock.is_some(), "livelock verdicts carry a report");
+    assert_eq!(reference, event_driven, "watchdog verdict diverged across kernels");
 }
